@@ -1,0 +1,99 @@
+"""Ablation: the two greedy optimizers and their duality / optimality gap.
+
+§4.2 gives two greedy algorithms (storage-constrained SLP and
+communication-constrained CLP) and claims greedy optimality properties.
+This ablation (a) traces both over a realistic instance and checks they
+meet as duals, and (b) bounds the SLP greedy's gap against the exact DP
+knapsack on instances small enough to solve exactly.
+"""
+
+import random
+
+import pytest
+
+from repro.core import (
+    LeaseInstance,
+    communication_constrained,
+    communication_constrained_floor,
+    storage_constrained,
+    storage_constrained_exact,
+)
+from repro.sim import train_pair_rates
+
+from benchmarks.conftest import print_table
+
+
+def build_instances(week_trace):
+    events, config = week_trace
+    rates = train_pair_rates(events, config.duration / 7.0)
+    return [LeaseInstance(record=name, cache=ns, query_rate=rate,
+                          max_lease=6 * 86400.0)
+            for (name, ns), rate in rates.items()]
+
+
+def test_abl_duality_on_trace(benchmark, week_trace):
+    instances = benchmark.pedantic(build_instances, args=(week_trace,),
+                                   rounds=1, iterations=1)
+
+    rows = []
+    for budget_fraction in (0.02, 0.1, 0.3, 0.6):
+        budget = budget_fraction * len(instances)
+        slp = storage_constrained(instances, budget)
+        slp_point = slp.operating_point()
+        clp = communication_constrained(instances,
+                                        slp_point.message_rate + 1e-9)
+        clp_point = clp.operating_point()
+        rows.append((f"{budget:8.1f}", slp.granted_count,
+                     f"{slp_point.query_rate_percentage:7.2f}",
+                     clp.granted_count,
+                     f"{clp_point.query_rate_percentage:7.2f}"))
+        # Dual consistency: CLP meets SLP's message rate with no more
+        # leases (uniform max leases → identical greedy ranking).
+        assert clp.granted_count <= slp.granted_count
+        assert clp_point.message_rate <= slp_point.message_rate + 1e-9
+    print_table("Ablation — SLP→CLP duality on the trace instance",
+                ("storage budget", "SLP leases", "SLP qr %",
+                 "CLP leases", "CLP qr %"), rows)
+
+
+def test_abl_greedy_vs_exact(benchmark):
+    rng = random.Random(13)
+
+    def make_instance(count):
+        return [LeaseInstance(f"r{i}", "c",
+                              query_rate=rng.expovariate(10.0) + 1e-4,
+                              max_lease=rng.choice((200.0, 6000.0, 518400.0)))
+                for i in range(count)]
+
+    def gap_for(instances, budget):
+        greedy = storage_constrained(instances, budget)
+        exact = storage_constrained_exact(instances, budget,
+                                          resolution=2000)
+        greedy_point = greedy.operating_point()
+        exact_point = exact.operating_point()
+        greedy_saving = (greedy_point.max_message_rate
+                         - greedy_point.message_rate)
+        exact_saving = (exact_point.max_message_rate
+                        - exact_point.message_rate)
+        return greedy_saving, max(exact_saving, greedy_saving)
+
+    instances = make_instance(18)
+    benchmark(gap_for, instances, 4.0)
+
+    rows = []
+    worst_ratio = 1.0
+    for trial in range(12):
+        instances = make_instance(18)
+        budget = rng.uniform(1.0, 10.0)
+        greedy_saving, best_saving = gap_for(instances, budget)
+        ratio = greedy_saving / best_saving if best_saving > 0 else 1.0
+        worst_ratio = min(worst_ratio, ratio)
+        rows.append((trial, f"{budget:5.2f}", f"{greedy_saving:8.4f}",
+                     f"{best_saving:8.4f}", f"{ratio:.3f}"))
+    print_table("Ablation — SLP greedy vs exact knapsack "
+                "(message-rate saving achieved)",
+                ("trial", "budget", "greedy", "exact", "ratio"), rows)
+
+    # The greedy is consistently near-optimal on realistic instances
+    # (its theoretical 1/2 bound is far from tight here).
+    assert worst_ratio > 0.8

@@ -1,0 +1,49 @@
+"""Figure 2 (f): classification of mapping changes per TTL class.
+
+Prints the relocation / growth / rotation shares (and the derived
+physical vs logical split) for each class, matching the figure's
+qualitative claims: classes 1-2 are rotation-dominated (logical, CDN
+load balancing), class 3 has a substantial physical share (~40 % in the
+paper), and the majority of class 4-5 changes are physical.
+"""
+
+import pytest
+
+from repro.measurement import aggregate, results_by_class
+from repro.traces import CAUSE_GROWTH, CAUSE_RELOCATION, CAUSE_ROTATION
+
+from benchmarks.conftest import print_table
+
+
+def tally_classes(probe_results):
+    grouped = results_by_class(probe_results)
+    return {index: aggregate(r.tally for r in group)
+            for index, group in grouped.items()}
+
+
+def test_fig2f_change_classification(benchmark, probe_results):
+    tallies = benchmark(tally_classes, probe_results)
+
+    rows = []
+    for index in sorted(tallies):
+        tally = tallies[index]
+        shares = tally.shares()
+        rows.append((index, tally.total,
+                     f"{shares[CAUSE_RELOCATION]:.0%}",
+                     f"{shares[CAUSE_GROWTH]:.0%}",
+                     f"{shares[CAUSE_ROTATION]:.0%}",
+                     f"{tally.physical_share():.0%}"))
+    print_table("Figure 2(f) — change causes per class",
+                ("class", "changes", "relocation", "growth", "rotation",
+                 "physical"), rows)
+
+    # Classes 1-2: dominated by IP rotation (logical changes).
+    for index in (1, 2):
+        assert tallies[index].shares()[CAUSE_ROTATION] > 0.5
+        assert tallies[index].physical_share() < 0.35
+    # Class 3: a large minority of changes are physical (paper: ~40 %).
+    assert tallies[3].physical_share() > 0.25
+    # Classes 4-5: the majority of changes are physical.
+    for index in (4, 5):
+        if tallies[index].total:
+            assert tallies[index].physical_share() > 0.5

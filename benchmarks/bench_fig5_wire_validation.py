@@ -1,0 +1,112 @@
+"""Figure 5 cross-validation: replay simulator vs the wire-level stack.
+
+The Figure 5 curves come from the trace-replay simulator (fast, no
+network).  This bench re-runs one operating point through the *full*
+wire-level system — real resolvers, real leases granted via RRC/LLT,
+real CACHE-UPDATE traffic — and checks that the communication saving
+the replay predicts actually materializes in authoritative-server query
+counts.
+
+Wire-level runs carry overheads the replay abstracts away (root
+referrals, NS lookups), so the comparison is on the *relative saving*
+(DNScup upstream traffic vs TTL-only upstream traffic for the same
+workload), with a generous tolerance.
+"""
+
+import pytest
+
+from repro.core import DynamicLeasePolicy
+from repro.dnslib import Name, RRType
+from repro.sim import (
+    ProtocolScenario,
+    ScenarioConfig,
+    dynamic_lease_fn,
+    no_lease_fn,
+    simulate_lease_trace,
+)
+from repro.traces import (
+    CATEGORY_REGULAR,
+    DomainSpec,
+    QueryEvent,
+    StableProcess,
+    WorkloadConfig,
+    generate_requests,
+)
+
+from benchmarks.conftest import print_table
+
+TTL = 60.0          # short TTL so polling traffic is meaningful
+MAX_LEASE = 3600.0
+DURATION = 1800.0
+
+
+def build_domains(count=6):
+    return [DomainSpec(Name.from_text(f"www.v{i}.com"), CATEGORY_REGULAR,
+                       TTL, 1.0, StableProcess([f"10.70.{i}.1"]))
+            for i in range(count)]
+
+
+def workload():
+    return WorkloadConfig(duration=DURATION, clients=9, nameservers=3,
+                          total_request_rate=1.5,
+                          client_cache_seconds=0.0, seed=51)
+
+
+def wire_upstream_queries(domains, dnscup_enabled):
+    scenario = ProtocolScenario(
+        domains,
+        ScenarioConfig(dnscup_enabled=dnscup_enabled, auth_servers=1,
+                       resolvers=3,
+                       policy_factory=lambda: DynamicLeasePolicy(0.0)))
+    scenario.run_workload(workload())
+    return scenario.auth_servers[0].stats.queries, scenario
+
+
+def replay_prediction(domains):
+    """What the replay simulator predicts for the same workload."""
+    events = []
+    for event in generate_requests(domains, workload()):
+        events.append(event)
+    rates = {}
+    for event in events:
+        key = (event.name, event.nameserver)
+        rates[key] = rates.get(key, 0) + 1
+    rates = {key: count / DURATION for key, count in rates.items()}
+
+    def run(fn, scheme):
+        return simulate_lease_trace(
+            # model TTL-expiry polling by treating the TTL as a "lease"
+            # in the no-DNScup case: each upstream fetch covers TTL secs
+            events, rates, lambda n: MAX_LEASE, fn, DURATION, scheme=scheme)
+
+    from repro.sim import fixed_lease_fn
+    ttl_like = run(fixed_lease_fn(TTL), "ttl")     # polling-at-TTL
+    leased = run(dynamic_lease_fn(0.0), "dnscup")  # all leased, max length
+    return ttl_like.upstream_messages, leased.upstream_messages
+
+
+def test_fig5_wire_validation(benchmark):
+    domains = build_domains()
+    wire_with, scenario = benchmark.pedantic(
+        wire_upstream_queries, args=(domains, True), rounds=1, iterations=1)
+    wire_without, _ = wire_upstream_queries(domains, False)
+    predicted_ttl, predicted_lease = replay_prediction(domains)
+
+    wire_saving = 1.0 - wire_with / wire_without
+    predicted_saving = 1.0 - predicted_lease / predicted_ttl
+    print_table("Figure 5 wire-level cross-validation "
+                f"({DURATION:.0f} s, TTL {TTL:.0f} s, lease {MAX_LEASE:.0f} s)",
+                ("quantity", "replay model", "wire-level"),
+                [("TTL-only upstream fetches", predicted_ttl, wire_without),
+                 ("DNScup upstream fetches", predicted_lease, wire_with),
+                 ("communication saving", f"{predicted_saving:.1%}",
+                  f"{wire_saving:.1%}")])
+
+    # The wire-level run realizes the bulk of the predicted saving.
+    assert wire_with < wire_without
+    assert wire_saving > 0.5 * predicted_saving
+    # And consistency is genuinely strong in the wire run: every push
+    # acknowledged (nothing to push here — stable domains — so assert
+    # the lease machinery at least engaged).
+    summary = scenario.dnscup_summary()
+    assert summary["grants"] >= len(domains)

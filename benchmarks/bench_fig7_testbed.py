@@ -1,0 +1,69 @@
+"""Figure 7 / §5.2: the prototype testbed.
+
+Builds the paper's LAN topology — root nameserver, master authoritative
+server with two slaves, two DNS caches, 40 zones from the most popular
+IRCache-style domains — drives queries and dynamic updates through it,
+and validates the §5.2 claims: everything resolves, replication and
+CACHE-UPDATE keep every copy consistent, and all messages stay below
+the 512-byte RFC 1035 bound.  The benchmarked unit is a full
+resolve-everything pass from one client.
+"""
+
+import pytest
+
+from repro.dnslib import MAX_UDP_PAYLOAD, Rcode, RRType
+from repro.sim import Testbed, TestbedConfig
+
+from benchmarks.conftest import print_table
+
+
+@pytest.fixture(scope="module")
+def testbed():
+    return Testbed(TestbedConfig())
+
+
+def lookup_everything(testbed):
+    return testbed.lookup_all(0)
+
+
+def test_fig7_testbed(benchmark, testbed):
+    answers = benchmark.pedantic(lookup_everything, args=(testbed,),
+                                 rounds=3, iterations=1, warmup_rounds=1)
+    testbed.lookup_all(1)
+
+    print_table("Figure 7 — testbed inventory",
+                ("component", "value"),
+                [("zones", len(testbed.zones)),
+                 ("domains", len(testbed.domains)),
+                 ("authoritative servers", f"1 master + {len(testbed.slaves)} slaves"),
+                 ("DNS caches", len(testbed.caches)),
+                 ("clients", len(testbed.clients))])
+
+    # Everything resolves through the full hierarchy.
+    assert all(addrs for addrs in answers.values())
+
+    # Dynamic updates propagate to slaves (NOTIFY+IXFR) and to leased
+    # caches (CACHE-UPDATE) — strong consistency end to end.
+    updated = 0
+    for domain in testbed.domains[:5]:
+        rcode = testbed.dynamic_update(domain.name,
+                                       f"172.20.0.{updated + 1}")
+        assert rcode == Rcode.NOERROR
+        updated += 1
+    testbed.run()
+    assert testbed.slaves_consistent()
+    stats = testbed.dnscup.notification.stats
+    assert stats.notifications_sent > 0
+    assert stats.acks_received == stats.notifications_sent
+
+    rows = [("updates applied", updated),
+            ("slave replicas consistent", testbed.slaves_consistent()),
+            ("CACHE-UPDATEs sent", stats.notifications_sent),
+            ("CACHE-UPDATE acks", stats.acks_received),
+            ("max message size (B)", testbed.max_message_size()),
+            ("RFC 1035 UDP bound (B)", MAX_UDP_PAYLOAD)]
+    print_table("§5.2 — testbed validation", ("check", "result"), rows)
+
+    # The §5.2 claim: all messages far below 512 bytes.
+    assert testbed.max_message_size() <= MAX_UDP_PAYLOAD
+    assert testbed.max_message_size() < MAX_UDP_PAYLOAD * 0.75

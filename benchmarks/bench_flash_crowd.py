@@ -1,0 +1,117 @@
+"""Flash-crowd reaction (paper §1, objective 3).
+
+A domain's request rate explodes; the operator redirects traffic to an
+overflow pool.  Under TTL consistency the redirect only reaches clients
+as cached entries expire — during a flash crowd, exactly when every
+second of delay multiplies load on the dying origin.  With DNScup the
+CACHE-UPDATE push retargets every leased cache in one round trip.
+
+Measured: client requests still landing on the overloaded origin after
+the redirect, and how long the origin keeps absorbing them.
+"""
+
+import pytest
+
+from repro.core import DynamicLeasePolicy, attach_dnscup
+from repro.dnslib import Name, RRType
+from repro.net import Host, Network, Simulator
+from repro.server import AuthoritativeServer, RecursiveResolver, StubResolver
+from repro.zone import load_zone
+
+from benchmarks.conftest import print_table
+
+ORIGIN_ADDRESS = "10.40.0.1"
+OVERFLOW = ["203.0.113.1", "203.0.113.2", "203.0.113.3"]
+TTL = 1800
+SPIKE_AT = 300.0
+REDIRECT_AT = 360.0          # operator reacts one minute into the spike
+RUN_FOR = 1800.0
+CALM_PERIOD = 30.0
+SPIKE_PERIOD = 0.5           # 60x request-rate spike
+
+ROOT_TEXT = """\
+$ORIGIN .
+$TTL 86400
+.              IN SOA a.root. admin. 1 7200 900 604800 300
+.              IN NS a.root.
+a.root.        IN A  198.41.0.4
+viral.com.     IN NS ns1.viral.com.
+ns1.viral.com. IN A  10.41.0.1
+"""
+
+ZONE_TEXT = f"""\
+$ORIGIN viral.com.
+$TTL {TTL}
+@    IN SOA ns1 admin 1 7200 900 604800 300
+@    IN NS  ns1
+ns1  IN A   10.41.0.1
+www  IN A   {ORIGIN_ADDRESS}
+"""
+
+
+def run_flash_crowd(dnscup_enabled):
+    simulator = Simulator()
+    network = Network(simulator, seed=17)
+    AuthoritativeServer(Host(network, "198.41.0.4"),
+                        [load_zone(ROOT_TEXT, origin=Name.root())])
+    zone = load_zone(ZONE_TEXT)
+    auth = AuthoritativeServer(Host(network, "10.41.0.1"), [zone])
+    if dnscup_enabled:
+        attach_dnscup(auth, policy=DynamicLeasePolicy(0.0))
+    resolver = RecursiveResolver(Host(network, "10.42.0.1"),
+                                 [("198.41.0.4", 53)],
+                                 dnscup_enabled=dnscup_enabled)
+    client = StubResolver(Host(network, "10.43.0.1"), ("10.42.0.1", 53),
+                          cache_seconds=0.0)
+
+    hits = []  # (time, address hit)
+
+    def request() -> None:
+        client.lookup("www.viral.com",
+                      lambda addrs, rc: hits.append(
+                          (simulator.now, addrs[0] if addrs else None)))
+
+    time_cursor = 0.0
+    while time_cursor < RUN_FOR:
+        simulator.schedule_at(time_cursor, request)
+        period = SPIKE_PERIOD if time_cursor >= SPIKE_AT else CALM_PERIOD
+        time_cursor += period
+    simulator.schedule_at(
+        REDIRECT_AT,
+        lambda: zone.replace_address("www.viral.com", OVERFLOW))
+    simulator.run()
+
+    overloaded_after = [t for t, addr in hits
+                        if t > REDIRECT_AT and addr == ORIGIN_ADDRESS]
+    last_origin_hit = max(overloaded_after, default=REDIRECT_AT)
+    return {
+        "requests": len(hits),
+        "origin_hits_after_redirect": len(overloaded_after),
+        "origin_relief_delay": last_origin_hit - REDIRECT_AT,
+    }
+
+
+def test_flash_crowd_redirect(benchmark):
+    with_cup = benchmark.pedantic(run_flash_crowd, args=(True,),
+                                  rounds=1, iterations=1)
+    without = run_flash_crowd(False)
+
+    print_table("Flash crowd: 60x spike at t=300 s, operator redirect at "
+                f"t=360 s (TTL {TTL} s)",
+                ("mode", "requests", "origin hits after redirect",
+                 "origin relief delay (s)"),
+                [("DNScup", with_cup["requests"],
+                  with_cup["origin_hits_after_redirect"],
+                  f"{with_cup['origin_relief_delay']:.1f}"),
+                 ("TTL only", without["requests"],
+                  without["origin_hits_after_redirect"],
+                  f"{without['origin_relief_delay']:.1f}")])
+
+    # Same request stream both runs.
+    assert with_cup["requests"] == without["requests"]
+    # DNScup relieves the origin within ~one request period; TTL keeps
+    # hammering it until expiry.
+    assert with_cup["origin_hits_after_redirect"] <= 3
+    assert without["origin_hits_after_redirect"] > 100
+    assert with_cup["origin_relief_delay"] < 10.0
+    assert without["origin_relief_delay"] > TTL / 2

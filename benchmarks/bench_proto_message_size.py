@@ -1,0 +1,78 @@
+"""§5.2: wire sizes of every message type vs the 512-byte UDP bound.
+
+The prototype's validation that "all message sizes are far below the
+limitation of 512 bytes" — measured here per message type, including
+DNScup's extended query (RRC), lease-granting response (LLT), and
+CACHE-UPDATE/ack, for realistic name lengths and answer sizes.  The
+benchmarked unit is message encoding throughput.
+"""
+
+import pytest
+
+from repro.dnslib import (
+    A,
+    MAX_UDP_PAYLOAD,
+    ResourceRecord,
+    RRType,
+    make_cache_update,
+    make_cache_update_ack,
+    make_notify,
+    make_query,
+    make_response,
+    make_update,
+)
+from repro.zone import update_add, update_delete_rrset
+
+from benchmarks.conftest import print_table
+
+NAME = "www.a-rather-long-subdomain.content-delivery.example-provider.com"
+
+
+def build_message_zoo():
+    """One representative instance of every message type on the wire."""
+    plain_query = make_query(NAME, RRType.A)
+    cup_query = make_query(NAME, RRType.A, rrc=1234)
+    response = make_response(cup_query, llt=6000)
+    answers = [ResourceRecord(NAME, RRType.A, 60, A(f"10.0.{i}.{i}"))
+               for i in range(1, 9)]
+    response.answer.extend(answers)
+    update = make_update("example-provider.com")
+    update.update.append(update_delete_rrset(NAME, RRType.A))
+    update.update.append(ResourceRecord(NAME, RRType.A, 60, A("10.9.9.9")))
+    cache_update = make_cache_update(NAME, answers)
+    zoo = [
+        ("QUERY (plain DNS)", plain_query),
+        ("QUERY + RRC (DNScup)", cup_query),
+        ("response + LLT, 8 A records", response),
+        ("NOTIFY", make_notify("example-provider.com")),
+        ("UPDATE (RFC 2136 replace)", update),
+        ("CACHE-UPDATE, 8 A records", cache_update),
+        ("CACHE-UPDATE ack", make_cache_update_ack(cache_update)),
+    ]
+    return zoo
+
+
+def encode_all(zoo):
+    return [message.to_wire() for _, message in zoo]
+
+
+def test_proto_message_sizes(benchmark):
+    zoo = build_message_zoo()
+    wires = benchmark(encode_all, zoo)
+
+    rows = []
+    for (label, message), wire in zip(zoo, wires):
+        rows.append((label, len(wire), f"{len(wire) / MAX_UDP_PAYLOAD:.0%}"))
+        assert len(wire) <= MAX_UDP_PAYLOAD
+    print_table("§5.2 — message sizes vs the 512-byte UDP bound",
+                ("message", "bytes", "of bound"), rows)
+
+    # "Far below": even the fattest message uses well under half.
+    assert max(len(w) for w in wires) < MAX_UDP_PAYLOAD / 2
+
+    # The DNScup extensions cost exactly two bytes each.
+    plain = next(w for (label, _), w in zip(zoo, wires)
+                 if label.startswith("QUERY (plain"))
+    extended = next(w for (label, _), w in zip(zoo, wires)
+                    if label.startswith("QUERY + RRC"))
+    assert len(extended) == len(plain) + 2

@@ -1,0 +1,71 @@
+"""§3.2 per-category / per-provider dynamics.
+
+The paper reads off its measurements:
+
+* CDN domains change frequently — "Akamai with TTL 20 seconds" shows
+  change frequencies "around 10 %", "Speedera with TTL 120 seconds"
+  shows frequencies "close to 100 %";
+* Dyn domains barely change — "0.4 % with TTL larger than or equal to
+  300 seconds; and close to zero with TTL less than 300 seconds";
+* regular domains rarely change at all.
+
+This bench regenerates exactly that per-group breakdown.
+"""
+
+import pytest
+
+from repro.measurement import summarize_groups
+from repro.traces import (
+    CATEGORY_CDN,
+    CATEGORY_DYN,
+    CATEGORY_REGULAR,
+)
+
+from benchmarks.conftest import print_table
+
+
+def group_labels(population):
+    """Domain → label maps for category and for CDN provider."""
+    categories = {}
+    providers = {}
+    for domain in population:
+        categories[domain.name] = domain.category
+        if domain.provider is not None:
+            providers[domain.name] = domain.provider
+        if domain.category == CATEGORY_DYN:
+            tier = "dyn ttl>=300" if domain.ttl >= 300 else "dyn ttl<300"
+            providers[domain.name] = tier
+    return categories, providers
+
+
+def test_sec32_categories(benchmark, population, probe_results):
+    categories, providers = group_labels(population)
+    by_category = benchmark(summarize_groups, probe_results, categories)
+    by_provider = summarize_groups(probe_results, providers)
+
+    rows = [(label, summary.domains,
+             f"{summary.mean_change_frequency:.2%}",
+             f"{summary.changed_share:.0%}")
+            for label, summary in {**by_category, **by_provider}.items()]
+    print_table("§3.2 — per-category and per-provider change dynamics",
+                ("group", "domains", "mean change freq", "changed share"),
+                rows)
+
+    # CDN >> regular and Dyn in change frequency.
+    assert by_category[CATEGORY_CDN].mean_change_frequency > \
+        5 * by_category[CATEGORY_REGULAR].mean_change_frequency
+    assert by_category[CATEGORY_CDN].mean_change_frequency > \
+        5 * by_category[CATEGORY_DYN].mean_change_frequency
+
+    # Akamai ≈10 %, Speedera ≈100 % (§3.2's provider contrast).
+    akamai = by_provider["akamai"].mean_change_frequency
+    speedera = by_provider["speedera"].mean_change_frequency
+    assert 0.03 < akamai < 0.30, f"akamai {akamai:.2%}"
+    assert speedera > 0.80, f"speedera {speedera:.2%}"
+    assert speedera > 5 * akamai
+
+    # Dyn: low but nonzero at TTL >= 300 s, near zero below.
+    slow_dyn = by_provider["dyn ttl>=300"].mean_change_frequency
+    fast_dyn = by_provider["dyn ttl<300"].mean_change_frequency
+    assert slow_dyn > fast_dyn
+    assert fast_dyn < 0.005

@@ -1,0 +1,82 @@
+"""§4.1: lease-length effectiveness — the analytical model.
+
+Sweeps the lease probability P = t/(t + 1/λ) (Eq. 4.1) and renewal
+message rate M = 1/(t + 1/λ) (Eq. 4.2) over lease lengths and query
+rates, verifies the constant trade-off ΔM/ΔP = λ that justifies the
+greedy algorithms, and cross-validates the closed forms against the
+event-driven trace simulator.  The benchmarked unit is a model sweep.
+"""
+
+import random
+
+import pytest
+
+from repro.core import lease_probability, renewal_rate, tradeoff_ratio
+from repro.dnslib import Name
+from repro.sim import fixed_lease_fn, simulate_lease_trace
+from repro.traces import QueryEvent
+
+from benchmarks.conftest import print_table
+
+RATES = (0.001, 0.01, 0.1, 1.0)
+LEASE_LENGTHS = (0.0, 10.0, 100.0, 1000.0, 10_000.0)
+
+
+def sweep():
+    return [(lam, t, lease_probability(t, lam), renewal_rate(t, lam))
+            for lam in RATES for t in LEASE_LENGTHS]
+
+
+def test_sec41_lease_model(benchmark):
+    table = benchmark(sweep)
+
+    rows = [(f"{lam:g}", f"{t:g}", f"{p:.4f}", f"{m:.6f}")
+            for lam, t, p, m in table]
+    print_table("§4.1 — lease probability P and renewal rate M",
+                ("λ (q/s)", "lease t (s)", "P = t/(t+1/λ)",
+                 "M = 1/(t+1/λ)"), rows)
+
+    # The identity behind the greedy algorithms: ΔM/ΔP = λ, for every
+    # rate and every lease-length change.
+    for lam in RATES:
+        for t1, t2 in ((0.0, 10.0), (10.0, 1000.0), (500.0, 501.0)):
+            assert tradeoff_ratio(t1, t2, lam) == pytest.approx(lam, rel=1e-6)
+
+    # Extremes (§5.1.2's two extreme cases): t=0 → polling at λ; t→inf
+    # → P→1, M→0.
+    for lam in RATES:
+        assert renewal_rate(0.0, lam) == pytest.approx(lam)
+        assert lease_probability(1e12, lam) == pytest.approx(1.0, abs=1e-6)
+        assert renewal_rate(1e12, lam) < 1e-9
+
+
+def test_sec41_model_matches_event_simulation(benchmark):
+    """Closed forms vs the discrete replay, per (λ, t) cell."""
+    def run_cell(lam, lease, duration=200_000.0):
+        rng = random.Random(int(lam * 1000) + int(lease))
+        t, events = 0.0, []
+        name = Name.from_text("model.x.com")
+        while t < duration:
+            t += rng.expovariate(lam)
+            events.append(QueryEvent(t, 0, name, 0))
+        result = simulate_lease_trace(events, {}, lambda n: lease,
+                                      fixed_lease_fn(lease), duration)
+        return result, len(events)
+
+    result, _ = benchmark(run_cell, 0.05, 100.0)
+
+    rows = []
+    for lam in (0.02, 0.1):
+        for lease in (50.0, 500.0):
+            result, count = run_cell(lam, lease)
+            model_m = renewal_rate(lease, lam)
+            sim_m = result.upstream_messages / result.duration
+            model_p = lease_probability(lease, lam)
+            sim_p = result.storage_percentage / 100.0
+            rows.append((f"{lam:g}", f"{lease:g}",
+                         f"{model_m:.5f}", f"{sim_m:.5f}",
+                         f"{model_p:.3f}", f"{sim_p:.3f}"))
+            assert sim_m == pytest.approx(model_m, rel=0.1)
+            assert sim_p == pytest.approx(model_p, rel=0.1)
+    print_table("§4.1 — closed form vs event-driven simulation",
+                ("λ", "t", "M model", "M sim", "P model", "P sim"), rows)

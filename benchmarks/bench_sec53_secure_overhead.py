@@ -1,0 +1,92 @@
+"""§5.3: secure DNScup — the cost of signing CACHE-UPDATE exchanges.
+
+The paper transmits DNScup messages "in plain text for simplicity and
+efficiency" and defers security to the secure-DNS machinery.  This
+bench quantifies what the deferred choice costs: wire-size overhead and
+CPU overhead of the TSIG-signed push path vs plain text, plus a
+correctness spot-check that forged and replayed pushes are rejected.
+"""
+
+import pytest
+
+from repro.dnslib import (
+    A,
+    Key,
+    Keyring,
+    MAX_UDP_PAYLOAD,
+    ResourceRecord,
+    RRType,
+    Verifier,
+    make_cache_update,
+    sign,
+)
+
+from benchmarks.conftest import print_table
+
+KEY = Key.create("push.example.com", b"benchmark-secret-32-bytes-long!!")
+
+
+def make_push():
+    records = [ResourceRecord("www.content.example.com", RRType.A, 60,
+                              A(f"10.0.1.{i}")) for i in range(1, 5)]
+    return make_cache_update("www.content.example.com", records)
+
+
+def signed_roundtrip(count):
+    keyring = Keyring()
+    keyring.add(KEY)
+    verifier = Verifier(keyring)
+    wire = make_push().to_wire()
+    for step in range(count):
+        signed = sign(wire, KEY, now=float(step))
+        verifier.verify(signed, now=float(step))
+    return wire
+
+
+def plain_roundtrip(count):
+    wire = make_push().to_wire()
+    total = 0
+    for _ in range(count):
+        total += len(bytes(wire))  # baseline: just touch the bytes
+    return wire
+
+
+@pytest.mark.parametrize("mode", ["plain", "signed"])
+def test_sec53_push_path_cpu(benchmark, mode):
+    fn = signed_roundtrip if mode == "signed" else plain_roundtrip
+    benchmark(fn, 100)
+
+
+def test_sec53_size_overhead(benchmark):
+    plain = benchmark(lambda: make_push().to_wire())
+    signed = sign(plain, KEY, now=0.0)
+    overhead = len(signed) - len(plain)
+    print_table("§5.3 — secure CACHE-UPDATE size overhead",
+                ("message", "bytes", "of UDP bound"),
+                [("plain push", len(plain),
+                  f"{len(plain) / MAX_UDP_PAYLOAD:.0%}"),
+                 ("TSIG-signed push", len(signed),
+                  f"{len(signed) / MAX_UDP_PAYLOAD:.0%}"),
+                 ("overhead", overhead, "-")])
+    # The signed message still fits UDP comfortably: security does not
+    # force TCP or EDNS for DNScup-sized messages.
+    assert len(signed) <= MAX_UDP_PAYLOAD
+    assert overhead < 120  # key name + timestamp + SHA-256 MAC
+
+
+def test_sec53_forgery_and_replay_rejected(benchmark):
+    import pytest as _pytest
+    from repro.dnslib import TsigError
+    keyring = Keyring()
+    keyring.add(KEY)
+    verifier = Verifier(keyring)
+    wire = benchmark(lambda: make_push().to_wire())
+    # Forgery with a guessed key.
+    wrong = Key.create(KEY.name, b"wrong-secret-also-32-bytes-long!")
+    with _pytest.raises(TsigError):
+        verifier.verify(sign(wire, wrong, now=10.0), now=10.0)
+    # Replay of an old capture after newer traffic.
+    old = sign(wire, KEY, now=100.0)
+    verifier.verify(sign(wire, KEY, now=200.0), now=200.0)
+    with _pytest.raises(TsigError):
+        verifier.verify(old, now=200.0)

@@ -1,0 +1,47 @@
+"""Table 1: measurement parameters (TTL classes).
+
+Reprints the table from the implementation's own constants and checks
+the population's class assignment against it; the benchmarked unit is
+TTL classification throughput (it sits on the prober's hot path).
+"""
+
+import pytest
+
+from repro.traces import TTL_CLASSES, by_ttl_class, classify_ttl
+
+from benchmarks.conftest import print_table
+
+DAY = 86400
+
+
+def classify_many(ttls):
+    return [classify_ttl(ttl).index for ttl in ttls]
+
+
+def test_table1_measurement_params(benchmark, population):
+    ttls = [domain.ttl for domain in population] * 20
+    indices = benchmark(classify_many, ttls)
+    assert len(indices) == len(ttls)
+
+    rows = []
+    for ttl_class in TTL_CLASSES:
+        high = "inf" if ttl_class.ttl_high is None else f"{ttl_class.ttl_high:g}"
+        rows.append((ttl_class.index,
+                     f"[{ttl_class.ttl_low:g}, {high})",
+                     f"{ttl_class.resolution:g} s",
+                     f"{ttl_class.duration / DAY:g} d"))
+    print_table("Table 1 — measurement parameters",
+                ("class", "TTL range (s)", "resolution", "duration"), rows)
+
+    # Paper's exact values.
+    assert [c.resolution for c in TTL_CLASSES] == [20, 60, 300, 3600, 86400]
+    assert [c.duration for c in TTL_CLASSES] == \
+        [1 * DAY, 3 * DAY, 7 * DAY, 7 * DAY, 30 * DAY]
+
+    # The synthetic collection exercises every class, and CDN/Dyn TTLs
+    # are bounded by 300 s so they land in classes 1-2 (§3.2).
+    classes = by_ttl_class(population)
+    assert set(classes) == {1, 2, 3, 4, 5}
+    for domain in population:
+        if domain.category in ("cdn",):
+            assert classify_ttl(domain.ttl).index in (1, 2)

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""CDN redirection: fine-grained load balance without tiny TTLs.
+
+The paper's motivating scenario 3: CDNs abuse very small TTLs (20 s for
+Akamai-style domains) to keep control over request routing, which
+multiplies DNS traffic ~10× past what the actual change rate needs
+(§3.2).  With DNScup the CDN can keep a *long* effective cache lifetime
+(the lease) and still retarget clients instantly by pushing
+CACHE-UPDATEs when it actually rebalances.
+
+This example serves one CDN domain both ways under the same client
+workload and rebalancing schedule, and compares (a) upstream DNS query
+traffic and (b) how quickly a rebalance takes effect.
+
+Run:  python examples/cdn_load_balancing.py
+"""
+
+from repro.core import DynamicLeasePolicy, attach_dnscup, constant_max_lease
+from repro.dnslib import Name, RRType
+from repro.net import Host, Network, Simulator
+from repro.server import AuthoritativeServer, RecursiveResolver, StubResolver
+from repro.zone import load_zone
+
+EDGE_POOL = ["203.0.113.10", "203.0.113.20", "203.0.113.30"]
+REBALANCE_EVERY = 600.0      # the CDN's real decision cadence (§3.2 ≈200 s+)
+CLIENT_PERIOD = 5.0          # one client request every 5 s
+RUN_FOR = 3600.0
+CDN_TTL = 20                 # Akamai-style TTL for the weak baseline
+
+ROOT_ZONE = """\
+$ORIGIN .
+$TTL 86400
+.                 IN SOA a.root. admin. 1 7200 900 604800 300
+.                 IN NS a.root.
+a.root.           IN A  198.41.0.4
+cdn.net.          IN NS ns1.cdn.net.
+ns1.cdn.net.      IN A  10.4.0.1
+"""
+
+CDN_ZONE = f"""\
+$ORIGIN cdn.net.
+$TTL {CDN_TTL}
+@     IN SOA ns1 admin 1 7200 900 604800 300
+@     IN NS  ns1
+ns1   IN A   10.4.0.1
+img   IN A   {EDGE_POOL[0]}
+"""
+
+
+def run(dnscup_enabled: bool):
+    simulator = Simulator()
+    network = Network(simulator, seed=23)
+    AuthoritativeServer(Host(network, "198.41.0.4"),
+                        [load_zone(ROOT_ZONE, origin=Name.root())])
+    zone = load_zone(CDN_ZONE)
+    authoritative = AuthoritativeServer(Host(network, "10.4.0.1"), [zone])
+    if dnscup_enabled:
+        # CDN category: lease capped at 6000 s (well above TTL).
+        attach_dnscup(authoritative, policy=DynamicLeasePolicy(0.0),
+                      max_lease_fn=constant_max_lease(6000.0))
+    resolver = RecursiveResolver(Host(network, "10.5.0.1"),
+                                 [("198.41.0.4", 53)],
+                                 dnscup_enabled=dnscup_enabled)
+    client = StubResolver(Host(network, "10.5.0.2"), ("10.5.0.1", 53),
+                          cache_seconds=0.0)
+
+    served = []          # (time, edge address the client would hit)
+    rebalance_log = []   # (time, new edge)
+
+    def request() -> None:
+        client.lookup("img.cdn.net",
+                      lambda addrs, rc: served.append(
+                          (simulator.now, addrs[0] if addrs else None)))
+
+    def rebalance(index: int) -> None:
+        edge = EDGE_POOL[index % len(EDGE_POOL)]
+        rebalance_log.append((simulator.now, edge))
+        zone.replace_address("img.cdn.net", [edge])
+
+    t = 0.0
+    while t < RUN_FOR:
+        simulator.schedule_at(t, request)
+        t += CLIENT_PERIOD
+    t, index = REBALANCE_EVERY, 1
+    while t < RUN_FOR:
+        simulator.schedule_at(t, lambda i=index: rebalance(i))
+        t += REBALANCE_EVERY
+        index += 1
+    simulator.run()
+
+    # Retarget delay: for each rebalance, when did clients follow?
+    delays = []
+    for when, edge in rebalance_log:
+        follow = next((time for time, addr in served
+                       if time > when and addr == edge), None)
+        if follow is not None:
+            delays.append(follow - when)
+    upstream = resolver.stats.upstream_queries
+    return upstream, delays
+
+
+def main() -> None:
+    print(f"CDN domain img.cdn.net, TTL {CDN_TTL} s, edge pool of "
+          f"{len(EDGE_POOL)}, rebalanced every {REBALANCE_EVERY:.0f} s, "
+          f"client request every {CLIENT_PERIOD:.0f} s for "
+          f"{RUN_FOR:.0f} s.\n")
+    for enabled, label in ((False, "TTL polling"), (True, "DNScup push")):
+        upstream, delays = run(enabled)
+        mean_delay = sum(delays) / len(delays) if delays else float("nan")
+        print(f"{label:12s}: {upstream:4d} upstream DNS queries, "
+              f"retarget visible after {mean_delay:6.1f} s on average")
+    print("\nDNScup needs a small fraction of the DNS traffic while "
+          "retargeting within one client request period — the "
+          "fine-grained control CDNs actually want (§1 objective 3) "
+          "without the tiny-TTL polling tax (§3.2's ~10x redundancy).")
+
+
+if __name__ == "__main__":
+    main()

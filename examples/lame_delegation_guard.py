@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Preventing lame delegation with DNScup machinery (paper §1).
+
+A child zone renames and renumbers its nameservers — the classic way
+delegations go lame, because the parent's NS/glue copies are cached
+state nobody refreshes.  The DelegationGuard treats the parent exactly
+like a DNScup cache: every change to the child's apex NS set (and its
+glue) is pushed up as a dynamic update.
+
+The demo breaks a delegation with the guard detached (resolution
+fails), then repeats the same renumbering with the guard attached
+(resolution keeps working).
+
+Run:  python examples/lame_delegation_guard.py
+"""
+
+from repro.core import DelegationGuard
+from repro.dnslib import A, Name, NS, RRSet, RRType, Rcode
+from repro.net import Host, Network, Simulator
+from repro.server import AuthoritativeServer, RecursiveResolver, ResolverCache
+from repro.zone import DelegationStatus, check_delegations, load_zone
+
+ROOT_TEXT = """\
+$ORIGIN .
+$TTL 86400
+.        IN SOA a.root. admin. 1 7200 900 604800 300
+.        IN NS a.root.
+a.root.  IN A  198.41.0.4
+com.     IN NS a.gtld.net.
+a.gtld.net. IN A 192.5.6.30
+"""
+
+PARENT_TEXT = """\
+$ORIGIN com.
+$TTL 86400
+@           IN SOA a.gtld.net. admin. 1 7200 900 604800 300
+@           IN NS a.gtld.net.
+shop        IN NS ns1.shop.com.
+ns1.shop.com. IN A 10.1.0.1
+"""
+
+CHILD_TEXT = """\
+$ORIGIN shop.com.
+$TTL 300
+@    IN SOA ns1 admin 1 7200 900 604800 300
+@    IN NS  ns1
+ns1  IN A   10.1.0.1
+www  IN A   10.0.0.80
+"""
+
+
+def build(guarded: bool):
+    simulator = Simulator()
+    network = Network(simulator, seed=31)
+    AuthoritativeServer(Host(network, "198.41.0.4"),
+                        [load_zone(ROOT_TEXT, origin=Name.root())])
+    parent_zone = load_zone(PARENT_TEXT)
+    AuthoritativeServer(Host(network, "192.5.6.30"), [parent_zone])
+    child_zone = load_zone(CHILD_TEXT)
+    # The child's server answers on its *current* address; we bind both
+    # old and new addresses to the same server (multi-homed during the
+    # migration), as real renumberings do.
+    child_host = Host(network, "10.1.0.1")
+    child_server = AuthoritativeServer(child_host, [child_zone])
+    new_host = Host(network, "10.1.0.99")
+    new_server = AuthoritativeServer(new_host, [child_zone])
+    guard = None
+    if guarded:
+        guard = DelegationGuard(child_zone, ("192.5.6.30", 53),
+                                child_server.socket)
+    resolver = RecursiveResolver(Host(network, "10.2.0.1"),
+                                 [("198.41.0.4", 53)],
+                                 cache=ResolverCache())
+    return simulator, network, parent_zone, child_zone, resolver, guard
+
+
+def renumber(child_zone) -> None:
+    """The child migrates its nameserver: new name, new address."""
+    with child_zone.bulk_update():
+        child_zone.put_rrset(RRSet("shop.com", RRType.NS, 300,
+                                   [NS("ns-new.shop.com")]))
+        child_zone.put_rrset(RRSet("ns-new.shop.com", RRType.A, 300,
+                                   [A("10.1.0.99")]))
+        child_zone.delete_rrset("ns1.shop.com", RRType.A)
+
+
+def resolve(simulator, resolver, name="www.shop.com"):
+    results = []
+    resolver.resolve(name, RRType.A,
+                     lambda recs, rc: results.append((recs, rc)))
+    simulator.run()
+    records, rcode = results[0]
+    addresses = [r.rdata.address for r in records if r.rrtype == RRType.A]
+    return addresses, rcode
+
+
+def status(parent_zone, child_zone):
+    reports = check_delegations(parent_zone,
+                                {child_zone.origin: child_zone})
+    return reports[0].status
+
+
+def main() -> None:
+    print("Scenario: shop.com migrates its nameserver "
+          "ns1.shop.com/10.1.0.1 -> ns-new.shop.com/10.1.0.99\n")
+    for guarded in (False, True):
+        simulator, network, parent_zone, child_zone, resolver, guard = \
+            build(guarded)
+        renumber(child_zone)
+        simulator.run()
+        # The old nameserver box is eventually switched off.
+        for endpoint in [("10.1.0.1", 53)]:
+            network.unbind(endpoint)
+            network.unbind_stream(endpoint)
+        resolver.cache.flush()
+        addresses, rcode = resolve(simulator, resolver)
+        state = status(parent_zone, child_zone)
+        label = "with DelegationGuard" if guarded else "unguarded"
+        print(f"{label:22s}: delegation {state.value:12s} "
+              f"resolution -> {addresses or rcode.name}")
+        if guard is not None:
+            print(f"{'':22s}  (updates pushed: "
+                  f"{guard.stats.updates_accepted})")
+    print("\nUnguarded, the parent still points at the dead server — a "
+          "lame delegation; the guard keeps parent NS+glue consistent, "
+          "so resolution survives the migration.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Re-run the paper's §3 DNS-dynamics measurement study, synthetically.
+
+Generates the domain collection (regular domains over the major TLD
+groups, CDN domains, Dyn domains), probes every domain at its Table 1
+class's sampling resolution, and prints the §3.2 narrative numbers:
+per-class change frequencies, changed shares, implied mapping
+lifetimes, the physical/logical breakdown (Figure 2f), and the
+CDN/Dyn redundant-traffic factors.
+
+Run:  python examples/measurement_campaign.py [--full]
+      (--full runs the complete Table 1 probe counts; default caps
+       probes per domain for a fast demonstration)
+"""
+
+import sys
+
+from repro.measurement import (
+    DnsDynamicsProber,
+    oracle_from_specs,
+    redundancy_factor,
+    summarize_campaign,
+)
+from repro.traces import (
+    CATEGORY_CDN,
+    CATEGORY_DYN,
+    PopulationConfig,
+    TTL_CLASSES,
+    by_category,
+    generate_population,
+)
+
+
+def human_time(seconds: float) -> str:
+    if seconds == float("inf"):
+        return "never"
+    for unit, size in (("d", 86400.0), ("h", 3600.0), ("m", 60.0)):
+        if seconds >= size:
+            return f"{seconds / size:.1f} {unit}"
+    return f"{seconds:.0f} s"
+
+
+def main() -> None:
+    full = "--full" in sys.argv
+    population = generate_population(PopulationConfig(
+        regular_per_tld=40, cdn_count=30, dyn_count=30, seed=2006))
+    print(f"Probing {len(population)} domains "
+          f"({'full Table 1 durations' if full else 'capped demo run'})...\n")
+    print("Table 1 measurement parameters:")
+    for ttl_class in TTL_CLASSES:
+        print(f"  {ttl_class.describe()}")
+
+    prober = DnsDynamicsProber(oracle_from_specs(population),
+                               max_probes_per_domain=None if full else 600)
+    results = prober.run_campaign(population)
+    summaries = summarize_campaign(results)
+
+    print("\nPer-class dynamics (paper §3.2 / Figure 2):")
+    header = (f"{'class':>5} {'domains':>8} {'mean freq':>10} "
+              f"{'changed %':>10} {'lifetime':>10} {'physical %':>11}")
+    print(header)
+    paper = {1: ("10%", "200 s"), 2: ("8%", "750 s"), 3: ("3%", "2.5 h"),
+             4: ("0.1%", "42 d"), 5: ("0.2%", "500 d")}
+    for index, summary in summaries.items():
+        expect_freq, expect_life = paper[index]
+        print(f"{index:>5} {summary.domains:>8} "
+              f"{summary.mean_change_frequency:>9.2%} "
+              f"{summary.changed_share:>9.1%} "
+              f"{human_time(summary.mean_lifetime):>10} "
+              f"{summary.physical_share:>10.1%}"
+              f"   (paper: freq {expect_freq}, lifetime {expect_life})")
+
+    print("\nChange causes per class (Figure 2f):")
+    for index, summary in summaries.items():
+        shares = summary.tally.shares()
+        print(f"  class {index}: relocation {shares['relocation']:.0%}, "
+              f"growth {shares['growth']:.0%}, "
+              f"rotation {shares['rotation']:.0%}  "
+              f"({summary.tally.total} changes)")
+
+    print("\nRedundant DNS traffic (paper §3.2: CDN up to 10x, Dyn up to 25x):")
+    grouped = by_category(population)
+    by_name = {result.name: result for result in results}
+    for category in (CATEGORY_CDN, CATEGORY_DYN):
+        factors = []
+        for domain in grouped[category]:
+            result = by_name[domain.name]
+            if result.changes == 0:
+                continue  # "close to zero" change rate: factor undefined
+            if category == CATEGORY_DYN and domain.ttl < 300:
+                continue  # paper reports the factor for the TTL>=300 group
+            lifetime = (result.probes * result.ttl_class.resolution
+                        / result.changes)
+            factors.append(redundancy_factor(domain.ttl, lifetime))
+        if factors:
+            factors.sort()
+            print(f"  {category:8s}: median {factors[len(factors) // 2]:6.1f}x,"
+                  f" max {factors[-1]:6.1f}x")
+    print("\nConclusion (as in the paper): physical changes per domain are "
+          "rare, but across the population one happens every minute — and "
+          "TTLs are far too small for the real change rates.  Both argue "
+          "for server-initiated notification: DNScup.")
+
+
+if __name__ == "__main__":
+    main()

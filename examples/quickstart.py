@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Quickstart: strong DNS cache consistency in ~60 lines.
+
+Builds the smallest interesting system — a root nameserver, one
+authoritative server running the DNScup middleware, a local caching
+nameserver (the "DNS cache"), and a client — then changes a DN2IP
+mapping and watches the CACHE-UPDATE push keep the cache coherent.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import DynamicLeasePolicy, attach_dnscup
+from repro.dnslib import Name, RRType
+from repro.net import Host, Network, Simulator
+from repro.server import AuthoritativeServer, RecursiveResolver, StubResolver
+from repro.zone import load_zone
+
+ROOT_ZONE = """\
+$ORIGIN .
+$TTL 86400
+.                 IN SOA a.root. admin. 1 7200 900 604800 300
+.                 IN NS a.root.
+a.root.           IN A  198.41.0.4
+example.com.      IN NS ns1.example.com.
+ns1.example.com.  IN A  10.1.0.1
+"""
+
+EXAMPLE_ZONE = """\
+$ORIGIN example.com.
+$TTL 3600
+@    IN SOA ns1 admin 1 7200 900 604800 300
+@    IN NS  ns1
+ns1  IN A   10.1.0.1
+www  IN A   10.0.0.10
+"""
+
+
+def main() -> None:
+    # One simulated network, four hosts.
+    simulator = Simulator()
+    network = Network(simulator, seed=7)
+    root_host = Host(network, "198.41.0.4")
+    auth_host = Host(network, "10.1.0.1")
+    lns_host = Host(network, "10.2.0.1")     # the local nameserver
+    client_host = Host(network, "10.3.0.1")
+
+    # Servers.
+    AuthoritativeServer(root_host, [load_zone(ROOT_ZONE, origin=Name.root())])
+    zone = load_zone(EXAMPLE_ZONE)
+    authoritative = AuthoritativeServer(auth_host, [zone])
+
+    # Attach DNScup: grant every DNScup-aware cache a maximal lease.
+    dnscup = attach_dnscup(authoritative,
+                           policy=DynamicLeasePolicy(rate_threshold=0.0))
+
+    # A DNScup-aware local nameserver and a browser-like client.
+    resolver = RecursiveResolver(lns_host, [("198.41.0.4", 53)],
+                                 dnscup_enabled=True)
+    client = StubResolver(client_host, ("10.2.0.1", 53), cache_seconds=0.0)
+
+    def lookup(label: str) -> None:
+        client.lookup("www.example.com",
+                      lambda addrs, rc: print(f"{label}: {addrs} ({rc.name})"))
+        simulator.run()
+
+    lookup("initial lookup       ")
+    print(f"  leases on the authoritative server: {len(dnscup.table)}")
+
+    # The DN2IP mapping changes (disaster, migration, re-balancing...).
+    print("\n*** www.example.com moves to 172.16.9.9 ***\n")
+    zone.replace_address("www.example.com", ["172.16.9.9"])
+    simulator.run()  # lets the CACHE-UPDATE push and its ACK fly
+
+    entry = resolver.cache.peek("www.example.com", RRType.A)
+    cached = [r.address for r in entry.rrset.rdatas]
+    print(f"resolver cache after push: {cached}  "
+          f"(TTL had {entry.remaining_ttl(simulator.now)} s left — "
+          f"weak consistency would still serve the dead address)")
+
+    lookup("lookup after change  ")
+    print("\nDNScup summary:", dnscup.summary())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The execution environment is offline and its setuptools lacks the
+``wheel`` package PEP 517 editable installs need, so ``pip install -e .``
+falls back to this file via ``setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

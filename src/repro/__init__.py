@@ -1,0 +1,35 @@
+"""DNScup: Strong Cache Consistency Protocol for DNS — reproduction.
+
+A full Python implementation of the system described in Chen, Wang, Ren
+& Zhang, *DNScup: Strong Cache Consistency Protocol for DNS* (ICDCS
+2006), including the DNS substrate it runs on (wire format, zones,
+dynamic update, authoritative/recursive nameservers over a simulated
+network), the DNScup middleware itself (dynamic leases, CACHE-UPDATE
+push, track file), the paper's measurement study of DNS dynamics, and
+the trace-driven evaluation.
+
+Subpackages, bottom-up:
+
+* :mod:`repro.dnslib` — names, records, messages, wire format (with the
+  CACHE-UPDATE opcode and RRC/LLT fields);
+* :mod:`repro.zone` — zone store, master files, RFC 2136 update,
+  NOTIFY/AXFR/IXFR replication, delegation checking;
+* :mod:`repro.net` — deterministic discrete-event simulator and UDP
+  with latency/loss models;
+* :mod:`repro.server` — authoritative server, recursive resolver (the
+  "DNS cache"), stub resolver, TTL cache;
+* :mod:`repro.core` — DNScup itself: leases, policies, optimizers, the
+  detection/listening/notification modules, middleware assembly;
+* :mod:`repro.traces` — synthetic domain populations, change processes
+  and query workloads standing in for the paper's live traces;
+* :mod:`repro.measurement` — the §3 DNS-dynamics measurement study;
+* :mod:`repro.sim` — trace-driven lease simulation (§5.1) and the
+  prototype testbed (§5.2).
+"""
+
+from . import core, dnslib, measurement, net, server, sim, traces, zone
+
+__version__ = "1.0.0"
+
+__all__ = ["core", "dnslib", "measurement", "net", "server", "sim",
+           "traces", "zone", "__version__"]

@@ -1,0 +1,129 @@
+"""The analytical lease model of paper §4.1.
+
+For a record queried by one DNS cache with Poisson arrival rate λ and a
+fixed lease length *t*:
+
+* the server holds a lease for that cache a fraction
+  ``P = t / (t + 1/λ)`` of the time (Eq. 4.1) — the *lease probability*,
+  a proxy for storage overhead;
+* the cache sends lease-renewal messages at rate
+  ``M = 1 / (t + 1/λ)`` (Eq. 4.2) — the *communication overhead*;
+* growing the lease from t₁ to t₂ trades ΔP of storage for −ΔM of
+  messages at the constant exchange rate ``ΔM/ΔP = λ`` — which is why
+  the greedy algorithms rank (record, cache) pairs purely by query rate.
+
+All functions are scalar and pure; the optimizers and the trace-driven
+simulator consume them directly, and the §4.1 bench sweeps them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Sequence, Tuple
+
+
+def lease_probability(lease_length: float, query_rate: float) -> float:
+    """Eq. 4.1: expected fraction of time the server holds the lease."""
+    if lease_length < 0:
+        raise ValueError(f"negative lease length: {lease_length}")
+    if query_rate < 0:
+        raise ValueError(f"negative query rate: {query_rate}")
+    if query_rate == 0 or lease_length == 0:
+        return 0.0
+    return lease_length / (lease_length + 1.0 / query_rate)
+
+
+def renewal_rate(lease_length: float, query_rate: float) -> float:
+    """Eq. 4.2: lease-renewal messages per second from one cache.
+
+    With a zero-length lease this degenerates to polling at the full
+    query rate λ — the paper's maximal-query-rate extreme.
+    """
+    if lease_length < 0:
+        raise ValueError(f"negative lease length: {lease_length}")
+    if query_rate < 0:
+        raise ValueError(f"negative query rate: {query_rate}")
+    if query_rate == 0:
+        return 0.0
+    return 1.0 / (lease_length + 1.0 / query_rate)
+
+
+def probability_increase(t1: float, t2: float, query_rate: float) -> float:
+    """ΔP when the lease grows from ``t1`` to ``t2`` (Eq. 4.3's LHS)."""
+    return lease_probability(t2, query_rate) - lease_probability(t1, query_rate)
+
+
+def message_rate_reduction(t1: float, t2: float, query_rate: float) -> float:
+    """−ΔM when the lease grows from ``t1`` to ``t2`` (Eq. 4.4's LHS)."""
+    return renewal_rate(t1, query_rate) - renewal_rate(t2, query_rate)
+
+
+def tradeoff_ratio(t1: float, t2: float, query_rate: float) -> float:
+    """ΔM reduction per unit of ΔP increase; analytically equals λ."""
+    dp = probability_increase(t1, t2, query_rate)
+    if dp == 0.0:
+        raise ValueError("degenerate lease change: ΔP is zero")
+    return message_rate_reduction(t1, t2, query_rate) / dp
+
+
+@dataclasses.dataclass(frozen=True)
+class LeaseOperatingPoint:
+    """Aggregate storage/communication for a set of (rate, lease) pairs."""
+
+    #: Expected number of simultaneously held leases (sum of P_ij).
+    expected_leases: float
+    #: Total upstream message rate, renewals plus polling (sum of M_ij).
+    message_rate: float
+    #: Sum of raw query rates — the polling (no-lease) message rate.
+    max_message_rate: float
+    #: Number of (record, cache) pairs — the storage ceiling.
+    pair_count: int
+
+    @property
+    def storage_percentage(self) -> float:
+        """Paper §5.1.2's storage metric: held / maximum grantable, in %."""
+        if self.pair_count == 0:
+            return 0.0
+        return 100.0 * self.expected_leases / self.pair_count
+
+    @property
+    def query_rate_percentage(self) -> float:
+        """Paper §5.1.2's communication metric: actual / polling rate, %."""
+        if self.max_message_rate == 0:
+            return 0.0
+        return 100.0 * self.message_rate / self.max_message_rate
+
+
+def operating_point(pairs: Iterable[Tuple[float, float]]) -> LeaseOperatingPoint:
+    """Evaluate an assignment of lease lengths.
+
+    ``pairs`` yields (query_rate, lease_length) per (record, cache) pair;
+    a lease length of zero means "no lease" and contributes polling
+    traffic at the full query rate.
+    """
+    expected = 0.0
+    messages = 0.0
+    maximum = 0.0
+    count = 0
+    for query_rate, lease_length in pairs:
+        expected += lease_probability(lease_length, query_rate)
+        messages += renewal_rate(lease_length, query_rate)
+        maximum += query_rate
+        count += 1
+    return LeaseOperatingPoint(expected, messages, maximum, count)
+
+
+def fixed_lease_curve(rates: Sequence[float], lease_lengths: Sequence[float]
+                      ) -> Sequence[Tuple[float, float, float]]:
+    """The fixed-length-lease trade-off curve of Figure 5.
+
+    For each candidate lease length (applied uniformly to every pair, the
+    "simple fixed-length lease scheme" of §5.1.2) returns
+    ``(lease_length, storage_percentage, query_rate_percentage)``.
+    """
+    curve = []
+    for lease_length in lease_lengths:
+        point = operating_point((rate, lease_length) for rate in rates)
+        curve.append((lease_length, point.storage_percentage,
+                      point.query_rate_percentage))
+    return curve

@@ -1,0 +1,130 @@
+"""Delegation consistency guard (paper §1).
+
+"We can apply the functionality of DNScup to maintain state consistency
+between a DNS nameserver of a parent zone and the DNS nameservers of
+its child zones, preventing the lame delegation problem."
+
+A delegation goes lame when the child renumbers or renames its
+nameservers and the parent's NS/glue copies go stale — structurally the
+same staleness DNScup fixes for ordinary records.  The
+:class:`DelegationGuard` runs beside a child zone's master: it watches
+the apex NS RRset and the nameservers' glue A records, and pushes every
+change to the parent zone's server as an RFC 2136 UPDATE over the wire,
+with retransmission until the parent acknowledges.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+from ..dnslib import (
+    Message,
+    Name,
+    Rcode,
+    ResourceRecord,
+    RRType,
+    WireFormatError,
+    make_update,
+)
+from ..net import Endpoint, RetryPolicy, Socket
+from ..zone import Zone, ZoneChange, update_delete_rrset
+from .detection import DetectionModule, RecordChange
+
+
+@dataclasses.dataclass
+class DelegationGuardStats:
+    """Counters exposed for tests, benchmarks and operators."""
+    changes_seen: int = 0
+    updates_sent: int = 0
+    updates_accepted: int = 0
+    updates_rejected: int = 0
+    failures: int = 0
+
+
+class DelegationGuard:
+    """Pushes a child zone's delegation data up to its parent."""
+
+    def __init__(self, child_zone: Zone, parent_endpoint: Endpoint,
+                 socket: Socket, parent_origin: Optional[Name] = None,
+                 retry: Optional[RetryPolicy] = None):
+        self.child_zone = child_zone
+        self.parent_endpoint = parent_endpoint
+        self.socket = socket
+        self.parent_origin = (parent_origin if parent_origin is not None
+                              else child_zone.origin.parent())
+        self.retry = retry or RetryPolicy(initial_timeout=1.0, max_attempts=4)
+        self.stats = DelegationGuardStats()
+        child_zone.add_change_listener(self._on_zone_change)
+
+    def detach(self) -> None:
+        """Unhook from all event sources."""
+        self.child_zone.remove_change_listener(self._on_zone_change)
+
+    # -- change filtering ------------------------------------------------------
+
+    def _on_zone_change(self, zone: Zone, changes: List[ZoneChange]) -> None:
+        relevant = False
+        for name, rrtype, _old, _new in changes:
+            if rrtype == RRType.NS and name == zone.origin:
+                relevant = True
+            elif rrtype == RRType.A and self._is_nameserver_name(name):
+                relevant = True
+        if relevant:
+            self.stats.changes_seen += 1
+            self.push_delegation()
+
+    def _is_nameserver_name(self, name: Name) -> bool:
+        ns_rrset = self.child_zone.get_rrset(self.child_zone.origin,
+                                             RRType.NS)
+        if ns_rrset is None:
+            return False
+        return any(rdata.target == name for rdata in ns_rrset.rdatas)
+
+    # -- the push ------------------------------------------------------------------
+
+    def push_delegation(self) -> None:
+        """Send the current apex NS set (+ glue) to the parent."""
+        message = self.build_update()
+        if message is None:
+            return
+        self.stats.updates_sent += 1
+        self.socket.request(
+            message.to_wire(), self.parent_endpoint, message.id,
+            self._on_response, retry=self.retry)
+
+    def build_update(self) -> Optional[Message]:
+        """The RFC 2136 message that re-states the delegation."""
+        origin = self.child_zone.origin
+        ns_rrset = self.child_zone.get_rrset(origin, RRType.NS)
+        if ns_rrset is None:
+            return None
+        message = make_update(self.parent_origin)
+        message.update.append(update_delete_rrset(origin, RRType.NS))
+        for record in ns_rrset.to_records():
+            message.update.append(record)
+        # Glue: in-zone nameserver addresses travel along.
+        for rdata in ns_rrset.rdatas:
+            target = rdata.target
+            if not target.is_subdomain_of(origin):
+                continue
+            glue = self.child_zone.get_rrset(target, RRType.A)
+            message.update.append(update_delete_rrset(target, RRType.A))
+            if glue is not None:
+                message.update.extend(glue.to_records())
+        return message
+
+    def _on_response(self, payload: Optional[bytes],
+                     src: Optional[Endpoint]) -> None:
+        if payload is None:
+            self.stats.failures += 1
+            return
+        try:
+            response = Message.from_wire(payload)
+        except (WireFormatError, ValueError):
+            self.stats.failures += 1
+            return
+        if response.rcode == Rcode.NOERROR:
+            self.stats.updates_accepted += 1
+        else:
+            self.stats.updates_rejected += 1

@@ -1,0 +1,240 @@
+"""Leases and the track file.
+
+The authoritative DNScup server keeps, per paper §5.2, a database file
+("track file") of the local nameservers that queried each tracked record
+and were granted leases.  Each tuple carries exactly the five fields the
+prototype stores: **source address, zone/owner name, query type, query
+time, lease length**.  :class:`LeaseTable` is that file in memory with an
+expiry index; :func:`save_track_file` / :func:`load_track_file` give it
+the on-disk form so a restarted server resumes its obligations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+from typing import Dict, Iterator, List, Optional, TextIO, Tuple, Union
+
+from ..dnslib import Name, RRType, as_name
+from ..net import Endpoint
+
+#: Leases are tracked per (owner name, rrtype) — the unit of consistency.
+RecordKey = Tuple[Name, RRType]
+
+
+@dataclasses.dataclass
+class Lease:
+    """One granted lease: the paper's five-field track-file tuple."""
+
+    cache: Endpoint          # source address of the local nameserver
+    name: Name               # queried owner name
+    rrtype: RRType           # query type
+    granted_at: float        # query time
+    length: float            # lease length, seconds
+
+    @property
+    def expires_at(self) -> float:
+        """Absolute expiry time of this lease."""
+        return self.granted_at + self.length
+
+    def is_valid(self, now: float) -> bool:
+        """True while unexpired at time ``now``."""
+        return now < self.expires_at
+
+    def remaining(self, now: float) -> float:
+        """Seconds left before expiry (never negative)."""
+        return max(0.0, self.expires_at - now)
+
+    def key(self) -> RecordKey:
+        """The lookup key for this object."""
+        return (self.name, self.rrtype)
+
+
+@dataclasses.dataclass
+class LeaseTableStats:
+    """Counters exposed for tests, benchmarks and operators."""
+    grants: int = 0
+    renewals: int = 0
+    expirations: int = 0
+    revocations: int = 0
+    peak_active: int = 0
+
+
+class LeaseTable:
+    """All live leases on one authoritative server.
+
+    Lookup paths:
+
+    * by record — "who must I notify about this change?"
+      (:meth:`holders`), the notification module's question;
+    * by cache — "what does this nameserver hold?" (:meth:`leases_of`),
+      used for re-negotiation when a cache's rates shift (§5.1.2).
+
+    Expired leases are swept lazily on access and explicitly via
+    :meth:`sweep`.  ``capacity`` bounds live leases — the storage
+    allowance P_max of §4.2.1; :meth:`grant` refuses beyond it.
+    """
+
+    def __init__(self, capacity: Optional[int] = None):
+        self.capacity = capacity
+        self.stats = LeaseTableStats()
+        self._by_record: Dict[RecordKey, Dict[Endpoint, Lease]] = {}
+        self._active = 0
+
+    # -- mutation ------------------------------------------------------------
+
+    def grant(self, cache: Endpoint, name, rrtype: RRType,
+              now: float, length: float) -> Optional[Lease]:
+        """Grant or renew a lease; None when the storage budget is full."""
+        if length <= 0:
+            raise ValueError(f"lease length must be positive: {length}")
+        owner = as_name(name)
+        key = (owner, RRType(rrtype))
+        holders = self._by_record.setdefault(key, {})
+        existing = holders.get(cache)
+        if existing is not None and existing.is_valid(now):
+            existing.granted_at = now
+            existing.length = length
+            self.stats.renewals += 1
+            return existing
+        if existing is not None:
+            # Present but expired: reclaim before counting capacity.
+            del holders[cache]
+            self._active -= 1
+            self.stats.expirations += 1
+        if self.capacity is not None and self._active >= self.capacity:
+            self.sweep(now)
+            if self._active >= self.capacity:
+                return None
+        lease = Lease(cache, owner, RRType(rrtype), now, length)
+        holders[cache] = lease
+        self._active += 1
+        self.stats.grants += 1
+        self.stats.peak_active = max(self.stats.peak_active, self._active)
+        return lease
+
+    def revoke(self, cache: Endpoint, name, rrtype: RRType) -> bool:
+        """Drop a lease early (the communication-constrained algorithm's
+        "deprivation" step, §4.2.2)."""
+        key = (as_name(name), RRType(rrtype))
+        holders = self._by_record.get(key)
+        if holders and cache in holders:
+            del holders[cache]
+            self._active -= 1
+            self.stats.revocations += 1
+            if not holders:
+                del self._by_record[key]
+            return True
+        return False
+
+    def sweep(self, now: float) -> int:
+        """Remove every expired lease; returns the number removed."""
+        removed = 0
+        for key in list(self._by_record):
+            holders = self._by_record[key]
+            for cache in [c for c, lease in holders.items()
+                          if not lease.is_valid(now)]:
+                del holders[cache]
+                removed += 1
+            if not holders:
+                del self._by_record[key]
+        self._active -= removed
+        self.stats.expirations += removed
+        return removed
+
+    # -- queries ------------------------------------------------------------------
+
+    def holders(self, name, rrtype: RRType, now: float) -> List[Lease]:
+        """Valid leases on (name, rrtype) — the caches to notify."""
+        key = (as_name(name), RRType(rrtype))
+        holders = self._by_record.get(key, {})
+        return [lease for lease in holders.values() if lease.is_valid(now)]
+
+    def get(self, cache: Endpoint, name, rrtype: RRType) -> Optional[Lease]:
+        """Lookup by key; None when absent."""
+        key = (as_name(name), RRType(rrtype))
+        return self._by_record.get(key, {}).get(cache)
+
+    def leases_of(self, cache: Endpoint, now: float) -> List[Lease]:
+        """Every valid lease held by one local nameserver."""
+        result = []
+        for holders in self._by_record.values():
+            lease = holders.get(cache)
+            if lease is not None and lease.is_valid(now):
+                result.append(lease)
+        return result
+
+    def active_count(self, now: Optional[float] = None) -> int:
+        """Live leases; pass ``now`` to exclude expired-but-unswept ones."""
+        if now is None:
+            return self._active
+        return sum(1 for holders in self._by_record.values()
+                   for lease in holders.values() if lease.is_valid(now))
+
+    def tracked_records(self) -> List[RecordKey]:
+        """(name, type) pairs with at least one lease entry."""
+        return list(self._by_record.keys())
+
+    def __iter__(self) -> Iterator[Lease]:
+        for holders in self._by_record.values():
+            yield from holders.values()
+
+    def __len__(self) -> int:
+        return self._active
+
+    def __repr__(self) -> str:
+        return (f"LeaseTable(active={self._active}, "
+                f"records={len(self._by_record)}, capacity={self.capacity})")
+
+
+# -- the on-disk track file ------------------------------------------------------
+
+
+TRACK_FILE_HEADER = "# DNScup track file v1: addr port name type granted_at length"
+
+
+def save_track_file(table: LeaseTable, target: Union[str, TextIO]) -> int:
+    """Write every lease (valid or not) as one line per tuple."""
+    own = isinstance(target, str)
+    stream: TextIO = open(target, "w") if own else target  # type: ignore[arg-type]
+    try:
+        stream.write(TRACK_FILE_HEADER + "\n")
+        count = 0
+        for lease in table:
+            stream.write(
+                f"{lease.cache[0]} {lease.cache[1]} {lease.name.to_text()} "
+                f"{lease.rrtype.name} {lease.granted_at!r} {lease.length!r}\n")
+            count += 1
+        return count
+    finally:
+        if own:
+            stream.close()
+
+
+def load_track_file(source: Union[str, TextIO],
+                    capacity: Optional[int] = None) -> LeaseTable:
+    """Rebuild a :class:`LeaseTable` from its on-disk form."""
+    own = isinstance(source, str)
+    stream: TextIO = open(source) if own else source  # type: ignore[arg-type]
+    try:
+        table = LeaseTable(capacity=capacity)
+        for lineno, line in enumerate(stream, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            fields = line.split()
+            if len(fields) != 6:
+                raise ValueError(f"track file line {lineno}: want 6 fields, "
+                                 f"got {len(fields)}")
+            addr, port, name, rrtype, granted_at, length = fields
+            lease = Lease((addr, int(port)), as_name(name),
+                          RRType.from_text(rrtype), float(granted_at),
+                          float(length))
+            holders = table._by_record.setdefault(lease.key(), {})
+            if lease.cache not in holders:
+                table._active += 1
+            holders[lease.cache] = lease
+        return table
+    finally:
+        if own:
+            stream.close()

@@ -1,0 +1,134 @@
+"""The listening module: watches incoming queries, maintains the track file.
+
+Hooked into :class:`~repro.server.AuthoritativeServer`'s ``query_hooks``,
+it runs once per answered query (paper Figure 6's tap on "normal DNS
+queries"):
+
+1. read the RRC field — the query rate the local nameserver reports for
+   its clients;
+2. fold it into this server's own per-(record, cache) rate estimate
+   (caches can lie or be stale; the server trusts but verifies by
+   tracking arrivals itself and taking the max);
+3. consult the :class:`~repro.core.policy.LeasePolicy`;
+4. on a grant, append the five-field tuple to the track file
+   (:class:`~repro.core.lease.LeaseTable`) and stamp the response's LLT
+   field so the cache learns its lease length.
+
+Queries without the CU bit (plain DNS) skip all of this — backward
+compatibility is free.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Optional, Tuple
+
+from ..dnslib import Message, Name, Rcode, RRType
+from ..net import DNS_PORT, Endpoint, Simulator
+from ..server.rates import WindowedRate, rrc_to_rate
+from .lease import LeaseTable
+from .policy import GrantDecision, LeasePolicy, MaxLeaseFn, MAX_LEASE_REGULAR
+
+
+@dataclasses.dataclass
+class ListeningStats:
+    """Counters exposed for tests, benchmarks and operators."""
+    queries_seen: int = 0
+    dnscup_queries: int = 0
+    grants: int = 0
+    denials: int = 0
+    table_full: int = 0
+    #: Cold leases revoked to admit hotter candidates (online CLP).
+    evictions: int = 0
+
+
+class ListeningModule:
+    """Per-query lease negotiation on the authoritative side."""
+
+    def __init__(self, simulator: Simulator, table: LeaseTable,
+                 policy: LeasePolicy,
+                 max_lease_fn: Optional[MaxLeaseFn] = None,
+                 rate_window: float = 3600.0,
+                 evict_under_pressure: bool = False):
+        self.simulator = simulator
+        self.table = table
+        self.policy = policy
+        self.max_lease_fn: MaxLeaseFn = (
+            max_lease_fn or (lambda name, rrtype: MAX_LEASE_REGULAR))
+        #: §4.2.2's deprivation applied online: when the table is full,
+        #: revoke the coldest live lease to admit a hotter candidate.
+        self.evict_under_pressure = evict_under_pressure
+        self.stats = ListeningStats()
+        #: Server-side observed arrival rate per ((name, rrtype), cache).
+        self.observed: WindowedRate = WindowedRate(window=rate_window)
+
+    def on_query(self, query: Message, src: Endpoint, response: Message) -> None:
+        """The ``query_hooks`` entry point."""
+        self.stats.queries_seen += 1
+        if not query.cache_update_aware or not query.question:
+            return
+        if response.rcode != Rcode.NOERROR or not response.answer:
+            return  # only grant leases on successful positive answers
+        self.stats.dnscup_queries += 1
+        question = query.question[0]
+        now = self.simulator.now
+        # Track by the cache's service address: queries arrive from
+        # ephemeral ports, but CACHE-UPDATE notifications must reach the
+        # nameserver's port 53 (the track file stores source *IPs*).
+        cache = (src[0], DNS_PORT)
+        key = ((question.name, question.rrtype), cache)
+        self.observed.record(key, now)
+        reported = rrc_to_rate(question.rrc or 0)
+        observed = self.observed.rate(key, now)
+        rate = max(reported, observed)
+        max_lease = self.max_lease_fn(question.name, question.rrtype)
+        decision = self.policy.decide(question.name, question.rrtype,
+                                      rate, max_lease, now)
+        if not decision.granted:
+            self.stats.denials += 1
+            return
+        llt = decision.clamped_llt()
+        if llt <= 0:
+            self.stats.denials += 1
+            return
+        lease = self.table.grant(cache, question.name, question.rrtype,
+                                 now, float(llt))
+        if lease is None and self.evict_under_pressure:
+            if self._evict_colder_than(rate, now):
+                self.stats.evictions += 1
+                lease = self.table.grant(cache, question.name,
+                                         question.rrtype, now, float(llt))
+        if lease is None:
+            self.stats.table_full += 1
+            return
+        self.stats.grants += 1
+        response.llt = llt
+
+    def _evict_colder_than(self, candidate_rate: float, now: float) -> bool:
+        """Revoke the live lease with the lowest observed rate, if it is
+        colder than the candidate.  Returns True when a slot was freed.
+
+        The revoked cache is not notified: its entry simply decays to
+        TTL behaviour when its (now untracked) lease runs out — the same
+        graceful degradation as a lost track file, and the trade CLP's
+        deprivation step makes offline (§4.2.2).
+        """
+        victim = None
+        victim_rate = candidate_rate
+        for lease in self.table:
+            if not lease.is_valid(now):
+                continue
+            rate = self.observed.rate(((lease.name, lease.rrtype),
+                                       lease.cache), now)
+            if rate < victim_rate:
+                victim = lease
+                victim_rate = rate
+        if victim is None:
+            return False
+        return self.table.revoke(victim.cache, victim.name, victim.rrtype)
+
+    def occupancy(self) -> float:
+        """Fraction of the lease-table capacity in use (for adaptive policy)."""
+        if self.table.capacity is None:
+            return 0.0
+        return len(self.table) / self.table.capacity

@@ -1,0 +1,164 @@
+"""The notification module: pushes CACHE-UPDATE messages to leased caches.
+
+When the detection module reports a record change, this module reads the
+track file for the caches whose leases are still valid and sends each a
+CACHE-UPDATE (opcode 6) over UDP carrying the new RRset (paper Figure 3,
+steps 3–4).  UDP may drop the datagram, so every notification is
+retransmitted on a backoff schedule until the cache's acknowledgement
+arrives or the attempt budget is exhausted; unacknowledged caches are
+recorded — their entries will fall back to TTL expiry, which is DNScup's
+graceful degradation to weak consistency.
+
+Deletions are pushed as an update carrying the (empty-answer) new state:
+the cache learns the name is gone rather than serving the stale mapping.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..dnslib import (
+    Key,
+    Keyring,
+    Message,
+    Name,
+    RRType,
+    TsigError,
+    Verifier,
+    WireFormatError,
+    make_cache_update,
+    sign,
+)
+from ..net import Endpoint, RetryPolicy, Socket
+from .detection import RecordChange
+from .lease import LeaseTable
+
+
+@dataclasses.dataclass
+class NotificationStats:
+    """Counters exposed for tests, benchmarks and operators."""
+    changes_processed: int = 0
+    notifications_sent: int = 0
+    acks_received: int = 0
+    failures: int = 0
+    caches_notified: int = 0
+    #: Notifications suppressed because no valid lease existed.
+    no_holders: int = 0
+    #: Acks dropped because their TSIG failed verification (§5.3 mode).
+    ack_tsig_failures: int = 0
+
+
+@dataclasses.dataclass(frozen=True)
+class NotificationOutcome:
+    """Result of fanning one change out to one cache."""
+
+    cache: Endpoint
+    name: Name
+    rrtype: RRType
+    acked: bool
+    rtt: Optional[float]
+
+
+class NotificationModule:
+    """CACHE-UPDATE fan-out with per-cache retransmission."""
+
+    def __init__(self, socket: Socket, table: LeaseTable,
+                 retry: Optional[RetryPolicy] = None,
+                 tsig_key: Optional[Key] = None):
+        self.socket = socket
+        self.table = table
+        self.retry = retry or RetryPolicy(initial_timeout=1.0, max_attempts=4)
+        self.stats = NotificationStats()
+        self.outcomes: List[NotificationOutcome] = []
+        #: Caches that failed to ack their most recent notification.
+        self.unreachable: Set[Endpoint] = set()
+        #: §5.3 secure mode: sign CACHE-UPDATEs and require signed acks.
+        self.tsig_key = tsig_key
+        self._ack_verifier: Optional[Verifier] = None
+        if tsig_key is not None:
+            keyring = Keyring()
+            keyring.add(tsig_key)
+            self._ack_verifier = Verifier(keyring)
+
+    @property
+    def simulator(self):
+        """The simulator driving this component."""
+        return self.socket.simulator
+
+    # -- the detection sink -----------------------------------------------------
+
+    def on_change(self, change: RecordChange) -> None:
+        """Detection-module sink: fan this change out to lease holders."""
+        self.stats.changes_processed += 1
+        now = self.simulator.now
+        holders = self.table.holders(change.name, change.rrtype, now)
+        if not holders:
+            self.stats.no_holders += 1
+            return
+        records = change.new.to_records() if change.new is not None else []
+        for lease in holders:
+            self._notify(lease.cache, change.name, change.rrtype, records)
+
+    def _notify(self, cache: Endpoint, name: Name, rrtype: RRType,
+                records) -> None:
+        message = make_cache_update(name, list(records))
+        if not message.question:
+            return
+        # A deletion carries no records, so the question type falls back
+        # to A in make_cache_update; force the real type.
+        message.question[0].rrtype = rrtype
+        sent_at = self.simulator.now
+        self.stats.notifications_sent += 1
+        self.stats.caches_notified += 1
+        wire = message.to_wire()
+        if self.tsig_key is not None:
+            wire = sign(wire, self.tsig_key, sent_at)
+        self.socket.request(
+            wire, cache, message.id,
+            lambda payload, src: self._on_ack(cache, name, rrtype, sent_at,
+                                              payload),
+            retry=self.retry)
+
+    def _on_ack(self, cache: Endpoint, name: Name, rrtype: RRType,
+                sent_at: float, payload: Optional[bytes]) -> None:
+        if payload is None:
+            self.stats.failures += 1
+            self.unreachable.add(cache)
+            self.outcomes.append(NotificationOutcome(cache, name, rrtype,
+                                                     acked=False, rtt=None))
+            return
+        if self._ack_verifier is not None:
+            try:
+                payload = self._ack_verifier.verify(payload,
+                                                    self.simulator.now)
+            except TsigError:
+                self.stats.ack_tsig_failures += 1
+                self.stats.failures += 1
+                self.outcomes.append(NotificationOutcome(
+                    cache, name, rrtype, acked=False, rtt=None))
+                return
+        try:
+            Message.from_wire(payload)
+        except (WireFormatError, ValueError):
+            self.stats.failures += 1
+            self.outcomes.append(NotificationOutcome(cache, name, rrtype,
+                                                     acked=False, rtt=None))
+            return
+        self.stats.acks_received += 1
+        self.unreachable.discard(cache)
+        self.outcomes.append(NotificationOutcome(
+            cache, name, rrtype, acked=True,
+            rtt=self.simulator.now - sent_at))
+
+    # -- reporting ------------------------------------------------------------------
+
+    def ack_ratio(self) -> float:
+        """Acknowledged notifications / attempted notifications."""
+        total = self.stats.acks_received + self.stats.failures
+        return self.stats.acks_received / total if total else 1.0
+
+    def mean_ack_rtt(self) -> Optional[float]:
+        """Mean round-trip of acknowledged notifications, or None."""
+        rtts = [o.rtt for o in self.outcomes if o.rtt is not None]
+        return sum(rtts) / len(rtts) if rtts else None

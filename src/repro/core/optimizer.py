@@ -1,0 +1,194 @@
+"""Offline dynamic-lease optimization (paper §4.2).
+
+The inputs are (record, cache) pairs, each with a measured query rate
+λ_ij and the record's maximal lease length L_i.  Granting pair *ij* its
+maximal lease contributes ``P_ij = L_i/(L_i + 1/λ_ij)`` of storage and
+cuts its message rate from λ_ij (polling) to ``1/(L_i + 1/λ_ij)``.
+Because the storage-for-messages exchange rate of a pair is exactly its
+query rate (ΔM/ΔP = λ, §4.1), both problems greedily rank pairs by rate:
+
+* **SLP** (storage-constrained, §4.2.1): grant maximal leases in
+  *descending* rate order until the storage budget P_max binds —
+  minimizes total message rate under the budget.
+* **CLP** (communication-constrained, §4.2.2): start with everyone
+  granted, then *deprive* pairs in ascending rate order until the
+  message budget is met — minimizes leases held.
+
+Both are knapsack-style and NP-complete in general; the greedy is the
+paper's approximation.  :func:`storage_constrained_exact` is a tiny-
+instance dynamic program used in tests to bound the greedy's gap.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from .analytical import LeaseOperatingPoint, lease_probability, operating_point, renewal_rate
+
+
+@dataclasses.dataclass(frozen=True)
+class LeaseInstance:
+    """One (record, cache) pair offered to the optimizer."""
+
+    record: Hashable
+    cache: Hashable
+    query_rate: float      # λ_ij, queries/second
+    max_lease: float       # L_i, seconds
+
+    def __post_init__(self) -> None:
+        if self.query_rate < 0:
+            raise ValueError(f"negative query rate: {self.query_rate}")
+        if self.max_lease < 0:
+            raise ValueError(f"negative max lease: {self.max_lease}")
+
+    @property
+    def storage_cost(self) -> float:
+        """P_ij when granted its maximal lease."""
+        return lease_probability(self.max_lease, self.query_rate)
+
+    @property
+    def message_rate_granted(self) -> float:
+        """Upstream message rate when leased (renewals)."""
+        return renewal_rate(self.max_lease, self.query_rate)
+
+    @property
+    def message_rate_denied(self) -> float:
+        """Upstream message rate when unleased (polling)."""
+        return self.query_rate
+
+    @property
+    def message_saving(self) -> float:
+        """Message-rate reduction bought by granting this pair."""
+        return self.message_rate_denied - self.message_rate_granted
+
+
+@dataclasses.dataclass
+class LeaseAssignment:
+    """Optimizer output: which pairs hold leases, plus the totals."""
+
+    instances: Sequence[LeaseInstance]
+    granted: Dict[Tuple[Hashable, Hashable], float]  # pair key -> lease length
+
+    def lease_length_for(self, instance: LeaseInstance) -> float:
+        """The lease length assigned to ``instance`` (0 = none)."""
+        return self.granted.get((instance.record, instance.cache), 0.0)
+
+    def operating_point(self) -> LeaseOperatingPoint:
+        """Aggregate storage/communication of this assignment."""
+        return operating_point(
+            (inst.query_rate, self.lease_length_for(inst))
+            for inst in self.instances)
+
+    @property
+    def granted_count(self) -> int:
+        """Number of pairs holding leases."""
+        return len(self.granted)
+
+    def rate_threshold(self) -> Optional[float]:
+        """The smallest granted rate — the online policy's dual threshold."""
+        granted_rates = [inst.query_rate for inst in self.instances
+                         if (inst.record, inst.cache) in self.granted]
+        return min(granted_rates) if granted_rates else None
+
+
+def storage_constrained(instances: Sequence[LeaseInstance],
+                        storage_budget: float) -> LeaseAssignment:
+    """SLP greedy: maximal leases by descending query rate within budget.
+
+    ``storage_budget`` is in expected-lease units (the sum of P_ij the
+    server may carry); the paper's P_max.  Granting stops at the first
+    pair that would overflow the budget — and, because the greedy covers
+    the highest query rates first, "the total query rate covered by
+    leases is maximal" (§4.2.1).
+    """
+    if storage_budget < 0:
+        raise ValueError(f"negative storage budget: {storage_budget}")
+    order = sorted(instances, key=lambda inst: inst.query_rate, reverse=True)
+    granted: Dict[Tuple[Hashable, Hashable], float] = {}
+    used = 0.0
+    for inst in order:
+        if inst.max_lease <= 0 or inst.query_rate <= 0:
+            continue
+        cost = inst.storage_cost
+        if used + cost > storage_budget + 1e-12:
+            continue
+        used += cost
+        granted[(inst.record, inst.cache)] = inst.max_lease
+    return LeaseAssignment(list(instances), granted)
+
+
+def communication_constrained(instances: Sequence[LeaseInstance],
+                              message_budget: float) -> LeaseAssignment:
+    """CLP greedy: start fully granted, deprive lowest rates first.
+
+    ``message_budget`` is the allowed total upstream message rate
+    (messages/second).  Deprivation of a pair raises the total message
+    rate by its saving, so we shed the *cheapest* savings — the smallest
+    query rates — keeping the lease count minimal for the budget.
+    """
+    if message_budget < 0:
+        raise ValueError(f"negative message budget: {message_budget}")
+    granted: Dict[Tuple[Hashable, Hashable], float] = {
+        (inst.record, inst.cache): inst.max_lease
+        for inst in instances if inst.max_lease > 0 and inst.query_rate > 0}
+    total = sum(inst.message_rate_granted if (inst.record, inst.cache) in granted
+                else inst.message_rate_denied for inst in instances)
+    if total <= message_budget:
+        # Already satisfied with everyone leased: deprive as much as
+        # possible while staying within the budget (minimal lease count).
+        order = sorted(instances, key=lambda inst: inst.query_rate)
+        for inst in order:
+            key = (inst.record, inst.cache)
+            if key not in granted:
+                continue
+            if total + inst.message_saving <= message_budget + 1e-12:
+                del granted[key]
+                total += inst.message_saving
+        return LeaseAssignment(list(instances), granted)
+    raise ValueError(
+        "message budget below the fully-leased floor: "
+        f"budget={message_budget}, floor={total} — no assignment can satisfy it")
+
+
+def communication_constrained_floor(instances: Sequence[LeaseInstance]) -> float:
+    """The minimum achievable message rate (everyone granted)."""
+    return sum(inst.message_rate_granted for inst in instances)
+
+
+def storage_constrained_exact(instances: Sequence[LeaseInstance],
+                              storage_budget: float,
+                              resolution: int = 1000) -> LeaseAssignment:
+    """Exact 0/1-knapsack solution by DP on discretized storage cost.
+
+    Exponentially safer than brute force but still only for *small*
+    instances (tests and the optimality-gap ablation); cost is
+    O(len(instances) × resolution).
+    """
+    scale = resolution / max(storage_budget, 1e-12)
+    budget_units = resolution
+    usable = [inst for inst in instances
+              if inst.max_lease > 0 and inst.query_rate > 0
+              and int(round(inst.storage_cost * scale)) <= budget_units]
+    # dp[u] = (best total message saving, chosen set) using <= u units.
+    best_saving = [0.0] * (budget_units + 1)
+    chosen: List[List[LeaseInstance]] = [[] for _ in range(budget_units + 1)]
+    for inst in usable:
+        cost_units = max(1, int(round(inst.storage_cost * scale)))
+        saving = inst.message_saving
+        for units in range(budget_units, cost_units - 1, -1):
+            candidate = best_saving[units - cost_units] + saving
+            if candidate > best_saving[units]:
+                best_saving[units] = candidate
+                chosen[units] = chosen[units - cost_units] + [inst]
+    winners = chosen[budget_units]
+    granted = {(inst.record, inst.cache): inst.max_lease for inst in winners}
+    return LeaseAssignment(list(instances), granted)
+
+
+def sweep_storage_budgets(instances: Sequence[LeaseInstance],
+                          budgets: Sequence[float]
+                          ) -> List[Tuple[float, LeaseOperatingPoint]]:
+    """Evaluate the SLP greedy across budgets — the dynamic curve of Fig 5."""
+    return [(budget, storage_constrained(instances, budget).operating_point())
+            for budget in budgets]

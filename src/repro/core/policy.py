@@ -1,0 +1,170 @@
+"""Lease-grant policies — the online decision DNScup makes per query.
+
+When a DNScup-aware query arrives, the listening module asks a policy how
+long a lease (if any) to grant, given the cache's reported query rate
+(decoded from the RRC field) and the record's category-specific maximum
+lease length.  Three policies reproduce the paper's comparisons:
+
+* :class:`NoLeasePolicy` — plain TTL DNS, the weak-consistency baseline;
+* :class:`FixedLeasePolicy` — "grants the same length lease to every
+  incoming query" (§5.1.2's fixed-length scheme);
+* :class:`DynamicLeasePolicy` — the paper's scheme: grant the maximal
+  lease to high-rate caches, none to cold ones.  The rate threshold is
+  the dual variable of the storage budget in the offline SLP (§4.2.1):
+  greedily granting by descending λ until the budget binds is the same
+  as granting exactly the pairs with λ above the marginal threshold, so
+  a threshold sweep traces the whole storage/communication curve online.
+
+Maximum lease lengths per domain category default to the paper's §5.1
+settings: regular six days, CDN 200 s, Dyn 6000 s.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Optional
+
+from ..dnslib import MAX_U16, Name, RRType
+
+#: Paper §5.1 maximal lease lengths by domain category, seconds.
+MAX_LEASE_REGULAR = 6 * 86400
+MAX_LEASE_CDN = 200
+MAX_LEASE_DYN = 6000
+
+#: A hook mapping (name, rrtype) to that record's maximal lease length.
+MaxLeaseFn = Callable[[Name, RRType], float]
+
+
+def constant_max_lease(length: float) -> MaxLeaseFn:
+    """A MaxLeaseFn returning the same cap for every record."""
+    return lambda name, rrtype: length
+
+
+@dataclasses.dataclass(frozen=True)
+class GrantDecision:
+    """Outcome of a policy consultation."""
+
+    lease_length: float  # 0 means "no lease"
+
+    @property
+    def granted(self) -> bool:
+        """True when a lease was granted."""
+        return self.lease_length > 0
+
+    def clamped_llt(self) -> int:
+        """The lease length as the 16-bit LLT wire field (seconds).
+
+        Lease lengths beyond 65535 s are granted in installments: the
+        cache re-negotiates when the wire lease runs out.  The paper's
+        CDN/Dyn maxima fit directly; only the six-day regular maximum
+        saturates.
+        """
+        return int(min(self.lease_length, MAX_U16))
+
+
+DENIED = GrantDecision(0.0)
+
+
+class LeasePolicy:
+    """Interface: decide a lease for one query."""
+
+    name = "abstract"
+
+    def decide(self, record_name: Name, rrtype: RRType, rate: float,
+               max_lease: float, now: float) -> GrantDecision:
+        """Decide the lease length for one query (0 = no lease)."""
+        raise NotImplementedError
+
+
+class NoLeasePolicy(LeasePolicy):
+    """Weak consistency only; every decision is a denial."""
+
+    name = "ttl-only"
+
+    def decide(self, record_name: Name, rrtype: RRType, rate: float,
+               max_lease: float, now: float) -> GrantDecision:
+        """Deny unconditionally (pure TTL consistency)."""
+        return DENIED
+
+
+class FixedLeasePolicy(LeasePolicy):
+    """The same lease for everyone, capped by the record's maximum."""
+
+    name = "fixed"
+
+    def __init__(self, lease_length: float):
+        if lease_length <= 0:
+            raise ValueError("fixed lease length must be positive")
+        self.lease_length = lease_length
+
+    def decide(self, record_name: Name, rrtype: RRType, rate: float,
+               max_lease: float, now: float) -> GrantDecision:
+        """Grant the fixed length, capped by the record's maximum."""
+        return GrantDecision(min(self.lease_length, max_lease))
+
+
+class DynamicLeasePolicy(LeasePolicy):
+    """Grant maximal leases to caches querying faster than a threshold.
+
+    ``rate_threshold`` is in queries/second.  Setting it to zero grants
+    everyone (the most storage-hungry point); raising it walks down the
+    greedy order of §4.2.1, shedding the lowest-rate pairs first.
+    """
+
+    name = "dynamic"
+
+    def __init__(self, rate_threshold: float):
+        if rate_threshold < 0:
+            raise ValueError("rate threshold must be non-negative")
+        self.rate_threshold = rate_threshold
+
+    def decide(self, record_name: Name, rrtype: RRType, rate: float,
+               max_lease: float, now: float) -> GrantDecision:
+        """Grant the maximal lease iff the rate clears the threshold."""
+        if rate >= self.rate_threshold and max_lease > 0:
+            return GrantDecision(max_lease)
+        return DENIED
+
+
+class AdaptiveBudgetPolicy(LeasePolicy):
+    """Dynamic lease under a live storage budget.
+
+    Wraps :class:`DynamicLeasePolicy` with feedback from the lease table:
+    when the table runs near its capacity the threshold rises
+    (multiplicatively), and decays toward ``base_threshold`` as pressure
+    falls.  This is the extension §5.1.2 sketches — online re-negotiation
+    as rates change — made concrete.
+    """
+
+    name = "adaptive"
+
+    def __init__(self, base_threshold: float,
+                 occupancy: Optional[Callable[[], float]] = None,
+                 high_water: float = 0.9, low_water: float = 0.6,
+                 adjust_factor: float = 2.0):
+        if not 0.0 < low_water < high_water <= 1.0:
+            raise ValueError("want 0 < low_water < high_water <= 1")
+        if adjust_factor <= 1.0:
+            raise ValueError("adjust_factor must exceed 1")
+        self.base_threshold = base_threshold
+        self.threshold = max(base_threshold, 1e-12)
+        #: Occupancy source.  May be left None at construction; the
+        #: DNScup middleware binds it to its lease table's occupancy
+        #: when the policy is attached.
+        self.occupancy = occupancy
+        self.high_water = high_water
+        self.low_water = low_water
+        self.adjust_factor = adjust_factor
+
+    def decide(self, record_name: Name, rrtype: RRType, rate: float,
+               max_lease: float, now: float) -> GrantDecision:
+        """Like the dynamic policy, with a pressure-adjusted threshold."""
+        load = self.occupancy() if self.occupancy is not None else 0.0
+        if load >= self.high_water:
+            self.threshold *= self.adjust_factor
+        elif load <= self.low_water:
+            self.threshold = max(self.base_threshold,
+                                 self.threshold / self.adjust_factor)
+        if rate >= self.threshold and max_lease > 0:
+            return GrantDecision(max_lease)
+        return DENIED

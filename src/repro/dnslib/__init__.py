@@ -1,0 +1,74 @@
+"""DNS data model and wire format — the bottom substrate of the stack.
+
+Exports the names the rest of the package (and downstream users) need:
+domain names, rdata types, records, messages, and protocol constants,
+including DNScup's CACHE-UPDATE opcode and RRC/LLT fields.
+"""
+
+from .enums import (
+    MAX_LABEL_LENGTH,
+    MAX_NAME_WIRE_LENGTH,
+    MAX_UDP_PAYLOAD,
+    Opcode,
+    Rcode,
+    RRClass,
+    RRType,
+)
+from .message import (
+    FLAG_CU,
+    MAX_U16,
+    Message,
+    Question,
+    make_cache_update,
+    make_cache_update_ack,
+    make_notify,
+    make_query,
+    make_response,
+    make_update,
+    truncate_response,
+)
+from .name import Name, NameError_, as_name
+from .rdata import (
+    A,
+    AAAA,
+    CNAME,
+    MX,
+    NS,
+    PTR,
+    SOA,
+    SRV,
+    TXT,
+    EmptyRdata,
+    Generic,
+    Rdata,
+    rdata_class_for,
+    rdata_from_text,
+    rdata_from_wire,
+)
+from .records import ResourceRecord, RRSet, records_to_rrsets
+from .tsig import (
+    DEFAULT_FUDGE,
+    Key,
+    Keyring,
+    TsigError,
+    Verifier,
+    sign,
+    split_signed,
+)
+from .wire import WireFormatError, WireReader, WireWriter
+
+__all__ = [
+    "A", "AAAA", "CNAME", "MX", "NS", "PTR", "SOA", "SRV", "TXT", "Generic",
+    "Rdata", "EmptyRdata", "rdata_class_for", "rdata_from_text", "rdata_from_wire",
+    "Name", "NameError_", "as_name",
+    "ResourceRecord", "RRSet", "records_to_rrsets",
+    "Message", "Question", "make_query", "make_response", "make_update",
+    "make_notify", "make_cache_update", "make_cache_update_ack",
+    "truncate_response",
+    "Opcode", "Rcode", "RRClass", "RRType",
+    "MAX_UDP_PAYLOAD", "MAX_LABEL_LENGTH", "MAX_NAME_WIRE_LENGTH", "MAX_U16",
+    "FLAG_CU",
+    "WireReader", "WireWriter", "WireFormatError",
+    "Key", "Keyring", "Verifier", "TsigError", "sign", "split_signed",
+    "DEFAULT_FUDGE",
+]

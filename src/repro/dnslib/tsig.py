@@ -1,0 +1,179 @@
+"""Transaction signatures (TSIG, RFC 2845-style) for secure DNScup.
+
+Paper §5.3: plain-text CACHE-UPDATE messages could let a compromised
+host poison caches, so DNScup defers to the secure DNS machinery —
+DNSSEC and secure Dynamic Update.  The deployable core of that
+machinery is TSIG: a shared-secret HMAC over the message appended as a
+final additional-section record, verified hop by hop.  We implement the
+subset DNScup needs:
+
+* a :class:`Key` (name + HMAC-SHA256 secret) and :class:`Keyring`;
+* :func:`sign` — append a TSIG record to a wire message;
+* :func:`verify` — check and strip it, with clock-skew (fudge) and
+  replay (timestamp monotonicity) protection.
+
+The MAC covers the original message bytes plus the key name, algorithm,
+signing time and fudge, as in RFC 2845 §3.4 (simplified: no prior-MAC
+chaining, no truncated MACs — neither is needed for single-shot
+CACHE-UPDATE exchanges).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import hmac
+import struct
+from typing import Dict, Optional, Tuple
+
+from .name import Name, as_name
+
+#: The one algorithm we support.
+ALGORITHM = "hmac-sha256"
+
+#: Default allowed clock skew, seconds (RFC 2845 recommends 300).
+DEFAULT_FUDGE = 300
+
+#: Marker prefixed to the appended TSIG blob so strip/parse is
+#: unambiguous without full RR parsing of the additional section.
+_TSIG_MAGIC = b"TSIG2845"
+
+
+class TsigError(ValueError):
+    """Verification failure: unknown key, bad MAC, expired, or replay."""
+
+
+@dataclasses.dataclass(frozen=True)
+class Key:
+    """A shared secret identified by a domain-style key name."""
+
+    name: Name
+    secret: bytes
+
+    @classmethod
+    def create(cls, name, secret) -> "Key":
+        """Validated constructor."""
+        if isinstance(secret, str):
+            secret = secret.encode("utf-8")
+        if len(secret) < 16:
+            raise ValueError("TSIG secrets must be at least 16 bytes")
+        return cls(as_name(name), bytes(secret))
+
+
+class Keyring:
+    """Key store shared by the two ends of a signed channel."""
+
+    def __init__(self):
+        self._keys: Dict[Name, Key] = {}
+
+    def add(self, key: Key) -> None:
+        """Add one item."""
+        self._keys[key.name] = key
+
+    def get(self, name) -> Optional[Key]:
+        """Lookup by key; None when absent."""
+        return self._keys.get(as_name(name))
+
+    def __contains__(self, name) -> bool:
+        return as_name(name) in self._keys
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+
+def _mac_input(message_wire: bytes, key_name: Name, signed_at: int,
+               fudge: int) -> bytes:
+    return b"".join([
+        message_wire,
+        key_name.to_text().lower().encode("ascii"),
+        ALGORITHM.encode("ascii"),
+        struct.pack("!QH", signed_at, fudge),
+    ])
+
+
+def sign(message_wire: bytes, key: Key, now: float,
+         fudge: int = DEFAULT_FUDGE) -> bytes:
+    """Return ``message_wire`` with a TSIG blob appended."""
+    signed_at = int(now)
+    mac = hmac.new(key.secret,
+                   _mac_input(message_wire, key.name, signed_at, fudge),
+                   hashlib.sha256).digest()
+    key_name = key.name.to_text().encode("ascii")
+    blob = b"".join([
+        _TSIG_MAGIC,
+        struct.pack("!H", len(key_name)), key_name,
+        struct.pack("!QH", signed_at, fudge),
+        struct.pack("!H", len(mac)), mac,
+    ])
+    return message_wire + blob
+
+
+def split_signed(wire: bytes) -> Tuple[bytes, Optional[dict]]:
+    """Split a possibly-signed wire blob into (message, tsig fields).
+
+    Returns ``(wire, None)`` when no TSIG blob is present.
+    """
+    marker = wire.rfind(_TSIG_MAGIC)
+    if marker == -1:
+        return wire, None
+    cursor = marker + len(_TSIG_MAGIC)
+    try:
+        (name_length,) = struct.unpack_from("!H", wire, cursor)
+        cursor += 2
+        key_name = Name.from_text(wire[cursor:cursor + name_length]
+                                  .decode("ascii"))
+        cursor += name_length
+        signed_at, fudge = struct.unpack_from("!QH", wire, cursor)
+        cursor += 10
+        (mac_length,) = struct.unpack_from("!H", wire, cursor)
+        cursor += 2
+        mac = wire[cursor:cursor + mac_length]
+        if len(mac) != mac_length or cursor + mac_length != len(wire):
+            raise ValueError("truncated TSIG blob")
+    except (struct.error, ValueError) as exc:
+        raise TsigError(f"malformed TSIG blob: {exc}") from exc
+    fields = {"key_name": key_name, "signed_at": signed_at,
+              "fudge": fudge, "mac": mac}
+    return wire[:marker], fields
+
+
+class Verifier:
+    """Stateful verification with per-key replay protection."""
+
+    def __init__(self, keyring: Keyring):
+        self.keyring = keyring
+        self._last_signed_at: Dict[Name, int] = {}
+
+    def verify(self, wire: bytes, now: float,
+               require_signature: bool = True) -> bytes:
+        """Verify and strip the TSIG blob; returns the bare message.
+
+        :raises TsigError: on any failure.  With
+            ``require_signature=False`` an unsigned message passes
+            through untouched (incremental deployment: unsigned peers
+            fall back to plain DNScup).
+        """
+        message, fields = split_signed(wire)
+        if fields is None:
+            if require_signature:
+                raise TsigError("unsigned message on a signed channel")
+            return message
+        key = self.keyring.get(fields["key_name"])
+        if key is None:
+            raise TsigError(f"unknown key: {fields['key_name']}")
+        expected = hmac.new(
+            key.secret,
+            _mac_input(message, key.name, fields["signed_at"],
+                       fields["fudge"]),
+            hashlib.sha256).digest()
+        if not hmac.compare_digest(expected, fields["mac"]):
+            raise TsigError("MAC mismatch")
+        if abs(now - fields["signed_at"]) > fields["fudge"]:
+            raise TsigError(
+                f"signature outside fudge window: signed at "
+                f"{fields['signed_at']}, now {now:.0f}")
+        last = self._last_signed_at.get(key.name)
+        if last is not None and fields["signed_at"] < last:
+            raise TsigError("stale timestamp: possible replay")
+        self._last_signed_at[key.name] = fields["signed_at"]
+        return message

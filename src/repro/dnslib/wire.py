@@ -1,0 +1,194 @@
+"""Low-level wire-format encoding and decoding (RFC 1035 §4.1.4).
+
+:class:`WireWriter` serializes integers, byte strings and domain names into
+a growing buffer, applying standard DNS name compression: every name suffix
+already emitted at an offset < 0x4000 is replaced by a two-byte pointer.
+:class:`WireReader` is the inverse, following compression pointers with a
+loop guard.
+
+These two classes are the only place in the code base that touches raw
+bytes; every higher layer (rdata, records, messages) builds on them.  The
+DNScup prototype's claim that all of its messages fit in 512 bytes
+(paper §5.2) is checked against the output of this module.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Optional, Tuple
+
+from .name import Name, NameError_
+
+#: Compression pointers are 14-bit offsets tagged with the top two bits set.
+_POINTER_TAG = 0xC0
+_MAX_POINTER_OFFSET = 0x3FFF
+
+
+class WireFormatError(ValueError):
+    """Raised on malformed wire data: truncation, bad pointers, overruns."""
+
+
+class WireWriter:
+    """Accumulates a DNS message body with name compression.
+
+    The compression table maps lower-cased label suffix tuples to the
+    offset of their first occurrence, exactly as BIND does.  Compression
+    can be disabled (``compress=False``) — RFC 3597 forbids compressing
+    names inside the RDATA of unknown types, and tests use it to measure
+    the savings compression buys.
+    """
+
+    def __init__(self, compress: bool = True):
+        self._chunks: List[bytes] = []
+        self._length = 0
+        self._compress = compress
+        self._offsets: Dict[Tuple[str, ...], int] = {}
+
+    # -- primitives --------------------------------------------------------
+
+    def write_bytes(self, data: bytes) -> None:
+        """Append raw bytes."""
+        self._chunks.append(data)
+        self._length += len(data)
+
+    def write_u8(self, value: int) -> None:
+        """Append one unsigned byte."""
+        self.write_bytes(struct.pack("!B", value))
+
+    def write_u16(self, value: int) -> None:
+        """Append a 16-bit big-endian integer."""
+        self.write_bytes(struct.pack("!H", value))
+
+    def write_u32(self, value: int) -> None:
+        """Append a 32-bit big-endian integer."""
+        self.write_bytes(struct.pack("!I", value))
+
+    def write_string(self, data: bytes) -> None:
+        """A length-prefixed character string (max 255 octets)."""
+        if len(data) > 255:
+            raise WireFormatError("character-string longer than 255 octets")
+        self.write_u8(len(data))
+        self.write_bytes(data)
+
+    # -- names -------------------------------------------------------------
+
+    def write_name(self, name: Name) -> None:
+        """Emit ``name``, compressing against previously written names."""
+        labels = name.labels
+        key = name.key
+        for i in range(len(labels)):
+            suffix = key[i:]
+            target = self._offsets.get(suffix) if self._compress else None
+            if target is not None:
+                self.write_u16(_POINTER_TAG << 8 | target)
+                return
+            if self._compress and self._length <= _MAX_POINTER_OFFSET:
+                self._offsets[suffix] = self._length
+            label = labels[i].encode("ascii")
+            self.write_u8(len(label))
+            self.write_bytes(label)
+        self.write_u8(0)
+
+    # -- output ------------------------------------------------------------
+
+    def getvalue(self) -> bytes:
+        """The accumulated buffer."""
+        return b"".join(self._chunks)
+
+    def __len__(self) -> int:
+        return self._length
+
+
+class WireReader:
+    """Sequential reader over a full DNS message with pointer chasing."""
+
+    def __init__(self, data: bytes, offset: int = 0):
+        self._data = data
+        self._offset = offset
+
+    @property
+    def offset(self) -> int:
+        """Current cursor position."""
+        return self._offset
+
+    @property
+    def remaining(self) -> int:
+        """Seconds left before expiry (never negative)."""
+        return len(self._data) - self._offset
+
+    def seek(self, offset: int) -> None:
+        """Move the cursor to an absolute offset."""
+        if not 0 <= offset <= len(self._data):
+            raise WireFormatError(f"seek out of range: {offset}")
+        self._offset = offset
+
+    # -- primitives --------------------------------------------------------
+
+    def read_bytes(self, count: int) -> bytes:
+        """Consume and return ``count`` bytes."""
+        if count < 0 or self._offset + count > len(self._data):
+            raise WireFormatError("truncated message")
+        chunk = self._data[self._offset : self._offset + count]
+        self._offset += count
+        return chunk
+
+    def read_u8(self) -> int:
+        """Consume one unsigned byte."""
+        return self.read_bytes(1)[0]
+
+    def read_u16(self) -> int:
+        """Consume a 16-bit big-endian integer."""
+        return struct.unpack("!H", self.read_bytes(2))[0]
+
+    def read_u32(self) -> int:
+        """Consume a 32-bit big-endian integer."""
+        return struct.unpack("!I", self.read_bytes(4))[0]
+
+    def read_string(self) -> bytes:
+        """Consume one length-prefixed character string."""
+        return self.read_bytes(self.read_u8())
+
+    # -- names -------------------------------------------------------------
+
+    def read_name(self) -> Name:
+        """Decode a possibly-compressed name starting at the cursor."""
+        labels: List[str] = []
+        jumps = 0
+        cursor = self._offset
+        resume: Optional[int] = None
+        while True:
+            if cursor >= len(self._data):
+                raise WireFormatError("name runs past end of message")
+            length = self._data[cursor]
+            if length & _POINTER_TAG == _POINTER_TAG:
+                if cursor + 1 >= len(self._data):
+                    raise WireFormatError("truncated compression pointer")
+                pointer = ((length & 0x3F) << 8) | self._data[cursor + 1]
+                if resume is None:
+                    resume = cursor + 2
+                if pointer >= cursor:
+                    raise WireFormatError("forward compression pointer")
+                jumps += 1
+                if jumps > 128:
+                    raise WireFormatError("compression pointer loop")
+                cursor = pointer
+                continue
+            if length & _POINTER_TAG:
+                raise WireFormatError(f"bad label tag 0x{length:02x}")
+            if length == 0:
+                cursor += 1
+                break
+            start = cursor + 1
+            end = start + length
+            if end > len(self._data):
+                raise WireFormatError("label runs past end of message")
+            try:
+                labels.append(self._data[start:end].decode("ascii"))
+            except UnicodeDecodeError as exc:
+                raise WireFormatError("non-ascii label") from exc
+            cursor = end
+        self._offset = resume if resume is not None else cursor
+        try:
+            return Name(labels)
+        except NameError_ as exc:
+            raise WireFormatError(str(exc)) from exc

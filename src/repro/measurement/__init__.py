@@ -1,0 +1,47 @@
+"""The §3 measurement study: probing, change classification, statistics."""
+
+from .classify import (
+    CAUSE_TO_KIND,
+    LOGICAL,
+    PHYSICAL,
+    ChangeTally,
+    aggregate,
+    classify_change,
+    kind_of,
+)
+from .prober import (
+    DnsDynamicsProber,
+    ProbeResult,
+    ResolveOracle,
+    oracle_from_specs,
+    results_by_class,
+)
+from .stats import (
+    ClassSummary,
+    GroupSummary,
+    MeanWithCI,
+    change_frequency_pdf,
+    changed_share,
+    coefficient_of_variation,
+    cv_vs_caching_period,
+    interarrival_cv_per_domain,
+    mean_change_frequency,
+    mean_with_ci95,
+    redundancy_factor,
+    summarize_campaign,
+    summarize_class,
+    summarize_groups,
+)
+
+__all__ = [
+    "classify_change", "kind_of", "ChangeTally", "aggregate",
+    "PHYSICAL", "LOGICAL", "CAUSE_TO_KIND",
+    "DnsDynamicsProber", "ProbeResult", "ResolveOracle",
+    "oracle_from_specs", "results_by_class",
+    "change_frequency_pdf", "mean_change_frequency", "changed_share",
+    "ClassSummary", "summarize_class", "summarize_campaign",
+    "GroupSummary", "summarize_groups",
+    "redundancy_factor", "coefficient_of_variation",
+    "interarrival_cv_per_domain", "MeanWithCI", "mean_with_ci95",
+    "cv_vs_caching_period",
+]

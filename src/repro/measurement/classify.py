@@ -1,0 +1,124 @@
+"""Classifying observed mapping changes (paper §3.2 / Figure 2f).
+
+The prober sees only consecutive answer snapshots.  From a pair of
+snapshots we infer the cause the way the paper does:
+
+1. **relocation** — the new set shares no address with the old one (the
+   domain moved); a *physical* change;
+2. **growth** — the new set strictly contains the old one (addresses
+   were added); logical;
+3. **rotation** — the sets overlap or the new set re-visits addresses
+   seen before for this domain (round-robin over a pool); logical.
+
+Classification is per observed change; per-domain and per-class
+aggregation feeds Figure 2(f).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from ..traces.changes import CAUSE_GROWTH, CAUSE_RELOCATION, CAUSE_ROTATION
+
+PHYSICAL = "physical"
+LOGICAL = "logical"
+
+CAUSE_TO_KIND = {
+    CAUSE_RELOCATION: PHYSICAL,
+    CAUSE_GROWTH: LOGICAL,
+    CAUSE_ROTATION: LOGICAL,
+}
+
+
+def classify_change(old: Sequence[str], new: Sequence[str],
+                    seen_before: Set[str]) -> str:
+    """Infer the cause of one observed change.
+
+    ``seen_before`` is every address observed for this domain so far
+    (excluding the current snapshot) — revisiting a known address is the
+    signature of rotation.
+    """
+    old_set, new_set = set(old), set(new)
+    if not old_set or not new_set:
+        # Appearing/disappearing records: treat as relocation (physical).
+        return CAUSE_RELOCATION
+    if new_set == old_set:
+        raise ValueError("not a change: address sets are equal")
+    if new_set > old_set:
+        return CAUSE_GROWTH
+    if new_set & old_set:
+        return CAUSE_ROTATION
+    if new_set & seen_before:
+        return CAUSE_ROTATION
+    return CAUSE_RELOCATION
+
+
+def kind_of(cause: str) -> str:
+    """physical / logical for a cause label."""
+    try:
+        return CAUSE_TO_KIND[cause]
+    except KeyError:
+        raise ValueError(f"unknown cause: {cause!r}") from None
+
+
+@dataclasses.dataclass
+class ChangeTally:
+    """Counts of observed changes by cause (one domain, or aggregated)."""
+
+    relocation: int = 0
+    growth: int = 0
+    rotation: int = 0
+
+    def add(self, cause: str, count: int = 1) -> None:
+        """Add one item."""
+        if cause == CAUSE_RELOCATION:
+            self.relocation += count
+        elif cause == CAUSE_GROWTH:
+            self.growth += count
+        elif cause == CAUSE_ROTATION:
+            self.rotation += count
+        else:
+            raise ValueError(f"unknown cause: {cause!r}")
+
+    def merge(self, other: "ChangeTally") -> None:
+        """Fold ``other``'s counts into this tally."""
+        self.relocation += other.relocation
+        self.growth += other.growth
+        self.rotation += other.rotation
+
+    @property
+    def total(self) -> int:
+        """Total observed changes."""
+        return self.relocation + self.growth + self.rotation
+
+    @property
+    def physical(self) -> int:
+        """Changes classified as physical (relocations)."""
+        return self.relocation
+
+    @property
+    def logical(self) -> int:
+        """Changes classified as logical (growth + rotation)."""
+        return self.growth + self.rotation
+
+    def physical_share(self) -> float:
+        """Fraction of observed changes that were physical."""
+        return self.physical / self.total if self.total else 0.0
+
+    def shares(self) -> Dict[str, float]:
+        """Cause → fraction, the Figure 2(f) bar heights."""
+        if not self.total:
+            return {CAUSE_RELOCATION: 0.0, CAUSE_GROWTH: 0.0,
+                    CAUSE_ROTATION: 0.0}
+        return {CAUSE_RELOCATION: self.relocation / self.total,
+                CAUSE_GROWTH: self.growth / self.total,
+                CAUSE_ROTATION: self.rotation / self.total}
+
+
+def aggregate(tallies: Iterable[ChangeTally]) -> ChangeTally:
+    """Merge many tallies into one."""
+    total = ChangeTally()
+    for tally in tallies:
+        total.merge(tally)
+    return total

@@ -1,0 +1,25 @@
+"""Simulated network substrate: event loop, UDP, hosts, timers."""
+
+from .host import Host, ResponseHandler, Socket
+from .network import (
+    DNS_PORT,
+    DatagramHandler,
+    Endpoint,
+    LatencyModel,
+    LinkProfile,
+    LognormalLatency,
+    Network,
+    NetworkError,
+    NetworkStats,
+)
+from .simulator import EventHandle, SimulationError, Simulator
+from .timers import PeriodicTimer, RetryPolicy
+
+__all__ = [
+    "Simulator", "EventHandle", "SimulationError",
+    "Network", "NetworkError", "NetworkStats", "LinkProfile",
+    "LatencyModel", "LognormalLatency", "Endpoint", "DatagramHandler",
+    "DNS_PORT",
+    "Host", "Socket", "ResponseHandler",
+    "RetryPolicy", "PeriodicTimer",
+]

@@ -1,0 +1,159 @@
+"""A deterministic discrete-event simulator.
+
+Everything time-dependent in the reproduction — UDP delivery, lease
+expiry, TTL decay, retransmission timers, probing schedules — runs on one
+:class:`Simulator`.  Events fire in (time, insertion-order) order, so runs
+are exactly reproducible for a given seed; there is no wall-clock anywhere
+in the simulation path.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+
+class EventHandle:
+    """A cancellable reference to a scheduled event.
+
+    *Daemon* events (periodic timers, housekeeping) never keep the
+    simulation alive: :meth:`Simulator.run` stops once only daemon
+    events remain, the way daemon threads don't block process exit.
+    """
+
+    __slots__ = ("time", "daemon", "_callback", "_cancelled", "_simulator")
+
+    def __init__(self, time: float, callback: Callable[[], None],
+                 simulator: "Simulator", daemon: bool = False):
+        self.time = time
+        self.daemon = daemon
+        self._callback = callback
+        self._cancelled = False
+        self._simulator = simulator
+
+    def cancel(self) -> None:
+        """Prevent the event from firing; cancelling twice is harmless."""
+        if not self._cancelled:
+            self._cancelled = True
+            self._callback = _noop
+            if not self.daemon:
+                self._simulator._nondaemon_pending -= 1
+
+    @property
+    def cancelled(self) -> bool:
+        """True once cancelled."""
+        return self._cancelled
+
+    def _fire(self) -> None:
+        self._callback()
+
+
+def _noop() -> None:
+    return None
+
+
+class SimulationError(RuntimeError):
+    """Raised on simulator misuse (scheduling into the past, etc.)."""
+
+
+class Simulator:
+    """Priority-queue event loop with virtual time in seconds."""
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._queue: List[Tuple[float, int, EventHandle]] = []
+        self._sequence = itertools.count()
+        self.events_processed = 0
+        self._nondaemon_pending = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time, seconds."""
+        return self._now
+
+    # -- scheduling ----------------------------------------------------------
+
+    def schedule_at(self, time: float, callback: Callable[[], None],
+                    daemon: bool = False) -> EventHandle:
+        """Schedule ``callback`` at absolute time ``time``."""
+        if time < self._now:
+            raise SimulationError(f"cannot schedule at {time} < now {self._now}")
+        handle = EventHandle(time, callback, self, daemon=daemon)
+        if not daemon:
+            self._nondaemon_pending += 1
+        heapq.heappush(self._queue, (time, next(self._sequence), handle))
+        return handle
+
+    def schedule(self, delay: float, callback: Callable[[], None],
+                 daemon: bool = False) -> EventHandle:
+        """Schedule ``callback`` after ``delay`` seconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        return self.schedule_at(self._now + delay, callback, daemon=daemon)
+
+    def call_soon(self, callback: Callable[[], None]) -> EventHandle:
+        """Run ``callback`` at the current time, after pending same-time events."""
+        return self.schedule(0.0, callback)
+
+    # -- execution --------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Fire the next event; returns False when the queue is empty."""
+        while self._queue:
+            time, _seq, handle = heapq.heappop(self._queue)
+            if handle.cancelled:
+                continue
+            self._now = time
+            self.events_processed += 1
+            if not handle.daemon:
+                self._nondaemon_pending -= 1
+            handle._fire()
+            return True
+        return False
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Run until no *non-daemon* work remains (or ``max_events``).
+
+        Daemon events (periodic timers) that precede pending non-daemon
+        events still fire in time order; once only daemon events are
+        left the run stops and leaves them queued — they would otherwise
+        keep a simulation alive forever.
+        """
+        fired = 0
+        while self._nondaemon_pending > 0 and self.step():
+            fired += 1
+            if max_events is not None and fired >= max_events:
+                break
+        return fired
+
+    def run_until(self, time: float) -> int:
+        """Fire all events with timestamp <= ``time``, then advance to it."""
+        if time < self._now:
+            raise SimulationError(f"cannot run backwards to {time}")
+        fired = 0
+        while self._queue:
+            next_time = self._peek_time()
+            if next_time is None or next_time > time:
+                break
+            if self.step():
+                fired += 1
+        self._now = max(self._now, time)
+        return fired
+
+    def run_for(self, duration: float) -> int:
+        """Advance virtual time by ``duration``, firing due events."""
+        return self.run_until(self._now + duration)
+
+    def _peek_time(self) -> Optional[float]:
+        while self._queue and self._queue[0][2].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0][0] if self._queue else None
+
+    @property
+    def pending(self) -> int:
+        """Scheduled events that have not fired or been cancelled."""
+        return sum(1 for _, _, h in self._queue if not h.cancelled)
+
+    def __repr__(self) -> str:
+        return f"Simulator(now={self._now:.3f}, pending={self.pending})"

@@ -1,0 +1,83 @@
+"""Retry policies and periodic timers."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Optional
+
+from .simulator import EventHandle, Simulator
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential-backoff retransmission schedule.
+
+    Attempt *n* (1-based) waits ``initial_timeout * backoff**(n-1)``,
+    capped at ``max_timeout``.  ``max_attempts`` counts the original send.
+    The defaults mirror classic resolver behaviour: 2 s initial, doubling,
+    4 tries.
+    """
+
+    initial_timeout: float = 2.0
+    backoff: float = 2.0
+    max_timeout: float = 30.0
+    max_attempts: int = 4
+
+    def __post_init__(self) -> None:
+        if self.initial_timeout <= 0 or self.backoff < 1.0:
+            raise ValueError("bad retry policy parameters")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+
+    def timeout_for(self, attempt: int) -> float:
+        """Timeout for the given 1-based attempt number."""
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        return min(self.initial_timeout * self.backoff ** (attempt - 1),
+                   self.max_timeout)
+
+    def total_budget(self) -> float:
+        """Worst-case wall time before the request is reported failed."""
+        return sum(self.timeout_for(i) for i in range(1, self.max_attempts + 1))
+
+
+class PeriodicTimer:
+    """Fires a callback every ``interval`` seconds until stopped.
+
+    Used by slaves (SOA refresh), probers (Table 1 sampling resolutions)
+    and the DNScup listening module's rate-window rollover.
+    """
+
+    def __init__(self, simulator: Simulator, interval: float,
+                 callback: Callable[[], None],
+                 start_delay: Optional[float] = None,
+                 daemon: bool = True):
+        if interval <= 0:
+            raise ValueError(f"interval must be positive: {interval}")
+        self.simulator = simulator
+        self.interval = interval
+        self.callback = callback
+        self.daemon = daemon
+        self._handle: Optional[EventHandle] = None
+        self._stopped = False
+        first = interval if start_delay is None else start_delay
+        self._handle = simulator.schedule(first, self._tick, daemon=daemon)
+
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        self.callback()
+        if not self._stopped:
+            self._handle = self.simulator.schedule(self.interval, self._tick,
+                                                   daemon=self.daemon)
+
+    def stop(self) -> None:
+        """Stop permanently; safe to call more than once."""
+        self._stopped = True
+        if self._handle is not None:
+            self._handle.cancel()
+
+    @property
+    def running(self) -> bool:
+        """True until stopped."""
+        return not self._stopped

@@ -1,0 +1,61 @@
+"""Tiny tabular report helpers shared by the CLI tools and benches.
+
+Everything the evaluation produces is a small table or series; this
+module renders them as aligned text and as CSV so results can be
+plotted with any external tool.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Iterable, List, Sequence, TextIO, Union
+
+
+def format_table(header: Sequence[str], rows: Iterable[Sequence],
+                 title: str = "") -> str:
+    """Fixed-width text rendering of a small table."""
+    rendered_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in header]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(w)
+                               for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def write_csv(target: Union[str, TextIO], header: Sequence[str],
+              rows: Iterable[Sequence]) -> int:
+    """Write rows as CSV; returns the number of data rows written."""
+    own = isinstance(target, str)
+    stream: TextIO = open(target, "w", newline="") if own else target  # type: ignore[arg-type]
+    try:
+        writer = csv.writer(stream)
+        writer.writerow(list(header))
+        count = 0
+        for row in rows:
+            writer.writerow(list(row))
+            count += 1
+        return count
+    finally:
+        if own:
+            stream.close()
+
+
+def read_csv(source: Union[str, TextIO]) -> List[List[str]]:
+    """Read a CSV back (header included) — round-trip helper for tests."""
+    own = isinstance(source, str)
+    stream: TextIO = open(source, newline="") if own else source  # type: ignore[arg-type]
+    try:
+        return [row for row in csv.reader(stream)]
+    finally:
+        if own:
+            stream.close()

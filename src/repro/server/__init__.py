@@ -1,0 +1,18 @@
+"""Nameserver implementations: authoritative, recursive, stub, cache."""
+
+from .authoritative import AuthoritativeServer, ServerStats
+from .cache import CacheEntry, CacheStats, ResolverCache
+from .push import PushService, PushServiceStats, PushSubscriber, PushSubscriberStats
+from .rates import EwmaRate, WindowedRate, rate_to_rrc, rrc_to_rate
+from .resolver import LeaseGrantInfo, RecursiveResolver, ResolverStats
+from .stub import DEFAULT_CLIENT_CACHE_SECONDS, StubResolver, StubStats
+
+__all__ = [
+    "AuthoritativeServer", "ServerStats",
+    "ResolverCache", "CacheEntry", "CacheStats",
+    "RecursiveResolver", "ResolverStats", "LeaseGrantInfo",
+    "StubResolver", "StubStats", "DEFAULT_CLIENT_CACHE_SECONDS",
+    "WindowedRate", "EwmaRate", "rate_to_rrc", "rrc_to_rate",
+    "PushService", "PushServiceStats", "PushSubscriber",
+    "PushSubscriberStats",
+]

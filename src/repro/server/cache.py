@@ -1,0 +1,218 @@
+"""The resolver cache: TTL-based weak consistency, plus DNScup hooks.
+
+This is the data structure whose staleness the whole paper is about.  A
+:class:`ResolverCache` stores positive entries (RRsets with an absolute
+expiry derived from the TTL) and negative entries (NXDOMAIN / NODATA with
+the SOA-minimum TTL, RFC 2308).  Lookups are by (name, type); expired
+entries are treated as absent and reaped lazily plus on demand.
+
+Two features exist purely for DNScup:
+
+* an entry can carry a **lease expiry**; while the lease is valid the
+  entry is considered *coherent* (the authoritative server has promised
+  to push changes), and :meth:`apply_cache_update` overwrites the data
+  in place when a CACHE-UPDATE arrives;
+* :meth:`entries_with_valid_lease` enumerates what a cache would need
+  refreshed, which the middleware tests use to assert strong consistency.
+
+The cache also keeps the hit/miss/stale counters the evaluation reads.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import OrderedDict
+from typing import Iterator, List, Optional, Tuple
+
+from ..dnslib import Name, RRClass, RRSet, RRType, as_name
+
+#: Cache keys are (owner name, rrtype).
+CacheKey = Tuple[Name, RRType]
+
+
+@dataclasses.dataclass
+class CacheEntry:
+    """One cached RRset with TTL and (optionally) lease state."""
+
+    rrset: RRSet
+    stored_at: float
+    expires_at: float
+    #: Absolute time until which the origin server promised notifications.
+    lease_until: Optional[float] = None
+    #: True for negative entries (the rrset is then an empty placeholder).
+    negative: bool = False
+    hits: int = 0
+
+    def is_expired(self, now: float) -> bool:
+        """True when the TTL has lapsed at time ``now``."""
+        return now >= self.expires_at
+
+    def has_lease(self, now: float) -> bool:
+        """True while the entry's lease is valid at ``now``."""
+        return self.lease_until is not None and now < self.lease_until
+
+    def remaining_ttl(self, now: float) -> int:
+        """Seconds of TTL left at ``now`` (never negative)."""
+        return max(0, int(self.expires_at - now))
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Counters for the weak-vs-strong consistency comparison."""
+
+    hits: int = 0
+    misses: int = 0
+    expired: int = 0
+    negative_hits: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    cache_updates_applied: int = 0
+    #: Lookups answered from an entry whose lease was still valid.
+    coherent_hits: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups performed (hits + misses + expiries)."""
+        return self.hits + self.misses + self.expired + self.negative_hits
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from cache."""
+        total = self.lookups
+        return (self.hits + self.negative_hits) / total if total else 0.0
+
+
+class ResolverCache:
+    """Bounded LRU cache of RRsets keyed by (name, type)."""
+
+    def __init__(self, capacity: int = 100_000,
+                 min_ttl: int = 0, max_ttl: int = 7 * 86400):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.min_ttl = min_ttl
+        self.max_ttl = max_ttl
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[CacheKey, CacheEntry]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- insertion ---------------------------------------------------------
+
+    def put(self, rrset: RRSet, now: float,
+            lease_until: Optional[float] = None) -> CacheEntry:
+        """Cache a positive RRset, clamping the TTL to configured bounds."""
+        ttl = min(max(rrset.ttl, self.min_ttl), self.max_ttl)
+        entry = CacheEntry(rrset=rrset.copy(), stored_at=now,
+                           expires_at=now + ttl, lease_until=lease_until)
+        self._insert((rrset.name, rrset.rrtype), entry)
+        return entry
+
+    def put_negative(self, name, rrtype: RRType, soa_minimum: int,
+                     now: float) -> CacheEntry:
+        """Cache an NXDOMAIN/NODATA result for ``soa_minimum`` seconds."""
+        owner = as_name(name)
+        placeholder = RRSet(owner, rrtype, soa_minimum, [], RRClass.IN)
+        entry = CacheEntry(rrset=placeholder, stored_at=now,
+                           expires_at=now + soa_minimum, negative=True)
+        self._insert((owner, RRType(rrtype)), entry)
+        return entry
+
+    def _insert(self, key: CacheKey, entry: CacheEntry) -> None:
+        if key in self._entries:
+            del self._entries[key]
+        self._entries[key] = entry
+        self.stats.insertions += 1
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    # -- lookup ----------------------------------------------------------------
+
+    def get(self, name, rrtype: RRType, now: float) -> Optional[CacheEntry]:
+        """A live entry, or None.  Updates LRU order and counters.
+
+        An entry whose TTL has lapsed but whose *lease* is still valid is
+        served anyway: the origin has promised to push changes, so the data
+        is coherent without polling — this is where DNScup absorbs the
+        query traffic that pure TTL would send upstream (paper §4.1).
+        """
+        key = (as_name(name), RRType(rrtype))
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        if entry.is_expired(now) and not entry.has_lease(now):
+            del self._entries[key]
+            self.stats.expired += 1
+            return None
+        self._entries.move_to_end(key)
+        entry.hits += 1
+        if entry.negative:
+            self.stats.negative_hits += 1
+        else:
+            self.stats.hits += 1
+            if entry.has_lease(now):
+                self.stats.coherent_hits += 1
+        return entry
+
+    def peek(self, name, rrtype: RRType) -> Optional[CacheEntry]:
+        """Inspect without touching counters, LRU order, or expiry."""
+        return self._entries.get((as_name(name), RRType(rrtype)))
+
+    # -- DNScup integration ---------------------------------------------------------
+
+    def apply_cache_update(self, rrset: RRSet, now: float) -> bool:
+        """Overwrite a cached RRset in place from a CACHE-UPDATE message.
+
+        Returns True when an entry existed and was refreshed.  The entry
+        keeps its lease (the server that pushed the update still tracks
+        us) and restarts its TTL clock.
+        """
+        key = (rrset.name, rrset.rrtype)
+        entry = self._entries.get(key)
+        if entry is None:
+            return False
+        entry.rrset = rrset.copy()
+        entry.stored_at = now
+        entry.expires_at = now + min(max(rrset.ttl, self.min_ttl), self.max_ttl)
+        entry.negative = False
+        self.stats.cache_updates_applied += 1
+        return True
+
+    def set_lease(self, name, rrtype: RRType, lease_until: float) -> bool:
+        """Set the lease expiry on an existing entry, if present."""
+        entry = self._entries.get((as_name(name), RRType(rrtype)))
+        if entry is None:
+            return False
+        entry.lease_until = lease_until
+        return True
+
+    def entries_with_valid_lease(self, now: float) -> List[CacheEntry]:
+        """Entries alive by lease — TTL state is irrelevant while the
+        origin's notification promise holds."""
+        return [e for e in self._entries.values() if e.has_lease(now)]
+
+    # -- maintenance ----------------------------------------------------------------
+
+    def purge_expired(self, now: float) -> int:
+        """Eagerly drop expired entries; returns the count removed."""
+        dead = [key for key, entry in self._entries.items() if entry.is_expired(now)]
+        for key in dead:
+            del self._entries[key]
+        return len(dead)
+
+    def flush(self) -> None:
+        """Drop every cached entry."""
+        self._entries.clear()
+
+    def remove(self, name, rrtype: RRType) -> bool:
+        """Remove one entry; returns True when something was removed."""
+        return self._entries.pop((as_name(name), RRType(rrtype)), None) is not None
+
+    def __iter__(self) -> Iterator[Tuple[CacheKey, CacheEntry]]:
+        return iter(list(self._entries.items()))
+
+    def __repr__(self) -> str:
+        return f"ResolverCache(size={len(self)}/{self.capacity})"

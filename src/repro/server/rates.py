@@ -1,0 +1,133 @@
+"""Query-rate estimation.
+
+Both ends of DNScup need rates: the local nameserver reports how hot a
+record is among its clients (the RRC field), and the authoritative
+server's listening module tracks per-cache rates to size leases.  The
+paper leaves the estimator open ("a DNS cache may monitor the rates of
+cached records in the incoming queries", §5.1.2); we provide a windowed
+counter — transparent and cheap — and an EWMA variant for the ablation
+that compares estimators.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, Dict, Generic, Hashable, Optional, Tuple, TypeVar
+
+K = TypeVar("K", bound=Hashable)
+
+
+class WindowedRate(Generic[K]):
+    """Per-key arrivals-per-second over a sliding time window.
+
+    ``record(key, now)`` logs one arrival; ``rate(key, now)`` returns
+    events/second over the last ``window`` seconds.  Old timestamps are
+    pruned lazily per key, so memory stays proportional to live traffic.
+    """
+
+    def __init__(self, window: float = 3600.0):
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = window
+        self._events: Dict[K, Deque[float]] = {}
+
+    def record(self, key: K, now: float) -> None:
+        """Log one arrival for ``key`` at time ``now``."""
+        queue = self._events.get(key)
+        if queue is None:
+            queue = deque()
+            self._events[key] = queue
+        queue.append(now)
+        self._prune(queue, now)
+
+    def _prune(self, queue: Deque[float], now: float) -> None:
+        horizon = now - self.window
+        while queue and queue[0] <= horizon:
+            queue.popleft()
+
+    def count(self, key: K, now: float) -> int:
+        """Arrivals for ``key`` within the window ending at ``now``."""
+        queue = self._events.get(key)
+        if queue is None:
+            return 0
+        self._prune(queue, now)
+        if not queue:
+            del self._events[key]
+            return 0
+        return len(queue)
+
+    def rate(self, key: K, now: float) -> float:
+        """Events per second over the window."""
+        return self.count(key, now) / self.window
+
+    def keys(self) -> Tuple[K, ...]:
+        """Keys with live state."""
+        return tuple(self._events.keys())
+
+    def forget(self, key: K) -> None:
+        """Drop all state for ``key``."""
+        self._events.pop(key, None)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+class EwmaRate(Generic[K]):
+    """Exponentially-weighted per-key rate estimator.
+
+    Each arrival updates an instantaneous-rate estimate with smoothing
+    factor derived from the gap: classic TCP-style EWMA adapted to point
+    processes.  Constant memory per key; used by the rate-estimation
+    ablation bench.
+    """
+
+    def __init__(self, half_life: float = 600.0):
+        if half_life <= 0:
+            raise ValueError("half_life must be positive")
+        self.half_life = half_life
+        self._state: Dict[K, Tuple[float, float]] = {}  # key -> (rate, last_t)
+
+    def record(self, key: K, now: float) -> None:
+        """Log one arrival for ``key`` at time ``now``."""
+        state = self._state.get(key)
+        if state is None:
+            # First arrival: seed with one event per half-life.
+            self._state[key] = (1.0 / self.half_life, now)
+            return
+        rate, last_t = state
+        gap = max(now - last_t, 1e-9)
+        decay = math.exp(-gap * math.log(2.0) / self.half_life)
+        instantaneous = 1.0 / gap
+        self._state[key] = (decay * rate + (1.0 - decay) * instantaneous, now)
+
+    def rate(self, key: K, now: float) -> float:
+        """Estimated arrivals per second for ``key`` at ``now``."""
+        state = self._state.get(key)
+        if state is None:
+            return 0.0
+        rate, last_t = state
+        gap = max(now - last_t, 0.0)
+        return rate * math.exp(-gap * math.log(2.0) / self.half_life)
+
+    def forget(self, key: K) -> None:
+        """Drop all state for ``key``."""
+        self._state.pop(key, None)
+
+    def __len__(self) -> int:
+        return len(self._state)
+
+
+def rate_to_rrc(rate_per_second: float, scale: float = 1000.0) -> int:
+    """Encode a query rate into the 16-bit RRC wire field.
+
+    The RRC carries milliqueries/second by default (``scale=1000``), which
+    spans 0.001 q/s to 65 q/s — the range local nameservers exhibit in the
+    traces — without losing the low end to quantization.
+    """
+    return max(0, min(0xFFFF, round(rate_per_second * scale)))
+
+
+def rrc_to_rate(rrc: int, scale: float = 1000.0) -> float:
+    """Decode an RRC field back into queries/second."""
+    return rrc / scale

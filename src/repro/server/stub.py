@@ -1,0 +1,126 @@
+"""The client stub resolver — a simulated end host's DNS client.
+
+Models the browser behaviour that matters to the paper's workload: clients
+cache each resolved name for a fixed period (15 minutes in Mozilla, the
+setting §5.1 adopts), so the query stream a local nameserver sees is the
+client request stream *filtered* by this cache.  Figure 4 studies exactly
+how that filtering interacts with the Poisson model.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..dnslib import (
+    Message,
+    Name,
+    Rcode,
+    ResourceRecord,
+    RRType,
+    WireFormatError,
+    as_name,
+    make_query,
+)
+from ..net import Endpoint, Host, RetryPolicy, Socket
+
+#: Mozilla's default DNS cache duration, seconds (paper §5.1).
+DEFAULT_CLIENT_CACHE_SECONDS = 15 * 60
+
+LookupCallback = Callable[[List[str], Rcode], None]
+
+
+@dataclasses.dataclass
+class StubStats:
+    """Counters exposed for tests, benchmarks and operators."""
+    lookups: int = 0
+    cache_hits: int = 0
+    queries_sent: int = 0
+    failures: int = 0
+    tcp_fallbacks: int = 0
+
+
+class StubResolver:
+    """A client-side resolver pointing at one local nameserver."""
+
+    def __init__(self, host: Host, nameserver: Endpoint,
+                 cache_seconds: float = DEFAULT_CLIENT_CACHE_SECONDS,
+                 retry: Optional[RetryPolicy] = None):
+        self.host = host
+        self.nameserver = nameserver
+        self.cache_seconds = cache_seconds
+        self.retry = retry or RetryPolicy()
+        self.stats = StubStats()
+        self.socket: Socket = host.socket()
+        # (name, type) -> (addresses, rcode, fetched_at)
+        self._cache: Dict[Tuple[Name, RRType], Tuple[List[str], Rcode, float]] = {}
+
+    @property
+    def now(self) -> float:
+        """Current simulation time, seconds."""
+        return self.host.simulator.now
+
+    def lookup(self, name, callback: LookupCallback,
+               rrtype: RRType = RRType.A) -> None:
+        """Resolve ``name`` to addresses, using the client-side cache."""
+        owner = as_name(name)
+        self.stats.lookups += 1
+        key = (owner, RRType(rrtype))
+        cached = self._cache.get(key)
+        if cached is not None:
+            addresses, rcode, fetched_at = cached
+            if self.now - fetched_at < self.cache_seconds:
+                self.stats.cache_hits += 1
+                callback(list(addresses), rcode)
+                return
+            del self._cache[key]
+        query = make_query(owner, rrtype, recursion_desired=True)
+        self.stats.queries_sent += 1
+        self.socket.request(
+            query.to_wire(), self.nameserver, query.id,
+            lambda payload, src: self._on_response(key, payload, callback),
+            retry=self.retry)
+
+    def _on_response(self, key: Tuple[Name, RRType],
+                     payload: Optional[bytes],
+                     callback: LookupCallback,
+                     via_stream: bool = False) -> None:
+        if payload is None:
+            self.stats.failures += 1
+            callback([], Rcode.SERVFAIL)
+            return
+        try:
+            response = Message.from_wire(payload)
+        except (WireFormatError, ValueError):
+            self.stats.failures += 1
+            callback([], Rcode.SERVFAIL)
+            return
+        if response.truncated and not via_stream:
+            # Answer did not fit in a UDP datagram: retry over stream.
+            self.stats.tcp_fallbacks += 1
+            retry = make_query(key[0], key[1], recursion_desired=True)
+            self.socket.request_stream(
+                retry.to_wire(), self.nameserver, retry.id,
+                lambda p, s: self._on_response(key, p, callback,
+                                               via_stream=True))
+            return
+        addresses = [record.rdata.address  # type: ignore[attr-defined]
+                     for record in response.answer
+                     if record.rrtype == RRType.A]
+        if self.cache_seconds > 0:
+            self._cache[key] = (addresses, response.rcode, self.now)
+        callback(addresses, response.rcode)
+
+    def flush_cache(self) -> None:
+        """Drop every cached entry."""
+        self._cache.clear()
+
+    def cached_addresses(self, name, rrtype: RRType = RRType.A) -> Optional[List[str]]:
+        """The addresses currently cached for ``name``, if unexpired."""
+        cached = self._cache.get((as_name(name), RRType(rrtype)))
+        if cached is None:
+            return None
+        addresses, _rcode, fetched_at = cached
+        if self.now - fetched_at >= self.cache_seconds:
+            return None
+        return list(addresses)

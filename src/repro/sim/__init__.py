@@ -1,0 +1,34 @@
+"""Evaluation harnesses: trace-driven lease simulation and the testbed."""
+
+from .driver import (
+    Figure5Curves,
+    TraceSimConfig,
+    default_max_lease_of,
+    dynamic_lease_fn,
+    figure5_curves,
+    fixed_lease_fn,
+    logspace,
+    no_lease_fn,
+    simulate_lease_trace,
+    train_pair_rates,
+)
+from .metrics import (
+    ConsistencyReport,
+    LeaseSimResult,
+    StalenessSample,
+    interpolate_at_query_rate,
+    interpolate_at_storage,
+)
+from .scenario import ProtocolScenario, ScenarioConfig
+from .testbed import Testbed, TestbedConfig
+
+__all__ = [
+    "simulate_lease_trace", "figure5_curves", "Figure5Curves",
+    "fixed_lease_fn", "dynamic_lease_fn", "no_lease_fn",
+    "train_pair_rates", "default_max_lease_of", "logspace",
+    "TraceSimConfig",
+    "LeaseSimResult", "ConsistencyReport", "StalenessSample",
+    "interpolate_at_storage", "interpolate_at_query_rate",
+    "ProtocolScenario", "ScenarioConfig",
+    "Testbed", "TestbedConfig",
+]

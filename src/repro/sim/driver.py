@@ -1,0 +1,177 @@
+"""The trace-driven lease simulation (paper §5.1).
+
+Replays a query trace through per-(domain, nameserver) lease state and
+counts what actually happens:
+
+* a query arriving while the pair's lease is valid is absorbed locally
+  (the authoritative server has promised notifications — no upstream
+  message, no staleness risk);
+* a query arriving with no valid lease goes upstream (one message) and
+  the scheme decides whether to grant a fresh lease and how long.
+
+The schemes compared are the paper's (§5.1.2):
+
+* **fixed** — every upstream query gets the same lease length (capped
+  by the record's category maximum);
+* **dynamic** — the maximal lease, but only for pairs whose measured
+  query rate clears a threshold; sweeping the threshold traces the
+  whole storage/communication curve (it is the dual variable of the
+  SLP storage budget);
+* **none** — pure polling; the 100 %-query-rate baseline.
+
+Lease selection is *offline*, "done off-line based on the trace
+analyses" (§5.1.2): pair rates come from a training prefix of the trace
+(the paper uses the first day of seven).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from ..dnslib import Name
+from ..traces.domains import DomainSpec
+from ..traces.workload import QueryEvent, measured_rates
+from .metrics import LeaseSimResult
+
+#: A pair is (domain name, nameserver index) — record × cache.
+Pair = Tuple[Name, int]
+
+#: Scheme hook: (pair, trained rate, max lease) -> lease length (0 = none).
+LeaseFn = Callable[[Pair, float, float], float]
+
+
+@dataclasses.dataclass
+class TraceSimConfig:
+    """Configuration knobs with paper-faithful defaults."""
+    duration: float
+    #: Fraction of the trace (by time) used to train pair rates.
+    training_fraction: float = 1.0 / 7.0
+
+
+def fixed_lease_fn(lease_length: float) -> LeaseFn:
+    """A scheme granting the same lease to every pair."""
+    def decide(pair: Pair, rate: float, max_lease: float) -> float:
+        return min(lease_length, max_lease)
+    return decide
+
+
+def dynamic_lease_fn(rate_threshold: float) -> LeaseFn:
+    """A scheme granting maximal leases above a rate threshold."""
+    def decide(pair: Pair, rate: float, max_lease: float) -> float:
+        return max_lease if rate >= rate_threshold else 0.0
+    return decide
+
+
+def no_lease_fn() -> LeaseFn:
+    """The pure-polling (no lease) scheme."""
+    def decide(pair: Pair, rate: float, max_lease: float) -> float:
+        return 0.0
+    return decide
+
+
+def train_pair_rates(events: Sequence[QueryEvent],
+                     training_window: float) -> Dict[Pair, float]:
+    """λ_ij from the training prefix (the paper's first-day analysis)."""
+    training = [e for e in events if e.time < training_window]
+    return measured_rates(training, training_window, by="name-nameserver")
+
+
+def simulate_lease_trace(events: Sequence[QueryEvent],
+                         pair_rates: Dict[Pair, float],
+                         max_lease_of: Callable[[Name], float],
+                         lease_fn: LeaseFn,
+                         duration: float,
+                         scheme: str = "custom",
+                         parameter: float = 0.0) -> LeaseSimResult:
+    """Replay ``events`` under one lease scheme; see module docstring."""
+    lease_expiry: Dict[Pair, float] = {}
+    upstream = 0
+    grants = 0
+    lease_seconds = 0.0
+    total = 0
+    pairs_seen = set()
+    for event in events:
+        pair = (event.name, event.nameserver)
+        pairs_seen.add(pair)
+        total += 1
+        expiry = lease_expiry.get(pair)
+        if expiry is not None and event.time < expiry:
+            continue  # absorbed by a valid lease
+        upstream += 1
+        rate = pair_rates.get(pair, 0.0)
+        length = lease_fn(pair, rate, max_lease_of(event.name))
+        if length > 0:
+            grants += 1
+            end = min(event.time + length, duration)
+            lease_seconds += max(0.0, end - event.time)
+            lease_expiry[pair] = event.time + length
+    return LeaseSimResult(
+        scheme=scheme, parameter=parameter, total_queries=total,
+        upstream_messages=upstream, grants=grants,
+        lease_seconds=lease_seconds, pair_count=len(pairs_seen),
+        duration=duration)
+
+
+@dataclasses.dataclass
+class Figure5Curves:
+    """Both schemes' operating points, ready to print/plot."""
+
+    fixed: List[LeaseSimResult]
+    dynamic: List[LeaseSimResult]
+    polling: LeaseSimResult
+
+    def fixed_points(self) -> List[Tuple[float, float]]:
+        """(storage %, query rate %) points of the fixed curve."""
+        return [r.as_point() for r in self.fixed]
+
+    def dynamic_points(self) -> List[Tuple[float, float]]:
+        """(storage %, query rate %) points of the dynamic curve."""
+        return [r.as_point() for r in self.dynamic]
+
+
+def default_max_lease_of(domains: Sequence[DomainSpec]) -> Callable[[Name], float]:
+    """Per-domain maxima per §5.1: regular 6 d, CDN 200 s, Dyn 6000 s."""
+    from ..core.policy import MAX_LEASE_CDN, MAX_LEASE_DYN, MAX_LEASE_REGULAR
+    limits = {"regular": float(MAX_LEASE_REGULAR), "cdn": float(MAX_LEASE_CDN),
+              "dyn": float(MAX_LEASE_DYN)}
+    table = {domain.name: limits[domain.category] for domain in domains}
+
+    def max_lease_of(name: Name) -> float:
+        return table.get(name, float(MAX_LEASE_REGULAR))
+
+    return max_lease_of
+
+
+def figure5_curves(events: Sequence[QueryEvent],
+                   domains: Sequence[DomainSpec],
+                   duration: float,
+                   fixed_lengths: Sequence[float],
+                   rate_thresholds: Sequence[float],
+                   training_fraction: float = 1.0 / 7.0) -> Figure5Curves:
+    """Run the full Figure 5 comparison on one trace."""
+    events = sorted(events, key=lambda e: e.time)
+    rates = train_pair_rates(events, duration * training_fraction)
+    max_lease_of = default_max_lease_of(domains)
+    fixed = [
+        simulate_lease_trace(events, rates, max_lease_of,
+                             fixed_lease_fn(length), duration,
+                             scheme="fixed", parameter=length)
+        for length in fixed_lengths]
+    dynamic = [
+        simulate_lease_trace(events, rates, max_lease_of,
+                             dynamic_lease_fn(threshold), duration,
+                             scheme="dynamic", parameter=threshold)
+        for threshold in rate_thresholds]
+    polling = simulate_lease_trace(events, rates, max_lease_of,
+                                   no_lease_fn(), duration, scheme="none")
+    return Figure5Curves(fixed=fixed, dynamic=dynamic, polling=polling)
+
+
+def logspace(low: float, high: float, count: int) -> List[float]:
+    """Log-spaced sweep values (both figures use log-scale sweeps)."""
+    if low <= 0 or high <= low or count < 2:
+        raise ValueError("want 0 < low < high and count >= 2")
+    import math
+    step = (math.log(high) - math.log(low)) / (count - 1)
+    return [math.exp(math.log(low) + i * step) for i in range(count)]

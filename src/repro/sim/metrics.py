@@ -1,0 +1,132 @@
+"""Evaluation metrics.
+
+The two relative metrics of §5.1.2 plus the consistency metrics the
+full-protocol experiments add:
+
+* **storage percentage** — leases granted / maximum grantable, as a
+  time average over the run;
+* **query rate percentage** — upstream queries actually sent / queries
+  a pure polling (no-lease) scheme would send;
+* **staleness** — for a physical change, how long caches kept serving
+  the dead address (the service-availability loss DNScup eliminates);
+* **stale answers** — client lookups answered with an address that was
+  no longer the authoritative mapping at answer time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclasses.dataclass
+class LeaseSimResult:
+    """Outcome of one trace-driven lease simulation run."""
+
+    scheme: str
+    parameter: float               # lease length (fixed) or threshold (dynamic)
+    total_queries: int
+    upstream_messages: int
+    grants: int
+    #: Integral over time of (valid leases held), in lease-seconds.
+    lease_seconds: float
+    pair_count: int
+    duration: float
+
+    @property
+    def query_rate_percentage(self) -> float:
+        """Upstream messages / pure-polling messages, percent."""
+        if self.total_queries == 0:
+            return 0.0
+        return 100.0 * self.upstream_messages / self.total_queries
+
+    @property
+    def storage_percentage(self) -> float:
+        """Leases held / maximum grantable, percent."""
+        ceiling = self.pair_count * self.duration
+        if ceiling <= 0:
+            return 0.0
+        return 100.0 * self.lease_seconds / ceiling
+
+    def as_point(self) -> Tuple[float, float]:
+        """(storage %, query rate %) for curve plotting."""
+        return (self.storage_percentage, self.query_rate_percentage)
+
+
+@dataclasses.dataclass
+class StalenessSample:
+    """One physical change observed end to end."""
+
+    name: str
+    changed_at: float
+    #: When each cache stopped serving the stale mapping; None = never
+    #: observed to recover within the run.
+    recovered_at: Dict[str, Optional[float]]
+
+    def windows(self) -> List[float]:
+        """Observed staleness windows, seconds, for recovered caches."""
+        return [t - self.changed_at for t in self.recovered_at.values()
+                if t is not None]
+
+
+@dataclasses.dataclass
+class ConsistencyReport:
+    """Aggregated staleness over a full-protocol run."""
+
+    samples: List[StalenessSample] = dataclasses.field(default_factory=list)
+    stale_answers: int = 0
+    fresh_answers: int = 0
+
+    def add(self, sample: StalenessSample) -> None:
+        """Add one item."""
+        self.samples.append(sample)
+
+    @property
+    def answers(self) -> int:
+        """Total graded client answers."""
+        return self.stale_answers + self.fresh_answers
+
+    @property
+    def stale_answer_ratio(self) -> float:
+        """Fraction of client answers that were stale."""
+        return self.stale_answers / self.answers if self.answers else 0.0
+
+    def mean_staleness(self) -> Optional[float]:
+        """Mean staleness window over all samples, or None."""
+        windows = [w for sample in self.samples for w in sample.windows()]
+        return sum(windows) / len(windows) if windows else None
+
+    def max_staleness(self) -> Optional[float]:
+        """Worst staleness window observed, or None."""
+        windows = [w for sample in self.samples for w in sample.windows()]
+        return max(windows) if windows else None
+
+
+def interpolate_at_storage(points: Sequence[Tuple[float, float]],
+                           storage_pct: float) -> Optional[float]:
+    """Query-rate % at a given storage % by linear interpolation.
+
+    Points are (storage %, query-rate %) in any order; used to read
+    Figure 5 values like "at storage 1 %, dynamic = 56 %".
+    """
+    ordered = sorted(points)
+    if not ordered:
+        return None
+    if storage_pct <= ordered[0][0]:
+        return ordered[0][1]
+    if storage_pct >= ordered[-1][0]:
+        return ordered[-1][1]
+    for (x0, y0), (x1, y1) in zip(ordered, ordered[1:]):
+        if x0 <= storage_pct <= x1:
+            if x1 == x0:
+                return (y0 + y1) / 2.0
+            fraction = (storage_pct - x0) / (x1 - x0)
+            return y0 + fraction * (y1 - y0)
+    return None
+
+
+def interpolate_at_query_rate(points: Sequence[Tuple[float, float]],
+                              query_rate_pct: float) -> Optional[float]:
+    """Storage % at a given query-rate % (the Figure 5a reading)."""
+    flipped = [(qr, st) for st, qr in points]
+    return interpolate_at_storage(flipped, query_rate_pct)

@@ -1,0 +1,264 @@
+"""Full wire-level protocol scenarios.
+
+Where :mod:`repro.sim.driver` replays traces against lease *state*,
+this module stands up the whole system — root nameserver, authoritative
+servers with real zones, recursive resolvers, client stubs — on the
+simulated network, schedules the domains' ground-truth change processes
+as zone updates, and drives a query workload through it.  Every DNS
+message actually crosses the (simulated) wire.
+
+The headline measurement is consistency: with DNScup off, a physical
+change strands caches on the dead address until TTL expiry (stale
+answers); with DNScup on, CACHE-UPDATE push closes the window to one
+network round trip.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core import DNScup, DNScupConfig, DynamicLeasePolicy, LeasePolicy, attach_dnscup, category_max_lease
+from ..dnslib import A, Name, NS, RRType, RRSet, SOA, as_name
+from ..net import Host, LinkProfile, Network, Simulator
+from ..server import AuthoritativeServer, RecursiveResolver, ResolverCache, StubResolver
+from ..traces.domains import DomainSpec, category_map
+from ..traces.workload import QueryEvent, WorkloadConfig, generate_requests
+from ..zone import Zone
+from .metrics import ConsistencyReport, StalenessSample
+
+ROOT_ADDRESS = "198.41.0.4"
+
+
+@dataclasses.dataclass
+class ScenarioConfig:
+    """Topology and protocol knobs."""
+
+    auth_servers: int = 2
+    resolvers: int = 3
+    dnscup_enabled: bool = True
+    policy_factory: Callable[[], LeasePolicy] = (
+        lambda: DynamicLeasePolicy(rate_threshold=0.0))
+    lease_capacity: Optional[int] = None
+    network_seed: int = 42
+    loss_rate: float = 0.0
+    #: Cap on staleness-probe duration after each change, seconds.
+    staleness_probe_limit: float = 7200.0
+    staleness_probe_interval: float = 5.0
+
+
+class ProtocolScenario:
+    """An assembled system ready to run workloads."""
+
+    def __init__(self, domains: Sequence[DomainSpec],
+                 config: Optional[ScenarioConfig] = None):
+        self.domains = list(domains)
+        self.config = config or ScenarioConfig()
+        self.simulator = Simulator()
+        self.network = Network(
+            self.simulator, seed=self.config.network_seed,
+            default_profile=LinkProfile(loss_rate=self.config.loss_rate))
+        self.report = ConsistencyReport()
+        #: name -> current authoritative addresses (ground truth).
+        self.truth: Dict[Name, Tuple[str, ...]] = {}
+        self._build_topology()
+        self._schedule_changes_done = False
+
+    # -- topology ------------------------------------------------------------
+
+    def _build_topology(self) -> None:
+        config = self.config
+        # Group domains into zones by registrable origin.
+        zones_domains: Dict[Name, List[DomainSpec]] = {}
+        for domain in self.domains:
+            zones_domains.setdefault(domain.zone_origin, []).append(domain)
+        self.zones: Dict[Name, Zone] = {}
+        self.zone_server_of: Dict[Name, int] = {}
+        # Authoritative servers.
+        self.auth_hosts = [Host(self.network, f"10.1.0.{i + 1}")
+                           for i in range(config.auth_servers)]
+        self.auth_servers = [AuthoritativeServer(host)
+                             for host in self.auth_hosts]
+        categories = category_map(self.domains)
+        for index, (origin, members) in enumerate(sorted(
+                zones_domains.items(), key=lambda item: item[0])):
+            server_index = index % config.auth_servers
+            zone = self._build_zone(origin, members,
+                                    self.auth_hosts[server_index].address)
+            self.zones[origin] = zone
+            self.zone_server_of[origin] = server_index
+            self.auth_servers[server_index].add_zone(zone)
+        # DNScup middleware per authoritative server.
+        self.middlewares: List[Optional[DNScup]] = []
+        for server in self.auth_servers:
+            if config.dnscup_enabled:
+                middleware = attach_dnscup(
+                    server, policy=config.policy_factory(),
+                    max_lease_fn=category_max_lease(categories),
+                    config=DNScupConfig(lease_capacity=config.lease_capacity))
+                self.middlewares.append(middleware)
+            else:
+                self.middlewares.append(None)
+        # Root.
+        self.root_host = Host(self.network, ROOT_ADDRESS)
+        self.root_zone = self._build_root_zone()
+        self.root_server = AuthoritativeServer(self.root_host, [self.root_zone])
+        # Resolvers (the local nameservers / DNS caches).
+        self.resolver_hosts = [Host(self.network, f"10.2.0.{i + 1}")
+                               for i in range(config.resolvers)]
+        self.resolvers = [
+            RecursiveResolver(host, [(ROOT_ADDRESS, 53)],
+                              cache=ResolverCache(),
+                              dnscup_enabled=config.dnscup_enabled)
+            for host in self.resolver_hosts]
+        # One stub host per resolver; clients multiplex onto stubs.
+        self.stub_hosts = [Host(self.network, f"10.3.0.{i + 1}")
+                           for i in range(config.resolvers)]
+        self.stubs: List[StubResolver] = []
+
+    def _build_zone(self, origin: Name, members: Sequence[DomainSpec],
+                    server_address: str) -> Zone:
+        ns_name = origin.child("ns")
+        soa = SOA(ns_name, origin.child("admin"), 1, 7200, 900, 604800, 300)
+        zone = Zone(origin, soa)
+        with zone.bulk_update():
+            zone.put_rrset(RRSet(origin, RRType.NS, 86400, [NS(ns_name)]))
+            zone.put_rrset(RRSet(ns_name, RRType.A, 86400, [A(server_address)]))
+            for domain in members:
+                addresses = domain.process.initial_addresses()
+                self.truth[domain.name] = tuple(addresses)
+                zone.put_rrset(RRSet(domain.name, RRType.A, int(domain.ttl),
+                                     [A(addr) for addr in addresses]))
+        return zone
+
+    def _build_root_zone(self) -> Zone:
+        root = Name.root()
+        soa = SOA("a.root-servers.net.", "nstld.example.", 1,
+                  7200, 900, 604800, 300)
+        zone = Zone(root, soa)
+        with zone.bulk_update():
+            zone.put_rrset(RRSet(root, RRType.NS, 518400,
+                                 [NS("a.root-servers.net.")]))
+            zone.put_rrset(RRSet("a.root-servers.net.", RRType.A, 518400,
+                                 [A(ROOT_ADDRESS)]))
+            for origin, server_index in self.zone_server_of.items():
+                ns_name = origin.child("ns")
+                address = self.auth_hosts[server_index].address
+                zone.put_rrset(RRSet(origin, RRType.NS, 172800, [NS(ns_name)]))
+                zone.put_rrset(RRSet(ns_name, RRType.A, 172800, [A(address)]))
+        return zone
+
+    # -- change processes -> zone updates -----------------------------------------
+
+    def schedule_changes(self, duration: float) -> int:
+        """Schedule every domain's ground-truth changes as zone updates."""
+        if self._schedule_changes_done:
+            raise RuntimeError("changes already scheduled")
+        self._schedule_changes_done = True
+        scheduled = 0
+        for domain in self.domains:
+            zone = self.zones[domain.zone_origin]
+            for event in domain.process.events_between(0.0, duration):
+                self.simulator.schedule_at(
+                    event.time,
+                    lambda d=domain, e=event, z=zone: self._apply_change(z, d, e))
+                scheduled += 1
+        return scheduled
+
+    def _apply_change(self, zone: Zone, domain: DomainSpec, event) -> None:
+        self.truth[domain.name] = tuple(event.addresses)
+        zone.replace_address(domain.name, list(event.addresses),
+                             ttl=int(domain.ttl))
+        if event.is_physical:
+            self._watch_staleness(domain, event)
+
+    def _watch_staleness(self, domain: DomainSpec, event) -> None:
+        """Poll resolver caches until they stop serving the dead mapping."""
+        sample = StalenessSample(
+            name=domain.name.to_text(), changed_at=event.time,
+            recovered_at={f"resolver-{i}": None
+                          for i in range(len(self.resolvers))})
+        self.report.add(sample)
+        interval = self.config.staleness_probe_interval
+        limit = event.time + min(self.config.staleness_probe_limit,
+                                 domain.ttl * 3 + interval)
+
+        def check() -> None:
+            now = self.simulator.now
+            done = True
+            for index, resolver in enumerate(self.resolvers):
+                key = f"resolver-{index}"
+                if sample.recovered_at[key] is not None:
+                    continue
+                entry = resolver.cache.peek(domain.name, RRType.A)
+                stale = False
+                if entry is not None and not entry.negative \
+                        and not entry.is_expired(now):
+                    served = {r.address for r in entry.rrset.rdatas}
+                    stale = not served & set(self.truth[domain.name])
+                if not stale:
+                    sample.recovered_at[key] = now
+                else:
+                    done = False
+            if not done and now + interval <= limit:
+                self.simulator.schedule(interval, check)
+
+        self.simulator.schedule(0.0, check)
+
+    # -- workload ---------------------------------------------------------------------
+
+    def run_workload(self, workload: WorkloadConfig,
+                     domains: Optional[Sequence[DomainSpec]] = None) -> int:
+        """Schedule client lookups for a workload, then run to completion.
+
+        Returns the number of lookups issued.  Ground-truth changes must
+        be scheduled first so staleness is measured against them.
+        """
+        domains = list(domains if domains is not None else self.domains)
+        if not self._schedule_changes_done:
+            self.schedule_changes(workload.duration)
+        # One stub per (client, resolver) would explode; share one stub
+        # per resolver and let the stub cache model the *population*
+        # cache, scaling cache effectiveness accordingly.
+        if not self.stubs:
+            self.stubs = [
+                StubResolver(host, (self.resolver_hosts[i].address, 53),
+                             cache_seconds=workload.client_cache_seconds)
+                for i, host in enumerate(self.stub_hosts)]
+        issued = 0
+        workload = dataclasses.replace(workload,
+                                       nameservers=len(self.resolvers))
+        for event in generate_requests(domains, workload):
+            stub = self.stubs[event.nameserver % len(self.stubs)]
+            self.simulator.schedule_at(
+                event.time,
+                lambda e=event, s=stub: s.lookup(e.name,
+                                                 self._grader(e.name)))
+            issued += 1
+        self.simulator.run()
+        return issued
+
+    def _grader(self, name: Name):
+        def grade(addresses: List[str], rcode) -> None:
+            current = set(self.truth.get(name, ()))
+            if addresses and current and not (set(addresses) & current):
+                self.report.stale_answers += 1
+            else:
+                self.report.fresh_answers += 1
+        return grade
+
+    # -- results -----------------------------------------------------------------------
+
+    def dnscup_summary(self) -> Dict[str, float]:
+        """Aggregated middleware counters across auth servers."""
+        totals: Dict[str, float] = {}
+        for middleware in self.middlewares:
+            if middleware is None:
+                continue
+            for key, value in middleware.summary().items():
+                totals[key] = totals.get(key, 0.0) + value
+        return totals
+
+    def total_upstream_queries(self) -> int:
+        """Iterative queries sent by all resolvers."""
+        return sum(r.stats.upstream_queries for r in self.resolvers)

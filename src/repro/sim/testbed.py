@@ -1,0 +1,250 @@
+"""The §5.2 prototype testbed (Figure 7).
+
+A hierarchy of DNS nameservers "in a LAN": one root nameserver, one
+master authoritative server with two slaves, and two DNS caches (local
+nameservers), serving 40 zones constructed from the most popular
+domains of an IRCache-style proxy log.  The paper validates three
+things on this testbed, and so do we:
+
+1. the system accepts all existing message types plus DNScup messages;
+2. every message stays below RFC 1035's 512-byte UDP bound;
+3. the computation overhead of DNScup vs plain TTL is "hardly
+   noticeable" (measured by the CPU micro-bench on top of this module).
+
+The master replicates to both slaves via NOTIFY + IXFR/AXFR; caches
+resolve via the root and spread their iterative queries across master
+and slaves round-robin, as BIND does.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core import DNScup, DNScupConfig, DynamicLeasePolicy, attach_dnscup
+from ..dnslib import A, Name, NS, RRType, RRSet, SOA, Rcode, make_update
+from ..net import Host, LinkProfile, LatencyModel, Network, Simulator
+from ..server import AuthoritativeServer, RecursiveResolver, ResolverCache, StubResolver
+from ..traces.domains import DomainSpec, PopulationConfig, generate_population
+from ..traces.ircache import synthesize_proxy_log, top_domains
+from ..zone import Zone, ZoneMaster, ZoneSlave, update_delete_rrset, zones_equal
+
+#: LAN latency: 100 Mbps switched Ethernet, sub-millisecond.
+LAN_PROFILE = LinkProfile(latency=LatencyModel(base=0.0002, jitter=0.0001))
+
+MASTER_ADDRESS = "192.168.1.10"
+SLAVE_ADDRESSES = ("192.168.1.11", "192.168.1.12")
+ROOT_ADDRESS = "192.168.1.1"
+CACHE_ADDRESSES = ("192.168.1.21", "192.168.1.22")
+CLIENT_ADDRESSES = ("192.168.1.31", "192.168.1.32")
+
+
+@dataclasses.dataclass
+class TestbedConfig:
+    """Configuration knobs with paper-faithful defaults."""
+    __test__ = False  # not a pytest class despite the name
+
+    zone_count: int = 40          # paper: 40 zones from the top-50 domains
+    candidate_count: int = 50
+    dnscup_enabled: bool = True
+    network_seed: int = 5
+    loss_rate: float = 0.0
+
+
+class Testbed:
+    """The assembled Figure 7 topology."""
+
+    __test__ = False  # not a pytest class despite the name
+
+    def __init__(self, config: Optional[TestbedConfig] = None,
+                 domains: Optional[Sequence[DomainSpec]] = None):
+        self.config = config or TestbedConfig()
+        self.simulator = Simulator()
+        profile = dataclasses.replace(LAN_PROFILE,
+                                      loss_rate=self.config.loss_rate)
+        self.network = Network(self.simulator, seed=self.config.network_seed,
+                               default_profile=profile)
+        self.domains = list(domains) if domains is not None \
+            else self._select_domains()
+        self._build()
+
+    def _select_domains(self) -> List[DomainSpec]:
+        """The top domains of a synthetic IRCache log, as in §5.2."""
+        population = generate_population(PopulationConfig(
+            regular_per_tld=20, cdn_count=10, dyn_count=10,
+            seed=self.config.network_seed))
+        log = synthesize_proxy_log(population, total_requests=200_000,
+                                   seed=self.config.network_seed)
+        popular = {entry.name for entry in
+                   top_domains(log, self.config.candidate_count)}
+        chosen = [d for d in population if d.name in popular]
+        # Group by zone and keep the first `zone_count` zones.
+        zones_seen: List[Name] = []
+        selected: List[DomainSpec] = []
+        for domain in chosen:
+            if domain.zone_origin not in zones_seen:
+                if len(zones_seen) >= self.config.zone_count:
+                    continue
+                zones_seen.append(domain.zone_origin)
+            selected.append(domain)
+        return selected
+
+    # -- construction ------------------------------------------------------------
+
+    def _build(self) -> None:
+        # Hosts.
+        self.master_host = Host(self.network, MASTER_ADDRESS)
+        self.slave_hosts = [Host(self.network, addr) for addr in SLAVE_ADDRESSES]
+        self.root_host = Host(self.network, ROOT_ADDRESS)
+        self.cache_hosts = [Host(self.network, addr) for addr in CACHE_ADDRESSES]
+        self.client_hosts = [Host(self.network, addr) for addr in CLIENT_ADDRESSES]
+        # Zones on the master.
+        self.master = AuthoritativeServer(self.master_host)
+        self.zones: Dict[Name, Zone] = {}
+        zone_members: Dict[Name, List[DomainSpec]] = {}
+        for domain in self.domains:
+            zone_members.setdefault(domain.zone_origin, []).append(domain)
+        for origin, members in sorted(zone_members.items(),
+                                      key=lambda item: item[0]):
+            zone = self._make_zone(origin, members)
+            self.zones[origin] = zone
+            self.master.add_zone(zone, master=True)
+        # Slaves replicate every zone.
+        self.slaves = [AuthoritativeServer(host) for host in self.slave_hosts]
+        self._slave_replicas: List[Dict[Name, ZoneSlave]] = []
+        for slave_index, slave in enumerate(self.slaves):
+            replicas: Dict[Name, ZoneSlave] = {}
+            for origin, zone in self.zones.items():
+                replica_zone = self._make_zone(origin, zone_members[origin])
+                slave.add_zone(replica_zone, master=False)
+                replica = ZoneSlave(replica_zone)
+                replicas[origin] = replica
+                self.master.register_slave(
+                    origin, (self.slave_hosts[slave_index].address, 53), replica)
+            self._slave_replicas.append(replicas)
+            self._install_refresher(slave, replicas)
+        # Root delegates every zone to master + slaves.
+        self.root_zone = self._make_root_zone()
+        self.root = AuthoritativeServer(self.root_host, [self.root_zone])
+        # DNScup on the master (the paper modifies the master's BIND).
+        self.dnscup: Optional[DNScup] = None
+        if self.config.dnscup_enabled:
+            self.dnscup = attach_dnscup(
+                self.master, policy=DynamicLeasePolicy(rate_threshold=0.0))
+        # The two DNS caches.
+        self.caches = [
+            RecursiveResolver(host, [(ROOT_ADDRESS, 53)],
+                              cache=ResolverCache(),
+                              dnscup_enabled=self.config.dnscup_enabled)
+            for host in self.cache_hosts]
+        # One stub client per cache.
+        self.clients = [
+            StubResolver(host, (CACHE_ADDRESSES[i], 53), cache_seconds=0.0)
+            for i, host in enumerate(self.client_hosts)]
+
+    def _install_refresher(self, slave: AuthoritativeServer,
+                           replicas: Dict[Name, ZoneSlave]) -> None:
+        def refresh(origin: Name) -> None:
+            master = self.master.master_for(origin)
+            replica = replicas.get(origin)
+            if master is not None and replica is not None:
+                replica.refresh_from(master)
+        slave.set_notify_refresher(refresh)
+
+    def _make_zone(self, origin: Name, members: Sequence[DomainSpec]) -> Zone:
+        ns_names = [origin.child("ns1"), origin.child("ns2"), origin.child("ns3")]
+        addresses = [MASTER_ADDRESS, *SLAVE_ADDRESSES]
+        soa = SOA(ns_names[0], origin.child("hostmaster"), 1,
+                  7200, 900, 604800, 300)
+        zone = Zone(origin, soa)
+        with zone.bulk_update():
+            zone.put_rrset(RRSet(origin, RRType.NS, 86400,
+                                 [NS(name) for name in ns_names]))
+            for ns_name, address in zip(ns_names, addresses):
+                zone.put_rrset(RRSet(ns_name, RRType.A, 86400, [A(address)]))
+            for domain in members:
+                zone.put_rrset(RRSet(
+                    domain.name, RRType.A, int(domain.ttl),
+                    [A(addr) for addr in domain.process.initial_addresses()]))
+        return zone
+
+    def _make_root_zone(self) -> Zone:
+        root = Name.root()
+        soa = SOA("ns.root.", "hostmaster.root.", 1, 7200, 900, 604800, 300)
+        zone = Zone(root, soa)
+        with zone.bulk_update():
+            zone.put_rrset(RRSet(root, RRType.NS, 518400, [NS("ns.root.")]))
+            zone.put_rrset(RRSet("ns.root.", RRType.A, 518400,
+                                 [A(ROOT_ADDRESS)]))
+            for origin in self.zones:
+                ns_names = [origin.child("ns1"), origin.child("ns2"),
+                            origin.child("ns3")]
+                addresses = [MASTER_ADDRESS, *SLAVE_ADDRESSES]
+                zone.put_rrset(RRSet(origin, RRType.NS, 172800,
+                                     [NS(name) for name in ns_names]))
+                for ns_name, address in zip(ns_names, addresses):
+                    zone.put_rrset(RRSet(ns_name, RRType.A, 172800,
+                                         [A(address)]))
+        return zone
+
+    # -- exercises -----------------------------------------------------------------
+
+    def lookup_all(self, client_index: int = 0) -> Dict[Name, List[str]]:
+        """Resolve every testbed domain from one client; returns answers."""
+        answers: Dict[Name, List[str]] = {}
+        client = self.clients[client_index]
+        for domain in self.domains:
+            client.lookup(domain.name,
+                          lambda addrs, rc, name=domain.name:
+                          answers.__setitem__(name, addrs))
+        self.simulator.run()
+        return answers
+
+    def dynamic_update(self, name, new_address: str) -> Rcode:
+        """Apply an RFC 2136 UPDATE to the master over the wire."""
+        owner = Name.from_text(name) if isinstance(name, str) else name
+        zone = None
+        for origin, candidate in self.zones.items():
+            if owner.is_subdomain_of(origin):
+                zone = candidate
+                break
+        if zone is None:
+            raise ValueError(f"no testbed zone contains {owner}")
+        message = make_update(zone.origin)
+        message.update.append(update_delete_rrset(owner, RRType.A))
+        existing = zone.get_rrset(owner, RRType.A)
+        ttl = existing.ttl if existing is not None else 300
+        from ..dnslib import ResourceRecord
+        message.update.append(ResourceRecord(owner, RRType.A, ttl,
+                                             A(new_address)))
+        outcome: List[Rcode] = []
+        updater_socket = self.client_hosts[0].socket()
+
+        def on_response(payload, src) -> None:
+            if payload is None:
+                outcome.append(Rcode.SERVFAIL)
+                return
+            from ..dnslib import Message
+            outcome.append(Message.from_wire(payload).rcode)
+
+        updater_socket.request(message.to_wire(), (MASTER_ADDRESS, 53),
+                               message.id, on_response)
+        self.simulator.run()
+        updater_socket.close()
+        return outcome[0] if outcome else Rcode.SERVFAIL
+
+    def slaves_consistent(self) -> bool:
+        """All slave replicas content-equal to the master's zones."""
+        for replicas in self._slave_replicas:
+            for origin, replica in replicas.items():
+                if not zones_equal(self.zones[origin], replica.zone):
+                    return False
+        return True
+
+    def max_message_size(self) -> int:
+        """Largest datagram observed on the testbed network."""
+        return self.network.stats.max_datagram
+
+    def run(self) -> None:
+        """Drain all pending (non-daemon) work."""
+        self.simulator.run()

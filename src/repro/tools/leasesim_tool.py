@@ -1,0 +1,116 @@
+"""``repro-leasesim``: trace-driven lease simulation (Figure 5).
+
+Reads a query trace (``repro-trace`` output) plus its domain catalog,
+replays it under the fixed-length and dynamic lease schemes, and writes
+the two operating-point curves as CSV (and a text summary to stdout).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional
+
+from ..core.policy import MAX_LEASE_CDN, MAX_LEASE_DYN, MAX_LEASE_REGULAR
+from ..dnslib import Name
+from ..report import format_table, read_csv, write_csv
+from ..sim import (
+    dynamic_lease_fn,
+    fixed_lease_fn,
+    interpolate_at_query_rate,
+    interpolate_at_storage,
+    logspace,
+    simulate_lease_trace,
+    train_pair_rates,
+)
+from ..traces import load_trace
+
+_CATEGORY_MAX = {"regular": float(MAX_LEASE_REGULAR),
+                 "cdn": float(MAX_LEASE_CDN),
+                 "dyn": float(MAX_LEASE_DYN)}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser for this tool."""
+    parser = argparse.ArgumentParser(
+        prog="repro-leasesim",
+        description="Fixed vs dynamic lease comparison over a query trace.")
+    parser.add_argument("trace", help="trace file from repro-trace")
+    parser.add_argument("--catalog", help="domain catalog CSV (for per-"
+                        "category max leases); default: 6-day max for all")
+    parser.add_argument("--output", help="CSV file for the curves")
+    parser.add_argument("--fixed-points", type=int, default=10)
+    parser.add_argument("--dynamic-points", type=int, default=10)
+    parser.add_argument("--training-fraction", type=float, default=1 / 7)
+    return parser
+
+
+def load_max_lease(catalog_path: Optional[str]):
+    """Max-lease lookup built from a catalog CSV (or default)."""
+    if catalog_path is None:
+        return lambda name: float(MAX_LEASE_REGULAR)
+    table: Dict[Name, float] = {}
+    rows = read_csv(catalog_path)
+    for name_text, category, _ttl in rows[1:]:
+        table[Name.from_text(name_text)] = _CATEGORY_MAX.get(
+            category, float(MAX_LEASE_REGULAR))
+
+    def max_lease_of(name: Name) -> float:
+        return table.get(name, float(MAX_LEASE_REGULAR))
+
+    return max_lease_of
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    events = load_trace(args.trace)
+    if not events:
+        print("empty trace", file=sys.stderr)
+        return 1
+    duration = max(event.time for event in events) + 1.0
+    rates = train_pair_rates(events, duration * args.training_fraction)
+    max_lease_of = load_max_lease(args.catalog)
+
+    results = []
+    for length in logspace(10.0, 6 * 86400.0, args.fixed_points):
+        results.append(simulate_lease_trace(
+            events, rates, max_lease_of, fixed_lease_fn(length), duration,
+            scheme="fixed", parameter=length))
+    ordered = sorted(rates.values())
+    quantile_count = max(2, args.dynamic_points - 2)
+    quantiles = [i / (quantile_count + 1) for i in range(1, quantile_count + 1)]
+    thresholds = [0.0] + [ordered[int(q * (len(ordered) - 1))]
+                          for q in quantiles] + [ordered[-1] * 2]
+    for threshold in thresholds:
+        results.append(simulate_lease_trace(
+            events, rates, max_lease_of, dynamic_lease_fn(threshold),
+            duration, scheme="dynamic", parameter=threshold))
+
+    rows = [(r.scheme, f"{r.parameter:.6g}", f"{r.storage_percentage:.3f}",
+             f"{r.query_rate_percentage:.3f}", r.grants,
+             r.upstream_messages) for r in results]
+    print(format_table(("scheme", "parameter", "storage%", "query_rate%",
+                        "grants", "upstream"), rows,
+                       title=f"Lease comparison over {len(events)} queries, "
+                             f"{duration / 86400:.1f} days"))
+    fixed_points = [r.as_point() for r in results if r.scheme == "fixed"]
+    dynamic_points = [r.as_point() for r in results if r.scheme == "dynamic"]
+    fixed_at1 = interpolate_at_storage(fixed_points, 1.0)
+    dyn_at1 = interpolate_at_storage(dynamic_points, 1.0)
+    fixed_at20 = interpolate_at_query_rate(fixed_points, 20.0)
+    dyn_at20 = interpolate_at_query_rate(dynamic_points, 20.0)
+    print(f"\nFigure 5 readings: at storage 1% query rate "
+          f"fixed={fixed_at1:.1f}% dynamic={dyn_at1:.1f}%; "
+          f"at query rate 20% storage "
+          f"fixed={fixed_at20:.1f}% dynamic={dyn_at20:.1f}%")
+    if args.output:
+        write_csv(args.output, ("scheme", "parameter", "storage_pct",
+                                "query_rate_pct", "grants", "upstream"),
+                  rows)
+        print(f"curves written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,178 @@
+"""``repro-report``: regenerate every figure's data in one run.
+
+Writes one CSV per table/figure plus a REPORT.md summary into a target
+directory — the single-command reproduction artifact.  A scaled-down
+version of what the benchmark suite asserts; see EXPERIMENTS.md for the
+full paper-vs-measured discussion.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from ..measurement import cv_vs_caching_period, summarize_campaign
+from ..measurement.prober import DnsDynamicsProber, oracle_from_specs
+from ..report import write_csv
+from ..sim import (
+    Testbed,
+    TestbedConfig,
+    figure5_curves,
+    interpolate_at_query_rate,
+    interpolate_at_storage,
+    logspace,
+    train_pair_rates,
+)
+from ..traces import (
+    PopulationConfig,
+    WorkloadConfig,
+    assign_global_zipf,
+    figure1_series,
+    generate_population,
+    generate_queries,
+    generate_requests,
+    split_by_nameserver,
+    synthesize_proxy_log,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser for this tool."""
+    parser = argparse.ArgumentParser(
+        prog="repro-report",
+        description="Regenerate every table/figure into CSVs + REPORT.md.")
+    parser.add_argument("outdir", help="directory for the report files")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="scale factor for population/trace sizes "
+                             "(default 1.0; smaller = faster)")
+    parser.add_argument("--seed", type=int, default=2006)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    os.makedirs(args.outdir, exist_ok=True)
+    scale = max(0.1, args.scale)
+    lines: List[str] = ["# DNScup reproduction report", ""]
+
+    def emit(text: str = "") -> None:
+        lines.append(text)
+
+    population = generate_population(PopulationConfig(
+        regular_per_tld=max(5, int(40 * scale)),
+        cdn_count=max(5, int(30 * scale)),
+        dyn_count=max(5, int(30 * scale)), seed=args.seed))
+    population = assign_global_zipf(population, exponent=1.1,
+                                    seed=args.seed + 1)
+    emit(f"Population: {len(population)} domains (seed {args.seed}).")
+    emit()
+
+    # -- Figure 1 ---------------------------------------------------------
+    log = synthesize_proxy_log(population, total_requests=int(500_000 * scale),
+                               seed=args.seed + 2)
+    series = figure1_series(log, bins_per_decade=2)
+    rows = [(tld, f"{requests:.1f}", count)
+            for tld, points in sorted(series.items())
+            for requests, count in points]
+    write_csv(os.path.join(args.outdir, "figure1_domain_distribution.csv"),
+              ("tld", "requests_bin", "domain_count"), rows)
+    emit("## Figure 1 — written to figure1_domain_distribution.csv")
+    emit()
+
+    # -- Figure 2 / §3.2 --------------------------------------------------
+    prober = DnsDynamicsProber(oracle_from_specs(population),
+                               max_probes_per_domain=int(600 * scale))
+    results = prober.run_campaign(population)
+    summaries = summarize_campaign(results)
+    write_csv(os.path.join(args.outdir, "figure2_change_frequency.csv"),
+              ("class", "domains", "mean_change_frequency", "changed_share",
+               "mean_lifetime_s", "physical_share"),
+              [(i, s.domains, f"{s.mean_change_frequency:.6f}",
+                f"{s.changed_share:.4f}", f"{s.mean_lifetime:.1f}",
+                f"{s.physical_share:.4f}") for i, s in summaries.items()])
+    emit("## Figure 2 / §3.2 — written to figure2_change_frequency.csv")
+    for index, summary in summaries.items():
+        emit(f"- class {index}: mean freq "
+             f"{summary.mean_change_frequency:.2%}, "
+             f"physical {summary.physical_share:.0%}")
+    emit()
+
+    # -- Figure 4 ---------------------------------------------------------
+    workload = WorkloadConfig(duration=4 * 3600.0,
+                              clients=max(10, int(120 * scale)),
+                              nameservers=3,
+                              total_request_rate=1.2, seed=args.seed + 3)
+    requests = list(generate_requests(population, workload))
+    rows = []
+    for ns_index, trace in enumerate(
+            split_by_nameserver(requests, 3), start=1):
+        for period, stats in cv_vs_caching_period(
+                trace, (1.0, 10.0, 100.0, 900.0, 10_000.0), min_queries=20):
+            rows.append((ns_index, period, f"{stats.mean:.4f}",
+                         f"{stats.half_width:.4f}", stats.count))
+    write_csv(os.path.join(args.outdir, "figure4_poisson_cv.csv"),
+              ("nameserver", "caching_period_s", "mean_cv", "ci95_half",
+               "domains"), rows)
+    emit("## Figure 4 — written to figure4_poisson_cv.csv")
+    emit()
+
+    # -- Figure 5 ---------------------------------------------------------
+    week = WorkloadConfig(duration=7 * 86400.0,
+                          clients=max(10, int(120 * scale)), nameservers=3,
+                          total_request_rate=0.4 * scale,
+                          client_cache_seconds=900.0, seed=args.seed + 4)
+    events = list(generate_queries(population, week))
+    rates = sorted(train_pair_rates(events, week.duration / 7.0).values())
+    quantiles = (0.05, 0.2, 0.4, 0.6, 0.75, 0.9, 0.95, 0.98, 0.995)
+    thresholds = ([0.0] + [rates[int(q * (len(rates) - 1))]
+                           for q in quantiles] + [rates[-1] * 2])
+    curves = figure5_curves(events, population, week.duration,
+                            fixed_lengths=logspace(10.0, 6 * 86400.0, 10),
+                            rate_thresholds=thresholds)
+    rows = [(r.scheme, f"{r.parameter:.6g}", f"{r.storage_percentage:.3f}",
+             f"{r.query_rate_percentage:.3f}")
+            for r in curves.fixed + curves.dynamic]
+    write_csv(os.path.join(args.outdir, "figure5_lease_comparison.csv"),
+              ("scheme", "parameter", "storage_pct", "query_rate_pct"),
+              rows)
+    fixed_at_20 = interpolate_at_query_rate(curves.fixed_points(), 20.0)
+    dyn_at_20 = interpolate_at_query_rate(curves.dynamic_points(), 20.0)
+    fixed_at_1 = interpolate_at_storage(curves.fixed_points(), 1.0)
+    dyn_at_1 = interpolate_at_storage(curves.dynamic_points(), 1.0)
+    emit("## Figure 5 — written to figure5_lease_comparison.csv")
+    emit(f"- storage @ query-rate 20%: fixed {fixed_at_20:.1f}% vs dynamic "
+         f"{dyn_at_20:.1f}% (paper: 47% vs 19%)")
+    emit(f"- query-rate @ storage 1%: fixed {fixed_at_1:.1f}% vs dynamic "
+         f"{dyn_at_1:.1f}% (paper: 88% vs 56%)")
+    emit()
+
+    # -- Figure 7 / §5.2 ----------------------------------------------------
+    testbed = Testbed(TestbedConfig(network_seed=args.seed + 5))
+    answers = testbed.lookup_all(0)
+    resolved = sum(1 for a in answers.values() if a)
+    for index, domain in enumerate(testbed.domains[:3]):
+        testbed.dynamic_update(domain.name, f"172.25.0.{index + 1}")
+    testbed.run()
+    emit("## Figure 7 / §5.2 — testbed")
+    emit(f"- zones {len(testbed.zones)}, resolved {resolved}/"
+         f"{len(testbed.domains)}, slaves consistent "
+         f"{testbed.slaves_consistent()}, max message "
+         f"{testbed.max_message_size()} B (bound 512 B)")
+    stats = testbed.dnscup.notification.stats
+    emit(f"- CACHE-UPDATEs {stats.notifications_sent}, acks "
+         f"{stats.acks_received}")
+    emit()
+
+    report_path = os.path.join(args.outdir, "REPORT.md")
+    with open(report_path, "w") as stream:
+        stream.write("\n".join(lines) + "\n")
+    print("\n".join(lines))
+    print(f"\nreport written to {report_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

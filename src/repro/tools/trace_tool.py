@@ -1,0 +1,76 @@
+"""``repro-trace``: generate synthetic DNS query traces.
+
+Builds a §3.1-style domain population, runs the workload generator, and
+writes the nameserver-visible query trace (and optionally the domain
+catalog) to files that ``repro-leasesim`` consumes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..report import write_csv
+from ..traces import (
+    PopulationConfig,
+    WorkloadConfig,
+    assign_global_zipf,
+    generate_population,
+    generate_queries,
+    write_trace,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser for this tool."""
+    parser = argparse.ArgumentParser(
+        prog="repro-trace",
+        description="Generate a synthetic DNS query trace (paper §5.1 style).")
+    parser.add_argument("output", help="trace file to write")
+    parser.add_argument("--days", type=float, default=1.0,
+                        help="trace duration in days (default 1)")
+    parser.add_argument("--clients", type=int, default=120)
+    parser.add_argument("--nameservers", type=int, default=3)
+    parser.add_argument("--rate", type=float, default=0.5,
+                        help="aggregate request rate, q/s (default 0.5)")
+    parser.add_argument("--client-cache", type=float, default=900.0,
+                        help="client-side cache seconds (default 900)")
+    parser.add_argument("--regular-per-tld", type=int, default=40)
+    parser.add_argument("--cdn", type=int, default=30)
+    parser.add_argument("--dyn", type=int, default=30)
+    parser.add_argument("--zipf", type=float, default=1.1,
+                        help="global Zipf exponent for popularity")
+    parser.add_argument("--seed", type=int, default=2006)
+    parser.add_argument("--catalog", help="also write the domain catalog "
+                                          "(name, category, ttl) as CSV")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    population = generate_population(PopulationConfig(
+        regular_per_tld=args.regular_per_tld, cdn_count=args.cdn,
+        dyn_count=args.dyn, seed=args.seed))
+    population = assign_global_zipf(population, exponent=args.zipf,
+                                    seed=args.seed + 1)
+    config = WorkloadConfig(duration=args.days * 86400.0,
+                            clients=args.clients,
+                            nameservers=args.nameservers,
+                            total_request_rate=args.rate,
+                            client_cache_seconds=args.client_cache,
+                            seed=args.seed + 2)
+    count = write_trace(generate_queries(population, config), args.output)
+    print(f"wrote {count} queries over {args.days:g} day(s) "
+          f"({len(population)} domains) to {args.output}")
+    if args.catalog:
+        rows = [(domain.name.to_text(), domain.category, f"{domain.ttl:g}")
+                for domain in population]
+        write_csv(args.catalog, ("name", "category", "ttl"), rows)
+        print(f"wrote catalog to {args.catalog}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

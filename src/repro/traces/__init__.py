@@ -1,0 +1,93 @@
+"""Synthetic traces: domain populations, change processes, workloads.
+
+These stand in for the paper's live-Internet inputs (IRCache proxy logs,
+one-week academic DNS traces, live probing of 15k domains) — see
+DESIGN.md §2 for the substitution argument.
+"""
+
+from .changes import (
+    CAUSE_GROWTH,
+    CAUSE_RELOCATION,
+    CAUSE_ROTATION,
+    LOGICAL_CAUSES,
+    PHYSICAL_CAUSES,
+    AddressGrowth,
+    AddressRotation,
+    ChangeEvent,
+    ChangeProcess,
+    CompositeProcess,
+    PoissonRelocation,
+    StableProcess,
+    random_ipv4,
+)
+from .domains import (
+    CATEGORY_CDN,
+    CATEGORY_DYN,
+    CATEGORY_REGULAR,
+    CDN_PROVIDERS,
+    REGULAR_TLDS,
+    DomainSpec,
+    PopulationConfig,
+    assign_global_zipf,
+    by_category,
+    by_ttl_class,
+    category_map,
+    generate_cdn_domains,
+    generate_dyn_domains,
+    generate_population,
+    generate_regular_domains,
+    zipf_weights,
+)
+from .format import TRACE_HEADER, load_trace, read_trace, trace_roundtrip, write_trace
+from .ircache import (
+    ProxyLogEntry,
+    figure1_series,
+    powerlaw_fit,
+    synthesize_proxy_log,
+    top_domains,
+)
+from .ttlclasses import (
+    PAPER_CHANGED_SHARE,
+    PAPER_MEAN_CHANGE_FREQUENCY,
+    PAPER_MEAN_LIFETIME,
+    PAPER_PHYSICAL_SHARE,
+    TTL_CLASSES,
+    TTLClass,
+    class_by_index,
+    classify_ttl,
+    expected_lifetime,
+)
+from .workload import (
+    ClientCacheFilter,
+    QueryEvent,
+    WorkloadConfig,
+    domain_request_rates,
+    generate_queries,
+    generate_requests,
+    measured_rates,
+    split_by_nameserver,
+)
+
+__all__ = [
+    "ChangeProcess", "ChangeEvent", "StableProcess", "PoissonRelocation",
+    "AddressGrowth", "AddressRotation", "CompositeProcess", "random_ipv4",
+    "CAUSE_RELOCATION", "CAUSE_GROWTH", "CAUSE_ROTATION",
+    "PHYSICAL_CAUSES", "LOGICAL_CAUSES",
+    "DomainSpec", "PopulationConfig", "generate_population",
+    "generate_regular_domains", "generate_cdn_domains", "generate_dyn_domains",
+    "by_category", "by_ttl_class", "category_map", "zipf_weights",
+    "assign_global_zipf",
+    "CATEGORY_REGULAR", "CATEGORY_CDN", "CATEGORY_DYN",
+    "REGULAR_TLDS", "CDN_PROVIDERS",
+    "TTLClass", "TTL_CLASSES", "classify_ttl", "class_by_index",
+    "expected_lifetime",
+    "PAPER_MEAN_CHANGE_FREQUENCY", "PAPER_MEAN_LIFETIME",
+    "PAPER_PHYSICAL_SHARE", "PAPER_CHANGED_SHARE",
+    "QueryEvent", "WorkloadConfig", "generate_requests", "generate_queries",
+    "ClientCacheFilter", "split_by_nameserver", "measured_rates",
+    "domain_request_rates",
+    "write_trace", "read_trace", "load_trace", "trace_roundtrip",
+    "TRACE_HEADER",
+    "ProxyLogEntry", "synthesize_proxy_log", "figure1_series",
+    "top_domains", "powerlaw_fit",
+]

@@ -1,0 +1,258 @@
+"""DN2IP mapping-change processes.
+
+The paper identifies three causes of mapping changes (§3.2):
+
+1. **relocation** — the domain moves to a different address (physical:
+   the old mapping is dead, service is lost for stale caches);
+2. **growth** — addresses are added to the set (logical);
+3. **rotation** — the answer rotates around a fixed address pool, the
+   CDN load-balancing pattern (logical).
+
+Each process is a deterministic function of (seed, time): given a
+timeline it yields the address set at any instant, so both the live
+simulation (zones updated through the event loop) and the measurement
+prober (sampling a ground-truth oracle) consume the same object.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import random
+from typing import List, Optional, Sequence, Tuple
+
+#: Change cause labels, matching Figure 2(f)'s categories.
+CAUSE_RELOCATION = "relocation"
+CAUSE_GROWTH = "growth"
+CAUSE_ROTATION = "rotation"
+
+PHYSICAL_CAUSES = frozenset({CAUSE_RELOCATION})
+LOGICAL_CAUSES = frozenset({CAUSE_GROWTH, CAUSE_ROTATION})
+
+
+def random_ipv4(rng: random.Random) -> str:
+    """A routable-looking IPv4 address (avoids 0/255 edge octets)."""
+    return ".".join(str(rng.randint(1, 254)) for _ in range(4))
+
+
+@dataclasses.dataclass(frozen=True)
+class ChangeEvent:
+    """One mapping change on the timeline."""
+
+    time: float
+    cause: str
+    addresses: Tuple[str, ...]
+
+    @property
+    def is_physical(self) -> bool:
+        """True for physical (service-breaking) changes."""
+        return self.cause in PHYSICAL_CAUSES
+
+
+class ChangeProcess:
+    """Interface: the address set of one domain as a function of time."""
+
+    def initial_addresses(self) -> Tuple[str, ...]:
+        """The address set in force at time zero."""
+        raise NotImplementedError
+
+    def events_between(self, start: float, end: float) -> List[ChangeEvent]:
+        """All change events in (start, end], in order."""
+        raise NotImplementedError
+
+    def addresses_at(self, time: float) -> Tuple[str, ...]:
+        """The mapping in force at ``time`` (>= 0)."""
+        current = self.initial_addresses()
+        for event in self.events_between(0.0, time):
+            current = event.addresses
+        return current
+
+
+class StableProcess(ChangeProcess):
+    """A domain that never changes — ~95 % of classes 3-5."""
+
+    def __init__(self, addresses: Sequence[str]):
+        self._addresses = tuple(addresses)
+        if not self._addresses:
+            raise ValueError("need at least one address")
+
+    def initial_addresses(self) -> Tuple[str, ...]:
+        """The address set in force at time zero."""
+        return self._addresses
+
+    def events_between(self, start: float, end: float) -> List[ChangeEvent]:
+        """All change events in (start, end], in time order."""
+        return []
+
+
+class PoissonRelocation(ChangeProcess):
+    """Physical changes: relocations at exponential intervals.
+
+    ``mean_lifetime`` is the expected time between relocations — the
+    paper's "average life time of a DN2IP mapping".  Event times are
+    generated lazily but deterministically from the seed, so repeated
+    queries over overlapping windows agree.
+    """
+
+    def __init__(self, initial: Sequence[str], mean_lifetime: float, seed: int):
+        if mean_lifetime <= 0:
+            raise ValueError("mean_lifetime must be positive")
+        self._initial = tuple(initial)
+        self.mean_lifetime = mean_lifetime
+        self.seed = seed
+        self._events: List[ChangeEvent] = []
+        self._horizon = 0.0
+        self._rng = random.Random(seed)
+        self._clock = 0.0
+
+    def initial_addresses(self) -> Tuple[str, ...]:
+        """The address set in force at time zero."""
+        return self._initial
+
+    def _extend(self, until: float) -> None:
+        while self._clock <= until:
+            gap = self._rng.expovariate(1.0 / self.mean_lifetime)
+            self._clock += gap
+            new_address = random_ipv4(self._rng)
+            self._events.append(ChangeEvent(self._clock, CAUSE_RELOCATION,
+                                            (new_address,)))
+        self._horizon = max(self._horizon, until)
+
+    def events_between(self, start: float, end: float) -> List[ChangeEvent]:
+        """All change events in (start, end], in time order."""
+        if end > self._horizon:
+            self._extend(end)
+        return [e for e in self._events if start < e.time <= end]
+
+
+class AddressGrowth(ChangeProcess):
+    """Logical changes: the address pool grows at exponential intervals
+    up to a ceiling (a site scaling out its frontends)."""
+
+    def __init__(self, initial: Sequence[str], mean_interval: float,
+                 max_addresses: int, seed: int):
+        if mean_interval <= 0:
+            raise ValueError("mean_interval must be positive")
+        if max_addresses < len(tuple(initial)):
+            raise ValueError("max_addresses below the initial pool size")
+        self._initial = tuple(initial)
+        self.mean_interval = mean_interval
+        self.max_addresses = max_addresses
+        self._rng = random.Random(seed)
+        self._events: List[ChangeEvent] = []
+        self._clock = 0.0
+        self._horizon = 0.0
+        self._pool = list(self._initial)
+
+    def initial_addresses(self) -> Tuple[str, ...]:
+        """The address set in force at time zero."""
+        return self._initial
+
+    def _extend(self, until: float) -> None:
+        while self._clock <= until and len(self._pool) < self.max_addresses:
+            self._clock += self._rng.expovariate(1.0 / self.mean_interval)
+            if self._clock > until and len(self._pool) >= self.max_addresses:
+                break
+            self._pool.append(random_ipv4(self._rng))
+            self._events.append(ChangeEvent(self._clock, CAUSE_GROWTH,
+                                            tuple(self._pool)))
+        self._horizon = max(self._horizon, until)
+
+    def events_between(self, start: float, end: float) -> List[ChangeEvent]:
+        """All change events in (start, end], in time order."""
+        if end > self._horizon:
+            self._extend(end)
+        return [e for e in self._events if start < e.time <= end]
+
+
+class AddressRotation(ChangeProcess):
+    """Logical changes: CDN-style rotation over a fixed pool.
+
+    Every ``period`` seconds the answer becomes a different address from
+    the pool.  ``change_probability`` models Akamai-like behaviour where
+    consecutive answers often repeat (the paper measured ≈10 % change
+    frequency for Akamai at 20 s TTL vs ≈100 % for Speedera at 120 s):
+    each period the answer actually changes with this probability.
+    """
+
+    def __init__(self, pool: Sequence[str], period: float,
+                 change_probability: float, seed: int):
+        pool = tuple(pool)
+        if len(pool) < 2:
+            raise ValueError("rotation needs a pool of at least 2 addresses")
+        if period <= 0:
+            raise ValueError("period must be positive")
+        if not 0.0 < change_probability <= 1.0:
+            raise ValueError("change_probability in (0, 1]")
+        self.pool = pool
+        self.period = period
+        self.change_probability = change_probability
+        self.seed = seed
+
+    def initial_addresses(self) -> Tuple[str, ...]:
+        """The address set in force at time zero."""
+        return (self.pool[0],)
+
+    def _index_at_step(self, step: int) -> int:
+        """Pool index after ``step`` periods — computed by replay of the
+        deterministic per-step coin flips."""
+        rng = random.Random(self.seed)
+        index = 0
+        for _ in range(step):
+            if rng.random() < self.change_probability:
+                index = (index + 1 + rng.randrange(len(self.pool) - 1)) % len(self.pool)
+            else:
+                rng.random()  # burn to keep the stream aligned
+        return index
+
+    def events_between(self, start: float, end: float) -> List[ChangeEvent]:
+        """All change events in (start, end], in time order."""
+        first_step = max(1, math.floor(start / self.period) + 1)
+        last_step = math.floor(end / self.period)
+        if last_step < first_step:
+            return []
+        events = []
+        rng = random.Random(self.seed)
+        index = 0
+        for step in range(1, last_step + 1):
+            changed = False
+            if rng.random() < self.change_probability:
+                index = (index + 1 + rng.randrange(len(self.pool) - 1)) % len(self.pool)
+                changed = True
+            else:
+                rng.random()
+            time = step * self.period
+            if changed and start < time <= end:
+                events.append(ChangeEvent(time, CAUSE_ROTATION,
+                                          (self.pool[index],)))
+        return events
+
+    def addresses_at(self, time: float) -> Tuple[str, ...]:
+        """The address set in force at ``time``."""
+        step = math.floor(time / self.period)
+        return (self.pool[self._index_at_step(step)],)
+
+
+class CompositeProcess(ChangeProcess):
+    """Merge several processes — e.g. rare relocation atop rotation.
+
+    The address set at any time is the last event's addresses; initial
+    addresses come from the first component.
+    """
+
+    def __init__(self, components: Sequence[ChangeProcess]):
+        if not components:
+            raise ValueError("need at least one component")
+        self.components = list(components)
+
+    def initial_addresses(self) -> Tuple[str, ...]:
+        """The address set in force at time zero."""
+        return self.components[0].initial_addresses()
+
+    def events_between(self, start: float, end: float) -> List[ChangeEvent]:
+        """All change events in (start, end], in time order."""
+        events: List[ChangeEvent] = []
+        for component in self.components:
+            events.extend(component.events_between(start, end))
+        events.sort(key=lambda e: e.time)
+        return events

@@ -1,0 +1,68 @@
+"""Trace file format: one query per line, whitespace-separated.
+
+``time client nameserver name`` — the minimal schema every consumer here
+needs, round-trippable and diffable.  Mirrors the role of the paper's
+academic DNS traces and IRCache proxy logs.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, Iterator, List, TextIO, Union
+
+from ..dnslib import Name
+from .workload import QueryEvent
+
+TRACE_HEADER = "# repro DNS query trace v1: time client nameserver name"
+
+
+def write_trace(events: Iterable[QueryEvent],
+                target: Union[str, TextIO]) -> int:
+    """Serialize events; returns the number written."""
+    own = isinstance(target, str)
+    stream: TextIO = open(target, "w") if own else target  # type: ignore[arg-type]
+    try:
+        stream.write(TRACE_HEADER + "\n")
+        count = 0
+        for event in events:
+            stream.write(f"{event.time!r} {event.client} {event.nameserver} "
+                         f"{event.name.to_text()}\n")
+            count += 1
+        return count
+    finally:
+        if own:
+            stream.close()
+
+
+def read_trace(source: Union[str, TextIO]) -> Iterator[QueryEvent]:
+    """Parse a trace file lazily."""
+    own = isinstance(source, str)
+    stream: TextIO = open(source) if own else source  # type: ignore[arg-type]
+    try:
+        for lineno, line in enumerate(stream, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            fields = line.split()
+            if len(fields) != 4:
+                raise ValueError(
+                    f"trace line {lineno}: want 4 fields, got {len(fields)}")
+            time_text, client, nameserver, name = fields
+            yield QueryEvent(float(time_text), int(client),
+                             Name.from_text(name), int(nameserver))
+    finally:
+        if own:
+            stream.close()
+
+
+def load_trace(source: Union[str, TextIO]) -> List[QueryEvent]:
+    """Read a whole trace file into a list."""
+    return list(read_trace(source))
+
+
+def trace_roundtrip(events: List[QueryEvent]) -> List[QueryEvent]:
+    """Write + read through a buffer (tests use this as the invariant)."""
+    buffer = io.StringIO()
+    write_trace(events, buffer)
+    buffer.seek(0)
+    return load_trace(buffer)

@@ -1,0 +1,118 @@
+"""IRCache-style proxy request logs — the input behind Figure 1.
+
+The paper collected Web domain names from IRCache proxy traces and
+plotted, per TLD group, how many regular domain names received a given
+number of requests (Figure 1, log-log).  We synthesize the equivalent
+log: a request count per domain drawn from the Zipf popularity weights,
+then aggregate counts into the figure's (requests, #domains) series.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import random
+from typing import Dict, List, Sequence, Tuple
+
+from ..dnslib import Name
+from .domains import CATEGORY_REGULAR, DomainSpec
+
+
+@dataclasses.dataclass(frozen=True)
+class ProxyLogEntry:
+    """Aggregated proxy log line: a domain and its request count."""
+
+    name: Name
+    tld: str
+    requests: int
+
+
+def synthesize_proxy_log(domains: Sequence[DomainSpec],
+                         total_requests: int = 1_000_000,
+                         seed: int = 11) -> List[ProxyLogEntry]:
+    """Multinomial request counts over ``domains`` by popularity."""
+    rng = random.Random(seed)
+    weights = [domain.popularity for domain in domains]
+    total_weight = sum(weights)
+    if total_weight <= 0:
+        raise ValueError("zero total popularity")
+    entries = []
+    remaining = total_requests
+    # Draw a multinomial via sequential binomials for determinism without
+    # numpy dependency in the hot path.
+    acc_weight = total_weight
+    for domain, weight in zip(domains, weights):
+        if remaining <= 0 or acc_weight <= 0:
+            count = 0
+        else:
+            p = min(1.0, weight / acc_weight)
+            count = _binomial(rng, remaining, p)
+        remaining -= count
+        acc_weight -= weight
+        entries.append(ProxyLogEntry(domain.name, domain.name.tld(), count))
+    return entries
+
+
+def _binomial(rng: random.Random, n: int, p: float) -> int:
+    """Binomial sample; normal approximation for large n for speed."""
+    if p <= 0.0:
+        return 0
+    if p >= 1.0:
+        return n
+    if n > 1000:
+        mean = n * p
+        std = math.sqrt(n * p * (1.0 - p))
+        return max(0, min(n, round(rng.gauss(mean, std))))
+    return sum(1 for _ in range(n) if rng.random() < p)
+
+
+def figure1_series(entries: Sequence[ProxyLogEntry],
+                   bins_per_decade: int = 5
+                   ) -> Dict[str, List[Tuple[float, int]]]:
+    """Figure 1's per-TLD series: (#requests bin, #domain names).
+
+    Counts are bucketed geometrically (log-log plot); each series maps a
+    representative request count to the number of domains in the bucket.
+    """
+    series: Dict[str, Dict[int, int]] = {}
+    for entry in entries:
+        if entry.requests <= 0:
+            continue
+        bucket = int(math.floor(math.log10(entry.requests) * bins_per_decade))
+        series.setdefault(entry.tld, {}).setdefault(bucket, 0)
+        series[entry.tld][bucket] += 1
+    result: Dict[str, List[Tuple[float, int]]] = {}
+    for tld, buckets in series.items():
+        points = []
+        for bucket in sorted(buckets):
+            representative = 10 ** ((bucket + 0.5) / bins_per_decade)
+            points.append((representative, buckets[bucket]))
+        result[tld] = points
+    return result
+
+
+def top_domains(entries: Sequence[ProxyLogEntry], count: int
+                ) -> List[ProxyLogEntry]:
+    """The most-requested domains — §5.2 builds its 40 testbed zones from
+    the 50 most popular IRCache domains."""
+    return sorted(entries, key=lambda e: e.requests, reverse=True)[:count]
+
+
+def powerlaw_fit(points: Sequence[Tuple[float, int]]) -> Tuple[float, float]:
+    """Least-squares slope/intercept in log-log space.
+
+    Figure 1's qualitative claim is a heavy-tailed (roughly power-law)
+    relation between request count and domain count; the bench asserts
+    the fitted slope is negative and steep.
+    """
+    xs = [math.log10(x) for x, y in points if x > 0 and y > 0]
+    ys = [math.log10(y) for x, y in points if x > 0 and y > 0]
+    n = len(xs)
+    if n < 2:
+        raise ValueError("need at least two points to fit")
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    slope = sxy / sxx if sxx else 0.0
+    return slope, mean_y - slope * mean_x

@@ -1,0 +1,107 @@
+"""Table 1: the five TTL classes of the measurement study.
+
+Domains are probed at a sampling resolution matched to their TTL — there
+is no point resolving a record more often than its TTL lets it change —
+for a duration long enough to observe changes at that timescale.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import List, Optional, Tuple
+
+DAY = 86400.0
+MONTH = 30 * DAY
+
+
+@dataclasses.dataclass(frozen=True)
+class TTLClass:
+    """One row of Table 1."""
+
+    index: int                     # 1-based class number
+    ttl_low: float                 # inclusive, seconds
+    ttl_high: Optional[float]      # exclusive, seconds; None = unbounded
+    resolution: float              # probe sampling resolution, seconds
+    duration: float                # measurement duration, seconds
+
+    def contains(self, ttl: float) -> bool:
+        """True when ``ttl`` falls inside this class's range."""
+        if ttl < self.ttl_low:
+            return False
+        return self.ttl_high is None or ttl < self.ttl_high
+
+    @property
+    def probe_count(self) -> int:
+        """Number of probes one measurement run sends per domain."""
+        return int(self.duration / self.resolution)
+
+    def describe(self) -> str:
+        """Human-readable one-line rendering."""
+        high = "∞" if self.ttl_high is None else f"{self.ttl_high:g}"
+        return (f"class {self.index}: TTL [{self.ttl_low:g}, {high}) s, "
+                f"resolution {self.resolution:g} s, "
+                f"duration {self.duration / DAY:g} d")
+
+
+#: The exact parameters of Table 1.
+TTL_CLASSES: Tuple[TTLClass, ...] = (
+    TTLClass(1, 0.0, 60.0, 20.0, 1 * DAY),
+    TTLClass(2, 60.0, 300.0, 60.0, 3 * DAY),
+    TTLClass(3, 300.0, 3600.0, 300.0, 7 * DAY),
+    TTLClass(4, 3600.0, 86400.0, 3600.0, 7 * DAY),
+    TTLClass(5, 86400.0, None, 86400.0, MONTH),
+)
+
+
+def classify_ttl(ttl: float) -> TTLClass:
+    """The Table 1 class a TTL falls into."""
+    if ttl < 0:
+        raise ValueError(f"negative TTL: {ttl}")
+    for ttl_class in TTL_CLASSES:
+        if ttl_class.contains(ttl):
+            return ttl_class
+    raise AssertionError("unreachable: classes cover [0, inf)")
+
+
+def class_by_index(index: int) -> TTLClass:
+    """The :class:`TTLClass` with 1-based index ``index``."""
+    if not 1 <= index <= len(TTL_CLASSES):
+        raise ValueError(f"class index out of range: {index}")
+    return TTL_CLASSES[index - 1]
+
+
+#: Paper §3.2's reported mean change frequencies per class (fractions,
+#: not percent).  The synthetic change processes are calibrated so the
+#: measurement pipeline reproduces these.
+PAPER_MEAN_CHANGE_FREQUENCY = {1: 0.10, 2: 0.08, 3: 0.03, 4: 0.001, 5: 0.002}
+
+#: Paper §3.2's implied mean DN2IP mapping lifetimes, seconds.
+PAPER_MEAN_LIFETIME = {
+    1: 200.0,
+    2: 750.0,
+    3: 2.5 * 3600.0,
+    4: 42 * DAY,
+    5: 500 * DAY,
+}
+
+#: Fraction of *changed* domains whose changes are physical (Figure 2f's
+#: qualitative shape: classes 1-2 almost all logical, class 3 ≈40 %
+#: physical, classes 4-5 majority physical).
+PAPER_PHYSICAL_SHARE = {1: 0.05, 2: 0.10, 3: 0.40, 4: 0.70, 5: 0.80}
+
+#: Fraction of domains in each class that change at all during the
+#: measurement (paper: >70 % in class 1, ≈20 % in class 2, ≈5 % in 3-5).
+PAPER_CHANGED_SHARE = {1: 0.70, 2: 0.20, 3: 0.05, 4: 0.05, 5: 0.05}
+
+
+def expected_lifetime(change_frequency: float, resolution: float) -> float:
+    """Mean mapping lifetime implied by a change frequency.
+
+    A change frequency f (changes per probe) at sampling resolution r
+    means one change every r/f seconds on average — how §3.2 derives
+    lifetimes like "a change happens every 10 days".
+    """
+    if change_frequency <= 0:
+        return math.inf
+    return resolution / change_frequency

@@ -1,0 +1,194 @@
+"""Query workload generation.
+
+The trace-driven evaluation (§5.1) replays one week of queries from
+about two thousand clients against three local nameservers.  We generate
+the equivalent synthetically:
+
+* per-domain client *request* streams are Poisson — the paper validates
+  this very assumption on its traces (Figure 4), citing Paxson & Floyd's
+  finding that session-level arrivals are Poisson;
+* domain popularity is Zipf (the weights on :class:`DomainSpec`);
+* each client passes its requests through a browser-style cache
+  (15-minute default), so the *query* stream a nameserver sees is the
+  request stream thinned by per-client caching — exactly the client
+  caching effect §5.1 models.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import random
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..dnslib import Name
+from .domains import DomainSpec
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class QueryEvent:
+    """One DNS query as a local nameserver would log it."""
+
+    time: float
+    client: int
+    name: Name = dataclasses.field(compare=False)
+    nameserver: int = dataclasses.field(compare=False, default=0)
+
+
+@dataclasses.dataclass
+class WorkloadConfig:
+    """Workload shape, defaulting to a shrunken version of the paper's
+    setting (three nameservers, ~2000 clients, one week)."""
+
+    duration: float = 86400.0          # one day by default; a week in benches
+    clients: int = 100
+    nameservers: int = 3
+    #: Mean total request rate across all domains, requests/second.
+    total_request_rate: float = 2.0
+    #: Per-client DNS cache duration, seconds (Mozilla default 900).
+    client_cache_seconds: float = 900.0
+    #: Session burstiness: each Poisson session arrival drags along a
+    #: geometric number of extra requests (mean ``burst_mean - 1``) from
+    #: the same client within ``burst_spread`` seconds — the page-load
+    #: pattern that makes raw inter-arrival CV exceed 1 until client
+    #: caching smooths it (Figure 4).  ``burst_mean=1`` disables bursts.
+    burst_mean: float = 3.0
+    burst_spread: float = 60.0
+    seed: int = 7
+
+
+def domain_request_rates(domains: Sequence[DomainSpec],
+                         total_rate: float) -> List[Tuple[DomainSpec, float]]:
+    """Split an aggregate request rate across domains by popularity."""
+    total_weight = sum(domain.popularity for domain in domains)
+    if total_weight <= 0:
+        raise ValueError("domain popularities sum to zero")
+    return [(domain, total_rate * domain.popularity / total_weight)
+            for domain in domains]
+
+
+def generate_requests(domains: Sequence[DomainSpec],
+                      config: WorkloadConfig) -> Iterator[QueryEvent]:
+    """The raw client *request* stream (before client caching), in time
+    order, assigned to clients uniformly and to each client's home
+    nameserver by client id."""
+    rng = random.Random(config.seed)
+    # Session arrivals are Poisson per domain; the configured total rate
+    # counts *all* requests, so session rates are scaled down by the
+    # mean burst size.
+    burst_mean = max(1.0, config.burst_mean)
+    rates = domain_request_rates(domains, config.total_request_rate)
+    session_rates = [(domain, rate / burst_mean) for domain, rate in rates]
+    # One lazy Poisson stream per domain, merged by heap.  Entry kinds:
+    # 0 = session arrival (reschedules itself), 1 = burst follow-up.
+    heap: List[Tuple[float, int, int, int]] = []
+    streams: List[random.Random] = []
+    for index, (domain, rate) in enumerate(session_rates):
+        stream = random.Random(rng.randrange(1 << 30))
+        streams.append(stream)
+        if rate <= 0:
+            continue
+        first = stream.expovariate(rate)
+        if first <= config.duration:
+            heapq.heappush(heap, (first, index, 0, 0))
+    while heap:
+        time, index, kind, client = heapq.heappop(heap)
+        domain, rate = session_rates[index]
+        stream = streams[index]
+        if kind == 0:
+            client = stream.randrange(config.clients)
+            # Geometric burst: the session brings extra requests from
+            # the same client shortly afterwards.
+            if burst_mean > 1.0:
+                p_more = 1.0 - 1.0 / burst_mean
+                while stream.random() < p_more:
+                    extra_time = time + stream.uniform(0.0, config.burst_spread)
+                    if extra_time <= config.duration:
+                        heapq.heappush(heap, (extra_time, index, 1, client))
+            next_time = time + stream.expovariate(rate)
+            if next_time <= config.duration:
+                heapq.heappush(heap, (next_time, index, 0, 0))
+        nameserver = client % config.nameservers
+        yield QueryEvent(time, client, domain.name, nameserver)
+
+
+class ClientCacheFilter:
+    """Thin a request stream by per-(client, name) caching.
+
+    A request is forwarded (becomes a nameserver query) only when the
+    client's cached copy is older than ``cache_seconds``.  With
+    ``cache_seconds=0`` every request goes through.
+    """
+
+    def __init__(self, cache_seconds: float):
+        if cache_seconds < 0:
+            raise ValueError("cache_seconds must be non-negative")
+        self.cache_seconds = cache_seconds
+        self._last_fetch: Dict[Tuple[int, Name], float] = {}
+        self.requests_seen = 0
+        self.queries_passed = 0
+
+    def offer(self, event: QueryEvent) -> bool:
+        """True when the request escalates to a nameserver query."""
+        self.requests_seen += 1
+        if self.cache_seconds == 0:
+            self.queries_passed += 1
+            return True
+        key = (event.client, event.name)
+        last = self._last_fetch.get(key)
+        if last is not None and event.time - last < self.cache_seconds:
+            return False
+        self._last_fetch[key] = event.time
+        self.queries_passed += 1
+        return True
+
+    def filter(self, events: Iterable[QueryEvent]) -> Iterator[QueryEvent]:
+        """Yield only the requests that pass the cache."""
+        for event in events:
+            if self.offer(event):
+                yield event
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of requests absorbed by the client cache."""
+        if self.requests_seen == 0:
+            return 0.0
+        return 1.0 - self.queries_passed / self.requests_seen
+
+
+def generate_queries(domains: Sequence[DomainSpec],
+                     config: WorkloadConfig) -> Iterator[QueryEvent]:
+    """Requests thinned by the client cache: the nameserver-visible trace."""
+    cache = ClientCacheFilter(config.client_cache_seconds)
+    return cache.filter(generate_requests(domains, config))
+
+
+def split_by_nameserver(events: Iterable[QueryEvent],
+                        nameservers: int) -> List[List[QueryEvent]]:
+    """Partition a query stream into per-nameserver traces (NS I/II/III)."""
+    traces: List[List[QueryEvent]] = [[] for _ in range(nameservers)]
+    for event in events:
+        traces[event.nameserver % nameservers].append(event)
+    return traces
+
+
+def measured_rates(events: Iterable[QueryEvent], duration: float,
+                   by: str = "name") -> Dict:
+    """Empirical query rates from a trace.
+
+    ``by="name"`` → rate per domain; ``by="name-nameserver"`` → rate per
+    (domain, nameserver) pair — the λ_ij input of the lease optimizers,
+    the way §5.1 computes them "by analyzing the first-day traces".
+    """
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    counts: Dict = {}
+    for event in events:
+        if by == "name":
+            key = event.name
+        elif by == "name-nameserver":
+            key = (event.name, event.nameserver)
+        else:
+            raise ValueError(f"unknown grouping: {by!r}")
+        counts[key] = counts.get(key, 0) + 1
+    return {key: count / duration for key, count in counts.items()}

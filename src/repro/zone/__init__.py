@@ -1,0 +1,39 @@
+"""Zone management: stores, master files, dynamic update, replication."""
+
+from .delegation import (
+    DelegationReport,
+    DelegationStatus,
+    check_delegations,
+    delegation_cuts,
+    repair_parent,
+)
+from .masterfile import MasterFileError, dump_zone, load_zone, parse_records, parse_ttl
+from .serial import serial_add, serial_gt, serial_lt, serial_max
+from .transfer import ChangeLog, TransferError, ZoneMaster, ZoneSlave, zones_equal
+from .update import (
+    EmptyRdata,
+    UpdateProcessor,
+    prereq_name_in_use,
+    prereq_name_not_in_use,
+    prereq_rrset_absent,
+    prereq_rrset_exists,
+    prereq_rrset_exists_value,
+    update_add,
+    update_delete_name,
+    update_delete_record,
+    update_delete_rrset,
+)
+from .zone import Zone, ZoneChange, ZoneError, diff_snapshots
+
+__all__ = [
+    "Zone", "ZoneChange", "ZoneError", "diff_snapshots",
+    "MasterFileError", "load_zone", "dump_zone", "parse_records", "parse_ttl",
+    "serial_add", "serial_gt", "serial_lt", "serial_max",
+    "ChangeLog", "TransferError", "ZoneMaster", "ZoneSlave", "zones_equal",
+    "EmptyRdata", "UpdateProcessor",
+    "prereq_name_in_use", "prereq_name_not_in_use", "prereq_rrset_absent",
+    "prereq_rrset_exists", "prereq_rrset_exists_value",
+    "update_add", "update_delete_name", "update_delete_record", "update_delete_rrset",
+    "DelegationReport", "DelegationStatus", "check_delegations",
+    "delegation_cuts", "repair_parent",
+]

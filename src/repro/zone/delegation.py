@@ -1,0 +1,119 @@
+"""Delegation consistency and lame-delegation detection.
+
+The paper (§1) notes DNScup's tracking machinery "can also be used to
+maintain state consistency between a DNS nameserver of a parent zone and
+the DNS nameservers of its child zones, preventing the lame delegation
+problem" [Pappas et al., SIGCOMM'04].  This module provides the checking
+side: given a parent zone's NS records for a child cut and the child
+zones actually served, classify each delegation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, List, Optional, Tuple
+
+from ..dnslib import Name, RRType
+from .zone import Zone
+
+
+class DelegationStatus(enum.Enum):
+    """Outcome of checking one parent NS record against the child."""
+
+    CONSISTENT = "consistent"
+    #: Parent lists a nameserver the child zone does not list at its apex.
+    PARENT_ONLY = "parent-only"
+    #: Child apex lists a nameserver the parent does not delegate to.
+    CHILD_ONLY = "child-only"
+    #: Parent delegates to a server that does not serve the child at all.
+    LAME = "lame"
+    #: Parent has a cut but no child zone is known anywhere.
+    ORPHAN = "orphan"
+
+
+@dataclasses.dataclass(frozen=True)
+class DelegationReport:
+    """Per-cut findings from :func:`check_delegations`."""
+
+    child: Name
+    status: DelegationStatus
+    parent_ns: Tuple[Name, ...]
+    child_ns: Tuple[Name, ...]
+    lame_servers: Tuple[Name, ...]
+
+    @property
+    def is_lame(self) -> bool:
+        """True when the delegation cannot resolve at all."""
+        return self.status in (DelegationStatus.LAME, DelegationStatus.ORPHAN)
+
+
+def delegation_cuts(parent: Zone) -> List[Name]:
+    """Owner names of NS RRsets strictly below the parent apex."""
+    cuts = []
+    for rrset in parent.iter_rrsets():
+        if rrset.rrtype == RRType.NS and rrset.name != parent.origin:
+            cuts.append(rrset.name)
+    return sorted(cuts)
+
+
+def check_delegations(parent: Zone,
+                      children: Dict[Name, Zone],
+                      serving: Optional[Dict[Name, List[Name]]] = None
+                      ) -> List[DelegationReport]:
+    """Audit every delegation in ``parent``.
+
+    ``children`` maps child origin → child zone (the authoritative data).
+    ``serving`` optionally maps nameserver name → list of zone origins that
+    server actually answers for; when given, a delegation whose target
+    server does not serve the child is flagged LAME even if the NS sets
+    agree on paper — the classic misconfiguration.
+    """
+    reports: List[DelegationReport] = []
+    for cut in delegation_cuts(parent):
+        parent_rrset = parent.get_rrset(cut, RRType.NS)
+        assert parent_rrset is not None
+        parent_ns = tuple(sorted(rdata.target for rdata in parent_rrset.rdatas))
+        child = children.get(cut)
+        if child is None:
+            reports.append(DelegationReport(cut, DelegationStatus.ORPHAN,
+                                            parent_ns, (), parent_ns))
+            continue
+        child_rrset = child.get_rrset(child.origin, RRType.NS)
+        child_ns = tuple(sorted(rdata.target for rdata in child_rrset.rdatas)) \
+            if child_rrset else ()
+        lame: List[Name] = []
+        if serving is not None:
+            for server in parent_ns:
+                zones_served = serving.get(server, [])
+                if cut not in zones_served:
+                    lame.append(server)
+        if lame and len(lame) == len(parent_ns):
+            status = DelegationStatus.LAME
+        elif set(parent_ns) - set(child_ns):
+            status = DelegationStatus.PARENT_ONLY
+        elif set(child_ns) - set(parent_ns):
+            status = DelegationStatus.CHILD_ONLY
+        else:
+            status = DelegationStatus.CONSISTENT
+        reports.append(DelegationReport(cut, status, parent_ns, child_ns,
+                                        tuple(lame)))
+    return reports
+
+
+def repair_parent(parent: Zone, child: Zone) -> bool:
+    """Make the parent's NS cut match the child apex NS set.
+
+    This is the DNScup-style fix: treat the parent's copy as a cache of the
+    child's apex NS RRset and push the authoritative value.  Returns True
+    when the parent was changed.
+    """
+    child_rrset = child.get_rrset(child.origin, RRType.NS)
+    if child_rrset is None:
+        return False
+    existing = parent.get_rrset(child.origin, RRType.NS)
+    if existing is not None and existing.same_rdatas(child_rrset):
+        return False
+    updated = child_rrset.copy()
+    parent.put_rrset(updated)
+    return True

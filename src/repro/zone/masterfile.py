@@ -1,0 +1,250 @@
+"""Master-file (zone file) parsing and serialization (RFC 1035 §5).
+
+Supports the directives and syntax the reproduction needs: ``$ORIGIN``,
+``$TTL``, ``@``, relative names, inherited owner names, parenthesized
+multi-line records (for SOA), comments, and the common record types.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import List, Optional, TextIO, Tuple, Union
+
+from ..dnslib import (
+    Name,
+    RRClass,
+    RRSet,
+    RRType,
+    SOA,
+    ResourceRecord,
+    as_name,
+    rdata_from_text,
+    records_to_rrsets,
+)
+from .zone import Zone, ZoneError
+
+
+class MasterFileError(ValueError):
+    """Raised on malformed zone file input, with a line number."""
+
+    def __init__(self, message: str, line: int):
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+def _tokenize(stream: TextIO) -> List[Tuple[int, List[str]]]:
+    """Split a master file into logical lines of tokens.
+
+    Handles ``;`` comments, quoted strings, and ``( ... )`` continuation
+    across physical lines.  Leading whitespace is preserved as an implicit
+    first token ``""`` so the parser can detect owner-name inheritance.
+    """
+    logical: List[Tuple[int, List[str]]] = []
+    depth = 0
+    current: List[str] = []
+    start_line = 0
+    for lineno, raw in enumerate(stream, start=1):
+        tokens, leading_blank = _tokenize_line(raw, lineno)
+        if depth == 0:
+            if not tokens:
+                continue
+            start_line = lineno
+            current = [""] if leading_blank else []
+        current.extend(token for token in tokens if token not in ("(", ")"))
+        depth += sum(1 for token in tokens if token == "(")
+        depth -= sum(1 for token in tokens if token == ")")
+        if depth < 0:
+            raise MasterFileError("unbalanced ')'", lineno)
+        if depth == 0 and current:
+            logical.append((start_line, current))
+            current = []
+    if depth != 0:
+        raise MasterFileError("unterminated '(' group", start_line)
+    return logical
+
+
+def _tokenize_line(raw: str, lineno: int) -> Tuple[List[str], bool]:
+    tokens: List[str] = []
+    leading_blank = raw[:1] in (" ", "\t")
+    i = 0
+    n = len(raw)
+    while i < n:
+        ch = raw[i]
+        if ch == ";":
+            break
+        if ch in " \t\r\n":
+            i += 1
+            continue
+        if ch == '"':
+            end = raw.find('"', i + 1)
+            if end == -1:
+                raise MasterFileError("unterminated quoted string", lineno)
+            tokens.append(raw[i : end + 1])
+            i = end + 1
+            continue
+        if ch in "()":
+            tokens.append(ch)
+            i += 1
+            continue
+        j = i
+        while j < n and raw[j] not in " \t\r\n;()\"":
+            j += 1
+        tokens.append(raw[i:j])
+        i = j
+    return tokens, leading_blank
+
+
+def parse_records(text_or_stream: Union[str, TextIO],
+                  origin: Optional[Name] = None,
+                  default_ttl: Optional[int] = None) -> List[ResourceRecord]:
+    """Parse master-file text into a record list."""
+    stream = io.StringIO(text_or_stream) if isinstance(text_or_stream, str) else text_or_stream
+    records: List[ResourceRecord] = []
+    last_owner: Optional[Name] = None
+    for lineno, tokens in _tokenize(stream):
+        if tokens and tokens[0] == "$ORIGIN":
+            if len(tokens) != 2:
+                raise MasterFileError("$ORIGIN wants one argument", lineno)
+            origin = Name.from_text(tokens[1])
+            continue
+        if tokens and tokens[0] == "$TTL":
+            if len(tokens) != 2:
+                raise MasterFileError("$TTL wants one argument", lineno)
+            default_ttl = parse_ttl(tokens[1], lineno)
+            continue
+        record, last_owner = _parse_record(tokens, lineno, origin, default_ttl, last_owner)
+        records.append(record)
+    return records
+
+
+def _parse_record(tokens: List[str], lineno: int, origin: Optional[Name],
+                  default_ttl: Optional[int], last_owner: Optional[Name]):
+    if tokens and tokens[0] == "":
+        if last_owner is None:
+            raise MasterFileError("no previous owner to inherit", lineno)
+        owner = last_owner
+        rest = tokens[1:]
+    else:
+        if origin is None and not tokens[0].endswith(".") and tokens[0] != "@":
+            raise MasterFileError("relative owner with no $ORIGIN", lineno)
+        owner = _owner_name(tokens[0], origin)
+        rest = tokens[1:]
+    ttl: Optional[int] = None
+    rrclass = RRClass.IN
+    # [ttl] [class] or [class] [ttl], both optional.
+    while rest:
+        token = rest[0]
+        if token.upper() in ("IN", "CH", "HS") and len(rest) > 1:
+            rrclass = RRClass.from_text(token)
+            rest = rest[1:]
+            continue
+        if _looks_like_ttl(token) and len(rest) > 1 and not _is_type(rest[0]):
+            ttl = parse_ttl(token, lineno)
+            rest = rest[1:]
+            continue
+        break
+    if not rest:
+        raise MasterFileError("missing record type", lineno)
+    try:
+        rrtype = RRType.from_text(rest[0])
+    except ValueError as exc:
+        raise MasterFileError(str(exc), lineno) from exc
+    fields = rest[1:]
+    if ttl is None:
+        ttl = default_ttl
+    if ttl is None:
+        raise MasterFileError("no TTL and no $TTL default", lineno)
+    effective_origin = origin if origin is not None else Name.root()
+    try:
+        rdata = rdata_from_text(rrtype, fields, effective_origin)
+    except (ValueError, TypeError) as exc:
+        raise MasterFileError(f"bad {rrtype.name} rdata: {exc}", lineno) from exc
+    return ResourceRecord(owner, rrtype, ttl, rdata, rrclass), owner
+
+
+def _owner_name(token: str, origin: Optional[Name]) -> Name:
+    if token == "@":
+        if origin is None:
+            raise ValueError("'@' with no $ORIGIN")
+        return origin
+    name = Name.from_text(token)
+    if token.endswith(".") or origin is None:
+        return name
+    return name.concatenate(origin)
+
+
+def _looks_like_ttl(token: str) -> bool:
+    return token[:1].isdigit()
+
+
+def _is_type(token: str) -> bool:
+    try:
+        RRType.from_text(token)
+        return True
+    except ValueError:
+        return False
+
+
+_TTL_UNITS = {"s": 1, "m": 60, "h": 3600, "d": 86400, "w": 604800}
+
+
+def parse_ttl(token: str, lineno: int = 0) -> int:
+    """Parse ``300``, ``5m``, ``1h30m``, ``2d`` style TTLs."""
+    token = token.strip().lower()
+    if not token:
+        raise MasterFileError("empty TTL", lineno)
+    if token.isdigit():
+        return int(token)
+    total = 0
+    number = ""
+    for ch in token:
+        if ch.isdigit():
+            number += ch
+        elif ch in _TTL_UNITS and number:
+            total += int(number) * _TTL_UNITS[ch]
+            number = ""
+        else:
+            raise MasterFileError(f"bad TTL: {token!r}", lineno)
+    if number:
+        raise MasterFileError(f"bad TTL (trailing digits): {token!r}", lineno)
+    return total
+
+
+def load_zone(text_or_stream: Union[str, TextIO],
+              origin: Optional[Name] = None) -> Zone:
+    """Parse a master file into a :class:`Zone`.
+
+    The first SOA record becomes the apex; ``origin`` defaults to the SOA
+    owner when omitted.
+    """
+    records = parse_records(text_or_stream, origin)
+    soa_records = [r for r in records if r.rrtype == RRType.SOA]
+    if len(soa_records) != 1:
+        raise ZoneError(f"zone needs exactly one SOA, found {len(soa_records)}")
+    soa_record = soa_records[0]
+    zone_origin = origin if origin is not None else soa_record.name
+    zone = Zone(zone_origin, soa_record.rdata, soa_record.rrclass,
+                soa_ttl=soa_record.ttl)
+    # Loading must preserve the file's SOA serial, not invent a new one.
+    with zone.bulk_update(bump_serial=False):
+        for rrset in records_to_rrsets(records):
+            if rrset.rrtype == RRType.SOA:
+                continue
+            zone.put_rrset(rrset)
+    return zone
+
+
+def dump_zone(zone: Zone) -> str:
+    """Serialize ``zone`` back to master-file text (round-trippable)."""
+    lines = [f"$ORIGIN {zone.origin.to_text()}"]
+    apex_soa = zone.get_rrset(zone.origin, RRType.SOA)
+    assert apex_soa is not None
+    for record in apex_soa.to_records():
+        lines.append(record.to_text())
+    for rrset in sorted(zone.iter_rrsets(),
+                        key=lambda s: (s.name, int(s.rrtype))):
+        if rrset.rrtype == RRType.SOA:
+            continue
+        for record in rrset.to_records():
+            lines.append(record.to_text())
+    return "\n".join(lines) + "\n"

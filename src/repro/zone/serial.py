@@ -1,0 +1,40 @@
+"""RFC 1982 serial-number arithmetic for zone SOA serials.
+
+Zone serials are 32-bit sequence numbers that wrap; "greater than" is
+defined only within half the number space.  Slaves use this comparison to
+decide whether a NOTIFY/refresh indicates new zone content.
+"""
+
+from __future__ import annotations
+
+SERIAL_BITS = 32
+_MOD = 1 << SERIAL_BITS
+_HALF = 1 << (SERIAL_BITS - 1)
+
+
+def serial_add(serial: int, increment: int) -> int:
+    """Add ``increment`` (< 2^31) to ``serial`` modulo 2^32."""
+    if not 0 <= increment < _HALF:
+        raise ValueError(f"increment out of range [0, 2^31): {increment}")
+    return (serial + increment) % _MOD
+
+
+def serial_gt(a: int, b: int) -> bool:
+    """RFC 1982 ``a > b``.
+
+    Undefined comparisons (distance exactly 2^31) return False both ways,
+    mirroring the RFC's "incomparable" case.
+    """
+    a %= _MOD
+    b %= _MOD
+    return (a < b and b - a > _HALF) or (a > b and a - b < _HALF)
+
+
+def serial_lt(a: int, b: int) -> bool:
+    """RFC 1982 ``a < b``."""
+    return serial_gt(b, a)
+
+
+def serial_max(a: int, b: int) -> int:
+    """The later of two serials under RFC 1982 ordering."""
+    return a if serial_gt(a, b) or a == b else b

@@ -1,0 +1,168 @@
+"""Zone replication: NOTIFY (RFC 1996) and AXFR/IXFR-style transfer.
+
+The DNS Dynamic Update protocol keeps a zone's primary master and its
+slaves strongly consistent (paper §2); DNScup extends that consistency to
+caches.  We implement the master/slave half here so the testbed
+(paper Figure 7: one master, two slaves) replicates realistically:
+
+* the master offers full transfers (AXFR) and incremental diffs (IXFR)
+  keyed by the slave's current serial;
+* :class:`ChangeLog` retains per-serial diffs so IXFR can replay them;
+* NOTIFY is a small opcode-4 message produced by
+  :func:`repro.dnslib.make_notify`; slaves respond by checking serials
+  and pulling a transfer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..dnslib import Name, RRSet, RRType
+from .serial import serial_gt
+from .zone import Zone, ZoneChange, diff_snapshots
+
+
+class TransferError(RuntimeError):
+    """Raised when a transfer cannot be served (unknown serial, etc.)."""
+
+
+class ChangeLog:
+    """Bounded per-zone history of committed diffs, indexed by serial.
+
+    Entry ``log[s]`` holds the changes that moved the zone *from* serial
+    ``s`` to its successor.  IXFR from serial ``s`` replays entries until
+    the head.  The log keeps at most ``capacity`` entries; older diffs are
+    dropped and transfers from pre-history fall back to AXFR.
+    """
+
+    def __init__(self, capacity: int = 1024):
+        self.capacity = capacity
+        self._entries: Dict[int, Tuple[int, List[ZoneChange]]] = {}
+        self._order: List[int] = []
+
+    def record(self, from_serial: int, to_serial: int,
+               changes: List[ZoneChange]) -> None:
+        """Log one arrival for ``key`` at time ``now``."""
+        self._entries[from_serial] = (to_serial, list(changes))
+        self._order.append(from_serial)
+        while len(self._order) > self.capacity:
+            dropped = self._order.pop(0)
+            self._entries.pop(dropped, None)
+
+    def replay_from(self, serial: int) -> Optional[List[ZoneChange]]:
+        """All changes from ``serial`` to the head, or None if unavailable."""
+        if serial not in self._entries:
+            return None
+        changes: List[ZoneChange] = []
+        cursor = serial
+        seen = set()
+        while cursor in self._entries:
+            if cursor in seen:
+                raise TransferError("serial cycle in change log")
+            seen.add(cursor)
+            to_serial, delta = self._entries[cursor]
+            changes.extend(delta)
+            cursor = to_serial
+        return changes
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class ZoneMaster:
+    """The transfer-serving side attached to a master's zone."""
+
+    def __init__(self, zone: Zone, log_capacity: int = 1024):
+        self.zone = zone
+        self.changelog = ChangeLog(log_capacity)
+        self._last_serial = zone.serial
+        zone.add_change_listener(self._on_change)
+
+    def _on_change(self, zone: Zone, changes: List[ZoneChange]) -> None:
+        new_serial = zone.serial
+        self.changelog.record(self._last_serial, new_serial, changes)
+        self._last_serial = new_serial
+
+    # -- serving -----------------------------------------------------------
+
+    def serve_axfr(self) -> Tuple[int, List[RRSet]]:
+        """Full zone contents with the serial they correspond to."""
+        return self.zone.serial, [rrset.copy() for rrset in self.zone.iter_rrsets()]
+
+    def serve_ixfr(self, from_serial: int) -> Tuple[int, Optional[List[ZoneChange]]]:
+        """Incremental changes since ``from_serial``.
+
+        Returns ``(current_serial, changes)``; ``changes`` is None when the
+        log no longer covers ``from_serial`` (caller falls back to AXFR) or
+        when the slave is already current (empty list).
+        """
+        current = self.zone.serial
+        if from_serial == current:
+            return current, []
+        if serial_gt(from_serial, current):
+            # The slave claims to be ahead of us; treat as out of sync.
+            return current, None
+        return current, self.changelog.replay_from(from_serial)
+
+
+class ZoneSlave:
+    """A slave replica that applies AXFR/IXFR payloads to its local copy."""
+
+    def __init__(self, zone: Zone):
+        self.zone = zone
+        self.transfers_full = 0
+        self.transfers_incremental = 0
+
+    @property
+    def serial(self) -> int:
+        """The zone's current SOA serial."""
+        return self.zone.serial
+
+    def needs_refresh(self, master_serial: int) -> bool:
+        """True when the master's serial is ahead of ours."""
+        return serial_gt(master_serial, self.zone.serial)
+
+    def apply_axfr(self, serial: int, rrsets: List[RRSet]) -> None:
+        """Replace the whole local zone with the master's contents."""
+        with self.zone.bulk_update(bump_serial=False):
+            for name in list(self.zone.names()):
+                for rrset in self.zone.rrsets_at(name):
+                    if rrset.rrtype == RRType.SOA and name == self.zone.origin:
+                        continue
+                    self.zone.delete_rrset(name, rrset.rrtype)
+            for rrset in rrsets:
+                self.zone.put_rrset(rrset)
+        self.zone.set_serial(serial)
+        self.transfers_full += 1
+
+    def apply_ixfr(self, serial: int, changes: List[ZoneChange]) -> None:
+        """Apply an incremental diff in order, then adopt ``serial``."""
+        with self.zone.bulk_update(bump_serial=False):
+            for name, rrtype, _old, new in changes:
+                if new is None:
+                    if not (name == self.zone.origin and rrtype == RRType.SOA):
+                        self.zone.delete_rrset(name, rrtype)
+                else:
+                    self.zone.put_rrset(new)
+        self.zone.set_serial(serial)
+        self.transfers_incremental += 1
+
+    def refresh_from(self, master: ZoneMaster) -> str:
+        """One refresh cycle; returns 'current', 'ixfr' or 'axfr'."""
+        current, changes = master.serve_ixfr(self.zone.serial)
+        if changes == []:
+            return "current"
+        if changes is None:
+            serial, rrsets = master.serve_axfr()
+            self.apply_axfr(serial, rrsets)
+            return "axfr"
+        self.apply_ixfr(current, changes)
+        return "ixfr"
+
+
+def zones_equal(a: Zone, b: Zone, ignore_soa: bool = True) -> bool:
+    """Content equality of two zones, optionally ignoring SOA serials."""
+    changes = diff_snapshots(a.snapshot(), b.snapshot())
+    if ignore_soa:
+        changes = [c for c in changes if c[1] != RRType.SOA]
+    return not changes

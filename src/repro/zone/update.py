@@ -1,0 +1,239 @@
+"""RFC 2136 dynamic update processing.
+
+DNScup is "an external extension to the DNS Dynamic Update protocol"
+(paper §2): internal updates keep a zone's master and slaves consistent,
+and DNScup extends the same change event outward to leased caches.  This
+module implements the server side of UPDATE: prerequisite checking
+(§3.2), update-section screening (§3.4.1) and application (§3.4.2),
+against a :class:`~repro.zone.zone.Zone`.
+
+Encoding conventions (RFC 2136 §2):
+
+* prerequisite "RRset exists (value independent)": TTL 0, class ANY, empty rdata
+* prerequisite "RRset does not exist": TTL 0, class NONE, empty rdata
+* prerequisite "name is in use": TTL 0, class ANY, type ANY
+* update "add": class = zone class, real TTL and rdata
+* update "delete RRset": TTL 0, class ANY, empty rdata
+* update "delete all at name": TTL 0, class ANY, type ANY
+* update "delete one RR": TTL 0, class NONE, rdata present
+
+Because our in-memory records always carry rdata objects, "empty rdata"
+is modelled by the :class:`EmptyRdata` sentinel below.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..dnslib import (
+    Message,
+    Name,
+    Opcode,
+    Question,
+    Rcode,
+    ResourceRecord,
+    RRClass,
+    RRSet,
+    RRType,
+    Rdata,
+    make_response,
+)
+from ..dnslib.rdata import EmptyRdata
+from .zone import Zone, ZoneError
+
+
+def prereq_rrset_exists(name, rrtype: RRType) -> ResourceRecord:
+    """Prerequisite: at least one RR of this type exists at ``name``."""
+    return ResourceRecord(name, rrtype, 0, EmptyRdata(rrtype), RRClass.ANY)
+
+
+def prereq_rrset_exists_value(name, rrtype: RRType, ttl_zero_rdata: Rdata) -> ResourceRecord:
+    """Prerequisite: the full RRset matches exactly (value dependent)."""
+    return ResourceRecord(name, rrtype, 0, ttl_zero_rdata)
+
+
+def prereq_rrset_absent(name, rrtype: RRType) -> ResourceRecord:
+    """RFC 2136 prerequisite: no RRset of this type exists."""
+    return ResourceRecord(name, rrtype, 0, EmptyRdata(rrtype), RRClass.NONE)
+
+
+def prereq_name_in_use(name) -> ResourceRecord:
+    """RFC 2136 prerequisite: some record exists at ``name``."""
+    return ResourceRecord(name, RRType.ANY, 0, EmptyRdata(RRType.ANY), RRClass.ANY)
+
+
+def prereq_name_not_in_use(name) -> ResourceRecord:
+    """RFC 2136 prerequisite: no record exists at ``name``."""
+    return ResourceRecord(name, RRType.ANY, 0, EmptyRdata(RRType.ANY), RRClass.NONE)
+
+
+def update_add(record: ResourceRecord) -> ResourceRecord:
+    """An "add this record" update entry (already in zone class)."""
+    return record
+
+
+def update_delete_rrset(name, rrtype: RRType) -> ResourceRecord:
+    """RFC 2136 update: delete the whole RRset."""
+    return ResourceRecord(name, rrtype, 0, EmptyRdata(rrtype), RRClass.ANY)
+
+
+def update_delete_name(name) -> ResourceRecord:
+    """RFC 2136 update: delete every RRset at ``name``."""
+    return ResourceRecord(name, RRType.ANY, 0, EmptyRdata(RRType.ANY), RRClass.ANY)
+
+
+def update_delete_record(name, rrtype: RRType, rdata: Rdata) -> ResourceRecord:
+    """RFC 2136 update: delete one specific record."""
+    return ResourceRecord(name, rrtype, 0, rdata, RRClass.NONE)
+
+
+class UpdateProcessor:
+    """Applies UPDATE messages to a zone with RFC 2136 semantics."""
+
+    def __init__(self, zone: Zone):
+        self.zone = zone
+
+    # -- entry point ---------------------------------------------------------
+
+    def process(self, message: Message) -> Message:
+        """Validate and apply ``message``; returns the UPDATE response."""
+        if message.opcode != Opcode.UPDATE:
+            return make_response(message, Rcode.FORMERR)
+        rcode = self._screen_zone_section(message)
+        if rcode is Rcode.NOERROR:
+            rcode = self._check_prerequisites(message.prerequisite)
+        if rcode is Rcode.NOERROR:
+            rcode = self._screen_updates(message.update)
+        if rcode is Rcode.NOERROR:
+            rcode = self._apply_updates(message.update)
+        return make_response(message, rcode)
+
+    # -- §3.1: zone section ----------------------------------------------------
+
+    def _screen_zone_section(self, message: Message) -> Rcode:
+        if len(message.zone) != 1:
+            return Rcode.FORMERR
+        zone_entry: Question = message.zone[0]
+        if zone_entry.rrtype != RRType.SOA:
+            return Rcode.FORMERR
+        if zone_entry.name != self.zone.origin:
+            return Rcode.NOTAUTH
+        return Rcode.NOERROR
+
+    # -- §3.2: prerequisites ------------------------------------------------------
+
+    def _check_prerequisites(self, prereqs: List[ResourceRecord]) -> Rcode:
+        value_sets: dict = {}
+        for record in prereqs:
+            if record.ttl != 0:
+                return Rcode.FORMERR
+            if not record.name.is_subdomain_of(self.zone.origin):
+                return Rcode.NOTZONE
+            if record.rrclass == RRClass.ANY:
+                if not isinstance(record.rdata, EmptyRdata):
+                    return Rcode.FORMERR
+                if record.rrtype == RRType.ANY:
+                    if not self.zone.has_name(record.name):
+                        return Rcode.NXDOMAIN
+                elif self.zone.get_rrset(record.name, record.rrtype) is None:
+                    return Rcode.NXRRSET
+            elif record.rrclass == RRClass.NONE:
+                if not isinstance(record.rdata, EmptyRdata):
+                    return Rcode.FORMERR
+                if record.rrtype == RRType.ANY:
+                    if self.zone.has_name(record.name):
+                        return Rcode.YXDOMAIN
+                elif self.zone.get_rrset(record.name, record.rrtype) is not None:
+                    return Rcode.YXRRSET
+            elif record.rrclass == self.zone.rrclass:
+                value_sets.setdefault((record.name, record.rrtype), []).append(record.rdata)
+            else:
+                return Rcode.FORMERR
+        for (name, rrtype), rdatas in value_sets.items():
+            existing = self.zone.get_rrset(name, rrtype)
+            if existing is None or frozenset(existing.rdatas) != frozenset(rdatas):
+                return Rcode.NXRRSET
+        return Rcode.NOERROR
+
+    # -- §3.4.1: update screening ----------------------------------------------------
+
+    def _screen_updates(self, updates: List[ResourceRecord]) -> Rcode:
+        for record in updates:
+            if not record.name.is_subdomain_of(self.zone.origin):
+                return Rcode.NOTZONE
+            if record.rrclass == self.zone.rrclass:
+                if record.rrtype in (RRType.ANY, RRType.AXFR):
+                    return Rcode.FORMERR
+            elif record.rrclass == RRClass.ANY:
+                if record.ttl != 0 or not isinstance(record.rdata, EmptyRdata):
+                    return Rcode.FORMERR
+            elif record.rrclass == RRClass.NONE:
+                if record.ttl != 0 or record.rrtype in (RRType.ANY, RRType.AXFR):
+                    return Rcode.FORMERR
+            else:
+                return Rcode.FORMERR
+        return Rcode.NOERROR
+
+    # -- §3.4.2: application ------------------------------------------------------------
+
+    def _apply_updates(self, updates: List[ResourceRecord]) -> Rcode:
+        try:
+            with self.zone.bulk_update():
+                for record in updates:
+                    self._apply_one(record)
+        except ZoneError:
+            return Rcode.SERVFAIL
+        return Rcode.NOERROR
+
+    def _apply_one(self, record: ResourceRecord) -> None:
+        zone = self.zone
+        if record.rrclass == zone.rrclass:
+            existing = zone.get_rrset(record.name, record.rrtype)
+            if record.rrtype == RRType.SOA:
+                # SOA update replaces if serial is newer; handled by put.
+                zone.put_rrset(RRSet(record.name, record.rrtype, record.ttl,
+                                     [record.rdata], zone.rrclass))
+                return
+            if record.rrtype == RRType.CNAME and existing is None \
+                    and zone.rrsets_at(record.name):
+                return  # RFC 2136 §3.4.2.2: silently skip conflicting CNAME add
+            if existing is not None and record.rrtype != RRType.CNAME \
+                    and any(r.rrtype == RRType.CNAME for r in zone.rrsets_at(record.name)):
+                return
+            if existing is None:
+                zone.put_rrset(RRSet(record.name, record.rrtype, record.ttl,
+                                     [record.rdata], zone.rrclass))
+            else:
+                merged = existing.copy()
+                merged.ttl = record.ttl
+                merged.add(record.rdata)
+                zone.put_rrset(merged)
+        elif record.rrclass == RRClass.ANY:
+            if record.rrtype == RRType.ANY:
+                if record.name == zone.origin:
+                    # Apex: delete everything except SOA and NS (RFC 2136).
+                    for rrset in zone.rrsets_at(record.name):
+                        if rrset.rrtype not in (RRType.SOA, RRType.NS):
+                            zone.delete_rrset(record.name, rrset.rrtype)
+                else:
+                    zone.delete_name(record.name)
+            else:
+                if record.name == zone.origin and record.rrtype in (RRType.SOA, RRType.NS):
+                    return
+                zone.delete_rrset(record.name, record.rrtype)
+        elif record.rrclass == RRClass.NONE:
+            existing = zone.get_rrset(record.name, record.rrtype)
+            if existing is None:
+                return
+            if record.name == zone.origin and record.rrtype == RRType.SOA:
+                return
+            remaining = [r for r in existing.rdatas if r != record.rdata]
+            if record.name == zone.origin and record.rrtype == RRType.NS and not remaining:
+                return  # never delete the last apex NS
+            if len(remaining) == len(existing):
+                return
+            if remaining:
+                zone.put_rrset(RRSet(record.name, record.rrtype, existing.ttl,
+                                     remaining, zone.rrclass))
+            else:
+                zone.delete_rrset(record.name, record.rrtype)

@@ -1,0 +1,290 @@
+"""The zone store: authoritative data for one delegated name space unit.
+
+A :class:`Zone` maps (owner name, type) to RRsets and enforces the
+invariants an authoritative server relies on:
+
+* exactly one SOA at the apex, whose serial advances on every change;
+* CNAME exclusivity (a CNAME owner has no other data, RFC 1034 §3.6.2);
+* all owner names fall inside the zone cut.
+
+Mutations go through :meth:`put_rrset` / :meth:`delete_rrset` /
+:meth:`delete_name` and automatically bump the serial unless batched in a
+:meth:`bulk_update` context (used by RFC 2136 processing, which bumps the
+serial once per successful UPDATE message).  Change listeners registered
+with :meth:`add_change_listener` receive every committed difference — this
+is the hook DNScup's *detection module* (paper Figure 6) attaches to.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from ..dnslib import Name, RRClass, RRSet, RRType, SOA, as_name
+from .serial import serial_add
+
+#: A committed change: (owner, rrtype, old RRset or None, new RRset or None).
+ZoneChange = Tuple[Name, RRType, Optional[RRSet], Optional[RRSet]]
+ChangeListener = Callable[["Zone", List[ZoneChange]], None]
+
+
+class ZoneError(ValueError):
+    """Raised when a mutation would violate a zone invariant."""
+
+
+class Zone:
+    """Authoritative data for one zone."""
+
+    def __init__(self, origin, soa: SOA, rrclass: RRClass = RRClass.IN,
+                 soa_ttl: int = 3600):
+        self.origin: Name = as_name(origin)
+        self.rrclass = rrclass
+        self._rrsets: Dict[Tuple[Name, RRType], RRSet] = {}
+        self._listeners: List[ChangeListener] = []
+        self._batch: Optional[List[ZoneChange]] = None
+        apex_soa = RRSet(self.origin, RRType.SOA, soa_ttl, [soa], rrclass)
+        self._rrsets[(self.origin, RRType.SOA)] = apex_soa
+
+    # -- identity ------------------------------------------------------------
+
+    @property
+    def soa(self) -> SOA:
+        """The apex SOA rdata."""
+        rrset = self._rrsets[(self.origin, RRType.SOA)]
+        return rrset.rdatas[0]  # type: ignore[return-value]
+
+    @property
+    def serial(self) -> int:
+        """The zone's current SOA serial."""
+        return self.soa.serial
+
+    def contains_name(self, name: Name) -> bool:
+        """True when ``name`` lies inside this zone's cut."""
+        return name.is_subdomain_of(self.origin)
+
+    # -- read ------------------------------------------------------------------
+
+    def get_rrset(self, name, rrtype: RRType) -> Optional[RRSet]:
+        """The RRset at (name, type), or None."""
+        return self._rrsets.get((as_name(name), RRType(rrtype)))
+
+    def rrsets_at(self, name) -> List[RRSet]:
+        """Every RRset stored at ``name``."""
+        key_name = as_name(name)
+        return [rrset for (owner, _), rrset in self._rrsets.items() if owner == key_name]
+
+    def has_name(self, name) -> bool:
+        """True when ``name`` exists (including empty non-terminals)."""
+        key_name = as_name(name)
+        if any(owner == key_name for (owner, _) in self._rrsets):
+            return True
+        # Empty non-terminals exist when any stored name lies beneath them.
+        return any(owner.is_subdomain_of(key_name) and owner != key_name
+                   for (owner, _) in self._rrsets)
+
+    def iter_rrsets(self) -> Iterator[RRSet]:
+        """Iterate over all stored RRsets."""
+        return iter(list(self._rrsets.values()))
+
+    def names(self) -> List[Name]:
+        """Every owner name with data, in insertion order."""
+        seen = []
+        for owner, _ in self._rrsets:
+            if owner not in seen:
+                seen.append(owner)
+        return seen
+
+    def find_delegation(self, name: Name) -> Optional[RRSet]:
+        """The NS RRset of the deepest zone cut above ``name``, if any.
+
+        The apex NS set is not a delegation; only cuts strictly below the
+        origin count.  Used for referral generation and lame-delegation
+        checks.
+        """
+        if not self.contains_name(name):
+            return None
+        for ancestor in name.ancestors():
+            if ancestor == self.origin:
+                return None
+            rrset = self._rrsets.get((ancestor, RRType.NS))
+            if rrset is not None:
+                return rrset
+        return None
+
+    def __len__(self) -> int:
+        return len(self._rrsets)
+
+    # -- change notification -----------------------------------------------------
+
+    def add_change_listener(self, listener: ChangeListener) -> None:
+        """Subscribe to committed RRset changes."""
+        self._listeners.append(listener)
+
+    def remove_change_listener(self, listener: ChangeListener) -> None:
+        """Unsubscribe a change listener."""
+        self._listeners.remove(listener)
+
+    def _emit(self, changes: List[ZoneChange]) -> None:
+        if not changes:
+            return
+        if self._batch is not None:
+            self._batch.extend(changes)
+            return
+        self._bump_serial()
+        for listener in list(self._listeners):
+            listener(self, changes)
+
+    def _bump_serial(self) -> None:
+        old = self.soa
+        new_soa = SOA(old.mname, old.rname, serial_add(old.serial, 1),
+                      old.refresh, old.retry, old.expire, old.minimum)
+        rrset = self._rrsets[(self.origin, RRType.SOA)]
+        rrset.replace([new_soa])
+
+    @contextlib.contextmanager
+    def bulk_update(self, bump_serial: bool = True):
+        """Batch mutations into one serial bump and one listener callback.
+
+        Replication paths (slaves applying AXFR/IXFR) pass
+        ``bump_serial=False`` and adopt the master's serial explicitly via
+        :meth:`set_serial`, so replicas never invent serials of their own.
+        """
+        if self._batch is not None:
+            yield self._batch
+            return
+        self._batch = []
+        try:
+            yield self._batch
+        finally:
+            changes, self._batch = self._batch, None
+            changes = _coalesce_changes(changes)
+            if changes:
+                if bump_serial:
+                    self._bump_serial()
+                for listener in list(self._listeners):
+                    listener(self, changes)
+
+    def set_serial(self, serial: int) -> None:
+        """Overwrite the SOA serial without emitting a change event."""
+        old = self.soa
+        new_soa = SOA(old.mname, old.rname, serial, old.refresh,
+                      old.retry, old.expire, old.minimum)
+        self._rrsets[(self.origin, RRType.SOA)].replace([new_soa])
+
+    # -- write ---------------------------------------------------------------------
+
+    def put_rrset(self, rrset: RRSet) -> None:
+        """Insert or replace the RRset for (rrset.name, rrset.rrtype)."""
+        if not self.contains_name(rrset.name):
+            raise ZoneError(f"{rrset.name} is outside zone {self.origin}")
+        if rrset.rrclass != self.rrclass:
+            raise ZoneError(f"class mismatch: {rrset.rrclass} != {self.rrclass}")
+        if len(rrset) == 0:
+            raise ZoneError("refusing to store an empty RRset")
+        self._check_cname_exclusivity(rrset)
+        if rrset.rrtype == RRType.SOA:
+            if rrset.name != self.origin:
+                raise ZoneError("SOA must live at the zone apex")
+            if len(rrset) != 1:
+                raise ZoneError("a zone has exactly one SOA")
+        key = (rrset.name, rrset.rrtype)
+        old = self._rrsets.get(key)
+        if old is not None and old == rrset:
+            return
+        stored = rrset.copy()
+        self._rrsets[key] = stored
+        self._emit([(rrset.name, rrset.rrtype, old, stored.copy())])
+
+    def _check_cname_exclusivity(self, rrset: RRSet) -> None:
+        others = [r for r in self.rrsets_at(rrset.name)
+                  if r.rrtype != rrset.rrtype]
+        if rrset.rrtype == RRType.CNAME and others:
+            raise ZoneError(f"CNAME at {rrset.name} conflicts with existing data")
+        if rrset.rrtype != RRType.CNAME and any(r.rrtype == RRType.CNAME for r in others):
+            raise ZoneError(f"{rrset.name} already holds a CNAME")
+
+    def delete_rrset(self, name, rrtype: RRType) -> bool:
+        """Remove one RRset; returns True when something was removed."""
+        key = (as_name(name), RRType(rrtype))
+        if key == (self.origin, RRType.SOA):
+            raise ZoneError("cannot delete the apex SOA")
+        old = self._rrsets.pop(key, None)
+        if old is None:
+            return False
+        self._emit([(key[0], key[1], old, None)])
+        return True
+
+    def delete_name(self, name) -> int:
+        """Remove all RRsets at ``name`` (except an apex SOA); count removed."""
+        key_name = as_name(name)
+        changes: List[ZoneChange] = []
+        for key in [k for k in self._rrsets if k[0] == key_name]:
+            if key == (self.origin, RRType.SOA):
+                continue
+            old = self._rrsets.pop(key)
+            changes.append((key[0], key[1], old, None))
+        self._emit(changes)
+        return len(changes)
+
+    def replace_address(self, name, addresses: List[str], ttl: Optional[int] = None) -> None:
+        """Convenience: point ``name``'s A RRset at ``addresses``.
+
+        This is the paper's canonical event — a DN2IP mapping change — and
+        the operation examples and benchmarks perform most often.
+        """
+        from ..dnslib import A  # local import to keep module load cheap
+        owner = as_name(name)
+        old = self.get_rrset(owner, RRType.A)
+        if ttl is None:
+            ttl = old.ttl if old is not None else 3600
+        self.put_rrset(RRSet(owner, RRType.A, ttl, [A(addr) for addr in addresses],
+                             self.rrclass))
+
+    # -- snapshots -------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[Tuple[Name, RRType], RRSet]:
+        """An immutable-ish copy of all RRsets, for diffing (IXFR, probes)."""
+        return {key: rrset.copy() for key, rrset in self._rrsets.items()}
+
+    def __repr__(self) -> str:
+        return f"Zone({self.origin.to_text()!r}, serial={self.serial}, rrsets={len(self)})"
+
+
+def _coalesce_changes(changes: List[ZoneChange]) -> List[ZoneChange]:
+    """Merge per-(name, type) change chains into one net change each.
+
+    A delete followed by an add of the same key inside one batch (the
+    RFC 2136 replace idiom) becomes a single replacement event, and
+    chains that net out to no change are dropped — one CACHE-UPDATE per
+    record, not one per intermediate step.
+    """
+    merged: Dict[Tuple[Name, RRType], Tuple[Optional[RRSet], Optional[RRSet]]] = {}
+    order: List[Tuple[Name, RRType]] = []
+    for name, rrtype, old, new in changes:
+        key = (name, rrtype)
+        if key in merged:
+            merged[key] = (merged[key][0], new)
+        else:
+            merged[key] = (old, new)
+            order.append(key)
+    result: List[ZoneChange] = []
+    for key in order:
+        old, new = merged[key]
+        if old is None and new is None:
+            continue
+        if old is not None and new is not None and old == new:
+            continue
+        result.append((key[0], key[1], old, new))
+    return result
+
+
+def diff_snapshots(old: Dict[Tuple[Name, RRType], RRSet],
+                   new: Dict[Tuple[Name, RRType], RRSet]) -> List[ZoneChange]:
+    """Compute the RRset-level difference between two snapshots."""
+    changes: List[ZoneChange] = []
+    for key in old.keys() | new.keys():
+        before = old.get(key)
+        after = new.get(key)
+        if before is None or after is None or before != after:
+            changes.append((key[0], key[1], before, after))
+    return changes

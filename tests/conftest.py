@@ -1,0 +1,59 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dnslib import A, Name, NS, RRSet, RRType, SOA
+from repro.net import Host, Network, Simulator
+from repro.zone import Zone, load_zone
+
+EXAMPLE_ZONE_TEXT = """\
+$ORIGIN example.com.
+$TTL 3600
+@       IN SOA ns1 admin 1 7200 900 604800 300
+@       IN NS  ns1
+@       IN NS  ns2
+@       IN MX  10 mail
+ns1     IN A   10.0.0.1
+ns2     IN A   10.0.0.2
+www     IN A   10.0.0.10
+www     IN A   10.0.0.11
+mail    IN A   10.0.0.20
+ftp     IN CNAME www
+text    IN TXT "hello world"
+sub     IN NS  ns1.sub
+ns1.sub IN A   10.0.1.1
+"""
+
+
+@pytest.fixture
+def example_zone() -> Zone:
+    return load_zone(EXAMPLE_ZONE_TEXT)
+
+
+@pytest.fixture
+def simulator() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def network(simulator) -> Network:
+    return Network(simulator, seed=1234)
+
+
+@pytest.fixture
+def make_host(network):
+    """Factory: make_host('10.0.0.1') -> Host bound to that address."""
+    def factory(address: str) -> Host:
+        return Host(network, address)
+    return factory
+
+
+def make_a_rrset(name: str, ttl: int, *addresses: str) -> RRSet:
+    return RRSet(name, RRType.A, ttl, [A(addr) for addr in addresses])
+
+
+@pytest.fixture
+def a_rrset():
+    return make_a_rrset

@@ -1,0 +1,118 @@
+"""Tests for the §4.1 analytical lease model."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    fixed_lease_curve,
+    lease_probability,
+    message_rate_reduction,
+    operating_point,
+    probability_increase,
+    renewal_rate,
+    tradeoff_ratio,
+)
+
+
+class TestLeaseProbability:
+    def test_formula(self):
+        # λ=0.1 (one query per 10 s), t=10: P = 10/(10+10) = 0.5
+        assert lease_probability(10.0, 0.1) == pytest.approx(0.5)
+
+    def test_zero_lease_zero_probability(self):
+        assert lease_probability(0.0, 1.0) == 0.0
+
+    def test_zero_rate_zero_probability(self):
+        assert lease_probability(100.0, 0.0) == 0.0
+
+    def test_monotone_in_lease_length(self):
+        rate = 0.05
+        values = [lease_probability(t, rate) for t in (1, 10, 100, 1000)]
+        assert values == sorted(values)
+
+    def test_bounded_by_one(self):
+        assert lease_probability(1e12, 100.0) < 1.0
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            lease_probability(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            lease_probability(1.0, -1.0)
+
+
+class TestRenewalRate:
+    def test_formula(self):
+        # λ=0.1, t=10: M = 1/(10+10) = 0.05
+        assert renewal_rate(10.0, 0.1) == pytest.approx(0.05)
+
+    def test_zero_lease_degenerates_to_polling(self):
+        """Paper: no lease → the full query rate goes upstream."""
+        assert renewal_rate(0.0, 0.25) == pytest.approx(0.25)
+
+    def test_monotone_decreasing_in_lease_length(self):
+        rate = 0.05
+        values = [renewal_rate(t, rate) for t in (0, 1, 10, 100)]
+        assert values == sorted(values, reverse=True)
+
+    def test_zero_rate_zero_messages(self):
+        assert renewal_rate(100.0, 0.0) == 0.0
+
+
+class TestTradeoffRatio:
+    """The paper's key identity: ΔM/ΔP = λ, for any t1 < t2."""
+
+    @pytest.mark.parametrize("rate", [0.001, 0.1, 1.0, 50.0])
+    @pytest.mark.parametrize("t1,t2", [(0.0, 10.0), (5.0, 500.0),
+                                       (100.0, 101.0)])
+    def test_ratio_equals_lambda(self, rate, t1, t2):
+        assert tradeoff_ratio(t1, t2, rate) == pytest.approx(rate, rel=1e-9)
+
+    def test_consistency_of_deltas(self):
+        dp = probability_increase(10.0, 20.0, 0.5)
+        dm = message_rate_reduction(10.0, 20.0, 0.5)
+        assert dm == pytest.approx(0.5 * dp)
+
+    def test_degenerate_change_rejected(self):
+        with pytest.raises(ValueError):
+            tradeoff_ratio(10.0, 10.0, 1.0)
+
+
+class TestOperatingPoint:
+    def test_no_lease_extreme(self):
+        """Paper's polling extreme: storage 0 %, query rate 100 %."""
+        point = operating_point([(0.1, 0.0), (0.5, 0.0)])
+        assert point.storage_percentage == 0.0
+        assert point.query_rate_percentage == 100.0
+
+    def test_infinite_lease_limit(self):
+        point = operating_point([(0.1, 1e12), (0.5, 1e12)])
+        assert point.storage_percentage == pytest.approx(100.0, abs=0.01)
+        assert point.query_rate_percentage < 0.01
+
+    def test_mixed_assignment(self):
+        point = operating_point([(0.1, 10.0), (0.1, 0.0)])
+        # one pair at P=0.5, one at 0 → 25% storage
+        assert point.storage_percentage == pytest.approx(25.0)
+        # messages: 0.05 + 0.1 of max 0.2 → 75%
+        assert point.query_rate_percentage == pytest.approx(75.0)
+
+    def test_empty(self):
+        point = operating_point([])
+        assert point.storage_percentage == 0.0
+        assert point.query_rate_percentage == 0.0
+
+
+class TestFixedLeaseCurve:
+    def test_curve_monotone(self):
+        rates = [0.01, 0.05, 0.2, 1.0]
+        curve = fixed_lease_curve(rates, [0, 1, 10, 100, 1000])
+        storages = [s for _, s, _ in curve]
+        query_rates = [q for _, _, q in curve]
+        assert storages == sorted(storages)
+        assert query_rates == sorted(query_rates, reverse=True)
+
+    def test_endpoints(self):
+        curve = fixed_lease_curve([0.1], [0, 1e12])
+        assert curve[0][1] == 0.0 and curve[0][2] == 100.0
+        assert curve[-1][1] == pytest.approx(100.0, abs=0.01)

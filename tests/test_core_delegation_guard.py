@@ -1,0 +1,139 @@
+"""Tests for the lame-delegation guard (paper §1)."""
+
+import pytest
+
+from repro.core import DelegationGuard
+from repro.dnslib import A, Name, NS, RRSet, RRType, SOA
+from repro.server import AuthoritativeServer
+from repro.zone import (
+    DelegationStatus,
+    Zone,
+    check_delegations,
+    load_zone,
+)
+
+PARENT_TEXT = """\
+$ORIGIN com.
+$TTL 86400
+@           IN SOA a.gtld. admin.gtld. 1 7200 900 604800 300
+@           IN NS a.gtld.
+example     IN NS ns1.example.com.
+ns1.example IN A  10.1.0.1
+"""
+
+CHILD_TEXT = """\
+$ORIGIN example.com.
+$TTL 3600
+@    IN SOA ns1 admin 1 7200 900 604800 300
+@    IN NS  ns1
+ns1  IN A   10.1.0.1
+www  IN A   10.0.0.10
+"""
+
+
+@pytest.fixture
+def world(make_host, simulator):
+    parent_zone = load_zone(PARENT_TEXT)
+    parent_server = AuthoritativeServer(make_host("10.0.0.1"), [parent_zone])
+    child_zone = load_zone(CHILD_TEXT)
+    child_host = make_host("10.1.0.1")
+    child_server = AuthoritativeServer(child_host, [child_zone])
+    guard = DelegationGuard(child_zone, ("10.0.0.1", 53),
+                            child_server.socket)
+    return parent_zone, child_zone, guard, simulator
+
+
+def delegation_status(parent_zone, child_zone):
+    reports = check_delegations(
+        parent_zone, {child_zone.origin: child_zone})
+    return {r.child: r.status for r in reports}[child_zone.origin]
+
+
+class TestGuard:
+    def test_initially_consistent(self, world):
+        parent_zone, child_zone, guard, simulator = world
+        assert delegation_status(parent_zone, child_zone) == \
+            DelegationStatus.CONSISTENT
+
+    def test_ns_addition_pushed_to_parent(self, world):
+        parent_zone, child_zone, guard, simulator = world
+        with child_zone.bulk_update():
+            child_zone.put_rrset(RRSet(
+                "example.com", RRType.NS, 3600,
+                [NS("ns1.example.com"), NS("ns2.example.com")]))
+            child_zone.put_rrset(RRSet("ns2.example.com", RRType.A, 3600,
+                                       [A("10.1.0.2")]))
+        simulator.run()
+        assert guard.stats.updates_accepted == 1
+        parent_ns = parent_zone.get_rrset("example.com", RRType.NS)
+        assert {r.target for r in parent_ns.rdatas} == {
+            Name.from_text("ns1.example.com"),
+            Name.from_text("ns2.example.com")}
+        # Glue for the new server arrived too.
+        glue = parent_zone.get_rrset("ns2.example.com", RRType.A)
+        assert glue is not None and glue.rdatas == (A("10.1.0.2"),)
+        assert delegation_status(parent_zone, child_zone) == \
+            DelegationStatus.CONSISTENT
+
+    def test_nameserver_renumbering_updates_glue(self, world):
+        parent_zone, child_zone, guard, simulator = world
+        child_zone.replace_address("ns1.example.com", ["10.1.0.99"])
+        simulator.run()
+        glue = parent_zone.get_rrset("ns1.example.com", RRType.A)
+        assert glue.rdatas == (A("10.1.0.99"),)
+
+    def test_unrelated_change_not_pushed(self, world):
+        parent_zone, child_zone, guard, simulator = world
+        child_zone.replace_address("www.example.com", ["10.0.0.77"])
+        simulator.run()
+        assert guard.stats.updates_sent == 0
+
+    def test_ns_rename_with_swap(self, world):
+        """Renaming the nameserver entirely — the classic lame setup."""
+        parent_zone, child_zone, guard, simulator = world
+        with child_zone.bulk_update():
+            child_zone.put_rrset(RRSet("example.com", RRType.NS, 3600,
+                                       [NS("dns.example.com")]))
+            child_zone.put_rrset(RRSet("dns.example.com", RRType.A, 3600,
+                                       [A("10.1.0.50")]))
+            child_zone.delete_rrset("ns1.example.com", RRType.A)
+        simulator.run()
+        parent_ns = parent_zone.get_rrset("example.com", RRType.NS)
+        assert {r.target for r in parent_ns.rdatas} == {
+            Name.from_text("dns.example.com")}
+        assert parent_zone.get_rrset("dns.example.com", RRType.A) is not None
+        assert delegation_status(parent_zone, child_zone) == \
+            DelegationStatus.CONSISTENT
+
+    def test_detach_stops_pushing(self, world):
+        parent_zone, child_zone, guard, simulator = world
+        guard.detach()
+        child_zone.replace_address("ns1.example.com", ["10.1.0.99"])
+        simulator.run()
+        assert guard.stats.updates_sent == 0
+
+    def test_rejection_counted(self, world, make_host, simulator):
+        parent_zone, child_zone, guard, _ = world
+        # A parent that refuses updates.
+        parent_zone2 = load_zone(PARENT_TEXT.replace("com.", "net.", 1)
+                                 .replace("example.com", "example.net"))
+        stubborn = AuthoritativeServer(make_host("10.0.0.2"), [parent_zone2])
+        stubborn.allow_updates = False
+        child_zone2 = load_zone(CHILD_TEXT.replace("example.com",
+                                                   "example.net"))
+        child_server2 = AuthoritativeServer(make_host("10.1.0.9"),
+                                            [child_zone2])
+        guard2 = DelegationGuard(child_zone2, ("10.0.0.2", 53),
+                                 child_server2.socket)
+        child_zone2.replace_address("ns1.example.net", ["10.1.0.99"])
+        simulator.run()
+        assert guard2.stats.updates_rejected == 1
+
+    def test_explicit_parent_origin(self, world, make_host, simulator):
+        _, child_zone, _, _ = world
+        # Guard pointed at an explicit (grand)parent zone name.
+        guard = DelegationGuard(child_zone, ("10.0.0.1", 53),
+                                make_host("10.3.0.1").socket(),
+                                parent_origin=Name.from_text("com"))
+        message = guard.build_update()
+        assert message.zone[0].name == Name.from_text("com")

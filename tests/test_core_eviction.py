@@ -1,0 +1,72 @@
+"""Unit tests for online lease deprivation (evict-under-pressure)."""
+
+import pytest
+
+from repro.core import DynamicLeasePolicy, LeaseTable, ListeningModule
+from repro.dnslib import A, ResourceRecord, RRType, make_query, make_response
+from repro.net import Simulator
+
+
+def answered_query(name, rrc):
+    query = make_query(name, RRType.A, rrc=rrc)
+    response = make_response(query)
+    response.authoritative = True
+    response.answer.append(ResourceRecord(name, RRType.A, 60, A("1.1.1.1")))
+    return query, response
+
+
+@pytest.fixture
+def module():
+    simulator = Simulator()
+    table = LeaseTable(capacity=2)
+    return ListeningModule(simulator, table, DynamicLeasePolicy(0.0),
+                           max_lease_fn=lambda n, t: 1000.0,
+                           rate_window=100.0,
+                           evict_under_pressure=True), table, simulator
+
+
+def offer(module, name, source, times=1):
+    for _ in range(times):
+        query, response = answered_query(name, rrc=0)
+        module.on_query(query, source, response)
+    return response
+
+
+class TestEviction:
+    def test_hot_candidate_evicts_coldest(self, module):
+        listening, table, simulator = module
+        # Fill the table with two cold leases (one arrival each).
+        offer(listening, "cold1.x.com", ("10.2.0.1", 40000))
+        offer(listening, "cold2.x.com", ("10.2.0.2", 40000))
+        assert len(table) == 2
+        # A hot record (many arrivals) from a third cache forces room.
+        response = offer(listening, "hot.x.com", ("10.2.0.3", 40000),
+                         times=10)
+        assert response.llt is not None
+        assert listening.stats.evictions >= 1
+        assert len(table) == 2
+        hot_holders = table.holders("hot.x.com", RRType.A, simulator.now)
+        assert hot_holders
+
+    def test_cold_candidate_does_not_evict_hot(self, module):
+        listening, table, simulator = module
+        offer(listening, "hot1.x.com", ("10.2.0.1", 40000), times=10)
+        offer(listening, "hot2.x.com", ("10.2.0.2", 40000), times=10)
+        response = offer(listening, "cold.x.com", ("10.2.0.3", 40000))
+        assert response.llt is None
+        assert listening.stats.table_full == 1
+        assert table.holders("hot1.x.com", RRType.A, simulator.now)
+        assert table.holders("hot2.x.com", RRType.A, simulator.now)
+
+    def test_disabled_by_default(self):
+        simulator = Simulator()
+        table = LeaseTable(capacity=1)
+        listening = ListeningModule(simulator, table,
+                                    DynamicLeasePolicy(0.0),
+                                    max_lease_fn=lambda n, t: 1000.0)
+        offer(listening, "a.x.com", ("10.2.0.1", 40000))
+        response = offer(listening, "b.x.com", ("10.2.0.2", 40000),
+                         times=10)
+        assert response.llt is None
+        assert listening.stats.evictions == 0
+        assert listening.stats.table_full == 10  # every attempt bounced

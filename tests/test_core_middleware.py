@@ -1,0 +1,192 @@
+"""Tests for the assembled DNScup middleware on a real server."""
+
+import pytest
+
+from repro.core import (
+    DNScup,
+    DNScupConfig,
+    DynamicLeasePolicy,
+    FixedLeasePolicy,
+    attach_dnscup,
+)
+from repro.dnslib import (
+    A,
+    Message,
+    Name,
+    Rcode,
+    RRType,
+    make_query,
+)
+from repro.net import RetryPolicy
+from repro.server import AuthoritativeServer, RecursiveResolver, ResolverCache
+from repro.zone import load_zone
+from tests.conftest import EXAMPLE_ZONE_TEXT
+
+ROOT_TEXT = """\
+$ORIGIN .
+$TTL 86400
+.                IN SOA a.root. admin. 1 7200 900 604800 300
+.                IN NS a.root.
+a.root.          IN A  198.41.0.4
+example.com.     IN NS ns1.example.com.
+ns1.example.com. IN A  10.1.0.1
+"""
+
+
+@pytest.fixture
+def world(make_host, simulator):
+    root = AuthoritativeServer(
+        make_host("198.41.0.4"),
+        [load_zone(ROOT_TEXT, origin=Name.root())])
+    zone = load_zone(EXAMPLE_ZONE_TEXT)
+    auth = AuthoritativeServer(make_host("10.1.0.1"), [zone])
+    middleware = attach_dnscup(auth, policy=DynamicLeasePolicy(0.0))
+    resolver = RecursiveResolver(make_host("10.2.0.1"),
+                                 [("198.41.0.4", 53)],
+                                 cache=ResolverCache(), dnscup_enabled=True)
+    return zone, auth, middleware, resolver, simulator
+
+
+def resolve(resolver, simulator, name):
+    results = []
+    resolver.resolve(name, RRType.A, lambda recs, rc: results.append((recs, rc)))
+    simulator.run()
+    return results[0]
+
+
+class TestAttachment:
+    def test_attach_idempotent(self, world):
+        _, auth, middleware, _, _ = world
+        hooks_before = len(auth.query_hooks)
+        middleware.attach()
+        assert len(auth.query_hooks) == hooks_before
+
+    def test_detach_removes_hooks(self, world):
+        _, auth, middleware, _, _ = world
+        middleware.detach()
+        assert middleware.listening.on_query not in auth.query_hooks
+        middleware.detach()  # idempotent
+
+    def test_plain_clients_unaffected(self, world, make_host):
+        _, _, _, _, simulator = world
+        client = make_host("10.9.0.1").socket()
+        query = make_query("www.example.com", RRType.A,
+                           recursion_desired=False)
+        responses = []
+        client.request(query.to_wire(), ("10.1.0.1", 53), query.id,
+                       lambda p, s: responses.append(p))
+        simulator.run()
+        response = Message.from_wire(responses[0])
+        assert response.rcode == Rcode.NOERROR
+        assert response.llt is None
+        assert not response.cache_update_aware
+
+
+class TestEndToEndConsistency:
+    def test_lease_then_push_keeps_cache_fresh(self, world):
+        zone, _, middleware, resolver, simulator = world
+        records, rcode = resolve(resolver, simulator, "www.example.com")
+        assert rcode == Rcode.NOERROR
+        assert len(middleware.table) == 1
+        zone.replace_address("www.example.com", ["172.16.9.9"])
+        simulator.run()
+        entry = resolver.cache.peek("www.example.com", RRType.A)
+        assert entry.rrset.rdatas == (A("172.16.9.9"),)
+        assert middleware.notification.ack_ratio() == 1.0
+
+    def test_consistency_window_is_one_rtt(self, world):
+        zone, _, middleware, resolver, simulator = world
+        resolve(resolver, simulator, "www.example.com")
+        change_at = simulator.now
+        zone.replace_address("www.example.com", ["172.16.9.9"])
+        simulator.run()
+        rtts = [o.rtt for o in middleware.notification.outcomes if o.rtt]
+        assert rtts and max(rtts) < 1.0  # LAN-scale, not TTL-scale
+
+    def test_deletion_propagates_to_cache(self, world):
+        zone, _, middleware, resolver, simulator = world
+        resolve(resolver, simulator, "www.example.com")
+        zone.delete_rrset("www.example.com", RRType.A)
+        simulator.run()
+        entry = resolver.cache.peek("www.example.com", RRType.A)
+        # The cache applied an empty update: entry rewritten with no rdatas.
+        assert entry is None or len(entry.rrset) == 0
+
+    def test_no_lease_no_push(self, world, make_host):
+        """A resolver without DNScup falls back to TTL (weak) behaviour."""
+        zone, _, middleware, _, simulator = world
+        plain = RecursiveResolver(make_host("10.2.0.9"),
+                                  [("198.41.0.4", 53)],
+                                  dnscup_enabled=False)
+        resolve(plain, simulator, "www.example.com")
+        assert len(middleware.table) == 0
+        zone.replace_address("www.example.com", ["172.16.9.9"])
+        simulator.run()
+        entry = plain.cache.peek("www.example.com", RRType.A)
+        assert entry.rrset.rdatas != (A("172.16.9.9"),)  # stale until TTL
+
+    def test_summary_counters(self, world):
+        zone, _, middleware, resolver, simulator = world
+        resolve(resolver, simulator, "www.example.com")
+        zone.replace_address("www.example.com", ["172.16.9.9"])
+        simulator.run()
+        summary = middleware.summary()
+        assert summary["grants"] == 1.0
+        assert summary["changes_detected"] == 1.0
+        assert summary["notifications_sent"] == 1.0
+        assert summary["acks_received"] == 1.0
+
+
+class TestTrackFileLifecycle:
+    def test_save_and_reload_preserves_obligations(self, world, tmp_path):
+        zone, auth, middleware, resolver, simulator = world
+        resolve(resolver, simulator, "www.example.com")
+        path = str(tmp_path / "track.db")
+        assert middleware.save_track_file(path) == 1
+        # A "restarted" middleware adopts the saved leases.
+        middleware.detach()
+        fresh = DNScup(auth, policy=DynamicLeasePolicy(0.0)).attach()
+        fresh.load_track_file(path)
+        assert len(fresh.table) == 1
+        zone.replace_address("www.example.com", ["172.16.9.9"])
+        simulator.run()
+        entry = resolver.cache.peek("www.example.com", RRType.A)
+        assert entry.rrset.rdatas == (A("172.16.9.9"),)
+
+    def test_expired_leases_not_reloaded(self, world, tmp_path):
+        zone, auth, middleware, resolver, simulator = world
+        middleware.table.grant(("10.2.0.1", 53), "www.example.com",
+                               RRType.A, now=0.0, length=1.0)
+        path = str(tmp_path / "track.db")
+        middleware.save_track_file(path)
+        simulator.run_until(100.0)
+        fresh = DNScup(auth, policy=DynamicLeasePolicy(0.0))
+        fresh.load_track_file(path)
+        assert len(fresh.table) == 0
+
+
+class TestPolicyVariants:
+    def test_fixed_policy_grants_fixed_llt(self, world, make_host):
+        zone, auth, middleware, _, simulator = world
+        middleware.detach()
+        fixed = attach_dnscup(auth, policy=FixedLeasePolicy(444.0))
+        resolver = RecursiveResolver(make_host("10.2.0.7"),
+                                     [("198.41.0.4", 53)],
+                                     dnscup_enabled=True)
+        resolve(resolver, simulator, "www.example.com")
+        lease = next(iter(fixed.table))
+        assert lease.length == 444.0
+
+    def test_capacity_limits_grants(self, world, make_host):
+        zone, auth, middleware, _, simulator = world
+        middleware.detach()
+        limited = attach_dnscup(
+            auth, policy=DynamicLeasePolicy(0.0),
+            config=DNScupConfig(lease_capacity=1))
+        resolver = RecursiveResolver(make_host("10.2.0.8"),
+                                     [("198.41.0.4", 53)],
+                                     dnscup_enabled=True)
+        resolve(resolver, simulator, "www.example.com")
+        resolve(resolver, simulator, "mail.example.com")
+        assert len(limited.table) == 1
+        assert limited.listening.stats.table_full == 1

@@ -1,0 +1,277 @@
+"""Tests for the detection, listening and notification modules."""
+
+import pytest
+
+from repro.core import (
+    DetectionModule,
+    DynamicLeasePolicy,
+    LeaseTable,
+    ListeningModule,
+    NoLeasePolicy,
+    NotificationModule,
+)
+from repro.dnslib import (
+    A,
+    Message,
+    Name,
+    Opcode,
+    Rcode,
+    ResourceRecord,
+    RRType,
+    make_cache_update_ack,
+    make_query,
+    make_response,
+)
+from repro.net import LinkProfile, RetryPolicy
+from repro.zone import load_zone
+from tests.conftest import EXAMPLE_ZONE_TEXT
+
+
+class TestDetectionModule:
+    def test_event_driven_detection(self, simulator):
+        zone = load_zone(EXAMPLE_ZONE_TEXT)
+        module = DetectionModule(simulator)
+        events = []
+        module.add_sink(events.append)
+        module.watch_zone(zone)
+        zone.replace_address("www.example.com", ["9.9.9.9"])
+        assert len(events) == 1
+        change = events[0]
+        assert change.name == Name.from_text("www.example.com")
+        assert change.new.rdatas == (A("9.9.9.9"),)
+        assert not change.is_deletion
+
+    def test_soa_churn_ignored(self, simulator):
+        """Serial bumps are replication bookkeeping, not mapping changes."""
+        zone = load_zone(EXAMPLE_ZONE_TEXT)
+        module = DetectionModule(simulator)
+        events = []
+        module.add_sink(events.append)
+        module.watch_zone(zone)
+        zone.replace_address("www.example.com", ["9.9.9.9"])
+        assert all(e.rrtype != RRType.SOA for e in events)
+
+    def test_deletion_detected(self, simulator):
+        zone = load_zone(EXAMPLE_ZONE_TEXT)
+        module = DetectionModule(simulator)
+        events = []
+        module.add_sink(events.append)
+        module.watch_zone(zone)
+        zone.delete_rrset("mail.example.com", RRType.A)
+        assert events[0].is_deletion
+
+    def test_polling_detects_out_of_band_edit(self, simulator):
+        zone = load_zone(EXAMPLE_ZONE_TEXT)
+        module = DetectionModule(simulator)
+        events = []
+        module.add_sink(events.append)
+        module.watch_zone(zone, poll_interval=10.0)
+        # Out-of-band edit: mutate internal state without listeners
+        # (simulates an operator editing the zone file directly).
+        zone.remove_change_listener(module._on_zone_commit)
+        zone.replace_address("www.example.com", ["8.8.8.8"])
+        simulator.run_until(10.0)
+        assert any(e.name == Name.from_text("www.example.com") for e in events)
+
+    def test_no_double_detection_with_polling(self, simulator):
+        zone = load_zone(EXAMPLE_ZONE_TEXT)
+        module = DetectionModule(simulator)
+        events = []
+        module.add_sink(events.append)
+        module.watch_zone(zone, poll_interval=10.0)
+        zone.replace_address("www.example.com", ["8.8.8.8"])
+        simulator.run_until(30.0)
+        www_events = [e for e in events
+                      if e.name == Name.from_text("www.example.com")]
+        assert len(www_events) == 1
+
+    def test_double_watch_rejected(self, simulator):
+        zone = load_zone(EXAMPLE_ZONE_TEXT)
+        module = DetectionModule(simulator)
+        module.watch_zone(zone)
+        with pytest.raises(ValueError):
+            module.watch_zone(zone)
+
+    def test_unwatch_stops_events(self, simulator):
+        zone = load_zone(EXAMPLE_ZONE_TEXT)
+        module = DetectionModule(simulator)
+        events = []
+        module.add_sink(events.append)
+        module.watch_zone(zone)
+        module.unwatch_zone(zone.origin)
+        zone.replace_address("www.example.com", ["9.9.9.9"])
+        assert not events
+
+
+def make_answered_query(name="www.example.com", rrc=100):
+    query = make_query(name, RRType.A, rrc=rrc)
+    response = make_response(query)
+    response.authoritative = True
+    response.answer.append(ResourceRecord(name, RRType.A, 60, A("1.1.1.1")))
+    return query, response
+
+
+class TestListeningModule:
+    def test_grants_and_stamps_llt(self, simulator):
+        table = LeaseTable()
+        module = ListeningModule(simulator, table, DynamicLeasePolicy(0.0),
+                                 max_lease_fn=lambda n, t: 6000.0)
+        query, response = make_answered_query()
+        module.on_query(query, ("10.2.0.1", 40000), response)
+        assert response.llt == 6000
+        lease = table.get(("10.2.0.1", 53), "www.example.com", RRType.A)
+        assert lease is not None and lease.length == 6000.0
+        assert module.stats.grants == 1
+
+    def test_lease_tracked_at_port_53(self, simulator):
+        """Queries come from ephemeral ports; notifications go to :53."""
+        table = LeaseTable()
+        module = ListeningModule(simulator, table, DynamicLeasePolicy(0.0))
+        query, response = make_answered_query()
+        module.on_query(query, ("10.2.0.1", 54321), response)
+        assert table.holders("www.example.com", RRType.A, 0.0)[0].cache == \
+            ("10.2.0.1", 53)
+
+    def test_plain_dns_query_untouched(self, simulator):
+        table = LeaseTable()
+        module = ListeningModule(simulator, table, DynamicLeasePolicy(0.0))
+        query = make_query("www.example.com", RRType.A)  # no CU bit
+        response = make_response(query)
+        response.answer.append(ResourceRecord("www.example.com", RRType.A,
+                                              60, A("1.1.1.1")))
+        module.on_query(query, ("10.2.0.1", 40000), response)
+        assert response.llt is None
+        assert len(table) == 0
+
+    def test_no_lease_on_failed_answer(self, simulator):
+        table = LeaseTable()
+        module = ListeningModule(simulator, table, DynamicLeasePolicy(0.0))
+        query = make_query("missing.example.com", RRType.A, rrc=5)
+        response = make_response(query, Rcode.NXDOMAIN)
+        module.on_query(query, ("10.2.0.1", 40000), response)
+        assert len(table) == 0
+
+    def test_policy_denial_no_llt(self, simulator):
+        table = LeaseTable()
+        module = ListeningModule(simulator, table, NoLeasePolicy())
+        query, response = make_answered_query()
+        module.on_query(query, ("10.2.0.1", 40000), response)
+        assert response.llt is None
+        assert module.stats.denials == 1
+
+    def test_table_full_counted(self, simulator):
+        table = LeaseTable(capacity=1)
+        module = ListeningModule(simulator, table, DynamicLeasePolicy(0.0))
+        q1, r1 = make_answered_query("a.example.com")
+        q2, r2 = make_answered_query("b.example.com")
+        module.on_query(q1, ("10.2.0.1", 40000), r1)
+        module.on_query(q2, ("10.2.0.2", 40000), r2)
+        assert module.stats.table_full == 1
+        assert r2.llt is None
+
+    def test_rate_uses_max_of_reported_and_observed(self, simulator):
+        """A cache under-reporting its RRC still gets rated by arrivals."""
+        table = LeaseTable()
+        module = ListeningModule(simulator, table,
+                                 DynamicLeasePolicy(rate_threshold=0.5),
+                                 rate_window=10.0)
+        source = ("10.2.0.1", 40000)
+        granted = False
+        for _ in range(20):  # 20 arrivals in a 10 s window → 2 q/s observed
+            query, response = make_answered_query(rrc=0)
+            module.on_query(query, source, response)
+            if response.llt:
+                granted = True
+        assert granted
+
+
+class TestNotificationModule:
+    def build(self, make_host, loss_rate=0.0):
+        server_host = make_host("10.1.0.1")
+        cache_host = make_host("10.2.0.1")
+        if loss_rate:
+            server_host.network.set_link_profile(
+                "10.1.0.1", "10.2.0.1", LinkProfile(loss_rate=loss_rate))
+        server_socket = server_host.dns_socket()
+        table = LeaseTable()
+        module = NotificationModule(
+            server_socket, table,
+            retry=RetryPolicy(initial_timeout=0.5, max_attempts=3))
+        # A minimal acking cache.
+        cache_socket = cache_host.dns_socket()
+        received = []
+
+        def on_datagram(payload, src, dst):
+            message = Message.from_wire(payload)
+            if message.opcode == Opcode.CACHE_UPDATE:
+                received.append(message)
+                cache_socket.send(make_cache_update_ack(message).to_wire(),
+                                  src)
+
+        cache_socket.on_receive(on_datagram)
+        return module, table, received
+
+    def fake_change(self, name="www.example.com"):
+        from repro.core.detection import RecordChange
+        from repro.dnslib import RRSet
+        new = RRSet(name, RRType.A, 60, [A("9.9.9.9")])
+        return RecordChange(Name.from_text("example.com"),
+                            Name.from_text(name), RRType.A, None, new, 0.0)
+
+    def test_notifies_lease_holders(self, make_host, simulator):
+        module, table, received = self.build(make_host)
+        table.grant(("10.2.0.1", 53), "www.example.com", RRType.A, 0.0, 100.0)
+        module.on_change(self.fake_change())
+        simulator.run()
+        assert len(received) == 1
+        assert received[0].answer[0].rdata == A("9.9.9.9")
+        assert module.stats.acks_received == 1
+        assert module.ack_ratio() == 1.0
+        assert module.mean_ack_rtt() is not None
+
+    def test_skips_expired_leases(self, make_host, simulator):
+        module, table, received = self.build(make_host)
+        table.grant(("10.2.0.1", 53), "www.example.com", RRType.A, 0.0, 100.0)
+        simulator.run_until(200.0)
+        module.on_change(self.fake_change())
+        simulator.run()
+        assert not received
+        assert module.stats.no_holders == 1
+
+    def test_retransmits_through_loss(self, make_host, simulator):
+        module, table, received = self.build(make_host, loss_rate=0.6)
+        for i in range(10):
+            table.grant(("10.2.0.1", 53), f"d{i}.example.com", RRType.A,
+                        0.0, 1000.0)
+            module.on_change(self.fake_change(f"d{i}.example.com"))
+        simulator.run()
+        assert module.stats.acks_received >= 7
+        assert module.stats.acks_received + module.stats.failures == 10
+
+    def test_unreachable_cache_recorded(self, make_host, simulator):
+        server_host = make_host("10.1.0.2")
+        table = LeaseTable()
+        module = NotificationModule(
+            server_host.dns_socket(), table,
+            retry=RetryPolicy(initial_timeout=0.2, max_attempts=2))
+        table.grant(("203.0.113.9", 53), "www.example.com", RRType.A,
+                    0.0, 100.0)
+        module.on_change(self.fake_change())
+        simulator.run()
+        assert module.stats.failures == 1
+        assert ("203.0.113.9", 53) in module.unreachable
+
+    def test_deletion_pushed_with_empty_answer(self, make_host, simulator):
+        from repro.core.detection import RecordChange
+        from repro.dnslib import RRSet
+        module, table, received = self.build(make_host)
+        table.grant(("10.2.0.1", 53), "www.example.com", RRType.A, 0.0, 100.0)
+        old = RRSet("www.example.com", RRType.A, 60, [A("1.1.1.1")])
+        change = RecordChange(Name.from_text("example.com"),
+                              Name.from_text("www.example.com"),
+                              RRType.A, old, None, 0.0)
+        module.on_change(change)
+        simulator.run()
+        assert len(received) == 1
+        assert not received[0].answer
+        assert received[0].question[0].rrtype == RRType.A

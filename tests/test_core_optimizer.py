@@ -1,0 +1,191 @@
+"""Tests for the §4.2 offline lease optimizers."""
+
+import pytest
+
+from repro.core import (
+    LeaseInstance,
+    communication_constrained,
+    communication_constrained_floor,
+    storage_constrained,
+    storage_constrained_exact,
+    sweep_storage_budgets,
+)
+
+
+def make_instances():
+    """Four pairs with well-separated rates, uniform max lease 100 s."""
+    rates = [1.0, 0.1, 0.01, 0.001]
+    return [LeaseInstance(record=f"r{i}", cache="c", query_rate=rate,
+                          max_lease=100.0)
+            for i, rate in enumerate(rates)]
+
+
+class TestStorageConstrained:
+    def test_grants_by_descending_rate(self):
+        instances = make_instances()
+        # Budget for roughly two leases: hottest two cost ~0.990 + 0.909.
+        assignment = storage_constrained(instances, storage_budget=1.95)
+        granted = {key[0] for key in assignment.granted}
+        assert granted == {"r0", "r1"}
+
+    def test_zero_budget_grants_nothing(self):
+        assignment = storage_constrained(make_instances(), 0.0)
+        assert assignment.granted_count == 0
+        point = assignment.operating_point()
+        assert point.query_rate_percentage == 100.0
+
+    def test_huge_budget_grants_everything(self):
+        assignment = storage_constrained(make_instances(), 1e9)
+        assert assignment.granted_count == 4
+
+    def test_budget_respected(self):
+        instances = make_instances()
+        for budget in (0.5, 1.0, 2.0, 3.0):
+            assignment = storage_constrained(instances, budget)
+            used = sum(inst.storage_cost for inst in instances
+                       if (inst.record, inst.cache) in assignment.granted)
+            assert used <= budget + 1e-9
+
+    def test_covered_query_rate_is_maximal(self):
+        """§4.2.1's guarantee: the greedy covers the highest total rate
+        among equal-count selections."""
+        instances = make_instances()
+        assignment = storage_constrained(instances, storage_budget=1.95)
+        covered = sum(inst.query_rate for inst in instances
+                      if (inst.record, inst.cache) in assignment.granted)
+        # Any other 2-subset covers strictly less.
+        from itertools import combinations
+        for pair in combinations(instances, assignment.granted_count):
+            if sum(i.storage_cost for i in pair) <= 1.95:
+                assert covered >= sum(i.query_rate for i in pair) - 1e-12
+
+    def test_zero_rate_pairs_skipped(self):
+        instances = [LeaseInstance("r", "c", 0.0, 100.0)]
+        assignment = storage_constrained(instances, 10.0)
+        assert assignment.granted_count == 0
+
+    def test_rate_threshold_is_min_granted_rate(self):
+        instances = make_instances()
+        assignment = storage_constrained(instances, 1.95)
+        assert assignment.rate_threshold() == 0.1
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            storage_constrained([], -1.0)
+
+    def test_greedy_matches_exact_on_separated_instance(self):
+        instances = make_instances()
+        budget = 1.95
+        greedy = storage_constrained(instances, budget)
+        exact = storage_constrained_exact(instances, budget)
+        greedy_saving = (greedy.operating_point().max_message_rate
+                         - greedy.operating_point().message_rate)
+        exact_saving = (exact.operating_point().max_message_rate
+                        - exact.operating_point().message_rate)
+        assert greedy_saving == pytest.approx(exact_saving, rel=1e-6)
+
+    def test_greedy_near_exact_on_adversarial_instance(self):
+        # Rates crafted so one big item competes with two small ones.
+        instances = [
+            LeaseInstance("big", "c", 1.0, 1000.0),      # cost ~0.999
+            LeaseInstance("s1", "c", 0.45, 1000.0),      # cost ~0.9978
+            LeaseInstance("s2", "c", 0.45, 1000.0),
+        ]
+        budget = 1.999
+        greedy = storage_constrained(instances, budget)
+        exact = storage_constrained_exact(instances, budget, resolution=4000)
+        g = greedy.operating_point()
+        e = exact.operating_point()
+        greedy_saving = g.max_message_rate - g.message_rate
+        exact_saving = e.max_message_rate - e.message_rate
+        assert greedy_saving >= 0.5 * exact_saving  # greedy 2-approx bound
+
+
+class TestCommunicationConstrained:
+    def test_floor_is_fully_leased_rate(self):
+        instances = make_instances()
+        floor = communication_constrained_floor(instances)
+        assert floor == pytest.approx(
+            sum(inst.message_rate_granted for inst in instances))
+
+    def test_deprives_lowest_rate_first(self):
+        instances = make_instances()
+        floor = communication_constrained_floor(instances)
+        # Allow enough headroom to deprive exactly the two coldest pairs.
+        budget = floor + instances[3].message_saving \
+            + instances[2].message_saving + 1e-12
+        assignment = communication_constrained(instances, budget)
+        granted = {key[0] for key in assignment.granted}
+        assert granted == {"r0", "r1"}
+
+    def test_budget_respected(self):
+        instances = make_instances()
+        floor = communication_constrained_floor(instances)
+        budget = floor * 3
+        assignment = communication_constrained(instances, budget)
+        point = assignment.operating_point()
+        assert point.message_rate <= budget + 1e-9
+
+    def test_lease_count_minimal_for_budget(self):
+        """§4.2.2's guarantee: no assignment with fewer leases meets the
+        budget (checked exhaustively on a small instance)."""
+        from itertools import combinations
+        instances = make_instances()
+        floor = communication_constrained_floor(instances)
+        budget = floor + instances[3].message_saving + \
+            instances[2].message_saving / 2
+        assignment = communication_constrained(instances, budget)
+        count = assignment.granted_count
+        for smaller in range(count):
+            for subset in combinations(instances, smaller):
+                rate = sum(i.message_rate_granted if i in subset
+                           else i.message_rate_denied for i in instances)
+                assert rate > budget
+
+    def test_infeasible_budget_raises(self):
+        instances = make_instances()
+        floor = communication_constrained_floor(instances)
+        with pytest.raises(ValueError):
+            communication_constrained(instances, floor / 2)
+
+    def test_generous_budget_deprives_everything(self):
+        instances = make_instances()
+        total_polling = sum(i.query_rate for i in instances)
+        assignment = communication_constrained(instances, total_polling + 1)
+        assert assignment.granted_count == 0
+
+
+class TestDuality:
+    def test_storage_and_communication_duals_meet(self):
+        """Running SLP at budget B then CLP at the resulting message rate
+        must reproduce (at least) the same lease count."""
+        instances = make_instances()
+        slp = storage_constrained(instances, storage_budget=1.95)
+        message_rate = slp.operating_point().message_rate
+        clp = communication_constrained(instances, message_rate + 1e-9)
+        assert clp.granted_count == slp.granted_count
+        assert set(clp.granted) == set(slp.granted)
+
+
+class TestSweep:
+    def test_sweep_monotone(self):
+        instances = make_instances()
+        budgets = [0.0, 0.5, 1.0, 2.0, 4.0]
+        sweep = sweep_storage_budgets(instances, budgets)
+        storages = [point.storage_percentage for _, point in sweep]
+        query_rates = [point.query_rate_percentage for _, point in sweep]
+        assert storages == sorted(storages)
+        assert query_rates == sorted(query_rates, reverse=True)
+
+
+class TestLeaseInstance:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LeaseInstance("r", "c", -1.0, 10.0)
+        with pytest.raises(ValueError):
+            LeaseInstance("r", "c", 1.0, -10.0)
+
+    def test_message_saving_positive(self):
+        inst = LeaseInstance("r", "c", 0.5, 100.0)
+        assert inst.message_saving > 0
+        assert inst.message_rate_granted < inst.message_rate_denied

@@ -1,0 +1,143 @@
+"""Tests for lease-grant policies."""
+
+import pytest
+
+from repro.core import (
+    AdaptiveBudgetPolicy,
+    DynamicLeasePolicy,
+    FixedLeasePolicy,
+    MAX_LEASE_CDN,
+    MAX_LEASE_DYN,
+    MAX_LEASE_REGULAR,
+    NoLeasePolicy,
+    category_max_lease,
+    constant_max_lease,
+)
+from repro.dnslib import MAX_U16, Name, RRType
+
+NAME = Name.from_text("www.example.com")
+
+
+class TestNoLease:
+    def test_always_denies(self):
+        policy = NoLeasePolicy()
+        decision = policy.decide(NAME, RRType.A, rate=100.0,
+                                 max_lease=1000.0, now=0.0)
+        assert not decision.granted
+
+
+class TestFixedLease:
+    def test_grants_fixed_length(self):
+        policy = FixedLeasePolicy(300.0)
+        decision = policy.decide(NAME, RRType.A, 0.0, 10_000.0, 0.0)
+        assert decision.granted and decision.lease_length == 300.0
+
+    def test_capped_by_record_max(self):
+        policy = FixedLeasePolicy(10_000.0)
+        decision = policy.decide(NAME, RRType.A, 0.0, MAX_LEASE_CDN, 0.0)
+        assert decision.lease_length == MAX_LEASE_CDN
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            FixedLeasePolicy(0.0)
+
+
+class TestDynamicLease:
+    def test_grants_max_above_threshold(self):
+        policy = DynamicLeasePolicy(rate_threshold=0.01)
+        decision = policy.decide(NAME, RRType.A, 0.02, 6000.0, 0.0)
+        assert decision.lease_length == 6000.0
+
+    def test_denies_below_threshold(self):
+        policy = DynamicLeasePolicy(rate_threshold=0.01)
+        assert not policy.decide(NAME, RRType.A, 0.005, 6000.0, 0.0).granted
+
+    def test_zero_threshold_grants_everyone(self):
+        policy = DynamicLeasePolicy(rate_threshold=0.0)
+        assert policy.decide(NAME, RRType.A, 0.0, 6000.0, 0.0).granted
+
+    def test_zero_max_lease_denies(self):
+        policy = DynamicLeasePolicy(rate_threshold=0.0)
+        assert not policy.decide(NAME, RRType.A, 1.0, 0.0, 0.0).granted
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            DynamicLeasePolicy(rate_threshold=-1.0)
+
+
+class TestLltClamping:
+    def test_small_lease_fits(self):
+        policy = DynamicLeasePolicy(0.0)
+        decision = policy.decide(NAME, RRType.A, 1.0, MAX_LEASE_DYN, 0.0)
+        assert decision.clamped_llt() == MAX_LEASE_DYN
+
+    def test_six_day_lease_saturates_16_bits(self):
+        policy = DynamicLeasePolicy(0.0)
+        decision = policy.decide(NAME, RRType.A, 1.0, MAX_LEASE_REGULAR, 0.0)
+        assert decision.clamped_llt() == MAX_U16
+
+
+class TestAdaptivePolicy:
+    def test_threshold_rises_under_pressure(self):
+        load = {"value": 1.0}
+        policy = AdaptiveBudgetPolicy(base_threshold=0.001,
+                                      occupancy=lambda: load["value"])
+        before = policy.threshold
+        policy.decide(NAME, RRType.A, 1.0, 100.0, 0.0)
+        assert policy.threshold > before
+
+    def test_threshold_decays_when_idle(self):
+        load = {"value": 1.0}
+        policy = AdaptiveBudgetPolicy(base_threshold=0.001,
+                                      occupancy=lambda: load["value"])
+        for _ in range(5):
+            policy.decide(NAME, RRType.A, 1.0, 100.0, 0.0)
+        peak = policy.threshold
+        load["value"] = 0.0
+        for _ in range(20):
+            policy.decide(NAME, RRType.A, 1.0, 100.0, 0.0)
+        assert policy.threshold < peak
+        assert policy.threshold >= policy.base_threshold
+
+    def test_denies_cold_records_under_pressure(self):
+        policy = AdaptiveBudgetPolicy(base_threshold=0.01,
+                                      occupancy=lambda: 1.0)
+        for _ in range(10):
+            decision = policy.decide(NAME, RRType.A, 0.001, 100.0, 0.0)
+        assert not decision.granted
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveBudgetPolicy(0.1, lambda: 0.0, high_water=0.5,
+                                 low_water=0.6)
+        with pytest.raises(ValueError):
+            AdaptiveBudgetPolicy(0.1, lambda: 0.0, adjust_factor=1.0)
+
+
+class TestMaxLeaseFns:
+    def test_constant(self):
+        fn = constant_max_lease(42.0)
+        assert fn(NAME, RRType.A) == 42.0
+
+    def test_category_map_paper_defaults(self):
+        categories = {
+            Name.from_text("cdn.example.net"): "cdn",
+            Name.from_text("dyn.example.org"): "dyn",
+            Name.from_text("plain.example.com"): "regular",
+        }
+        fn = category_max_lease(categories)
+        assert fn(Name.from_text("cdn.example.net"), RRType.A) == MAX_LEASE_CDN
+        assert fn(Name.from_text("dyn.example.org"), RRType.A) == MAX_LEASE_DYN
+        assert fn(Name.from_text("plain.example.com"), RRType.A) == \
+            MAX_LEASE_REGULAR
+
+    def test_subdomain_inherits_category(self):
+        categories = {Name.from_text("cdn.example.net"): "cdn"}
+        fn = category_max_lease(categories)
+        assert fn(Name.from_text("img7.cdn.example.net"), RRType.A) == \
+            MAX_LEASE_CDN
+
+    def test_unknown_name_gets_regular(self):
+        fn = category_max_lease({})
+        assert fn(Name.from_text("whatever.test"), RRType.A) == \
+            MAX_LEASE_REGULAR

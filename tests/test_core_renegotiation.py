@@ -1,0 +1,151 @@
+"""Tests for §5.1.2 lease renegotiation."""
+
+import pytest
+
+from repro.core import DynamicLeasePolicy, RenegotiationAgent, attach_dnscup
+from repro.dnslib import Name, RRType
+from repro.server import AuthoritativeServer, RecursiveResolver
+from repro.zone import load_zone
+
+ROOT_TEXT = """\
+$ORIGIN .
+$TTL 86400
+.                IN SOA a.root. admin. 1 7200 900 604800 300
+.                IN NS a.root.
+a.root.          IN A  198.41.0.4
+example.com.     IN NS ns1.example.com.
+ns1.example.com. IN A  10.1.0.1
+"""
+
+# A short record TTL so un-leased entries re-query upstream quickly and
+# the server sees the rising RRC values.
+ZONE_TEXT = """\
+$ORIGIN example.com.
+$TTL 3600
+@    IN SOA ns1 admin 1 7200 900 604800 300
+@    IN NS  ns1
+ns1  IN A   10.1.0.1
+www  30 IN A 10.0.0.10
+"""
+
+KEY = (Name.from_text("www.example.com"), RRType.A)
+
+
+@pytest.fixture
+def world(make_host, simulator):
+    """Auth server granting leases only above 0.01 q/s; short leases so
+    renegotiation matters."""
+    AuthoritativeServer(make_host("198.41.0.4"),
+                        [load_zone(ROOT_TEXT, origin=Name.root())])
+    zone = load_zone(ZONE_TEXT)
+    auth = AuthoritativeServer(make_host("10.1.0.1"), [zone])
+    middleware = attach_dnscup(
+        auth, policy=DynamicLeasePolicy(rate_threshold=0.01),
+        max_lease_fn=lambda n, t: 7200.0)
+    resolver = RecursiveResolver(make_host("10.2.0.1"),
+                                 [("198.41.0.4", 53)],
+                                 dnscup_enabled=True, rrc_window=600.0)
+    agent = RenegotiationAgent(resolver, interval=300.0, change_factor=4.0)
+    return zone, auth, middleware, resolver, agent, simulator
+
+
+def drive_queries(resolver, simulator, count, period, name="www.example.com"):
+    """Issue ``count`` resolutions spaced ``period`` seconds apart."""
+    for _ in range(count):
+        resolver.resolve(name, RRType.A, lambda recs, rc: None)
+        simulator.run_until(simulator.now + period)
+
+
+class TestValidation:
+    def test_needs_dnscup_resolver(self, make_host):
+        plain = RecursiveResolver(make_host("10.2.0.7"),
+                                  [("198.41.0.4", 53)])
+        with pytest.raises(ValueError):
+            RenegotiationAgent(plain)
+
+    def test_change_factor_validated(self, world):
+        _, _, _, resolver, _, _ = world
+        with pytest.raises(ValueError):
+            RenegotiationAgent(resolver, change_factor=1.0)
+
+
+class TestRenegotiation:
+    def test_hot_record_gets_lease_after_rate_rise(self, world):
+        """A record initially too cold for a lease gets one after its
+        rate rises and the agent renegotiates."""
+        zone, auth, middleware, resolver, agent, simulator = world
+        # One lonely query: rate ~1/600 = 0.0017 < threshold → no lease.
+        drive_queries(resolver, simulator, 1, 1.0)
+        assert len(middleware.table) == 0
+        # The record heats up: queries every 5 s → rate 0.2 >> threshold.
+        # (Cache absorbs them, so the server only learns via RRC on the
+        # next upstream contact — which is the renegotiation... but with
+        # no lease there is nothing to renegotiate; the TTL expiry path
+        # re-queries with the higher RRC.)  Shrink the TTL to force it.
+        entry = resolver.cache.peek(*KEY)
+        entry.expires_at = simulator.now + 10.0
+        drive_queries(resolver, simulator, 30, 5.0)
+        assert len(middleware.table) >= 1
+        assert resolver.cache.peek(*KEY).has_lease(simulator.now)
+
+    def test_agent_refreshes_lease_on_rate_rise(self, world):
+        zone, auth, middleware, resolver, agent, simulator = world
+        # Warm up: moderate rate earns a lease.
+        drive_queries(resolver, simulator, 20, 10.0)   # 0.1 q/s
+        assert resolver.cache.peek(*KEY).has_lease(simulator.now)
+        grant_before = resolver.lease_grants[KEY]
+        # Rate rises 10x; within the lease all queries are local, so only
+        # the agent can tell the server.
+        drive_queries(resolver, simulator, 60, 1.0)
+        simulator.run_until(simulator.now + 301.0)  # let the agent tick
+        simulator.run()
+        assert agent.stats.renegotiations_sent >= 1
+        assert agent.stats.leases_refreshed >= 1
+        grant_after = resolver.lease_grants[KEY]
+        assert grant_after.granted_at > grant_before.granted_at
+        assert grant_after.rate_at_grant > grant_before.rate_at_grant
+
+    def test_agent_reports_collapse_and_loses_lease(self, world):
+        zone, auth, middleware, resolver, agent, simulator = world
+        drive_queries(resolver, simulator, 40, 2.0)    # hot: 0.5 q/s
+        assert resolver.cache.peek(*KEY).has_lease(simulator.now)
+        # Traffic stops entirely; the agent's next scans see the collapse
+        # and the server declines the renegotiated lease.
+        simulator.run_until(simulator.now + 1200.0)
+        simulator.run()
+        assert agent.stats.renegotiations_sent >= 1
+        assert agent.stats.leases_lost >= 1
+
+    def test_no_renegotiation_once_rate_stable(self, world):
+        """While the rate ramps up the agent may renegotiate; once the
+        rate is steady the scans go quiet."""
+        zone, auth, middleware, resolver, agent, simulator = world
+        drive_queries(resolver, simulator, 60, 10.0)  # ramp to 0.1 q/s
+        sent_after_ramp = agent.stats.renegotiations_sent
+        drive_queries(resolver, simulator, 60, 10.0)  # steady 0.1 q/s
+        assert agent.stats.renegotiations_sent == sent_after_ramp
+        assert agent.stats.checks > 0
+
+    def test_renegotiation_refreshes_data_too(self, world):
+        """The renegotiated answer also refreshes the cached rrset."""
+        zone, auth, middleware, resolver, agent, simulator = world
+        drive_queries(resolver, simulator, 20, 10.0)
+        # Change data without DNScup noticing (detach notification by
+        # revoking leases server-side only).
+        middleware.detach()
+        zone.replace_address("www.example.com", ["172.29.0.1"])
+        middleware.attach()
+        # Rate rises → renegotiation → fresh answer adopted.
+        drive_queries(resolver, simulator, 60, 1.0)
+        simulator.run_until(simulator.now + 301.0)
+        simulator.run()
+        from repro.dnslib import A
+        entry = resolver.cache.peek(*KEY)
+        assert A("172.29.0.1") in entry.rrset
+
+    def test_stop_halts_scans(self, world):
+        zone, auth, middleware, resolver, agent, simulator = world
+        agent.stop()
+        checks = agent.stats.checks
+        drive_queries(resolver, simulator, 10, 100.0)
+        assert agent.stats.checks == checks

@@ -1,0 +1,76 @@
+"""Determinism guarantees and example smoke tests."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+class TestDeterminism:
+    """Identical seeds must give byte-identical runs — the property that
+    makes every experiment in this repository exactly repeatable."""
+
+    def run_testbed(self):
+        from repro.dnslib import RRType
+        from repro.sim import Testbed, TestbedConfig
+        testbed = Testbed(TestbedConfig(network_seed=11))
+        testbed.lookup_all(0)
+        testbed.dynamic_update(testbed.domains[0].name, "172.26.0.1")
+        testbed.run()
+        stats = testbed.dnscup.notification.stats
+        return (testbed.network.stats.datagrams_sent,
+                testbed.network.stats.bytes_sent,
+                testbed.max_message_size(),
+                stats.notifications_sent, stats.acks_received,
+                testbed.simulator.events_processed,
+                testbed.simulator.now)
+
+    def test_testbed_runs_identically(self):
+        assert self.run_testbed() == self.run_testbed()
+
+    def test_scenario_runs_identically(self):
+        from repro.sim import ProtocolScenario, ScenarioConfig
+        from repro.traces import (PopulationConfig, WorkloadConfig,
+                                  generate_population)
+
+        def run():
+            population = generate_population(PopulationConfig(
+                regular_per_tld=4, cdn_count=4, dyn_count=4, seed=3))
+            scenario = ProtocolScenario(population, ScenarioConfig())
+            scenario.run_workload(WorkloadConfig(
+                duration=600.0, clients=9, total_request_rate=1.0, seed=4))
+            return (scenario.report.stale_answers,
+                    scenario.report.fresh_answers,
+                    scenario.total_upstream_queries(),
+                    scenario.simulator.events_processed)
+
+        assert run() == run()
+
+    def test_trace_generation_identical(self):
+        from repro.traces import (PopulationConfig, WorkloadConfig,
+                                  generate_population, generate_queries)
+        population = generate_population(PopulationConfig(
+            regular_per_tld=5, cdn_count=5, dyn_count=5, seed=8))
+        config = WorkloadConfig(duration=1800.0, clients=10, seed=9)
+        assert list(generate_queries(population, config)) == \
+            list(generate_queries(population, config))
+
+
+@pytest.mark.parametrize("example", [
+    "quickstart.py",
+    "emergency_remap.py",
+    "secure_push.py",
+])
+class TestExampleSmoke:
+    """The fastest examples must run clean end to end (bit-rot guard;
+    the slower ones are exercised by the benchmark suite's machinery)."""
+
+    def test_example_runs(self, example):
+        path = os.path.join(EXAMPLES_DIR, example)
+        result = subprocess.run([sys.executable, path], capture_output=True,
+                                text=True, timeout=120)
+        assert result.returncode == 0, result.stderr
+        assert result.stdout.strip()

@@ -1,0 +1,175 @@
+"""Tests for DNS messages and the DNScup wire extensions."""
+
+import pytest
+
+from repro.dnslib import (
+    A,
+    MAX_UDP_PAYLOAD,
+    Message,
+    Opcode,
+    Question,
+    Rcode,
+    ResourceRecord,
+    RRType,
+    WireFormatError,
+    make_cache_update,
+    make_cache_update_ack,
+    make_notify,
+    make_query,
+    make_response,
+    make_update,
+)
+
+
+class TestHeaderFlags:
+    def test_opcode_roundtrips_all(self):
+        for opcode in Opcode:
+            message = Message()
+            message.opcode = opcode
+            decoded = Message.from_wire(message.to_wire())
+            assert decoded.opcode == opcode
+
+    def test_rcode_roundtrips_all(self):
+        for rcode in Rcode:
+            message = Message(rcode=rcode)
+            assert Message.from_wire(message.to_wire()).rcode == rcode
+
+    def test_flag_accessors(self):
+        message = Message()
+        for attr in ("is_response", "authoritative", "truncated",
+                     "recursion_desired", "recursion_available",
+                     "cache_update_aware"):
+            assert getattr(message, attr) is False
+            setattr(message, attr, True)
+            assert getattr(message, attr) is True
+            setattr(message, attr, False)
+            assert getattr(message, attr) is False
+
+    def test_ids_distinct(self):
+        assert Message().id != Message().id
+
+
+class TestQueryResponse:
+    def test_plain_query_roundtrip(self):
+        query = make_query("www.example.com", RRType.A)
+        decoded = Message.from_wire(query.to_wire())
+        assert decoded.question[0].name.to_text() == "www.example.com."
+        assert decoded.question[0].rrc is None
+        assert not decoded.cache_update_aware
+
+    def test_plain_query_is_byte_identical_without_cu(self):
+        """Backward compatibility: no RRC/LLT bytes unless CU is set."""
+        query = make_query("a.b", RRType.A)
+        baseline = len(query.to_wire())
+        cu_query = make_query("a.b", RRType.A, rrc=0)
+        assert len(cu_query.to_wire()) == baseline + 2
+
+    def test_rrc_roundtrip(self):
+        query = make_query("www.example.com", RRType.A, rrc=1234)
+        decoded = Message.from_wire(query.to_wire())
+        assert decoded.cache_update_aware
+        assert decoded.question[0].rrc == 1234
+
+    def test_rrc_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            Question("a.b", RRType.A, rrc=70000)
+
+    def test_response_mirrors_query(self):
+        query = make_query("www.example.com", RRType.A, rrc=1)
+        response = make_response(query)
+        assert response.id == query.id
+        assert response.is_response
+        assert response.cache_update_aware
+        assert response.question == query.question
+
+    def test_llt_roundtrip(self):
+        query = make_query("www.example.com", RRType.A, rrc=5)
+        response = make_response(query, llt=6000)
+        response.answer.append(
+            ResourceRecord("www.example.com", RRType.A, 60, A("1.2.3.4")))
+        decoded = Message.from_wire(response.to_wire())
+        assert decoded.llt == 6000
+        assert decoded.answer[0].rdata == A("1.2.3.4")
+
+    def test_llt_requires_cu_query(self):
+        query = make_query("www.example.com", RRType.A)
+        with pytest.raises(ValueError):
+            make_response(query, llt=100)
+
+    def test_llt_out_of_range(self):
+        query = make_query("a.b", RRType.A, rrc=0)
+        with pytest.raises(ValueError):
+            make_response(query, llt=1 << 16)
+
+    def test_multisection_roundtrip(self):
+        query = make_query("www.example.com", RRType.A)
+        response = make_response(query)
+        response.answer.append(ResourceRecord("www.example.com", RRType.A,
+                                              60, A("1.1.1.1")))
+        response.authority.append(ResourceRecord("example.com", RRType.A,
+                                                 60, A("2.2.2.2")))
+        response.additional.append(ResourceRecord("ns.example.com", RRType.A,
+                                                  60, A("3.3.3.3")))
+        decoded = Message.from_wire(response.to_wire())
+        assert len(decoded.answer) == 1
+        assert len(decoded.authority) == 1
+        assert len(decoded.additional) == 1
+
+    def test_trailing_bytes_rejected(self):
+        data = make_query("a.b", RRType.A).to_wire() + b"\x00"
+        with pytest.raises(WireFormatError):
+            Message.from_wire(data)
+
+
+class TestUpdateVocabulary:
+    def test_make_update_shape(self):
+        message = make_update("example.com")
+        assert message.opcode == Opcode.UPDATE
+        assert message.zone[0].rrtype == RRType.SOA
+        assert message.zone is message.question
+        assert message.prerequisite is message.answer
+        assert message.update is message.authority
+
+
+class TestNotify:
+    def test_make_notify(self):
+        message = make_notify("example.com")
+        assert message.opcode == Opcode.NOTIFY
+        assert message.authoritative
+
+
+class TestCacheUpdate:
+    def test_cache_update_shape(self):
+        records = [ResourceRecord("www.example.com", RRType.A, 60, A("9.9.9.9"))]
+        message = make_cache_update("www.example.com", records)
+        assert message.opcode == Opcode.CACHE_UPDATE
+        assert message.cache_update_aware
+        assert not message.is_response
+        decoded = Message.from_wire(message.to_wire())
+        assert decoded.opcode == Opcode.CACHE_UPDATE
+        assert decoded.answer[0].rdata == A("9.9.9.9")
+
+    def test_cache_update_ack_matches_id(self):
+        records = [ResourceRecord("www.example.com", RRType.A, 60, A("9.9.9.9"))]
+        update = make_cache_update("www.example.com", records)
+        ack = make_cache_update_ack(update)
+        assert ack.id == update.id
+        assert ack.is_response
+        assert ack.opcode == Opcode.CACHE_UPDATE
+        Message.from_wire(ack.to_wire())  # must encode cleanly
+
+    def test_cache_update_fits_udp(self):
+        records = [ResourceRecord("www.example.com", RRType.A, 60,
+                                  A(f"10.0.0.{i}")) for i in range(1, 20)]
+        message = make_cache_update("www.example.com", records)
+        assert message.fits_in_udp()
+        assert message.wire_size() <= MAX_UDP_PAYLOAD
+
+
+class TestSizes:
+    def test_wire_size_matches_encoding(self):
+        query = make_query("www.example.com", RRType.A)
+        assert query.wire_size() == len(query.to_wire())
+
+    def test_typical_query_small(self):
+        assert make_query("www.example.com", RRType.A).wire_size() < 50

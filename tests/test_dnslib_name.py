@@ -1,0 +1,128 @@
+"""Tests for repro.dnslib.name."""
+
+import pytest
+
+from repro.dnslib import Name, NameError_, as_name
+
+
+class TestConstruction:
+    def test_from_text_basic(self):
+        name = Name.from_text("www.example.com")
+        assert name.labels == ("www", "example", "com")
+
+    def test_trailing_dot_optional(self):
+        assert Name.from_text("example.com.") == Name.from_text("example.com")
+
+    def test_root_from_dot(self):
+        assert Name.from_text(".").is_root()
+
+    def test_root_from_empty(self):
+        assert Name.from_text("").is_root()
+
+    def test_empty_label_rejected(self):
+        with pytest.raises(NameError_):
+            Name.from_text("www..com")
+
+    def test_label_too_long_rejected(self):
+        with pytest.raises(NameError_):
+            Name(["x" * 64, "com"])
+
+    def test_label_63_accepted(self):
+        Name(["x" * 63, "com"])
+
+    def test_name_too_long_rejected(self):
+        labels = ["a" * 60] * 5  # 5*61 + 1 = 306 > 255
+        with pytest.raises(NameError_):
+            Name(labels)
+
+    def test_as_name_passthrough(self):
+        name = Name.from_text("a.b")
+        assert as_name(name) is name
+
+    def test_as_name_from_string(self):
+        assert as_name("a.b") == Name.from_text("a.b")
+
+
+class TestCaseInsensitivity:
+    def test_equality_ignores_case(self):
+        assert Name.from_text("WWW.Example.COM") == Name.from_text("www.example.com")
+
+    def test_hash_ignores_case(self):
+        assert hash(Name.from_text("A.B")) == hash(Name.from_text("a.b"))
+
+    def test_presentation_preserves_case(self):
+        assert Name.from_text("WWW.example.com").to_text() == "WWW.example.com."
+
+
+class TestStructure:
+    def test_parent(self):
+        assert Name.from_text("www.example.com").parent() == Name.from_text("example.com")
+
+    def test_parent_of_root_raises(self):
+        with pytest.raises(NameError_):
+            Name.root().parent()
+
+    def test_child(self):
+        assert Name.from_text("example.com").child("www") == Name.from_text("www.example.com")
+
+    def test_concatenate(self):
+        rel = Name.from_text("www")
+        origin = Name.from_text("example.com")
+        assert rel.concatenate(origin) == Name.from_text("www.example.com")
+
+    def test_is_subdomain_of_self(self):
+        name = Name.from_text("example.com")
+        assert name.is_subdomain_of(name)
+
+    def test_is_subdomain_of_parent(self):
+        assert Name.from_text("www.example.com").is_subdomain_of(
+            Name.from_text("example.com"))
+
+    def test_not_subdomain_of_sibling(self):
+        assert not Name.from_text("www.example.com").is_subdomain_of(
+            Name.from_text("other.com"))
+
+    def test_everything_under_root(self):
+        assert Name.from_text("a.b.c").is_subdomain_of(Name.root())
+
+    def test_partial_label_is_not_subdomain(self):
+        # "ample.com" must not match "example.com" suffix-wise.
+        assert not Name.from_text("ample.com").is_subdomain_of(
+            Name.from_text("example.com"))
+
+    def test_relativize(self):
+        name = Name.from_text("www.sub.example.com")
+        assert name.relativize(Name.from_text("example.com")) == ("www", "sub")
+
+    def test_relativize_not_under_raises(self):
+        with pytest.raises(NameError_):
+            Name.from_text("a.org").relativize(Name.from_text("example.com"))
+
+    def test_ancestors_walk_to_root(self):
+        chain = list(Name.from_text("a.b.c").ancestors())
+        assert [n.to_text() for n in chain] == ["a.b.c.", "b.c.", "c.", "."]
+
+    def test_tld(self):
+        assert Name.from_text("www.example.com").tld() == "com"
+        assert Name.root().tld() == ""
+
+    def test_wire_length(self):
+        # www.example.com. = 1+3 + 1+7 + 1+3 + 1 = 17
+        assert Name.from_text("www.example.com").wire_length() == 17
+        assert Name.root().wire_length() == 1
+
+
+class TestOrderingAndRepr:
+    def test_canonical_ordering_by_reversed_labels(self):
+        a = Name.from_text("a.example.com")
+        z = Name.from_text("z.example.com")
+        other = Name.from_text("a.example.net")
+        assert a < z
+        assert a < other  # com < net at the top level
+
+    def test_repr_roundtrip_text(self):
+        assert "www.example.com." in repr(Name.from_text("www.example.com"))
+
+    def test_len_is_label_count(self):
+        assert len(Name.from_text("a.b.c")) == 3
+        assert len(Name.root()) == 0

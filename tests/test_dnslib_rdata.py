@@ -1,0 +1,170 @@
+"""Tests for typed rdata."""
+
+import pytest
+
+from repro.dnslib import (
+    A,
+    AAAA,
+    CNAME,
+    EmptyRdata,
+    MX,
+    Name,
+    NS,
+    PTR,
+    RRType,
+    SOA,
+    SRV,
+    TXT,
+    WireFormatError,
+    WireReader,
+    WireWriter,
+    rdata_class_for,
+    rdata_from_text,
+    rdata_from_wire,
+)
+
+
+def roundtrip(rdata):
+    writer = WireWriter(compress=False)
+    rdata.to_wire(writer)
+    data = writer.getvalue()
+    decoded = rdata_from_wire(rdata.rrtype, WireReader(data), len(data))
+    assert decoded == rdata
+    return decoded
+
+
+class TestA:
+    def test_roundtrip(self):
+        roundtrip(A("192.168.1.1"))
+
+    def test_text(self):
+        assert A("10.0.0.1").to_text() == "10.0.0.1"
+
+    @pytest.mark.parametrize("bad", ["1.2.3", "1.2.3.4.5", "256.1.1.1",
+                                     "a.b.c.d", "01.2.3.4", ""])
+    def test_invalid_rejected(self, bad):
+        with pytest.raises(ValueError):
+            A(bad)
+
+    def test_wrong_rdlength_rejected(self):
+        with pytest.raises(WireFormatError):
+            rdata_from_wire(RRType.A, WireReader(b"\x01\x02\x03"), 3)
+
+    def test_equality_and_hash(self):
+        assert A("1.2.3.4") == A("1.2.3.4")
+        assert hash(A("1.2.3.4")) == hash(A("1.2.3.4"))
+        assert A("1.2.3.4") != A("1.2.3.5")
+
+
+class TestAAAA:
+    def test_roundtrip_full(self):
+        roundtrip(AAAA("2001:0db8:0000:0000:0000:0000:0000:0001"))
+
+    def test_roundtrip_elided(self):
+        decoded = roundtrip(AAAA("2001:db8::1"))
+        assert decoded == AAAA("2001:0db8:0:0:0:0:0:1")
+
+    @pytest.mark.parametrize("bad", ["1:2", "::1::2", "zzzz::1", "1:2:3:4:5:6:7:8:9"])
+    def test_invalid_rejected(self, bad):
+        with pytest.raises(ValueError):
+            AAAA(bad)
+
+
+class TestNameTypes:
+    def test_ns_roundtrip(self):
+        roundtrip(NS("ns1.example.com"))
+
+    def test_cname_roundtrip(self):
+        roundtrip(CNAME("target.example.com"))
+
+    def test_ptr_roundtrip(self):
+        roundtrip(PTR("host.example.com"))
+
+    def test_from_text_relative(self):
+        origin = Name.from_text("example.com")
+        ns = NS.from_text(["ns1"], origin)
+        assert ns.target == Name.from_text("ns1.example.com")
+
+    def test_from_text_absolute(self):
+        origin = Name.from_text("example.com")
+        ns = NS.from_text(["ns1.other.net."], origin)
+        assert ns.target == Name.from_text("ns1.other.net")
+
+
+class TestSOA:
+    def test_roundtrip(self):
+        roundtrip(SOA("ns1.example.com", "admin.example.com",
+                      2024010101, 7200, 900, 604800, 300))
+
+    def test_serial_wraps_32bit(self):
+        soa = SOA("a.", "b.", 2 ** 32 + 5, 1, 1, 1, 1)
+        assert soa.serial == 5
+
+    def test_from_text(self):
+        origin = Name.from_text("example.com")
+        soa = SOA.from_text(["ns1", "admin", "1", "7200", "900", "604800", "300"],
+                            origin)
+        assert soa.mname == Name.from_text("ns1.example.com")
+        assert soa.minimum == 300
+
+
+class TestMX:
+    def test_roundtrip(self):
+        roundtrip(MX(10, "mail.example.com"))
+
+    def test_ordering_fields(self):
+        assert MX(10, "a.b") != MX(20, "a.b")
+
+
+class TestTXT:
+    def test_roundtrip_single(self):
+        roundtrip(TXT("hello"))
+
+    def test_roundtrip_multi(self):
+        roundtrip(TXT(["one", "two", "three"]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TXT([])
+
+    def test_text_quotes(self):
+        assert TXT("hi").to_text() == '"hi"'
+
+
+class TestSRV:
+    def test_roundtrip(self):
+        roundtrip(SRV(0, 5, 8080, "svc.example.com"))
+
+
+class TestEmptyAndGeneric:
+    def test_zero_rdlength_decodes_to_empty(self):
+        rdata = rdata_from_wire(RRType.A, WireReader(b""), 0)
+        assert isinstance(rdata, EmptyRdata)
+        assert rdata.rrtype == RRType.A
+
+    def test_empty_writes_nothing(self):
+        writer = WireWriter()
+        EmptyRdata(RRType.ANY).to_wire(writer)
+        assert writer.getvalue() == b""
+
+    def test_unknown_type_decodes_generic(self):
+        rdata = rdata_from_wire(RRType.OPT, WireReader(b"\x01\x02"), 2)
+        assert rdata.data == b"\x01\x02"
+
+    def test_rdlength_mismatch_rejected(self):
+        # Declare 5 bytes for an A record: A consumes 4, mismatch.
+        with pytest.raises(WireFormatError):
+            rdata_from_wire(RRType.A, WireReader(b"\x01\x02\x03\x04\x05"), 5)
+
+
+class TestRegistry:
+    def test_rdata_class_for_known(self):
+        assert rdata_class_for(RRType.A) is A
+
+    def test_rdata_class_for_unknown_raises(self):
+        with pytest.raises(ValueError):
+            rdata_class_for(RRType.OPT)
+
+    def test_rdata_from_text_dispatch(self):
+        rdata = rdata_from_text(RRType.A, ["1.2.3.4"], Name.root())
+        assert rdata == A("1.2.3.4")

@@ -1,0 +1,152 @@
+"""Tests for TSIG transaction signatures (§5.3 secure DNScup)."""
+
+import pytest
+
+from repro.dnslib import (
+    Key,
+    Keyring,
+    Message,
+    RRType,
+    TsigError,
+    Verifier,
+    make_query,
+    sign,
+    split_signed,
+)
+
+
+@pytest.fixture
+def key():
+    return Key.create("push.example.com", b"0123456789abcdef-secret")
+
+
+@pytest.fixture
+def keyring(key):
+    ring = Keyring()
+    ring.add(key)
+    return ring
+
+
+@pytest.fixture
+def verifier(keyring):
+    return Verifier(keyring)
+
+
+def wire():
+    return make_query("www.example.com", RRType.A).to_wire()
+
+
+class TestKeyManagement:
+    def test_short_secret_rejected(self):
+        with pytest.raises(ValueError):
+            Key.create("k.example", b"short")
+
+    def test_string_secret_encoded(self):
+        key = Key.create("k.example", "x" * 20)
+        assert isinstance(key.secret, bytes)
+
+    def test_keyring_lookup_case_insensitive(self, keyring, key):
+        assert keyring.get("PUSH.Example.COM") == key
+        assert "push.example.com" in keyring
+        assert len(keyring) == 1
+
+
+class TestSignVerify:
+    def test_roundtrip(self, key, verifier):
+        message = wire()
+        signed = sign(message, key, now=1000.0)
+        assert verifier.verify(signed, now=1000.0) == message
+
+    def test_signed_blob_parses(self, key):
+        message = wire()
+        signed = sign(message, key, now=1000.0)
+        stripped, fields = split_signed(signed)
+        assert stripped == message
+        assert fields["key_name"] == key.name
+        assert fields["signed_at"] == 1000
+
+    def test_unsigned_passthrough_when_optional(self, verifier):
+        message = wire()
+        assert verifier.verify(message, now=0.0,
+                               require_signature=False) == message
+
+    def test_unsigned_rejected_when_required(self, verifier):
+        with pytest.raises(TsigError):
+            verifier.verify(wire(), now=0.0)
+
+    def test_header_intact_after_signing(self, key):
+        """Request/response matching peeks at the first bytes — signing
+        must not disturb them."""
+        message = wire()
+        signed = sign(message, key, now=5.0)
+        assert signed[:4] == message[:4]
+
+
+class TestTamperDetection:
+    def test_payload_tamper_detected(self, key, verifier):
+        signed = bytearray(sign(wire(), key, now=1000.0))
+        signed[4] ^= 0xFF  # flip a bit in the message body
+        with pytest.raises(TsigError):
+            verifier.verify(bytes(signed), now=1000.0)
+
+    def test_mac_tamper_detected(self, key, verifier):
+        signed = bytearray(sign(wire(), key, now=1000.0))
+        signed[-1] ^= 0x01
+        with pytest.raises(TsigError):
+            verifier.verify(bytes(signed), now=1000.0)
+
+    def test_unknown_key_rejected(self, verifier):
+        other = Key.create("other.example.com", b"another-16-byte-secret!")
+        signed = sign(wire(), other, now=1000.0)
+        with pytest.raises(TsigError):
+            verifier.verify(signed, now=1000.0)
+
+    def test_wrong_secret_rejected(self, key):
+        impostor_ring = Keyring()
+        impostor_ring.add(Key.create(key.name, b"wrong-secret-of-16b+"))
+        impostor = Verifier(impostor_ring)
+        signed = sign(wire(), key, now=1000.0)
+        with pytest.raises(TsigError):
+            impostor.verify(signed, now=1000.0)
+
+
+class TestTimeChecks:
+    def test_within_fudge_accepted(self, key, verifier):
+        signed = sign(wire(), key, now=1000.0, fudge=300)
+        verifier.verify(signed, now=1250.0)
+
+    def test_outside_fudge_rejected(self, key, verifier):
+        signed = sign(wire(), key, now=1000.0, fudge=300)
+        with pytest.raises(TsigError):
+            verifier.verify(signed, now=1400.0)
+
+    def test_future_signature_rejected(self, key, verifier):
+        signed = sign(wire(), key, now=5000.0, fudge=300)
+        with pytest.raises(TsigError):
+            verifier.verify(signed, now=1000.0)
+
+    def test_replay_of_older_timestamp_rejected(self, key, verifier):
+        first = sign(wire(), key, now=2000.0)
+        old = sign(wire(), key, now=1900.0)
+        verifier.verify(first, now=2000.0)
+        with pytest.raises(TsigError):
+            verifier.verify(old, now=2000.0)
+
+    def test_equal_timestamp_accepted(self, key, verifier):
+        """Several messages in the same second must all verify."""
+        a = sign(wire(), key, now=2000.0)
+        b = sign(wire(), key, now=2000.0)
+        verifier.verify(a, now=2000.0)
+        verifier.verify(b, now=2000.0)
+
+
+class TestSplitEdgeCases:
+    def test_plain_message_passes_through(self):
+        message = wire()
+        stripped, fields = split_signed(message)
+        assert stripped == message and fields is None
+
+    def test_truncated_blob_raises(self, key):
+        signed = sign(wire(), key, now=0.0)
+        with pytest.raises(TsigError):
+            split_signed(signed[:-3])

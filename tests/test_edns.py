@@ -1,0 +1,139 @@
+"""Tests for EDNS0 (RFC 6891): OPT record, payload negotiation."""
+
+import pytest
+
+from repro.dnslib import (
+    A,
+    MAX_UDP_PAYLOAD,
+    Message,
+    Name,
+    Rcode,
+    RRType,
+    make_query,
+)
+from repro.net import Host, Network, Simulator
+from repro.server import AuthoritativeServer, RecursiveResolver
+from repro.server.authoritative import EDNS_SERVER_PAYLOAD
+from repro.zone import load_zone
+from tests.test_tcp_fallback import FAT_ZONE, ROOT_TEXT
+
+
+class TestOptWireFormat:
+    def test_roundtrip(self):
+        query = make_query("www.example.com", RRType.A)
+        query.edns_payload_size = 4096
+        decoded = Message.from_wire(query.to_wire())
+        assert decoded.edns_payload_size == 4096
+        assert decoded.additional == []  # OPT is not a visible record
+
+    def test_absent_by_default(self):
+        query = make_query("www.example.com", RRType.A)
+        decoded = Message.from_wire(query.to_wire())
+        assert decoded.edns_payload_size is None
+
+    def test_opt_costs_eleven_bytes(self):
+        query = make_query("www.example.com", RRType.A)
+        plain = query.wire_size()
+        query.edns_payload_size = 4096
+        assert query.wire_size() == plain + 11
+
+    def test_opt_coexists_with_cu_fields(self):
+        query = make_query("www.example.com", RRType.A, rrc=9)
+        query.edns_payload_size = 1232
+        decoded = Message.from_wire(query.to_wire())
+        assert decoded.question[0].rrc == 9
+        assert decoded.edns_payload_size == 1232
+
+    def test_opt_with_real_additional_records(self):
+        from repro.dnslib import ResourceRecord, make_response
+        query = make_query("www.example.com", RRType.A)
+        response = make_response(query)
+        response.additional.append(
+            ResourceRecord("glue.example.com", RRType.A, 60, A("1.2.3.4")))
+        response.edns_payload_size = 4096
+        decoded = Message.from_wire(response.to_wire())
+        assert len(decoded.additional) == 1
+        assert decoded.edns_payload_size == 4096
+
+
+@pytest.fixture
+def edns_world():
+    simulator = Simulator()
+    network = Network(simulator, seed=1, udp_payload_limit=65507)
+    root = AuthoritativeServer(Host(network, "198.41.0.4"),
+                               [load_zone(ROOT_TEXT, origin=Name.root())])
+    auth = AuthoritativeServer(Host(network, "10.1.0.1"),
+                               [load_zone(FAT_ZONE)])
+    return simulator, network, auth
+
+
+class TestServerNegotiation:
+    def ask(self, simulator, network, payload_size):
+        client = Host(network, "10.9.0.1").socket()
+        query = make_query("big.fat.com", RRType.A, recursion_desired=False)
+        query.edns_payload_size = payload_size
+        responses = []
+        client.request(query.to_wire(), ("10.1.0.1", 53), query.id,
+                       lambda p, s: responses.append(p))
+        simulator.run()
+        return Message.from_wire(responses[0])
+
+    def test_large_advertisement_avoids_truncation(self, edns_world):
+        simulator, network, auth = edns_world
+        response = self.ask(simulator, network, 4096)
+        assert not response.truncated
+        assert len(response.answer) == 40
+        assert response.edns_payload_size == EDNS_SERVER_PAYLOAD
+        assert auth.stats.truncated == 0
+
+    def test_classic_client_still_truncated(self, edns_world):
+        simulator, network, auth = edns_world
+        response = self.ask(simulator, network, None)
+        assert response.truncated
+        assert auth.stats.truncated == 1
+
+    def test_small_advertisement_respected(self, edns_world):
+        """An advertised size below the response still truncates, but
+        never below the 512 floor."""
+        simulator, network, auth = edns_world
+        response = self.ask(simulator, network, 512)
+        assert response.truncated
+
+    def test_server_caps_at_own_limit(self, edns_world):
+        simulator, network, auth = edns_world
+        response = self.ask(simulator, network, 65000)
+        assert response.edns_payload_size == EDNS_SERVER_PAYLOAD
+
+
+class TestResolverEdns:
+    def test_edns_resolver_skips_tcp_fallback(self, edns_world):
+        simulator, network, _ = edns_world
+        resolver = RecursiveResolver(Host(network, "10.2.0.1"),
+                                     [("198.41.0.4", 53)],
+                                     edns_payload=4096)
+        results = []
+        resolver.resolve("big.fat.com", RRType.A,
+                         lambda recs, rc: results.append((recs, rc)))
+        simulator.run()
+        records, rcode = results[0]
+        assert rcode == Rcode.NOERROR
+        assert len([r for r in records if r.rrtype == RRType.A]) == 40
+        assert resolver.stats.tcp_fallbacks == 0
+        assert network.stats.stream_messages == 0
+
+    def test_classic_resolver_uses_tcp_fallback(self, edns_world):
+        simulator, network, _ = edns_world
+        resolver = RecursiveResolver(Host(network, "10.2.0.2"),
+                                     [("198.41.0.4", 53)])
+        results = []
+        resolver.resolve("big.fat.com", RRType.A,
+                         lambda recs, rc: results.append((recs, rc)))
+        simulator.run()
+        assert results[0][1] == Rcode.NOERROR
+        assert resolver.stats.tcp_fallbacks == 1
+
+    def test_tiny_edns_payload_rejected(self, edns_world):
+        simulator, network, _ = edns_world
+        with pytest.raises(ValueError):
+            RecursiveResolver(Host(network, "10.2.0.3"),
+                              [("198.41.0.4", 53)], edns_payload=128)

@@ -1,0 +1,91 @@
+"""Tests for change-cause classification (Figure 2f's logic)."""
+
+import pytest
+
+from repro.measurement import (
+    ChangeTally,
+    LOGICAL,
+    PHYSICAL,
+    aggregate,
+    classify_change,
+    kind_of,
+)
+from repro.traces import CAUSE_GROWTH, CAUSE_RELOCATION, CAUSE_ROTATION
+
+
+class TestClassifyChange:
+    def test_disjoint_sets_are_relocation(self):
+        assert classify_change(["1.1.1.1"], ["2.2.2.2"], set()) == \
+            CAUSE_RELOCATION
+
+    def test_superset_is_growth(self):
+        assert classify_change(["1.1.1.1"], ["1.1.1.1", "2.2.2.2"], set()) == \
+            CAUSE_GROWTH
+
+    def test_overlap_is_rotation(self):
+        assert classify_change(["1.1.1.1", "2.2.2.2"],
+                               ["2.2.2.2", "3.3.3.3"], set()) == CAUSE_ROTATION
+
+    def test_revisit_of_seen_address_is_rotation(self):
+        """Single-address CDN rotation: disjoint consecutive answers but
+        the new address was seen before → round-robin, not a move."""
+        assert classify_change(["2.2.2.2"], ["1.1.1.1"],
+                               seen_before={"1.1.1.1", "3.3.3.3"}) == \
+            CAUSE_ROTATION
+
+    def test_fresh_disjoint_with_history_is_relocation(self):
+        assert classify_change(["2.2.2.2"], ["9.9.9.9"],
+                               seen_before={"1.1.1.1", "2.2.2.2"}) == \
+            CAUSE_RELOCATION
+
+    def test_empty_new_set_is_relocation(self):
+        assert classify_change(["1.1.1.1"], [], set()) == CAUSE_RELOCATION
+
+    def test_equal_sets_rejected(self):
+        with pytest.raises(ValueError):
+            classify_change(["1.1.1.1"], ["1.1.1.1"], set())
+
+
+class TestKinds:
+    def test_kind_mapping(self):
+        assert kind_of(CAUSE_RELOCATION) == PHYSICAL
+        assert kind_of(CAUSE_GROWTH) == LOGICAL
+        assert kind_of(CAUSE_ROTATION) == LOGICAL
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            kind_of("teleportation")
+
+
+class TestTally:
+    def test_add_and_totals(self):
+        tally = ChangeTally()
+        tally.add(CAUSE_RELOCATION)
+        tally.add(CAUSE_ROTATION, count=3)
+        tally.add(CAUSE_GROWTH)
+        assert tally.total == 5
+        assert tally.physical == 1
+        assert tally.logical == 4
+        assert tally.physical_share() == pytest.approx(0.2)
+
+    def test_shares_sum_to_one(self):
+        tally = ChangeTally(relocation=2, growth=3, rotation=5)
+        shares = tally.shares()
+        assert sum(shares.values()) == pytest.approx(1.0)
+        assert shares[CAUSE_ROTATION] == pytest.approx(0.5)
+
+    def test_empty_tally_shares_zero(self):
+        shares = ChangeTally().shares()
+        assert all(v == 0.0 for v in shares.values())
+        assert ChangeTally().physical_share() == 0.0
+
+    def test_unknown_cause_rejected(self):
+        with pytest.raises(ValueError):
+            ChangeTally().add("warp")
+
+    def test_aggregate(self):
+        total = aggregate([ChangeTally(relocation=1),
+                           ChangeTally(rotation=2),
+                           ChangeTally(growth=3)])
+        assert total.total == 6
+        assert total.relocation == 1

@@ -1,0 +1,68 @@
+"""Tests for per-group measurement summaries (§3.2 categories)."""
+
+import pytest
+
+from repro.dnslib import Name
+from repro.measurement import (
+    ChangeTally,
+    GroupSummary,
+    ProbeResult,
+    summarize_groups,
+)
+from repro.traces import class_by_index
+
+
+def result(name, frequency, probes=100):
+    changes = int(frequency * probes)
+    return ProbeResult(Name.from_text(name), class_by_index(1), probes,
+                       changes, ChangeTally(rotation=changes), [])
+
+
+class TestSummarizeGroups:
+    def test_groups_partition_results(self):
+        results = [result("a.cdn.net", 0.5), result("b.cdn.net", 0.3),
+                   result("c.dyn.org", 0.01)]
+        labels = {Name.from_text("a.cdn.net"): "cdn",
+                  Name.from_text("b.cdn.net"): "cdn",
+                  Name.from_text("c.dyn.org"): "dyn"}
+        groups = summarize_groups(results, labels)
+        assert groups["cdn"].domains == 2
+        assert groups["cdn"].mean_change_frequency == pytest.approx(0.4)
+        assert groups["dyn"].domains == 1
+
+    def test_unlabelled_results_skipped(self):
+        results = [result("a.x.com", 0.5), result("mystery.net", 0.9)]
+        groups = summarize_groups(results,
+                                  {Name.from_text("a.x.com"): "known"})
+        assert set(groups) == {"known"}
+
+    def test_changed_share(self):
+        results = [result("a.x.com", 0.0), result("b.x.com", 0.2)]
+        labels = {Name.from_text("a.x.com"): "g",
+                  Name.from_text("b.x.com"): "g"}
+        assert summarize_groups(results, labels)["g"].changed_share == 0.5
+
+    def test_empty(self):
+        assert summarize_groups([], {}) == {}
+
+
+class TestProviderCalibration:
+    """The generator's provider-level calibration against §3.2."""
+
+    @pytest.fixture(scope="class")
+    def provider_summaries(self):
+        from repro.measurement import DnsDynamicsProber, oracle_from_specs
+        from repro.traces import PopulationConfig, generate_cdn_domains
+        domains = generate_cdn_domains(PopulationConfig(cdn_count=20))
+        prober = DnsDynamicsProber(oracle_from_specs(domains),
+                                   max_probes_per_domain=400)
+        results = prober.run_campaign(domains)
+        labels = {d.name: d.provider for d in domains}
+        return summarize_groups(results, labels)
+
+    def test_akamai_near_ten_percent(self, provider_summaries):
+        assert provider_summaries["akamai"].mean_change_frequency == \
+            pytest.approx(0.10, abs=0.05)
+
+    def test_speedera_near_hundred_percent(self, provider_summaries):
+        assert provider_summaries["speedera"].mean_change_frequency > 0.9

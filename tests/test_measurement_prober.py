@@ -1,0 +1,121 @@
+"""Tests for the DNS-dynamics prober."""
+
+import pytest
+
+from repro.dnslib import Name
+from repro.measurement import (
+    DnsDynamicsProber,
+    oracle_from_specs,
+    results_by_class,
+)
+from repro.traces import (
+    AddressRotation,
+    DomainSpec,
+    PoissonRelocation,
+    StableProcess,
+    CATEGORY_REGULAR,
+)
+
+
+def spec(name, ttl, process):
+    return DomainSpec(Name.from_text(name), CATEGORY_REGULAR, ttl, 1.0,
+                      process)
+
+
+class TestOracle:
+    def test_oracle_resolves_known_domain(self):
+        domain = spec("a.x.com", 60.0, StableProcess(["1.1.1.1"]))
+        oracle = oracle_from_specs([domain])
+        assert oracle(domain.name, 0.0) == ("1.1.1.1",)
+
+    def test_oracle_unknown_domain_raises(self):
+        oracle = oracle_from_specs([])
+        with pytest.raises(KeyError):
+            oracle(Name.from_text("nope.x.com"), 0.0)
+
+    def test_oracle_sorted_for_stable_comparison(self):
+        domain = spec("a.x.com", 60.0, StableProcess(["9.9.9.9", "1.1.1.1"]))
+        oracle = oracle_from_specs([domain])
+        assert oracle(domain.name, 0.0) == ("1.1.1.1", "9.9.9.9")
+
+
+class TestProbing:
+    def test_stable_domain_never_changes(self):
+        domain = spec("a.x.com", 30.0, StableProcess(["1.1.1.1"]))
+        prober = DnsDynamicsProber(oracle_from_specs([domain]))
+        result = prober.probe_domain(domain)
+        assert result.changes == 0
+        assert result.change_frequency == 0.0
+        assert not result.changed
+
+    def test_probe_count_follows_table1(self):
+        domain = spec("a.x.com", 30.0, StableProcess(["1.1.1.1"]))
+        prober = DnsDynamicsProber(oracle_from_specs([domain]))
+        result = prober.probe_domain(domain)
+        assert result.probes == result.ttl_class.probe_count == 4320
+
+    def test_probe_cap_applies(self):
+        domain = spec("a.x.com", 30.0, StableProcess(["1.1.1.1"]))
+        prober = DnsDynamicsProber(oracle_from_specs([domain]),
+                                   max_probes_per_domain=100)
+        assert prober.probe_domain(domain).probes == 100
+
+    def test_rotation_every_period_gives_full_frequency(self):
+        """A domain rotating every sampling period has frequency ≈ 1."""
+        process = AddressRotation(["1.1.1.1", "2.2.2.2"], period=20.0,
+                                  change_probability=1.0, seed=1)
+        domain = spec("cdn.x.com", 20.0, process)
+        prober = DnsDynamicsProber(oracle_from_specs([domain]),
+                                   max_probes_per_domain=500)
+        result = prober.probe_domain(domain)
+        assert result.change_frequency > 0.9
+        # The very first flip of a rotation pool is indistinguishable
+        # from a relocation (no history yet); everything after must be
+        # recognized as rotation.
+        assert result.tally.rotation >= result.changes - 1
+
+    def test_relocations_classified_physical(self):
+        process = PoissonRelocation(["1.1.1.1"], mean_lifetime=400.0, seed=2)
+        domain = spec("moving.x.com", 600.0, process)  # class 3, res 300 s
+        prober = DnsDynamicsProber(oracle_from_specs([domain]),
+                                   max_probes_per_domain=800)
+        result = prober.probe_domain(domain)
+        assert result.changes > 0
+        assert result.tally.physical == result.changes
+
+    def test_change_times_recorded(self):
+        process = AddressRotation(["1.1.1.1", "2.2.2.2"], period=20.0,
+                                  change_probability=1.0, seed=3)
+        domain = spec("cdn.x.com", 20.0, process)
+        prober = DnsDynamicsProber(oracle_from_specs([domain]),
+                                   max_probes_per_domain=50)
+        result = prober.probe_domain(domain)
+        assert len(result.change_times) == result.changes
+        assert all(t >= 0 for t in result.change_times)
+
+    def test_undersampling_misses_fast_changes(self):
+        """Probing at the class resolution can only see net changes
+        between samples — a rotation faster than the sampling period is
+        partially invisible (why Table 1 matches resolution to TTL)."""
+        fast = AddressRotation(["1.1.1.1", "2.2.2.2", "3.3.3.3"],
+                               period=5.0, change_probability=1.0, seed=4)
+        domain = spec("fast.x.com", 3000.0, fast)  # class 3: 300 s sampling
+        prober = DnsDynamicsProber(oracle_from_specs([domain]),
+                                   max_probes_per_domain=200)
+        result = prober.probe_domain(domain)
+        events = len(fast.events_between(0, 200 * 300.0))
+        assert result.changes < events
+
+
+class TestCampaign:
+    def test_results_grouped_by_class(self):
+        domains = [
+            spec("a.x.com", 30.0, StableProcess(["1.1.1.1"])),
+            spec("b.x.com", 120.0, StableProcess(["1.1.1.1"])),
+            spec("c.x.com", 7200.0, StableProcess(["1.1.1.1"])),
+        ]
+        prober = DnsDynamicsProber(oracle_from_specs(domains),
+                                   max_probes_per_domain=10)
+        results = prober.run_campaign(domains)
+        grouped = results_by_class(results)
+        assert set(grouped) == {1, 2, 4}

@@ -1,0 +1,192 @@
+"""Tests for measurement statistics: PDFs, lifetimes, CV analysis."""
+
+import math
+import random
+
+import pytest
+
+from repro.dnslib import Name
+from repro.measurement import (
+    ChangeTally,
+    DnsDynamicsProber,
+    ProbeResult,
+    change_frequency_pdf,
+    changed_share,
+    coefficient_of_variation,
+    cv_vs_caching_period,
+    interarrival_cv_per_domain,
+    mean_change_frequency,
+    mean_with_ci95,
+    oracle_from_specs,
+    redundancy_factor,
+    summarize_campaign,
+    summarize_class,
+)
+from repro.traces import QueryEvent, class_by_index
+
+
+def fake_result(frequency, class_index=3, physical=0, rotation=0, growth=0):
+    ttl_class = class_by_index(class_index)
+    probes = 100
+    changes = int(frequency * probes)
+    return ProbeResult(Name.from_text("d.x.com"), ttl_class, probes, changes,
+                       ChangeTally(relocation=physical, rotation=rotation,
+                                   growth=growth), [])
+
+
+class TestPdf:
+    def test_masses_sum_to_one(self):
+        results = [fake_result(f) for f in (0.0, 0.1, 0.1, 0.5, 0.9)]
+        pdf = change_frequency_pdf(results, bins=10)
+        assert sum(mass for _, mass in pdf) == pytest.approx(1.0)
+
+    def test_zero_spike_for_stable_population(self):
+        results = [fake_result(0.0) for _ in range(20)]
+        pdf = change_frequency_pdf(results, bins=10)
+        assert pdf[0][1] == pytest.approx(1.0)
+
+    def test_empty_results(self):
+        pdf = change_frequency_pdf([], bins=5)
+        assert all(mass == 0.0 for _, mass in pdf)
+
+    def test_frequency_one_lands_in_last_bin(self):
+        pdf = change_frequency_pdf([fake_result(1.0)], bins=10)
+        assert pdf[-1][1] == pytest.approx(1.0)
+
+    def test_invalid_bins(self):
+        with pytest.raises(ValueError):
+            change_frequency_pdf([], bins=0)
+
+
+class TestSummaries:
+    def test_mean_and_changed_share(self):
+        results = [fake_result(0.0), fake_result(0.2)]
+        assert mean_change_frequency(results) == pytest.approx(0.1)
+        assert changed_share(results) == pytest.approx(0.5)
+
+    def test_summarize_class_lifetime(self):
+        # class 3 (300 s resolution), mean frequency 0.03 → ~10000 s.
+        results = [fake_result(0.03, class_index=3, physical=3)]
+        summary = summarize_class(3, results)
+        assert summary.mean_lifetime == pytest.approx(300 / 0.03)
+        assert summary.physical_share == 1.0
+
+    def test_summarize_campaign_groups(self):
+        results = [fake_result(0.0, class_index=1),
+                   fake_result(0.1, class_index=5, rotation=10)]
+        summaries = summarize_campaign(results)
+        assert set(summaries) == {1, 5}
+
+    def test_infinite_lifetime_for_stable_class(self):
+        summary = summarize_class(4, [fake_result(0.0, class_index=4)])
+        assert math.isinf(summary.mean_lifetime)
+
+
+class TestRedundancy:
+    def test_cdn_redundancy_example(self):
+        """§3.2: Akamai TTL 20 s with ~200 s lifetimes → ~10× waste."""
+        assert redundancy_factor(ttl=20.0, mean_lifetime=200.0) == \
+            pytest.approx(10.0)
+
+    def test_dyn_redundancy_example(self):
+        """§3.2: Dyn domains fetch ~25× more than needed."""
+        assert redundancy_factor(ttl=300.0, mean_lifetime=7500.0) == \
+            pytest.approx(25.0)
+
+    def test_infinite_for_never_changing(self):
+        assert math.isinf(redundancy_factor(60.0, math.inf))
+
+    def test_invalid_ttl(self):
+        with pytest.raises(ValueError):
+            redundancy_factor(0.0, 100.0)
+
+
+class TestCv:
+    def test_poisson_intervals_cv_near_one(self):
+        rng = random.Random(0)
+        intervals = [rng.expovariate(1.0) for _ in range(20_000)]
+        assert coefficient_of_variation(intervals) == pytest.approx(1.0,
+                                                                    abs=0.05)
+
+    def test_deterministic_intervals_cv_zero(self):
+        assert coefficient_of_variation([5.0] * 100) == 0.0
+
+    def test_bursty_intervals_cv_above_one(self):
+        intervals = [0.001] * 50 + [100.0] * 5
+        assert coefficient_of_variation(intervals) > 1.0
+
+    def test_needs_two_intervals(self):
+        with pytest.raises(ValueError):
+            coefficient_of_variation([1.0])
+
+    def test_per_domain_cv_skips_sparse(self):
+        events = [QueryEvent(float(i), 0, Name.from_text("few.x.com"))
+                  for i in range(3)]
+        assert interarrival_cv_per_domain(events, min_queries=10) == {}
+
+    def test_per_domain_cv_computed(self):
+        rng = random.Random(1)
+        t = 0.0
+        events = []
+        for _ in range(500):
+            t += rng.expovariate(0.5)
+            events.append(QueryEvent(t, 0, Name.from_text("hot.x.com")))
+        cvs = interarrival_cv_per_domain(events)
+        assert cvs[Name.from_text("hot.x.com")] == pytest.approx(1.0, abs=0.15)
+
+
+class TestConfidenceIntervals:
+    def test_mean_with_ci(self):
+        stats = mean_with_ci95([1.0, 2.0, 3.0])
+        assert stats.mean == pytest.approx(2.0)
+        assert stats.low < 2.0 < stats.high
+        assert stats.count == 3
+
+    def test_single_value_zero_width(self):
+        stats = mean_with_ci95([5.0])
+        assert stats.half_width == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_with_ci95([])
+
+    def test_ci_shrinks_with_samples(self):
+        rng = random.Random(2)
+        small = mean_with_ci95([rng.gauss(0, 1) for _ in range(10)])
+        large = mean_with_ci95([rng.gauss(0, 1) for _ in range(1000)])
+        assert large.half_width < small.half_width
+
+
+class TestFigure4Curve:
+    def test_cv_approaches_one_with_client_caching(self):
+        """Figure 4: longer client caching → mean CV closer to 1."""
+        rng = random.Random(3)
+        events = []
+        # 30 domains with Poisson arrivals, then bursts injected by
+        # doubling events (each arrival repeated quickly) to push CV > 1
+        # before thinning.
+        for d in range(30):
+            name = Name.from_text(f"d{d}.x.com")
+            t = 0.0
+            for _ in range(300):
+                t += rng.expovariate(1 / 30.0)
+                events.append(QueryEvent(t, client=rng.randrange(5), name=name))
+                events.append(QueryEvent(t + 0.5, client=rng.randrange(5),
+                                         name=name))
+        curve = cv_vs_caching_period(events, [1.0, 100.0, 1000.0])
+        assert len(curve) == 3
+        deviations = [abs(stats.mean - 1.0) for _, stats in curve]
+        assert deviations[-1] < deviations[0]
+
+    def test_curve_reports_ci(self):
+        rng = random.Random(4)
+        events = []
+        for d in range(10):
+            name = Name.from_text(f"d{d}.x.com")
+            t = 0.0
+            for _ in range(200):
+                t += rng.expovariate(1 / 10.0)
+                events.append(QueryEvent(t, client=0, name=name))
+        curve = cv_vs_caching_period(events, [1.0])
+        _, stats = curve[0]
+        assert stats.half_width > 0.0

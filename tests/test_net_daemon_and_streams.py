@@ -1,0 +1,134 @@
+"""Unit tests for daemon-event semantics and reliable streams."""
+
+import pytest
+
+from repro.net import Network, PeriodicTimer, Simulator
+
+
+class TestDaemonEvents:
+    def test_run_stops_when_only_daemons_remain(self, simulator):
+        ticks = []
+        PeriodicTimer(simulator, 1.0, lambda: ticks.append(simulator.now))
+        simulator.schedule(2.5, lambda: None)  # real work until t=2.5
+        simulator.run()
+        # Daemon ticks at 1.0 and 2.0 fired (they precede real work);
+        # then run() stopped instead of ticking forever.
+        assert ticks == [1.0, 2.0]
+        assert simulator.pending >= 1  # the next daemon tick still queued
+
+    def test_run_with_no_real_work_returns_immediately(self, simulator):
+        PeriodicTimer(simulator, 1.0, lambda: None)
+        assert simulator.run() == 0
+
+    def test_run_until_fires_daemons_regardless(self, simulator):
+        ticks = []
+        PeriodicTimer(simulator, 1.0, lambda: ticks.append(simulator.now))
+        simulator.run_until(3.5)
+        assert ticks == [1.0, 2.0, 3.0]
+
+    def test_daemon_spawning_real_work_keeps_run_alive(self, simulator):
+        """A daemon that fires while real work is pending can spawn more
+        real work, which extends the run past the original horizon."""
+        produced = []
+
+        def tick():
+            if simulator.now <= 2.0:
+                simulator.schedule(0.5, lambda: produced.append(simulator.now))
+
+        PeriodicTimer(simulator, 1.0, tick)
+        simulator.schedule(2.2, lambda: None)  # real work keeps run alive
+        simulator.run()
+        # Ticks at 1.0 and 2.0 fired (before the 2.2 work) and spawned
+        # real events at 1.5 and 2.5; the 2.5 one extended the run.
+        assert produced == [1.5, 2.5]
+
+    def test_cancel_daemon_event_bookkeeping(self, simulator):
+        handle = simulator.schedule(1.0, lambda: None, daemon=True)
+        real = simulator.schedule(1.0, lambda: None)
+        handle.cancel()
+        real.cancel()
+        assert simulator.run() == 0
+
+    def test_non_daemon_default(self, simulator):
+        fired = []
+        simulator.schedule(1.0, lambda: fired.append(1))
+        simulator.run()
+        assert fired == [1]
+
+
+class TestStreams:
+    def test_stream_delivery_reliable_under_loss(self, simulator):
+        from repro.net import LinkProfile
+        network = Network(simulator, seed=1,
+                          default_profile=LinkProfile(loss_rate=0.9))
+        received = []
+        network.bind_stream(("b", 1), lambda p, s, d: received.append(p))
+        for index in range(20):
+            network.send_stream(bytes([index]), ("a", 1), ("b", 1))
+        simulator.run()
+        assert len(received) == 20  # streams never lose
+
+    def test_stream_ignores_udp_size_limit(self, simulator, network):
+        received = []
+        network.bind_stream(("b", 1), lambda p, s, d: received.append(p))
+        network.send_stream(b"x" * 5000, ("a", 1), ("b", 1))
+        simulator.run()
+        assert len(received[0]) == 5000
+
+    def test_stream_slower_than_datagram(self, simulator):
+        from repro.net import LatencyModel, LinkProfile
+        network = Network(simulator, seed=2,
+                          default_profile=LinkProfile(
+                              latency=LatencyModel(base=0.1)))
+        arrivals = {}
+        network.bind(("b", 1), lambda p, s, d: arrivals.__setitem__("udp", simulator.now))
+        network.bind_stream(("b", 1), lambda p, s, d: arrivals.__setitem__("tcp", simulator.now))
+        network.send(b"u", ("a", 1), ("b", 1))
+        network.send_stream(b"t", ("a", 1), ("b", 1))
+        simulator.run()
+        assert arrivals["tcp"] > arrivals["udp"]  # connection setup cost
+
+    def test_stream_stats_counted(self, simulator, network):
+        network.bind_stream(("b", 1), lambda p, s, d: None)
+        network.send_stream(b"abc", ("a", 1), ("b", 1))
+        simulator.run()
+        assert network.stats.stream_messages == 1
+        assert network.stats.stream_bytes == 3
+
+    def test_unbound_stream_endpoint_dropped(self, simulator, network):
+        network.send_stream(b"x", ("a", 1), ("nowhere", 1))
+        simulator.run()  # no crash
+
+    def test_double_stream_bind_rejected(self, network):
+        from repro.net import NetworkError
+        network.bind_stream(("a", 1), lambda *a: None)
+        with pytest.raises(NetworkError):
+            network.bind_stream(("a", 1), lambda *a: None)
+
+    def test_socket_request_stream_roundtrip(self, make_host, simulator):
+        from repro.dnslib import Message, RRType, make_query, make_response
+        server_host = make_host("10.0.0.1")
+        client_host = make_host("10.0.0.2")
+        server = server_host.dns_socket()
+
+        def handle(payload, src, dst):
+            message = Message.from_wire(payload)
+            server.send_stream(make_response(message).to_wire(), src)
+
+        server.on_receive_stream(handle)
+        client = client_host.socket()
+        query = make_query("x.example.", RRType.A)
+        results = []
+        client.request_stream(query.to_wire(), ("10.0.0.1", 53), query.id,
+                              lambda p, s: results.append(p))
+        simulator.run()
+        assert results and results[0] is not None
+        assert Message.from_wire(results[0]).id == query.id
+
+    def test_request_stream_timeout(self, make_host, simulator):
+        client = make_host("10.0.0.3").socket()
+        results = []
+        client.request_stream(b"\x00\x01\x00\x00", ("203.0.113.1", 53), 1,
+                              lambda p, s: results.append(p), timeout=0.5)
+        simulator.run()
+        assert results == [None]

@@ -1,0 +1,137 @@
+"""Tests for the discrete-event simulator."""
+
+import pytest
+
+from repro.net import SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self, simulator):
+        fired = []
+        simulator.schedule(2.0, lambda: fired.append("b"))
+        simulator.schedule(1.0, lambda: fired.append("a"))
+        simulator.schedule(3.0, lambda: fired.append("c"))
+        simulator.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_same_time_fifo(self, simulator):
+        fired = []
+        for tag in range(5):
+            simulator.schedule(1.0, lambda t=tag: fired.append(t))
+        simulator.run()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_now_advances_to_event_time(self, simulator):
+        times = []
+        simulator.schedule(1.5, lambda: times.append(simulator.now))
+        simulator.run()
+        assert times == [1.5]
+
+    def test_negative_delay_rejected(self, simulator):
+        with pytest.raises(SimulationError):
+            simulator.schedule(-1.0, lambda: None)
+
+    def test_schedule_into_past_rejected(self, simulator):
+        simulator.schedule(1.0, lambda: None)
+        simulator.run()
+        with pytest.raises(SimulationError):
+            simulator.schedule_at(0.5, lambda: None)
+
+    def test_nested_scheduling(self, simulator):
+        fired = []
+
+        def outer():
+            fired.append(("outer", simulator.now))
+            simulator.schedule(1.0, inner)
+
+        def inner():
+            fired.append(("inner", simulator.now))
+
+        simulator.schedule(1.0, outer)
+        simulator.run()
+        assert fired == [("outer", 1.0), ("inner", 2.0)]
+
+    def test_call_soon_runs_after_pending_same_time(self, simulator):
+        fired = []
+        simulator.schedule(0.0, lambda: fired.append("first"))
+        simulator.call_soon(lambda: fired.append("second"))
+        simulator.run()
+        assert fired == ["first", "second"]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, simulator):
+        fired = []
+        handle = simulator.schedule(1.0, lambda: fired.append("x"))
+        handle.cancel()
+        simulator.run()
+        assert not fired
+
+    def test_double_cancel_harmless(self, simulator):
+        handle = simulator.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert handle.cancelled
+
+    def test_pending_excludes_cancelled(self, simulator):
+        handle = simulator.schedule(1.0, lambda: None)
+        simulator.schedule(2.0, lambda: None)
+        assert simulator.pending == 2
+        handle.cancel()
+        assert simulator.pending == 1
+
+
+class TestRunVariants:
+    def test_run_until_fires_only_due_events(self, simulator):
+        fired = []
+        simulator.schedule(1.0, lambda: fired.append(1))
+        simulator.schedule(5.0, lambda: fired.append(5))
+        count = simulator.run_until(2.0)
+        assert count == 1 and fired == [1]
+        assert simulator.now == 2.0
+        assert simulator.pending == 1
+
+    def test_run_until_inclusive_boundary(self, simulator):
+        fired = []
+        simulator.schedule(2.0, lambda: fired.append(2))
+        simulator.run_until(2.0)
+        assert fired == [2]
+
+    def test_run_for_relative(self, simulator):
+        simulator.run_until(10.0)
+        fired = []
+        simulator.schedule(1.0, lambda: fired.append(simulator.now))
+        simulator.run_for(2.0)
+        assert fired == [11.0]
+        assert simulator.now == 12.0
+
+    def test_run_backwards_rejected(self, simulator):
+        simulator.run_until(5.0)
+        with pytest.raises(SimulationError):
+            simulator.run_until(1.0)
+
+    def test_run_max_events(self, simulator):
+        for _ in range(10):
+            simulator.schedule(1.0, lambda: None)
+        assert simulator.run(max_events=3) == 3
+        assert simulator.pending == 7
+
+    def test_step_returns_false_when_empty(self, simulator):
+        assert simulator.step() is False
+
+    def test_events_processed_counter(self, simulator):
+        for _ in range(4):
+            simulator.schedule(1.0, lambda: None)
+        simulator.run()
+        assert simulator.events_processed == 4
+
+    def test_determinism_across_instances(self):
+        def run_once():
+            simulator = Simulator()
+            log = []
+            simulator.schedule(0.5, lambda: log.append(("a", simulator.now)))
+            simulator.schedule(0.5, lambda: simulator.schedule(
+                0.25, lambda: log.append(("b", simulator.now))))
+            simulator.run()
+            return log
+        assert run_once() == run_once()

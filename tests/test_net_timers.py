@@ -1,0 +1,42 @@
+"""Tests for periodic timers."""
+
+import pytest
+
+from repro.net import PeriodicTimer
+
+
+class TestPeriodicTimer:
+    def test_fires_at_interval(self, simulator):
+        ticks = []
+        PeriodicTimer(simulator, 1.0, lambda: ticks.append(simulator.now))
+        simulator.run_until(3.5)
+        assert ticks == [1.0, 2.0, 3.0]
+
+    def test_custom_start_delay(self, simulator):
+        ticks = []
+        PeriodicTimer(simulator, 1.0, lambda: ticks.append(simulator.now),
+                      start_delay=0.25)
+        simulator.run_until(2.5)
+        assert ticks == [0.25, 1.25, 2.25]
+
+    def test_stop_prevents_further_ticks(self, simulator):
+        ticks = []
+        timer = PeriodicTimer(simulator, 1.0,
+                              lambda: ticks.append(simulator.now))
+        simulator.run_until(1.5)
+        timer.stop()
+        simulator.run_until(5.0)
+        assert ticks == [1.0]
+        assert not timer.running
+
+    def test_stop_from_within_callback(self, simulator):
+        ticks = []
+        timer = PeriodicTimer(simulator, 1.0, lambda: (
+            ticks.append(simulator.now),
+            timer.stop() if len(ticks) >= 2 else None))
+        simulator.run_until(10.0)
+        assert ticks == [1.0, 2.0]
+
+    def test_zero_interval_rejected(self, simulator):
+        with pytest.raises(ValueError):
+            PeriodicTimer(simulator, 0.0, lambda: None)

@@ -1,0 +1,257 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import string
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    LeaseInstance,
+    LeaseTable,
+    communication_constrained,
+    communication_constrained_floor,
+    lease_probability,
+    renewal_rate,
+    storage_constrained,
+    tradeoff_ratio,
+)
+from repro.dnslib import (
+    A,
+    Message,
+    Name,
+    Question,
+    Rcode,
+    ResourceRecord,
+    RRType,
+    WireReader,
+    WireWriter,
+    make_query,
+    make_response,
+)
+from repro.zone import serial_add, serial_gt
+
+# -- strategies ----------------------------------------------------------------
+
+label = st.text(alphabet=string.ascii_letters + string.digits + "-",
+                min_size=1, max_size=12).filter(lambda s: s.strip("-"))
+names = st.lists(label, min_size=0, max_size=5).map(Name)
+ipv4 = st.tuples(*(st.integers(1, 254),) * 4).map(
+    lambda t: ".".join(map(str, t)))
+ttls = st.integers(min_value=0, max_value=0x7FFFFFFF)
+serials = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+# -- names -------------------------------------------------------------------
+
+
+class TestNameProperties:
+    @given(names)
+    def test_text_roundtrip(self, name):
+        assert Name.from_text(name.to_text()) == name
+
+    @given(names)
+    def test_subdomain_of_self_and_root(self, name):
+        assert name.is_subdomain_of(name)
+        assert name.is_subdomain_of(Name.root())
+
+    @given(names, label)
+    def test_child_parent_inverse(self, name, lab):
+        assert name.child(lab).parent() == name
+
+    @given(names, names)
+    def test_equality_consistent_with_hash(self, a, b):
+        if a == b:
+            assert hash(a) == hash(b)
+
+
+# -- wire format -----------------------------------------------------------------
+
+
+class TestWireProperties:
+    @given(st.lists(names, min_size=1, max_size=8))
+    def test_name_sequence_roundtrip_with_compression(self, name_list):
+        writer = WireWriter()
+        for name in name_list:
+            writer.write_name(name)
+        reader = WireReader(writer.getvalue())
+        for name in name_list:
+            assert reader.read_name() == name
+
+    @given(st.lists(names, min_size=1, max_size=8))
+    def test_compression_never_larger(self, name_list):
+        compressed = WireWriter(compress=True)
+        plain = WireWriter(compress=False)
+        for name in name_list:
+            compressed.write_name(name)
+            plain.write_name(name)
+        assert len(compressed.getvalue()) <= len(plain.getvalue())
+
+    @given(names, ipv4, ttls)
+    def test_record_roundtrip(self, name, address, ttl):
+        record = ResourceRecord(name, RRType.A, ttl, A(address))
+        writer = WireWriter()
+        record.to_wire(writer)
+        assert ResourceRecord.from_wire(WireReader(writer.getvalue())) == record
+
+    @given(names, st.one_of(st.none(), st.integers(0, 0xFFFF)),
+           st.booleans())
+    def test_message_roundtrip(self, name, rrc, rd):
+        query = make_query(name, RRType.A, recursion_desired=rd, rrc=rrc)
+        decoded = Message.from_wire(query.to_wire())
+        assert decoded.question[0].name == name
+        assert decoded.question[0].rrc == rrc
+        assert decoded.recursion_desired == rd
+
+    @given(names, st.integers(0, 0xFFFF), st.integers(1, 0xFFFF),
+           st.lists(ipv4, min_size=1, max_size=5, unique=True))
+    def test_response_with_llt_roundtrip(self, name, rrc, llt, addresses):
+        query = make_query(name, RRType.A, rrc=rrc)
+        response = make_response(query, llt=llt)
+        for address in addresses:
+            response.answer.append(
+                ResourceRecord(name, RRType.A, 60, A(address)))
+        decoded = Message.from_wire(response.to_wire())
+        assert decoded.llt == llt
+        assert [r.rdata.address for r in decoded.answer] == addresses
+
+
+# -- serial arithmetic ---------------------------------------------------------------
+
+
+class TestSerialProperties:
+    @given(serials, st.integers(1, (1 << 31) - 1))
+    def test_add_makes_greater(self, serial, increment):
+        assert serial_gt(serial_add(serial, increment), serial)
+
+    @given(serials, serials)
+    def test_antisymmetric(self, a, b):
+        assert not (serial_gt(a, b) and serial_gt(b, a))
+
+    @given(serials)
+    def test_irreflexive(self, a):
+        assert not serial_gt(a, a)
+
+
+# -- analytical model ---------------------------------------------------------------------
+
+rates = st.floats(min_value=1e-6, max_value=1e3, allow_nan=False)
+lengths = st.floats(min_value=0.0, max_value=1e7, allow_nan=False)
+
+
+class TestAnalyticalProperties:
+    @given(lengths, rates)
+    def test_probability_in_unit_interval(self, t, lam):
+        assert 0.0 <= lease_probability(t, lam) < 1.0
+
+    @given(lengths, rates)
+    def test_renewal_rate_bounded_by_polling(self, t, lam):
+        assert 0.0 <= renewal_rate(t, lam) <= lam + 1e-12
+
+    @given(st.floats(0.0, 1e4), st.floats(0.1, 1e5), rates)
+    def test_tradeoff_is_lambda(self, t1, dt, lam):
+        # Wide tolerance: for t ≫ 1/λ both ΔP and ΔM suffer catastrophic
+        # cancellation, so only the analytical identity (not double
+        # precision) is exact.
+        assert tradeoff_ratio(t1, t1 + dt, lam) == pytest.approx(lam,
+                                                                 rel=1e-3)
+
+    @given(lengths, lengths, rates)
+    def test_probability_monotone(self, t1, t2, lam):
+        low, high = sorted((t1, t2))
+        assert lease_probability(low, lam) <= lease_probability(high, lam)
+
+
+# -- optimizers ------------------------------------------------------------------------------
+
+instances_strategy = st.lists(
+    st.tuples(st.integers(0, 10_000), rates,
+              st.floats(min_value=1.0, max_value=1e6)),
+    min_size=1, max_size=30, unique_by=lambda t: t[0],
+).map(lambda rows: [LeaseInstance(f"r{i}", "c", lam, max_lease)
+                    for i, lam, max_lease in rows])
+
+
+class TestOptimizerProperties:
+    @given(instances_strategy, st.floats(0.0, 30.0))
+    @settings(max_examples=50, deadline=None)
+    def test_storage_budget_never_exceeded(self, instances, budget):
+        assignment = storage_constrained(instances, budget)
+        used = sum(inst.storage_cost for inst in instances
+                   if (inst.record, inst.cache) in assignment.granted)
+        assert used <= budget + 1e-9
+
+    @given(instances_strategy, st.floats(0.0, 30.0))
+    @settings(max_examples=50, deadline=None)
+    def test_granted_rates_dominate_denied(self, instances, budget):
+        """Greedy invariant: every granted pair has query rate >= every
+        denied-but-affordable pair's rate."""
+        assignment = storage_constrained(instances, budget)
+        granted = [i for i in instances
+                   if (i.record, i.cache) in assignment.granted]
+        if not granted:
+            return
+        threshold = min(i.query_rate for i in granted)
+        used = sum(i.storage_cost for i in granted)
+        for inst in instances:
+            if (inst.record, inst.cache) in assignment.granted:
+                continue
+            if inst.query_rate > threshold:
+                # It must have been unaffordable at its turn in the
+                # greedy order, so it alone must blow the budget given
+                # everything hotter.
+                hotter_cost = sum(i.storage_cost for i in instances
+                                  if i.query_rate > inst.query_rate
+                                  and i.storage_cost > 0 and i.query_rate > 0)
+                assert hotter_cost + inst.storage_cost > budget - 1e-9
+
+    @given(instances_strategy, st.floats(1.0, 3.0))
+    @settings(max_examples=50, deadline=None)
+    def test_communication_budget_met(self, instances, slack):
+        floor = communication_constrained_floor(instances)
+        polling = sum(i.query_rate for i in instances)
+        budget = floor + (polling - floor) * (slack - 1.0) / 2.0
+        assignment = communication_constrained(instances, budget)
+        assert assignment.operating_point().message_rate <= budget + 1e-9
+
+
+# -- lease table -----------------------------------------------------------------------------
+
+lease_ops = st.lists(
+    st.tuples(st.sampled_from(["grant", "revoke", "sweep"]),
+              st.integers(0, 4),      # cache id
+              st.integers(0, 4),      # record id
+              st.floats(0.0, 1000.0),  # now
+              st.floats(1.0, 500.0)),  # length
+    max_size=60)
+
+
+class TestLeaseTableProperties:
+    @given(lease_ops)
+    @settings(max_examples=60, deadline=None)
+    def test_active_count_matches_enumeration(self, operations):
+        table = LeaseTable()
+        for op, cache_id, record_id, now, length in operations:
+            cache = (f"10.0.0.{cache_id}", 53)
+            name = f"r{record_id}.x.com"
+            if op == "grant":
+                table.grant(cache, name, RRType.A, now, length)
+            elif op == "revoke":
+                table.revoke(cache, name, RRType.A)
+            else:
+                table.sweep(now)
+        assert len(table) == sum(1 for _ in table)
+
+    @given(lease_ops)
+    @settings(max_examples=60, deadline=None)
+    def test_holders_always_valid(self, operations):
+        table = LeaseTable()
+        latest = 0.0
+        for op, cache_id, record_id, now, length in operations:
+            latest = max(latest, now)
+            if op == "grant":
+                table.grant((f"10.0.0.{cache_id}", 53),
+                            f"r{record_id}.x.com", RRType.A, now, length)
+        for record_id in range(5):
+            for lease in table.holders(f"r{record_id}.x.com", RRType.A,
+                                       latest):
+                assert lease.is_valid(latest)

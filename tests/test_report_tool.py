@@ -1,0 +1,51 @@
+"""Tests for the full-report generation tool."""
+
+import os
+
+import pytest
+
+from repro.report import read_csv
+from repro.tools import report_tool
+
+
+@pytest.fixture(scope="module")
+def report_dir(tmp_path_factory):
+    outdir = str(tmp_path_factory.mktemp("report"))
+    rc = report_tool.main([outdir, "--scale", "0.2", "--seed", "7"])
+    assert rc == 0
+    return outdir
+
+
+class TestReportTool:
+    def test_all_artifacts_written(self, report_dir):
+        expected = {
+            "figure1_domain_distribution.csv",
+            "figure2_change_frequency.csv",
+            "figure4_poisson_cv.csv",
+            "figure5_lease_comparison.csv",
+            "REPORT.md",
+        }
+        assert expected <= set(os.listdir(report_dir))
+
+    def test_figure2_covers_all_classes(self, report_dir):
+        rows = read_csv(os.path.join(report_dir,
+                                     "figure2_change_frequency.csv"))
+        classes = {row[0] for row in rows[1:]}
+        assert classes == {"1", "2", "3", "4", "5"}
+
+    def test_figure5_has_both_schemes(self, report_dir):
+        rows = read_csv(os.path.join(report_dir,
+                                     "figure5_lease_comparison.csv"))
+        schemes = {row[0] for row in rows[1:]}
+        assert schemes == {"fixed", "dynamic"}
+
+    def test_figure4_has_three_nameservers(self, report_dir):
+        rows = read_csv(os.path.join(report_dir, "figure4_poisson_cv.csv"))
+        nameservers = {row[0] for row in rows[1:]}
+        assert nameservers == {"1", "2", "3"}
+
+    def test_report_md_mentions_every_figure(self, report_dir):
+        text = open(os.path.join(report_dir, "REPORT.md")).read()
+        for marker in ("Figure 1", "Figure 2", "Figure 4", "Figure 5",
+                       "Figure 7", "512 B"):
+            assert marker in text

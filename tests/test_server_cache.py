@@ -1,0 +1,154 @@
+"""Tests for the resolver cache: TTL expiry, negative entries, leases."""
+
+import pytest
+
+from repro.dnslib import A, Name, RRType
+from repro.server import ResolverCache
+
+
+@pytest.fixture
+def cache():
+    return ResolverCache(capacity=100)
+
+
+class TestPositiveEntries:
+    def test_put_get(self, cache, a_rrset):
+        cache.put(a_rrset("www.x.com", 60, "1.1.1.1"), now=0.0)
+        entry = cache.get("www.x.com", RRType.A, now=10.0)
+        assert entry is not None
+        assert entry.remaining_ttl(10.0) == 50
+
+    def test_expiry(self, cache, a_rrset):
+        cache.put(a_rrset("www.x.com", 60, "1.1.1.1"), now=0.0)
+        assert cache.get("www.x.com", RRType.A, now=60.0) is None
+        assert cache.stats.expired == 1
+
+    def test_just_before_expiry_still_live(self, cache, a_rrset):
+        cache.put(a_rrset("www.x.com", 60, "1.1.1.1"), now=0.0)
+        assert cache.get("www.x.com", RRType.A, now=59.999) is not None
+
+    def test_miss_counted(self, cache):
+        assert cache.get("nope.x.com", RRType.A, now=0.0) is None
+        assert cache.stats.misses == 1
+
+    def test_ttl_clamping(self, a_rrset):
+        cache = ResolverCache(min_ttl=10, max_ttl=100)
+        entry_low = cache.put(a_rrset("a.x.com", 1, "1.1.1.1"), now=0.0)
+        entry_high = cache.put(a_rrset("b.x.com", 10**6, "1.1.1.1"), now=0.0)
+        assert entry_low.expires_at == 10.0
+        assert entry_high.expires_at == 100.0
+
+    def test_stored_copy_isolated(self, cache, a_rrset):
+        rrset = a_rrset("www.x.com", 60, "1.1.1.1")
+        cache.put(rrset, now=0.0)
+        rrset.add(A("2.2.2.2"))
+        assert len(cache.peek("www.x.com", RRType.A).rrset) == 1
+
+    def test_replacing_entry(self, cache, a_rrset):
+        cache.put(a_rrset("www.x.com", 60, "1.1.1.1"), now=0.0)
+        cache.put(a_rrset("www.x.com", 60, "2.2.2.2"), now=5.0)
+        entry = cache.get("www.x.com", RRType.A, now=6.0)
+        assert entry.rrset.rdatas == (A("2.2.2.2"),)
+
+
+class TestNegativeEntries:
+    def test_negative_hit(self, cache):
+        cache.put_negative("gone.x.com", RRType.A, soa_minimum=30, now=0.0)
+        entry = cache.get("gone.x.com", RRType.A, now=10.0)
+        assert entry is not None and entry.negative
+        assert cache.stats.negative_hits == 1
+
+    def test_negative_expiry(self, cache):
+        cache.put_negative("gone.x.com", RRType.A, soa_minimum=30, now=0.0)
+        assert cache.get("gone.x.com", RRType.A, now=31.0) is None
+
+
+class TestLRU:
+    def test_eviction_order(self, a_rrset):
+        cache = ResolverCache(capacity=2)
+        cache.put(a_rrset("a.x.com", 60, "1.1.1.1"), now=0.0)
+        cache.put(a_rrset("b.x.com", 60, "1.1.1.1"), now=0.0)
+        cache.get("a.x.com", RRType.A, now=1.0)  # touch a → b is LRU
+        cache.put(a_rrset("c.x.com", 60, "1.1.1.1"), now=2.0)
+        assert cache.peek("b.x.com", RRType.A) is None
+        assert cache.peek("a.x.com", RRType.A) is not None
+        assert cache.stats.evictions == 1
+
+
+class TestLeases:
+    def test_lease_keeps_entry_past_ttl(self, cache, a_rrset):
+        """The DNScup semantic: coherent-by-lease entries outlive TTL."""
+        cache.put(a_rrset("www.x.com", 60, "1.1.1.1"), now=0.0,
+                  lease_until=200.0)
+        entry = cache.get("www.x.com", RRType.A, now=100.0)
+        assert entry is not None
+        assert entry.has_lease(100.0)
+
+    def test_entry_dies_after_lease_and_ttl(self, cache, a_rrset):
+        cache.put(a_rrset("www.x.com", 60, "1.1.1.1"), now=0.0,
+                  lease_until=200.0)
+        assert cache.get("www.x.com", RRType.A, now=201.0) is None
+
+    def test_coherent_hits_counted(self, cache, a_rrset):
+        cache.put(a_rrset("www.x.com", 60, "1.1.1.1"), now=0.0,
+                  lease_until=100.0)
+        cache.get("www.x.com", RRType.A, now=1.0)
+        assert cache.stats.coherent_hits == 1
+
+    def test_set_lease_on_existing(self, cache, a_rrset):
+        cache.put(a_rrset("www.x.com", 60, "1.1.1.1"), now=0.0)
+        assert cache.set_lease("www.x.com", RRType.A, lease_until=500.0)
+        assert not cache.set_lease("missing.x.com", RRType.A, 500.0)
+        assert cache.peek("www.x.com", RRType.A).has_lease(400.0)
+
+    def test_entries_with_valid_lease(self, cache, a_rrset):
+        cache.put(a_rrset("a.x.com", 60, "1.1.1.1"), now=0.0, lease_until=50.0)
+        cache.put(a_rrset("b.x.com", 60, "1.1.1.1"), now=0.0, lease_until=200.0)
+        cache.put(a_rrset("c.x.com", 60, "1.1.1.1"), now=0.0)
+        live = cache.entries_with_valid_lease(now=100.0)
+        assert [e.rrset.name for e in live] == [Name.from_text("b.x.com")]
+
+
+class TestCacheUpdate:
+    def test_apply_overwrites_in_place(self, cache, a_rrset):
+        cache.put(a_rrset("www.x.com", 60, "1.1.1.1"), now=0.0,
+                  lease_until=500.0)
+        assert cache.apply_cache_update(a_rrset("www.x.com", 60, "9.9.9.9"),
+                                        now=30.0)
+        entry = cache.peek("www.x.com", RRType.A)
+        assert entry.rrset.rdatas == (A("9.9.9.9"),)
+        assert entry.expires_at == 90.0       # TTL restarted
+        assert entry.lease_until == 500.0     # lease preserved
+        assert cache.stats.cache_updates_applied == 1
+
+    def test_apply_to_missing_entry_is_noop(self, cache, a_rrset):
+        assert not cache.apply_cache_update(a_rrset("nope.x.com", 60, "1.1.1.1"),
+                                            now=0.0)
+
+
+class TestMaintenance:
+    def test_purge_expired(self, cache, a_rrset):
+        cache.put(a_rrset("a.x.com", 10, "1.1.1.1"), now=0.0)
+        cache.put(a_rrset("b.x.com", 100, "1.1.1.1"), now=0.0)
+        assert cache.purge_expired(now=50.0) == 1
+        assert len(cache) == 1
+
+    def test_flush(self, cache, a_rrset):
+        cache.put(a_rrset("a.x.com", 10, "1.1.1.1"), now=0.0)
+        cache.flush()
+        assert len(cache) == 0
+
+    def test_remove(self, cache, a_rrset):
+        cache.put(a_rrset("a.x.com", 10, "1.1.1.1"), now=0.0)
+        assert cache.remove("a.x.com", RRType.A)
+        assert not cache.remove("a.x.com", RRType.A)
+
+    def test_hit_rate(self, cache, a_rrset):
+        cache.put(a_rrset("a.x.com", 100, "1.1.1.1"), now=0.0)
+        cache.get("a.x.com", RRType.A, now=1.0)
+        cache.get("missing.x.com", RRType.A, now=1.0)
+        assert cache.stats.hit_rate == 0.5
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            ResolverCache(capacity=0)

@@ -1,0 +1,93 @@
+"""Tests for query-rate estimators and RRC encoding."""
+
+import pytest
+
+from repro.server import EwmaRate, WindowedRate, rate_to_rrc, rrc_to_rate
+
+
+class TestWindowedRate:
+    def test_rate_counts_window_events(self):
+        tracker = WindowedRate(window=10.0)
+        for t in (0.0, 1.0, 2.0, 3.0):
+            tracker.record("k", t)
+        assert tracker.rate("k", 3.0) == pytest.approx(4 / 10.0)
+
+    def test_old_events_pruned(self):
+        tracker = WindowedRate(window=10.0)
+        tracker.record("k", 0.0)
+        tracker.record("k", 20.0)
+        assert tracker.count("k", 20.0) == 1
+
+    def test_unknown_key_zero(self):
+        tracker = WindowedRate(window=10.0)
+        assert tracker.rate("nope", 5.0) == 0.0
+
+    def test_keys_are_independent(self):
+        tracker = WindowedRate(window=10.0)
+        tracker.record("a", 0.0)
+        tracker.record("b", 0.0)
+        tracker.record("b", 1.0)
+        assert tracker.count("a", 2.0) == 1
+        assert tracker.count("b", 2.0) == 2
+
+    def test_empty_key_garbage_collected(self):
+        tracker = WindowedRate(window=10.0)
+        tracker.record("k", 0.0)
+        tracker.count("k", 100.0)
+        assert len(tracker) == 0
+
+    def test_forget(self):
+        tracker = WindowedRate(window=10.0)
+        tracker.record("k", 0.0)
+        tracker.forget("k")
+        assert tracker.count("k", 0.0) == 0
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            WindowedRate(window=0.0)
+
+
+class TestEwmaRate:
+    def test_converges_to_steady_rate(self):
+        tracker = EwmaRate(half_life=50.0)
+        # 1 event/second for 500 seconds.
+        for t in range(500):
+            tracker.record("k", float(t))
+        assert tracker.rate("k", 500.0) == pytest.approx(1.0, rel=0.2)
+
+    def test_decays_without_events(self):
+        tracker = EwmaRate(half_life=10.0)
+        for t in range(100):
+            tracker.record("k", float(t))
+        hot = tracker.rate("k", 100.0)
+        cold = tracker.rate("k", 200.0)
+        assert cold < hot / 100
+
+    def test_half_life_semantics(self):
+        tracker = EwmaRate(half_life=10.0)
+        for t in range(100):
+            tracker.record("k", float(t))
+        now_rate = tracker.rate("k", 100.0)
+        later_rate = tracker.rate("k", 110.0)
+        assert later_rate == pytest.approx(now_rate / 2, rel=0.01)
+
+    def test_invalid_half_life(self):
+        with pytest.raises(ValueError):
+            EwmaRate(half_life=-1.0)
+
+
+class TestRrcEncoding:
+    def test_roundtrip(self):
+        rate = 0.125
+        assert rrc_to_rate(rate_to_rrc(rate)) == pytest.approx(rate, abs=1e-3)
+
+    def test_saturates_at_16_bits(self):
+        assert rate_to_rrc(10_000.0) == 0xFFFF
+
+    def test_zero(self):
+        assert rate_to_rrc(0.0) == 0
+        assert rrc_to_rate(0) == 0.0
+
+    def test_low_rates_representable(self):
+        # One query per 1000 s (the milliquery scale's floor).
+        assert rate_to_rrc(0.001) == 1

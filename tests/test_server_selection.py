@@ -1,0 +1,121 @@
+"""Tests for smoothed-RTT upstream server selection."""
+
+import pytest
+
+from repro.dnslib import Name, Rcode, RRType
+from repro.net import LatencyModel, LinkProfile, RetryPolicy
+from repro.server import AuthoritativeServer, RecursiveResolver
+from repro.zone import load_zone
+
+ROOT_TEXT = """\
+$ORIGIN .
+$TTL 86400
+.                IN SOA a.root. admin. 1 7200 900 604800 300
+.                IN NS a.root.
+a.root.          IN A  198.41.0.4
+example.com.     IN NS ns1.example.com.
+example.com.     IN NS ns2.example.com.
+ns1.example.com. IN A  10.1.0.1
+ns2.example.com. IN A  10.1.0.2
+"""
+
+AUTH_TEXT = """\
+$ORIGIN example.com.
+$TTL 5
+@    IN SOA ns1 admin 1 7200 900 604800 300
+@    IN NS  ns1
+@    IN NS  ns2
+ns1  IN A   10.1.0.1
+ns2  IN A   10.1.0.2
+www  IN A   10.0.0.10
+"""
+
+
+class TestRttBookkeeping:
+    def test_first_sample_adopted(self, make_host):
+        resolver = RecursiveResolver(make_host("10.2.0.1"),
+                                     [("198.41.0.4", 53)])
+        resolver.record_rtt(("10.1.0.1", 53), 0.05)
+        assert resolver.server_rtts[("10.1.0.1", 53)] == 0.05
+
+    def test_smoothing(self, make_host):
+        resolver = RecursiveResolver(make_host("10.2.0.2"),
+                                     [("198.41.0.4", 53)])
+        server = ("10.1.0.1", 53)
+        resolver.record_rtt(server, 0.1)
+        resolver.record_rtt(server, 0.2)
+        assert resolver.server_rtts[server] == pytest.approx(
+            0.7 * 0.1 + 0.3 * 0.2)
+
+    def test_timeout_penalty_doubles(self, make_host):
+        resolver = RecursiveResolver(make_host("10.2.0.3"),
+                                     [("198.41.0.4", 53)])
+        server = ("10.1.0.1", 53)
+        resolver.record_timeout(server)
+        first = resolver.server_rtts[server]
+        resolver.record_timeout(server)
+        assert resolver.server_rtts[server] == first * 2
+
+    def test_unknown_servers_first(self, make_host):
+        resolver = RecursiveResolver(make_host("10.2.0.4"),
+                                     [("198.41.0.4", 53)])
+        resolver.record_rtt(("a", 53), 0.01)
+        order = resolver.order_servers([("a", 53), ("b", 53)])
+        assert order[0] == ("b", 53)
+
+    def test_fastest_known_first(self, make_host):
+        resolver = RecursiveResolver(make_host("10.2.0.5"),
+                                     [("198.41.0.4", 53)])
+        resolver.record_rtt(("slow", 53), 0.5)
+        resolver.record_rtt(("fast", 53), 0.01)
+        order = resolver.order_servers([("slow", 53), ("fast", 53)])
+        assert order == [("fast", 53), ("slow", 53)]
+
+
+class TestLearnedPreference:
+    def test_resolver_converges_to_fast_replica(self, make_host, network,
+                                                simulator):
+        """With one fast and one slow replica, repeated resolutions end
+        up overwhelmingly on the fast one."""
+        AuthoritativeServer(make_host("198.41.0.4"),
+                            [load_zone(ROOT_TEXT, origin=Name.root())])
+        fast = AuthoritativeServer(make_host("10.1.0.1"),
+                                   [load_zone(AUTH_TEXT)])
+        slow = AuthoritativeServer(make_host("10.1.0.2"),
+                                   [load_zone(AUTH_TEXT)])
+        resolver_host = make_host("10.2.0.9")
+        network.set_link_profile("10.2.0.9", "10.1.0.2",
+                                 LinkProfile(latency=LatencyModel(base=0.4)))
+        resolver = RecursiveResolver(resolver_host, [("198.41.0.4", 53)])
+        # TTL is 5 s, so each round-trip re-queries upstream.
+        for round_index in range(30):
+            done = []
+            resolver.resolve("www.example.com", RRType.A,
+                             lambda recs, rc: done.append(rc))
+            simulator.run()
+            simulator.run_until(simulator.now + 10.0)
+            assert done == [Rcode.NOERROR]
+        # The fast replica should have absorbed the bulk of the queries.
+        assert fast.stats.queries > 3 * slow.stats.queries
+
+    def test_resolver_routes_around_dead_server(self, make_host, simulator):
+        """A dead replica is tried, penalized, and then avoided."""
+        AuthoritativeServer(make_host("198.41.0.4"),
+                            [load_zone(ROOT_TEXT, origin=Name.root())])
+        alive = AuthoritativeServer(make_host("10.1.0.1"),
+                                    [load_zone(AUTH_TEXT)])
+        # 10.1.0.2 is simply not bound: a dead server.
+        resolver = RecursiveResolver(
+            make_host("10.2.0.8"), [("198.41.0.4", 53)],
+            retry=RetryPolicy(initial_timeout=0.3, max_attempts=2))
+        outcomes = []
+        for _ in range(10):
+            resolver.resolve("www.example.com", RRType.A,
+                             lambda recs, rc: outcomes.append(rc))
+            simulator.run()
+            simulator.run_until(simulator.now + 10.0)
+        assert all(rc == Rcode.NOERROR for rc in outcomes)
+        dead_rtt = resolver.server_rtts.get(("10.1.0.2", 53))
+        live_rtt = resolver.server_rtts.get(("10.1.0.1", 53))
+        if dead_rtt is not None and live_rtt is not None:
+            assert dead_rtt > live_rtt

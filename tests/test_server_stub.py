@@ -1,0 +1,92 @@
+"""Tests for the client stub resolver and its browser-style cache."""
+
+import pytest
+
+from repro.dnslib import Message, Rcode, RRType, make_response
+from repro.net import RetryPolicy
+from repro.server import StubResolver, DEFAULT_CLIENT_CACHE_SECONDS
+
+
+@pytest.fixture
+def fake_nameserver(make_host, simulator):
+    """A canned local nameserver answering every A query with 1.2.3.4."""
+    host = make_host("10.2.0.1")
+    sock = host.dns_socket()
+    count = {"queries": 0}
+
+    def handle(payload, src, dst):
+        count["queries"] += 1
+        query = Message.from_wire(payload)
+        response = make_response(query)
+        from repro.dnslib import A, ResourceRecord
+        response.answer.append(ResourceRecord(
+            query.question[0].name, RRType.A, 60, A("1.2.3.4")))
+        sock.send(response.to_wire(), src)
+
+    sock.on_receive(handle)
+    return count
+
+
+def lookup(stub, simulator, name):
+    results = []
+    stub.lookup(name, lambda addrs, rc: results.append((addrs, rc)))
+    simulator.run()
+    return results[0]
+
+
+class TestLookup:
+    def test_basic_lookup(self, fake_nameserver, make_host, simulator):
+        stub = StubResolver(make_host("10.3.0.1"), ("10.2.0.1", 53))
+        addrs, rcode = lookup(stub, simulator, "www.example.com")
+        assert addrs == ["1.2.3.4"] and rcode == Rcode.NOERROR
+
+    def test_default_cache_is_mozilla_15_minutes(self, make_host):
+        stub = StubResolver(make_host("10.3.0.2"), ("10.2.0.1", 53))
+        assert stub.cache_seconds == DEFAULT_CLIENT_CACHE_SECONDS == 900
+
+    def test_cache_absorbs_repeat_lookups(self, fake_nameserver, make_host,
+                                          simulator):
+        stub = StubResolver(make_host("10.3.0.3"), ("10.2.0.1", 53))
+        lookup(stub, simulator, "www.example.com")
+        lookup(stub, simulator, "www.example.com")
+        assert fake_nameserver["queries"] == 1
+        assert stub.stats.cache_hits == 1
+
+    def test_cache_expires_after_period(self, fake_nameserver, make_host,
+                                        simulator):
+        stub = StubResolver(make_host("10.3.0.4"), ("10.2.0.1", 53),
+                            cache_seconds=100.0)
+        lookup(stub, simulator, "www.example.com")
+        simulator.run_until(simulator.now + 101.0)
+        lookup(stub, simulator, "www.example.com")
+        assert fake_nameserver["queries"] == 2
+
+    def test_zero_cache_always_queries(self, fake_nameserver, make_host,
+                                       simulator):
+        stub = StubResolver(make_host("10.3.0.5"), ("10.2.0.1", 53),
+                            cache_seconds=0.0)
+        lookup(stub, simulator, "www.example.com")
+        lookup(stub, simulator, "www.example.com")
+        assert fake_nameserver["queries"] == 2
+
+    def test_flush_cache(self, fake_nameserver, make_host, simulator):
+        stub = StubResolver(make_host("10.3.0.6"), ("10.2.0.1", 53))
+        lookup(stub, simulator, "www.example.com")
+        stub.flush_cache()
+        lookup(stub, simulator, "www.example.com")
+        assert fake_nameserver["queries"] == 2
+
+    def test_cached_addresses_inspection(self, fake_nameserver, make_host,
+                                         simulator):
+        stub = StubResolver(make_host("10.3.0.7"), ("10.2.0.1", 53))
+        assert stub.cached_addresses("www.example.com") is None
+        lookup(stub, simulator, "www.example.com")
+        assert stub.cached_addresses("www.example.com") == ["1.2.3.4"]
+
+    def test_timeout_reports_servfail(self, make_host, simulator):
+        stub = StubResolver(make_host("10.3.0.8"), ("203.0.113.9", 53),
+                            retry=RetryPolicy(initial_timeout=0.1,
+                                              max_attempts=1))
+        addrs, rcode = lookup(stub, simulator, "www.example.com")
+        assert addrs == [] and rcode == Rcode.SERVFAIL
+        assert stub.stats.failures == 1

@@ -1,0 +1,134 @@
+"""Tests for wildcard synthesis, answer rotation, and adaptive policy
+binding — the operational authoritative-server features."""
+
+import pytest
+
+from repro.core import AdaptiveBudgetPolicy, attach_dnscup
+from repro.dnslib import A, Message, Name, Rcode, RRType, make_query
+from repro.server import AuthoritativeServer
+from repro.zone import load_zone
+
+WILDCARD_ZONE = """\
+$ORIGIN pool.net.
+$TTL 300
+@        IN SOA ns1 admin 1 7200 900 604800 300
+@        IN NS  ns1
+ns1      IN A   10.1.0.1
+*        IN A   10.6.0.1
+host     IN A   10.6.0.99
+*.deep   IN A   10.6.1.1
+exists.deep IN TXT "occupied"
+www      IN A   10.7.0.1
+www      IN A   10.7.0.2
+www      IN A   10.7.0.3
+"""
+
+
+@pytest.fixture
+def server(make_host):
+    return AuthoritativeServer(make_host("10.1.0.1"),
+                               [load_zone(WILDCARD_ZONE)])
+
+
+def ask(server, simulator, make_host, name, rrtype=RRType.A, client_index=[0]):
+    client_index[0] += 1
+    client = make_host(f"10.9.1.{client_index[0]}").socket()
+    query = make_query(name, rrtype, recursion_desired=False)
+    responses = []
+    client.request(query.to_wire(), ("10.1.0.1", 53), query.id,
+                   lambda p, s: responses.append(p))
+    simulator.run()
+    return Message.from_wire(responses[0])
+
+
+class TestWildcards:
+    def test_wildcard_synthesizes_answer(self, server, simulator, make_host):
+        response = ask(server, simulator, make_host, "anything.pool.net")
+        assert response.rcode == Rcode.NOERROR
+        assert response.answer[0].name == Name.from_text("anything.pool.net")
+        assert response.answer[0].rdata == A("10.6.0.1")
+
+    def test_existing_name_beats_wildcard(self, server, simulator, make_host):
+        response = ask(server, simulator, make_host, "host.pool.net")
+        assert response.answer[0].rdata == A("10.6.0.99")
+
+    def test_deeper_wildcard_wins(self, server, simulator, make_host):
+        response = ask(server, simulator, make_host, "x.deep.pool.net")
+        assert response.answer[0].rdata == A("10.6.1.1")
+
+    def test_existing_name_wrong_type_is_nodata_not_wildcard(
+            self, server, simulator, make_host):
+        """A name that exists (with another type) must not fall back to
+        a wildcard: that's NODATA per RFC 1034."""
+        response = ask(server, simulator, make_host,
+                       "exists.deep.pool.net", RRType.A)
+        assert response.rcode == Rcode.NOERROR
+        assert not response.answer
+
+    def test_wildcard_for_multilabel_names(self, server, simulator,
+                                           make_host):
+        response = ask(server, simulator, make_host, "a.b.c.pool.net")
+        assert response.answer[0].rdata == A("10.6.0.1")
+        assert response.answer[0].name == Name.from_text("a.b.c.pool.net")
+
+
+class TestRotation:
+    def test_rotation_disabled_by_default(self, server, simulator, make_host):
+        first = ask(server, simulator, make_host, "www.pool.net")
+        second = ask(server, simulator, make_host, "www.pool.net")
+        assert [r.rdata for r in first.answer] == \
+            [r.rdata for r in second.answer]
+
+    def test_rotation_cycles_first_answer(self, make_host, simulator):
+        server = AuthoritativeServer(make_host("10.1.0.2"),
+                                     [load_zone(WILDCARD_ZONE)],
+                                     rotate_answers=True)
+
+        def first_address(index):
+            client = make_host(f"10.9.2.{index}").socket()
+            query = make_query("www.pool.net", RRType.A,
+                               recursion_desired=False)
+            responses = []
+            client.request(query.to_wire(), ("10.1.0.2", 53), query.id,
+                           lambda p, s: responses.append(p))
+            simulator.run()
+            return Message.from_wire(responses[0]).answer[0].rdata.address
+
+        firsts = [first_address(i) for i in range(1, 7)]
+        # All three addresses lead in turn, then the cycle repeats.
+        assert firsts[:3] == ["10.7.0.1", "10.7.0.2", "10.7.0.3"]
+        assert firsts[3:] == firsts[:3]
+
+    def test_rotation_preserves_full_set(self, make_host, simulator):
+        server = AuthoritativeServer(make_host("10.1.0.3"),
+                                     [load_zone(WILDCARD_ZONE)],
+                                     rotate_answers=True)
+        client = make_host("10.9.3.1").socket()
+        query = make_query("www.pool.net", RRType.A, recursion_desired=False)
+        responses = []
+        client.request(query.to_wire(), ("10.1.0.3", 53), query.id,
+                       lambda p, s: responses.append(p))
+        simulator.run()
+        answer = Message.from_wire(responses[0]).answer
+        assert {r.rdata.address for r in answer} == \
+            {"10.7.0.1", "10.7.0.2", "10.7.0.3"}
+
+
+class TestAdaptivePolicyBinding:
+    def test_middleware_binds_occupancy(self, make_host):
+        from repro.core import DNScupConfig
+        server = AuthoritativeServer(make_host("10.1.0.4"),
+                                     [load_zone(WILDCARD_ZONE)])
+        policy = AdaptiveBudgetPolicy(base_threshold=0.001)
+        assert policy.occupancy is None
+        middleware = attach_dnscup(server, policy=policy,
+                                   config=DNScupConfig(lease_capacity=10))
+        assert policy.occupancy is not None
+        assert policy.occupancy.__self__ is middleware.listening
+        assert policy.occupancy() == 0.0
+
+    def test_unbound_adaptive_policy_still_decides(self):
+        policy = AdaptiveBudgetPolicy(base_threshold=0.0)
+        decision = policy.decide(Name.from_text("a.b"), RRType.A, 1.0,
+                                 100.0, 0.0)
+        assert decision.granted

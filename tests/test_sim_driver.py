@@ -1,0 +1,168 @@
+"""Tests for the trace-driven lease simulation (Figure 5 machinery)."""
+
+import pytest
+
+from repro.dnslib import Name
+from repro.sim import (
+    dynamic_lease_fn,
+    figure5_curves,
+    fixed_lease_fn,
+    logspace,
+    no_lease_fn,
+    simulate_lease_trace,
+    train_pair_rates,
+)
+from repro.traces import (
+    PopulationConfig,
+    QueryEvent,
+    WorkloadConfig,
+    generate_population,
+    generate_queries,
+)
+
+
+def synthetic_events(rate_per_pair, duration, names=("a.x.com",),
+                     nameservers=(0,)):
+    """Deterministic evenly-spaced queries per (name, ns) pair."""
+    events = []
+    for name in names:
+        for ns in nameservers:
+            interval = 1.0 / rate_per_pair
+            t = 0.0
+            while t < duration:
+                events.append(QueryEvent(t, client=ns, nameserver=ns,
+                                         name=Name.from_text(name)))
+                t += interval
+    events.sort(key=lambda e: e.time)
+    return events
+
+
+class TestSimulateLeaseTrace:
+    def test_no_lease_is_pure_polling(self):
+        events = synthetic_events(0.1, 1000.0)
+        result = simulate_lease_trace(events, {}, lambda n: 100.0,
+                                      no_lease_fn(), 1000.0)
+        assert result.upstream_messages == result.total_queries
+        assert result.query_rate_percentage == 100.0
+        assert result.storage_percentage == 0.0
+
+    def test_lease_absorbs_queries(self):
+        # One query every 10 s, lease 100 s → ~1 upstream per 100+10 s.
+        events = synthetic_events(0.1, 1100.0)
+        result = simulate_lease_trace(events, {}, lambda n: 100.0,
+                                      fixed_lease_fn(100.0), 1100.0)
+        assert result.total_queries == 110
+        assert result.upstream_messages == pytest.approx(10, abs=2)
+
+    def test_analytical_agreement_for_fixed_lease(self):
+        """Event simulation must agree with §4.1's renewal-rate formula
+        for Poisson-ish arrivals."""
+        import random
+        rng = random.Random(7)
+        rate, lease, duration = 0.2, 50.0, 50_000.0
+        t, events = 0.0, []
+        while t < duration:
+            t += rng.expovariate(rate)
+            events.append(QueryEvent(t, 0, Name.from_text("p.x.com"), 0))
+        result = simulate_lease_trace(events, {}, lambda n: lease,
+                                      fixed_lease_fn(lease), duration)
+        expected_rate = 1.0 / (lease + 1.0 / rate)   # Eq. 4.2
+        measured = result.upstream_messages / duration
+        assert measured == pytest.approx(expected_rate, rel=0.1)
+        expected_probability = lease / (lease + 1.0 / rate)  # Eq. 4.1
+        assert result.storage_percentage / 100 == \
+            pytest.approx(expected_probability, rel=0.1)
+
+    def test_dynamic_grants_only_hot_pairs(self):
+        events = (synthetic_events(1.0, 100.0, names=("hot.x.com",))
+                  + synthetic_events(0.01, 100.0, names=("cold.x.com",)))
+        events.sort(key=lambda e: e.time)
+        rates = {(Name.from_text("hot.x.com"), 0): 1.0,
+                 (Name.from_text("cold.x.com"), 0): 0.01}
+        result = simulate_lease_trace(events, rates, lambda n: 1000.0,
+                                      dynamic_lease_fn(0.5), 100.0,
+                                      scheme="dynamic")
+        # hot: 1 grant; cold: every query polls.
+        cold_queries = sum(1 for e in events
+                           if e.name == Name.from_text("cold.x.com"))
+        assert result.grants == 1
+        assert result.upstream_messages == cold_queries + 1
+
+    def test_lease_clipped_at_duration(self):
+        events = synthetic_events(0.1, 10.0)
+        result = simulate_lease_trace(events, {}, lambda n: 1e9,
+                                      fixed_lease_fn(1e9), 10.0)
+        assert result.storage_percentage <= 100.0
+
+
+class TestTraining:
+    def test_rates_from_prefix_only(self):
+        events = synthetic_events(0.1, 1000.0)
+        rates = train_pair_rates(events, training_window=100.0)
+        key = (Name.from_text("a.x.com"), 0)
+        assert rates[key] == pytest.approx(0.1, rel=0.1)
+
+
+class TestFigure5:
+    @pytest.fixture(scope="class")
+    def curves(self):
+        population = generate_population(PopulationConfig(
+            regular_per_tld=10, cdn_count=10, dyn_count=10))
+        config = WorkloadConfig(duration=7200.0, clients=30, nameservers=3,
+                                total_request_rate=2.0, seed=17)
+        events = list(generate_queries(population, config))
+        # Thresholds at quantiles of the trained pair rates give an even
+        # sweep of the storage axis regardless of the rate distribution.
+        rates = sorted(train_pair_rates(
+            events, config.duration / 7.0).values())
+        thresholds = [0.0] + [rates[int(q * (len(rates) - 1))]
+                              for q in (0.1, 0.3, 0.5, 0.7, 0.9)] \
+            + [rates[-1] * 2]
+        return figure5_curves(
+            events, population, config.duration,
+            fixed_lengths=logspace(10.0, 100_000.0, 6),
+            rate_thresholds=thresholds)
+
+    def test_polling_baseline_is_100_percent(self, curves):
+        assert curves.polling.query_rate_percentage == 100.0
+
+    def test_fixed_curve_tradeoff_monotone(self, curves):
+        storages = [r.storage_percentage for r in curves.fixed]
+        rates = [r.query_rate_percentage for r in curves.fixed]
+        assert storages == sorted(storages)
+        assert rates == sorted(rates, reverse=True)
+
+    def test_dynamic_thresholds_sweep_storage(self, curves):
+        storages = [r.storage_percentage for r in curves.dynamic]
+        assert storages == sorted(storages, reverse=True)
+
+    def test_dynamic_dominates_fixed_at_low_storage(self, curves):
+        """The paper's headline (Figure 5b): at equal small storage the
+        dynamic scheme sends far fewer upstream messages."""
+        from repro.sim import interpolate_at_storage
+        fixed_points = curves.fixed_points()
+        target_points = [p for p in curves.dynamic_points()
+                         if 0.1 < p[0] < 60.0]
+        assert target_points, "threshold sweep produced no mid-range point"
+        wins = 0
+        for storage, dynamic_rate in target_points:
+            fixed_rate = interpolate_at_storage(fixed_points, storage)
+            if dynamic_rate <= fixed_rate + 1e-9:
+                wins += 1
+        assert wins >= len(target_points) * 0.7
+
+
+class TestLogspace:
+    def test_endpoints_and_monotone(self):
+        values = logspace(1.0, 1000.0, 4)
+        assert values[0] == pytest.approx(1.0)
+        assert values[-1] == pytest.approx(1000.0)
+        assert values == sorted(values)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            logspace(0.0, 10.0, 3)
+        with pytest.raises(ValueError):
+            logspace(10.0, 1.0, 3)
+        with pytest.raises(ValueError):
+            logspace(1.0, 10.0, 1)

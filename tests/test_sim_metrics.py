@@ -1,0 +1,83 @@
+"""Tests for evaluation metrics."""
+
+import pytest
+
+from repro.sim import (
+    ConsistencyReport,
+    LeaseSimResult,
+    StalenessSample,
+    interpolate_at_query_rate,
+    interpolate_at_storage,
+)
+
+
+def result(upstream, total, lease_seconds, pairs=10, duration=100.0):
+    return LeaseSimResult(scheme="test", parameter=0.0, total_queries=total,
+                          upstream_messages=upstream, grants=0,
+                          lease_seconds=lease_seconds, pair_count=pairs,
+                          duration=duration)
+
+
+class TestLeaseSimResult:
+    def test_query_rate_percentage(self):
+        assert result(25, 100, 0.0).query_rate_percentage == 25.0
+
+    def test_storage_percentage(self):
+        # 10 pairs × 100 s = 1000 pair-seconds ceiling; 250 held → 25 %.
+        assert result(0, 1, 250.0).storage_percentage == 25.0
+
+    def test_zero_division_guards(self):
+        empty = result(0, 0, 0.0, pairs=0, duration=0.0)
+        assert empty.query_rate_percentage == 0.0
+        assert empty.storage_percentage == 0.0
+
+    def test_as_point(self):
+        point = result(50, 100, 500.0).as_point()
+        assert point == (50.0, 50.0)
+
+
+class TestConsistencyReport:
+    def test_staleness_aggregation(self):
+        report = ConsistencyReport()
+        report.add(StalenessSample("a", 10.0, {"r0": 15.0, "r1": 30.0}))
+        report.add(StalenessSample("b", 100.0, {"r0": 100.0, "r1": None}))
+        assert report.mean_staleness() == pytest.approx((5 + 20 + 0) / 3)
+        assert report.max_staleness() == 20.0
+
+    def test_no_samples(self):
+        report = ConsistencyReport()
+        assert report.mean_staleness() is None
+        assert report.max_staleness() is None
+
+    def test_stale_answer_ratio(self):
+        report = ConsistencyReport()
+        report.stale_answers = 5
+        report.fresh_answers = 15
+        assert report.stale_answer_ratio == 0.25
+
+    def test_ratio_zero_when_empty(self):
+        assert ConsistencyReport().stale_answer_ratio == 0.0
+
+
+class TestInterpolation:
+    POINTS = [(0.0, 100.0), (10.0, 50.0), (50.0, 10.0)]
+
+    def test_exact_point(self):
+        assert interpolate_at_storage(self.POINTS, 10.0) == 50.0
+
+    def test_midpoint(self):
+        assert interpolate_at_storage(self.POINTS, 5.0) == pytest.approx(75.0)
+
+    def test_clamps_below(self):
+        assert interpolate_at_storage(self.POINTS, -5.0) == 100.0
+
+    def test_clamps_above(self):
+        assert interpolate_at_storage(self.POINTS, 99.0) == 10.0
+
+    def test_empty(self):
+        assert interpolate_at_storage([], 5.0) is None
+
+    def test_inverse_reading(self):
+        # At query rate 50 % the storage is 10 %.
+        assert interpolate_at_query_rate(self.POINTS, 50.0) == \
+            pytest.approx(10.0)

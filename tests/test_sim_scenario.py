@@ -1,0 +1,126 @@
+"""Tests for the full wire-level protocol scenario."""
+
+import pytest
+
+from repro.dnslib import RRType
+from repro.sim import ProtocolScenario, ScenarioConfig
+from repro.traces import (
+    DomainSpec,
+    PoissonRelocation,
+    PopulationConfig,
+    StableProcess,
+    WorkloadConfig,
+    generate_population,
+    CATEGORY_REGULAR,
+)
+from repro.dnslib import Name
+
+
+@pytest.fixture(scope="module")
+def population():
+    return generate_population(PopulationConfig(regular_per_tld=4,
+                                                cdn_count=5, dyn_count=5))
+
+
+def small_workload(duration=900.0, client_cache=0.0):
+    return WorkloadConfig(duration=duration, clients=12, nameservers=3,
+                          total_request_rate=1.5,
+                          client_cache_seconds=client_cache, seed=9)
+
+
+class TestTopology:
+    def test_zones_partitioned_across_servers(self, population):
+        scenario = ProtocolScenario(population,
+                                    ScenarioConfig(auth_servers=3))
+        served = sum(len(s.zones) for s in scenario.auth_servers)
+        assert served == len(scenario.zones)
+        assert all(s.zones for s in scenario.auth_servers)
+
+    def test_root_delegates_every_zone(self, population):
+        scenario = ProtocolScenario(population)
+        for origin in scenario.zones:
+            assert scenario.root_zone.get_rrset(origin, RRType.NS) is not None
+
+    def test_truth_initialized(self, population):
+        scenario = ProtocolScenario(population)
+        assert set(scenario.truth) == {d.name for d in population}
+
+
+class TestWorkloadRuns:
+    def test_lookups_answered_and_graded(self, population):
+        scenario = ProtocolScenario(population)
+        issued = scenario.run_workload(small_workload())
+        assert issued > 0
+        report = scenario.report
+        assert report.answers == issued
+        assert report.fresh_answers > 0
+
+    def test_changes_scheduled_before_workload(self, population):
+        scenario = ProtocolScenario(population)
+        count = scenario.schedule_changes(900.0)
+        scenario.run_workload(small_workload())
+        assert count >= 0
+        with pytest.raises(RuntimeError):
+            scenario.schedule_changes(900.0)
+
+
+class TestConsistencyComparison:
+    """The reproduction's headline: DNScup closes the staleness window."""
+
+    @pytest.fixture(scope="class")
+    def domains(self):
+        # Hot domains that physically relocate often, with long TTLs —
+        # the worst case for TTL-based (weak) consistency.
+        domains = []
+        for index in range(6):
+            name = Name.from_text(f"www.svc{index}.com")
+            process = PoissonRelocation([f"10.50.{index}.1"],
+                                        mean_lifetime=400.0,
+                                        seed=100 + index)
+            domains.append(DomainSpec(name, CATEGORY_REGULAR, 3600.0, 1.0,
+                                      process))
+        return domains
+
+    def run(self, domains, enabled):
+        scenario = ProtocolScenario(
+            domains, ScenarioConfig(dnscup_enabled=enabled,
+                                    staleness_probe_interval=2.0))
+        scenario.run_workload(small_workload(duration=1800.0))
+        return scenario
+
+    def test_dnscup_shrinks_staleness_window(self, domains):
+        with_cup = self.run(domains, enabled=True)
+        without = self.run(domains, enabled=False)
+        stale_with = with_cup.report.mean_staleness()
+        stale_without = without.report.mean_staleness()
+        assert stale_with is not None and stale_without is not None
+        assert stale_with < stale_without / 10
+
+    def test_dnscup_reduces_stale_answers(self, domains):
+        with_cup = self.run(domains, enabled=True)
+        without = self.run(domains, enabled=False)
+        assert with_cup.report.stale_answer_ratio <= \
+            without.report.stale_answer_ratio
+
+    def test_dnscup_summary_nonzero(self, domains):
+        scenario = self.run(domains, enabled=True)
+        summary = scenario.dnscup_summary()
+        assert summary["grants"] > 0
+        assert summary["notifications_sent"] > 0
+        assert summary["acks_received"] > 0
+
+    def test_weak_mode_has_no_middleware(self, domains):
+        scenario = self.run(domains, enabled=False)
+        assert scenario.dnscup_summary() == {}
+
+
+class TestLossResilience:
+    def test_consistency_survives_packet_loss(self, population):
+        scenario = ProtocolScenario(
+            population, ScenarioConfig(dnscup_enabled=True, loss_rate=0.2))
+        scenario.run_workload(small_workload())
+        summary = scenario.dnscup_summary()
+        if summary.get("notifications_sent", 0) > 0:
+            # Retransmission should keep the ack ratio high despite loss.
+            assert summary["acks_received"] >= \
+                0.8 * summary["notifications_sent"]

@@ -1,0 +1,86 @@
+"""Tests for the Figure 7 prototype testbed."""
+
+import pytest
+
+from repro.dnslib import MAX_UDP_PAYLOAD, Rcode, RRType
+from repro.sim import Testbed, TestbedConfig
+
+
+@pytest.fixture(scope="module")
+def testbed():
+    tb = Testbed(TestbedConfig())
+    tb.lookup_all(0)
+    tb.lookup_all(1)
+    return tb
+
+
+class TestConstruction:
+    def test_forty_zones(self, testbed):
+        assert len(testbed.zones) <= 40
+        assert len(testbed.zones) >= 10  # enough distinct zones selected
+
+    def test_two_slaves_and_two_caches(self, testbed):
+        assert len(testbed.slaves) == 2
+        assert len(testbed.caches) == 2
+
+    def test_slaves_bootstrap_consistent(self, testbed):
+        assert testbed.slaves_consistent()
+
+
+class TestResolutionThroughHierarchy:
+    def test_all_domains_resolvable_from_both_clients(self, testbed):
+        for client_index in (0, 1):
+            answers = testbed.lookup_all(client_index)
+            assert all(addrs for addrs in answers.values())
+
+    def test_answers_match_zone_contents(self, testbed):
+        answers = testbed.lookup_all(0)
+        for domain in testbed.domains:
+            zone = testbed.zones[domain.zone_origin]
+            rrset = zone.get_rrset(domain.name, RRType.A)
+            zone_addresses = {r.address for r in rrset.rdatas}
+            assert set(answers[domain.name]) <= zone_addresses
+
+
+class TestDynamicUpdateFlow:
+    def test_update_propagates_everywhere(self, testbed):
+        domain = testbed.domains[0]
+        rcode = testbed.dynamic_update(domain.name, "172.31.0.99")
+        assert rcode == Rcode.NOERROR
+        testbed.run()
+        # Master zone updated.
+        zone = testbed.zones[domain.zone_origin]
+        addresses = {r.address
+                     for r in zone.get_rrset(domain.name, RRType.A).rdatas}
+        assert addresses == {"172.31.0.99"}
+        # Slaves follow via NOTIFY + IXFR.
+        assert testbed.slaves_consistent()
+        # Leased caches follow via CACHE-UPDATE.
+        for cache in testbed.caches:
+            entry = cache.cache.peek(domain.name, RRType.A)
+            if entry is not None and entry.has_lease(testbed.simulator.now):
+                cached = {r.address for r in entry.rrset.rdatas}
+                assert cached == {"172.31.0.99"}
+
+    def test_update_to_unknown_name_raises(self, testbed):
+        with pytest.raises(ValueError):
+            testbed.dynamic_update("www.not-in-testbed.zz", "10.0.0.1")
+
+
+class TestPaperValidations:
+    def test_all_messages_below_512_bytes(self, testbed):
+        """§5.2: 'all message sizes are far below the limitation of 512
+        bytes, set by RFC 1035'."""
+        assert 0 < testbed.max_message_size() <= MAX_UDP_PAYLOAD
+
+    def test_dnscup_messages_accepted_alongside_plain_dns(self, testbed):
+        stats = testbed.dnscup.notification.stats
+        assert testbed.dnscup.listening.stats.grants > 0
+        # The earlier update test pushed at least one notification.
+        assert stats.acks_received == stats.notifications_sent
+
+    def test_weak_mode_testbed_works_too(self):
+        tb = Testbed(TestbedConfig(dnscup_enabled=False))
+        answers = tb.lookup_all(0)
+        assert all(addrs for addrs in answers.values())
+        assert tb.dnscup is None

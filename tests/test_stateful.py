@@ -1,0 +1,183 @@
+"""Hypothesis stateful (rule-based) tests for the core data structures.
+
+These drive random operation sequences against a structure while
+checking invariants after every step — the failure modes unit tests
+with fixed sequences cannot reach.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+from hypothesis import settings
+
+from repro.core import LeaseTable
+from repro.dnslib import A, Name, RRSet, RRType, SOA
+from repro.server import ResolverCache
+from repro.zone import Zone, ZoneError
+
+NAMES = [f"r{i}.x.com" for i in range(5)]
+CACHES = [(f"10.0.0.{i}", 53) for i in range(3)]
+ADDRESSES = [f"10.9.0.{i}" for i in range(1, 6)]
+
+
+class LeaseTableMachine(RuleBasedStateMachine):
+    """LeaseTable vs a naive model dict."""
+
+    def __init__(self):
+        super().__init__()
+        self.table = LeaseTable()
+        self.model = {}  # (cache, name) -> expiry
+        self.clock = 0.0
+
+    @rule(advance=st.floats(0.0, 100.0))
+    def tick(self, advance):
+        self.clock += advance
+
+    @rule(cache=st.sampled_from(CACHES), name=st.sampled_from(NAMES),
+          length=st.floats(1.0, 500.0))
+    def grant(self, cache, name, length):
+        lease = self.table.grant(cache, name, RRType.A, self.clock, length)
+        assert lease is not None  # unbounded table always grants
+        self.model[(cache, name)] = self.clock + length
+
+    @rule(cache=st.sampled_from(CACHES), name=st.sampled_from(NAMES))
+    def revoke(self, cache, name):
+        expected = (cache, name) in self.model
+        # A revoke may also hit an expired-but-unswept lease the model
+        # already dropped; only assert the one-way implication.
+        result = self.table.revoke(cache, name, RRType.A)
+        if expected and self.model[(cache, name)] > self.clock:
+            assert result
+        self.model.pop((cache, name), None)
+
+    @rule()
+    def sweep(self):
+        self.table.sweep(self.clock)
+
+    @invariant()
+    def holders_match_model(self):
+        for name in NAMES:
+            expected = {cache for (cache, n), expiry in self.model.items()
+                        if n == name and expiry > self.clock}
+            actual = {lease.cache for lease in
+                      self.table.holders(name, RRType.A, self.clock)}
+            assert actual == expected
+
+    @invariant()
+    def active_count_consistent(self):
+        assert len(self.table) == sum(1 for _ in self.table)
+
+
+class ResolverCacheMachine(RuleBasedStateMachine):
+    """ResolverCache vs a model of live entries."""
+
+    def __init__(self):
+        super().__init__()
+        self.cache = ResolverCache(capacity=100)
+        self.model = {}  # name -> (addresses, expiry, lease_until)
+        self.clock = 0.0
+
+    @rule(advance=st.floats(0.0, 50.0))
+    def tick(self, advance):
+        self.clock += advance
+
+    @rule(name=st.sampled_from(NAMES),
+          address=st.sampled_from(ADDRESSES),
+          ttl=st.integers(1, 200),
+          lease=st.one_of(st.none(), st.floats(1.0, 300.0)))
+    def put(self, name, address, ttl, lease):
+        rrset = RRSet(name, RRType.A, ttl, [A(address)])
+        lease_until = None if lease is None else self.clock + lease
+        self.cache.put(rrset, self.clock, lease_until=lease_until)
+        self.model[name] = (address, self.clock + ttl, lease_until)
+
+    @rule(name=st.sampled_from(NAMES), address=st.sampled_from(ADDRESSES))
+    def apply_update(self, name, address):
+        rrset = RRSet(name, RRType.A, 60, [A(address)])
+        applied = self.cache.apply_cache_update(rrset, self.clock)
+        if name in self.model:
+            assert applied
+            _, _, lease_until = self.model[name]
+            self.model[name] = (address, self.clock + 60, lease_until)
+
+    @rule(name=st.sampled_from(NAMES))
+    def remove(self, name):
+        self.cache.remove(name, RRType.A)
+        self.model.pop(name, None)
+
+    @invariant()
+    def lookups_match_model(self):
+        for name in NAMES:
+            state = self.model.get(name)
+            live = False
+            if state is not None:
+                address, expiry, lease_until = state
+                live = (self.clock < expiry
+                        or (lease_until is not None
+                            and self.clock < lease_until))
+            entry = self.cache.peek(name, RRType.A)
+            if live:
+                assert entry is not None
+                assert entry.rrset.rdatas == (A(state[0]),)
+            elif entry is not None:
+                # Entry may linger (lazy expiry) but must never be
+                # served by get().
+                assert self.cache.get(name, RRType.A, self.clock) is None
+                self.model.pop(name, None)
+
+
+class ZoneMachine(RuleBasedStateMachine):
+    """Zone store vs a model of its RRsets, checking serial monotonicity."""
+
+    def __init__(self):
+        super().__init__()
+        soa = SOA("ns.x.com.", "admin.x.com.", 1, 2, 3, 4, 5)
+        self.zone = Zone("x.com", soa)
+        self.model = {}
+        self.last_serial = self.zone.serial
+
+    @rule(name=st.sampled_from(NAMES),
+          addresses=st.lists(st.sampled_from(ADDRESSES), min_size=1,
+                             max_size=3, unique=True))
+    def put(self, name, addresses):
+        rrset = RRSet(name, RRType.A, 60, [A(a) for a in addresses])
+        self.zone.put_rrset(rrset)
+        self.model[name] = frozenset(addresses)
+
+    @rule(name=st.sampled_from(NAMES))
+    def delete(self, name):
+        self.zone.delete_rrset(name, RRType.A)
+        self.model.pop(name, None)
+
+    @invariant()
+    def contents_match_model(self):
+        for name in NAMES:
+            rrset = self.zone.get_rrset(name, RRType.A)
+            expected = self.model.get(name)
+            if expected is None:
+                assert rrset is None
+            else:
+                assert rrset is not None
+                assert {r.address for r in rrset.rdatas} == set(expected)
+
+    @invariant()
+    def serial_never_regresses(self):
+        from repro.zone import serial_gt
+        serial = self.zone.serial
+        assert serial == self.last_serial or serial_gt(serial,
+                                                       self.last_serial)
+        self.last_serial = serial
+
+
+TestLeaseTableStateful = LeaseTableMachine.TestCase
+TestResolverCacheStateful = ResolverCacheMachine.TestCase
+TestZoneStateful = ZoneMachine.TestCase
+
+for case in (TestLeaseTableStateful, TestResolverCacheStateful,
+             TestZoneStateful):
+    case.settings = settings(max_examples=40, stateful_step_count=30,
+                             deadline=None)

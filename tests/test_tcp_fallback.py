@@ -1,0 +1,133 @@
+"""Tests for truncation (TC) and the reliable-stream (TCP) fallback."""
+
+import pytest
+
+from repro.dnslib import (
+    A,
+    MAX_UDP_PAYLOAD,
+    Message,
+    Name,
+    Rcode,
+    RRType,
+    make_query,
+    truncate_response,
+)
+from repro.server import AuthoritativeServer, RecursiveResolver, StubResolver
+from repro.zone import load_zone
+
+# A name with enough addresses that the response cannot fit in 512 B.
+FAT_ZONE = ("$ORIGIN fat.com.\n$TTL 3600\n"
+            "@ IN SOA ns1 admin 1 7200 900 604800 300\n"
+            "@ IN NS ns1\nns1 IN A 10.1.0.1\n"
+            + "\n".join(f"big IN A 10.3.{i // 200}.{i % 200 + 1}"
+                        for i in range(40)) + "\n")
+
+ROOT_TEXT = """\
+$ORIGIN .
+$TTL 86400
+.            IN SOA a.root. admin. 1 7200 900 604800 300
+.            IN NS a.root.
+a.root.      IN A  198.41.0.4
+fat.com.     IN NS ns1.fat.com.
+ns1.fat.com. IN A  10.1.0.1
+"""
+
+
+@pytest.fixture
+def world(make_host, simulator):
+    root = AuthoritativeServer(make_host("198.41.0.4"),
+                               [load_zone(ROOT_TEXT, origin=Name.root())])
+    auth = AuthoritativeServer(make_host("10.1.0.1"), [load_zone(FAT_ZONE)])
+    resolver = RecursiveResolver(make_host("10.2.0.1"), [("198.41.0.4", 53)])
+    return root, auth, resolver, simulator
+
+
+class TestTruncateResponse:
+    def test_stub_of_truncated_keeps_question(self):
+        query = make_query("big.fat.com", RRType.A)
+        from repro.dnslib import make_response, ResourceRecord
+        response = make_response(query)
+        response.answer.extend(
+            ResourceRecord("big.fat.com", RRType.A, 60, A(f"10.0.0.{i}"))
+            for i in range(1, 50))
+        stub = truncate_response(response)
+        assert stub.truncated
+        assert stub.question == response.question
+        assert not stub.answer
+        assert stub.wire_size() <= MAX_UDP_PAYLOAD
+
+
+class TestServerTruncation:
+    def test_oversized_response_truncated_on_udp(self, world, make_host):
+        _, auth, _, simulator = world
+        client = make_host("10.9.0.1").socket()
+        query = make_query("big.fat.com", RRType.A, recursion_desired=False)
+        responses = []
+        client.request(query.to_wire(), ("10.1.0.1", 53), query.id,
+                       lambda p, s: responses.append(p))
+        simulator.run()
+        response = Message.from_wire(responses[0])
+        assert response.truncated
+        assert not response.answer
+        assert auth.stats.truncated == 1
+
+    def test_full_answer_over_stream(self, world, make_host):
+        _, auth, _, simulator = world
+        client = make_host("10.9.0.2").socket()
+        query = make_query("big.fat.com", RRType.A, recursion_desired=False)
+        responses = []
+        client.request_stream(query.to_wire(), ("10.1.0.1", 53), query.id,
+                              lambda p, s: responses.append(p))
+        simulator.run()
+        response = Message.from_wire(responses[0])
+        assert not response.truncated
+        assert len(response.answer) == 40
+        assert auth.stats.stream_queries == 1
+
+    def test_small_response_not_truncated(self, world, make_host):
+        _, auth, _, simulator = world
+        client = make_host("10.9.0.3").socket()
+        query = make_query("ns1.fat.com", RRType.A, recursion_desired=False)
+        responses = []
+        client.request(query.to_wire(), ("10.1.0.1", 53), query.id,
+                       lambda p, s: responses.append(p))
+        simulator.run()
+        assert not Message.from_wire(responses[0]).truncated
+        assert auth.stats.truncated == 0
+
+
+class TestResolverFallback:
+    def test_resolver_retries_over_stream_and_caches_full_set(self, world):
+        _, auth, resolver, simulator = world
+        results = []
+        resolver.resolve("big.fat.com", RRType.A,
+                         lambda recs, rc: results.append((recs, rc)))
+        simulator.run()
+        records, rcode = results[0]
+        assert rcode == Rcode.NOERROR
+        assert len([r for r in records if r.rrtype == RRType.A]) == 40
+        assert resolver.stats.tcp_fallbacks == 1
+        entry = resolver.cache.peek("big.fat.com", RRType.A)
+        assert len(entry.rrset) == 40
+
+    def test_network_counted_stream_traffic(self, world):
+        _, auth, resolver, simulator = world
+        resolver.resolve("big.fat.com", RRType.A, lambda recs, rc: None)
+        simulator.run()
+        assert resolver.host.network.stats.stream_messages >= 2  # req+resp
+
+
+class TestStubFallback:
+    def test_stub_follows_tc_through_resolver(self, world, make_host):
+        """Stub → resolver over UDP truncates; stub retries over stream
+        and gets all 40 addresses."""
+        _, _, resolver, simulator = world
+        stub = StubResolver(make_host("10.9.0.4"), ("10.2.0.1", 53),
+                            cache_seconds=0.0)
+        results = []
+        stub.lookup("big.fat.com", lambda addrs, rc: results.append((addrs, rc)))
+        simulator.run()
+        addresses, rcode = results[0]
+        assert rcode == Rcode.NOERROR
+        assert len(addresses) == 40
+        assert stub.stats.tcp_fallbacks == 1

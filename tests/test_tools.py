@@ -1,0 +1,104 @@
+"""Tests for the command-line tools."""
+
+import pytest
+
+from repro.report import format_table, read_csv, write_csv
+from repro.tools import leasesim_tool, probe_tool, testbed_tool, trace_tool
+from repro.traces import load_trace
+
+
+class TestReportHelpers:
+    def test_format_table_alignment(self):
+        text = format_table(("name", "value"),
+                            [("a", 1), ("long-name", 22)], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "long-name" in lines[3] or "long-name" in lines[4]
+
+    def test_csv_roundtrip(self, tmp_path):
+        path = str(tmp_path / "out.csv")
+        assert write_csv(path, ("a", "b"), [(1, 2), (3, 4)]) == 2
+        rows = read_csv(path)
+        assert rows == [["a", "b"], ["1", "2"], ["3", "4"]]
+
+
+class TestTraceTool:
+    def test_generates_trace_and_catalog(self, tmp_path):
+        trace_path = str(tmp_path / "trace.txt")
+        catalog_path = str(tmp_path / "catalog.csv")
+        rc = trace_tool.main([trace_path, "--days", "0.02",
+                              "--rate", "2.0",
+                              "--regular-per-tld", "5", "--cdn", "5",
+                              "--dyn", "5", "--catalog", catalog_path])
+        assert rc == 0
+        events = load_trace(trace_path)
+        assert events
+        assert max(e.time for e in events) <= 0.02 * 86400
+        catalog = read_csv(catalog_path)
+        assert catalog[0] == ["name", "category", "ttl"]
+        assert len(catalog) > 1
+
+    def test_deterministic_for_seed(self, tmp_path):
+        a = str(tmp_path / "a.txt")
+        b = str(tmp_path / "b.txt")
+        argv = ["--days", "0.01", "--rate", "2.0", "--regular-per-tld",
+                "3", "--cdn", "3", "--dyn", "3", "--seed", "9"]
+        trace_tool.main([a] + argv)
+        trace_tool.main([b] + argv)
+        assert open(a).read() == open(b).read()
+
+
+class TestLeasesimTool:
+    def test_end_to_end_over_generated_trace(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "trace.txt")
+        catalog_path = str(tmp_path / "catalog.csv")
+        curves_path = str(tmp_path / "curves.csv")
+        trace_tool.main([trace_path, "--days", "0.1", "--rate", "3.0",
+                         "--regular-per-tld", "8", "--cdn", "8",
+                         "--dyn", "8", "--catalog", catalog_path])
+        rc = leasesim_tool.main([trace_path, "--catalog", catalog_path,
+                                 "--output", curves_path,
+                                 "--fixed-points", "4",
+                                 "--dynamic-points", "4"])
+        assert rc == 0
+        output = capsys.readouterr().out
+        assert "Figure 5 readings" in output
+        rows = read_csv(curves_path)
+        assert rows[0][0] == "scheme"
+        schemes = {row[0] for row in rows[1:]}
+        assert schemes == {"fixed", "dynamic"}
+
+    def test_empty_trace_fails(self, tmp_path):
+        path = str(tmp_path / "empty.txt")
+        open(path, "w").write("# nothing\n")
+        assert leasesim_tool.main([path]) == 1
+
+
+class TestProbeTool:
+    def test_prints_summary_and_writes_csv(self, tmp_path, capsys):
+        out = str(tmp_path / "probe.csv")
+        rc = probe_tool.main(["--regular-per-tld", "6", "--cdn", "6",
+                              "--dyn", "6", "--max-probes", "120",
+                              "--output", out])
+        assert rc == 0
+        output = capsys.readouterr().out
+        assert "DNS dynamics" in output
+        rows = read_csv(out)
+        assert rows[0][0] == "name"
+        assert len(rows) == 1 + 6 * 10 + 6 + 6  # header + population
+
+
+class TestTestbedTool:
+    def test_healthy_run_returns_zero(self, capsys):
+        rc = testbed_tool.main(["--zones", "12", "--updates", "3"])
+        assert rc == 0
+        output = capsys.readouterr().out
+        assert "testbed validation" in output
+        assert "True" in output
+
+    def test_weak_baseline_runs(self, capsys):
+        rc = testbed_tool.main(["--zones", "8", "--updates", "2",
+                                "--no-dnscup"])
+        assert rc == 0
+        output = capsys.readouterr().out
+        assert "CACHE-UPDATEs sent" not in output

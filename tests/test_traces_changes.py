@@ -1,0 +1,169 @@
+"""Tests for the DN2IP change processes."""
+
+import pytest
+
+from repro.traces import (
+    AddressGrowth,
+    AddressRotation,
+    CAUSE_GROWTH,
+    CAUSE_RELOCATION,
+    CAUSE_ROTATION,
+    CompositeProcess,
+    PoissonRelocation,
+    StableProcess,
+    random_ipv4,
+)
+
+
+class TestStable:
+    def test_never_changes(self):
+        process = StableProcess(["1.1.1.1"])
+        assert process.events_between(0, 1e9) == []
+        assert process.addresses_at(12345) == ("1.1.1.1",)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            StableProcess([])
+
+
+class TestPoissonRelocation:
+    def test_deterministic_for_seed(self):
+        a = PoissonRelocation(["1.1.1.1"], 100.0, seed=7)
+        b = PoissonRelocation(["1.1.1.1"], 100.0, seed=7)
+        assert a.events_between(0, 1000) == b.events_between(0, 1000)
+
+    def test_different_seeds_differ(self):
+        a = PoissonRelocation(["1.1.1.1"], 100.0, seed=7)
+        b = PoissonRelocation(["1.1.1.1"], 100.0, seed=8)
+        assert a.events_between(0, 1000) != b.events_between(0, 1000)
+
+    def test_mean_interval_close_to_lifetime(self):
+        process = PoissonRelocation(["1.1.1.1"], 100.0, seed=1)
+        events = process.events_between(0, 100_000)
+        assert len(events) == pytest.approx(1000, rel=0.15)
+
+    def test_all_events_are_physical(self):
+        process = PoissonRelocation(["1.1.1.1"], 50.0, seed=2)
+        events = process.events_between(0, 5000)
+        assert events
+        assert all(e.cause == CAUSE_RELOCATION and e.is_physical
+                   for e in events)
+
+    def test_relocation_changes_address(self):
+        process = PoissonRelocation(["1.1.1.1"], 50.0, seed=3)
+        events = process.events_between(0, 1000)
+        previous = ("1.1.1.1",)
+        for event in events:
+            assert event.addresses != previous
+            previous = event.addresses
+
+    def test_overlapping_windows_consistent(self):
+        process = PoissonRelocation(["1.1.1.1"], 100.0, seed=4)
+        full = process.events_between(0, 2000)
+        head = process.events_between(0, 1000)
+        tail = process.events_between(1000, 2000)
+        assert head + tail == full
+
+    def test_addresses_at_tracks_events(self):
+        process = PoissonRelocation(["1.1.1.1"], 100.0, seed=5)
+        events = process.events_between(0, 1000)
+        if events:
+            first = events[0]
+            assert process.addresses_at(first.time - 0.001) == ("1.1.1.1",)
+            assert process.addresses_at(first.time) == first.addresses
+
+    def test_invalid_lifetime(self):
+        with pytest.raises(ValueError):
+            PoissonRelocation(["1.1.1.1"], 0.0, seed=1)
+
+
+class TestAddressGrowth:
+    def test_grows_to_ceiling(self):
+        process = AddressGrowth(["1.1.1.1"], mean_interval=10.0,
+                                max_addresses=4, seed=6)
+        events = process.events_between(0, 10_000)
+        assert events
+        assert len(events[-1].addresses) == 4
+        sizes = [len(e.addresses) for e in events]
+        assert sizes == sorted(sizes)
+
+    def test_supersets_only(self):
+        process = AddressGrowth(["1.1.1.1"], 10.0, 5, seed=7)
+        previous = set(process.initial_addresses())
+        for event in process.events_between(0, 10_000):
+            current = set(event.addresses)
+            assert current > previous
+            previous = current
+
+    def test_all_logical(self):
+        process = AddressGrowth(["1.1.1.1"], 10.0, 3, seed=8)
+        assert all(e.cause == CAUSE_GROWTH and not e.is_physical
+                   for e in process.events_between(0, 1000))
+
+    def test_ceiling_validation(self):
+        with pytest.raises(ValueError):
+            AddressGrowth(["1.1.1.1", "2.2.2.2"], 10.0, 1, seed=1)
+
+
+class TestAddressRotation:
+    def test_rotates_within_pool(self):
+        pool = ["1.1.1.1", "2.2.2.2", "3.3.3.3"]
+        process = AddressRotation(pool, period=20.0, change_probability=1.0,
+                                  seed=9)
+        events = process.events_between(0, 1000)
+        assert events
+        for event in events:
+            assert set(event.addresses) <= set(pool)
+
+    def test_change_probability_one_changes_every_period(self):
+        process = AddressRotation(["1.1.1.1", "2.2.2.2"], period=10.0,
+                                  change_probability=1.0, seed=10)
+        events = process.events_between(0, 100)
+        assert len(events) == 10
+
+    def test_akamai_like_low_change_probability(self):
+        """§3.2: Akamai domains change ≈10 % of probes at 20 s TTL."""
+        pool = [f"10.0.0.{i}" for i in range(1, 9)]
+        process = AddressRotation(pool, period=20.0,
+                                  change_probability=0.10, seed=11)
+        events = process.events_between(0, 20.0 * 10_000)
+        assert len(events) / 10_000 == pytest.approx(0.10, rel=0.15)
+
+    def test_addresses_at_consistent_with_events(self):
+        process = AddressRotation(["1.1.1.1", "2.2.2.2", "3.3.3.3"],
+                                  period=10.0, change_probability=0.5,
+                                  seed=12)
+        events = process.events_between(0, 500)
+        for event in events:
+            assert process.addresses_at(event.time) == event.addresses
+
+    def test_pool_too_small(self):
+        with pytest.raises(ValueError):
+            AddressRotation(["1.1.1.1"], 10.0, 1.0, seed=1)
+
+
+class TestComposite:
+    def test_merges_sorted(self):
+        relocation = PoissonRelocation(["1.1.1.1"], 100.0, seed=13)
+        rotation = AddressRotation(["2.2.2.2", "3.3.3.3"], period=30.0,
+                                   change_probability=1.0, seed=14)
+        composite = CompositeProcess([relocation, rotation])
+        events = composite.events_between(0, 1000)
+        times = [e.time for e in events]
+        assert times == sorted(times)
+        causes = {e.cause for e in events}
+        assert CAUSE_ROTATION in causes
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CompositeProcess([])
+
+
+class TestRandomIpv4:
+    def test_valid_octets(self):
+        import random
+        rng = random.Random(0)
+        for _ in range(100):
+            parts = [int(p) for p in random_ipv4(rng).split(".")]
+            assert len(parts) == 4
+            assert all(1 <= p <= 254 for p in parts)

@@ -1,0 +1,122 @@
+"""Tests for synthetic domain populations."""
+
+import pytest
+
+from repro.dnslib import Name
+from repro.traces import (
+    CATEGORY_CDN,
+    CATEGORY_DYN,
+    CATEGORY_REGULAR,
+    PopulationConfig,
+    REGULAR_TLDS,
+    by_category,
+    by_ttl_class,
+    category_map,
+    generate_cdn_domains,
+    generate_dyn_domains,
+    generate_population,
+    generate_regular_domains,
+    zipf_weights,
+)
+
+
+@pytest.fixture(scope="module")
+def population():
+    return generate_population(PopulationConfig(regular_per_tld=30,
+                                                cdn_count=20, dyn_count=20))
+
+
+class TestZipf:
+    def test_weights_decreasing(self):
+        weights = zipf_weights(100)
+        assert weights == sorted(weights, reverse=True)
+
+    def test_head_dominates(self):
+        weights = zipf_weights(1000)
+        assert sum(weights[:10]) > 0.1 * sum(weights)
+
+
+class TestRegularDomains:
+    def test_counts_per_tld(self):
+        config = PopulationConfig(regular_per_tld=10)
+        domains = generate_regular_domains(config)
+        assert len(domains) == 10 * len(REGULAR_TLDS)
+        tlds = {d.name.tld() for d in domains}
+        assert "com" in tlds and "gov" in tlds
+
+    def test_all_regular_category(self):
+        domains = generate_regular_domains(PopulationConfig(regular_per_tld=5))
+        assert all(d.category == CATEGORY_REGULAR for d in domains)
+
+    def test_deterministic_for_seed(self):
+        config = PopulationConfig(regular_per_tld=5, seed=99)
+        a = generate_regular_domains(config)
+        b = generate_regular_domains(config)
+        assert [d.name for d in a] == [d.name for d in b]
+        assert [d.ttl for d in a] == [d.ttl for d in b]
+
+
+class TestCdnDomains:
+    def test_ttls_bounded_by_300(self, population):
+        """§3.2: all CDN and Dyn TTLs are <= 300 s (classes 1-2)."""
+        for domain in by_category(population).get(CATEGORY_CDN, []):
+            assert domain.ttl <= 300
+            assert domain.ttl_class.index in (1, 2)
+
+    def test_providers_match_ttls(self):
+        domains = generate_cdn_domains(PopulationConfig(cdn_count=10))
+        for domain in domains:
+            if domain.provider == "akamai":
+                assert domain.ttl == 20.0
+            elif domain.provider == "speedera":
+                assert domain.ttl == 120.0
+
+    def test_akamai_changes_less_than_speedera(self):
+        """§3.2: Akamai ~10 % change frequency vs Speedera ~100 %."""
+        domains = generate_cdn_domains(PopulationConfig(cdn_count=20))
+        horizon = 86400.0
+
+        def mean_changes_per_probe(provider):
+            members = [d for d in domains if d.provider == provider]
+            ratios = []
+            for domain in members:
+                events = domain.process.events_between(0, horizon)
+                probes = horizon / domain.ttl
+                ratios.append(len(events) / probes)
+            return sum(ratios) / len(ratios)
+
+        assert mean_changes_per_probe("akamai") < 0.25
+        assert mean_changes_per_probe("speedera") > 0.8
+
+
+class TestDynDomains:
+    def test_category_and_physical_changes(self):
+        domains = generate_dyn_domains(PopulationConfig(dyn_count=10))
+        assert all(d.category == CATEGORY_DYN for d in domains)
+        horizon = 30 * 86400.0
+        for domain in domains:
+            for event in domain.process.events_between(0, horizon):
+                assert event.is_physical  # DHCP moves are relocations
+
+
+class TestGrouping:
+    def test_by_category_covers_all(self, population):
+        groups = by_category(population)
+        assert set(groups) == {CATEGORY_REGULAR, CATEGORY_CDN, CATEGORY_DYN}
+        assert sum(len(v) for v in groups.values()) == len(population)
+
+    def test_by_ttl_class_covers_all(self, population):
+        groups = by_ttl_class(population)
+        assert sum(len(v) for v in groups.values()) == len(population)
+        assert set(groups) <= {1, 2, 3, 4, 5}
+
+    def test_category_map_includes_zone_origins(self, population):
+        mapping = category_map(population)
+        cdn = by_category(population)[CATEGORY_CDN][0]
+        assert mapping[cdn.name] == CATEGORY_CDN
+        assert mapping[cdn.zone_origin] == CATEGORY_CDN
+
+    def test_zone_origin_is_registrable_suffix(self, population):
+        domain = population[0]
+        assert len(domain.zone_origin) == 2
+        assert domain.name.is_subdomain_of(domain.zone_origin)

@@ -1,0 +1,86 @@
+"""Tests for the synthetic IRCache proxy log (Figure 1's input)."""
+
+import pytest
+
+from repro.traces import (
+    PopulationConfig,
+    figure1_series,
+    generate_population,
+    powerlaw_fit,
+    synthesize_proxy_log,
+    top_domains,
+)
+
+
+@pytest.fixture(scope="module")
+def population():
+    return generate_population(PopulationConfig(regular_per_tld=50,
+                                                cdn_count=10, dyn_count=10))
+
+
+@pytest.fixture(scope="module")
+def log(population):
+    return synthesize_proxy_log(population, total_requests=100_000, seed=3)
+
+
+class TestSynthesis:
+    def test_total_requests_conserved(self, log):
+        assert sum(entry.requests for entry in log) == 100_000
+
+    def test_one_entry_per_domain(self, population, log):
+        assert len(log) == len(population)
+
+    def test_deterministic(self, population):
+        a = synthesize_proxy_log(population, total_requests=10_000, seed=5)
+        b = synthesize_proxy_log(population, total_requests=10_000, seed=5)
+        assert [e.requests for e in a] == [e.requests for e in b]
+
+    def test_popularity_reflected(self, population, log):
+        by_name = {entry.name: entry.requests for entry in log}
+        tlds = {}
+        for domain in population:
+            tlds.setdefault(domain.name.tld(), []).append(domain)
+        # Within one TLD, the most popular domain gets more requests than
+        # the least popular one (Zipf head vs tail).
+        members = tlds["com"]
+        hottest = max(members, key=lambda d: d.popularity)
+        coldest = min(members, key=lambda d: d.popularity)
+        assert by_name[hottest.name] > by_name[coldest.name]
+
+
+class TestFigure1Series:
+    def test_series_keyed_by_tld(self, log):
+        series = figure1_series(log)
+        assert "com" in series and "net" in series
+
+    def test_counts_conserve_nonzero_domains(self, log):
+        series = figure1_series(log)
+        total = sum(count for points in series.values()
+                    for _, count in points)
+        nonzero = sum(1 for entry in log if entry.requests > 0)
+        assert total == nonzero
+
+    def test_heavy_tail_slope_negative(self, log):
+        """Figure 1's qualitative claim: domain count falls off as a
+        power law in request count."""
+        series = figure1_series(log)
+        slope, _ = powerlaw_fit(series["com"])
+        assert slope < -0.3
+
+    def test_powerlaw_fit_needs_points(self):
+        with pytest.raises(ValueError):
+            powerlaw_fit([(1.0, 1)])
+
+
+class TestTopDomains:
+    def test_top_sorted_descending(self, log):
+        top = top_domains(log, 50)
+        requests = [entry.requests for entry in top]
+        assert requests == sorted(requests, reverse=True)
+        assert len(top) == 50
+
+    def test_top_50_feeds_testbed_zones(self, log):
+        """§5.2 builds 40 zones from the 50 most popular domains."""
+        top = top_domains(log, 50)
+        zone_origins = {tuple(entry.name.labels[-2:]) for entry in top}
+        assert len(zone_origins) >= 1

@@ -1,0 +1,76 @@
+"""Tests for Table 1's TTL classes."""
+
+import math
+
+import pytest
+
+from repro.traces import (
+    TTL_CLASSES,
+    class_by_index,
+    classify_ttl,
+    expected_lifetime,
+)
+
+
+class TestTable1Parameters:
+    """The exact numbers of Table 1."""
+
+    def test_five_classes(self):
+        assert len(TTL_CLASSES) == 5
+
+    @pytest.mark.parametrize("index,low,high,resolution,duration_days", [
+        (1, 0, 60, 20, 1),
+        (2, 60, 300, 60, 3),
+        (3, 300, 3600, 300, 7),
+        (4, 3600, 86400, 3600, 7),
+        (5, 86400, None, 86400, 30),
+    ])
+    def test_row(self, index, low, high, resolution, duration_days):
+        ttl_class = class_by_index(index)
+        assert ttl_class.ttl_low == low
+        assert ttl_class.ttl_high == high
+        assert ttl_class.resolution == resolution
+        assert ttl_class.duration == duration_days * 86400
+
+    def test_classes_partition_the_ttl_axis(self):
+        for ttl in (0, 1, 59.9, 60, 299, 300, 3599, 3600, 86399, 86400, 1e9):
+            matches = [c for c in TTL_CLASSES if c.contains(ttl)]
+            assert len(matches) == 1
+
+    def test_boundaries_left_closed(self):
+        assert classify_ttl(60).index == 2
+        assert classify_ttl(59.999).index == 1
+        assert classify_ttl(86400).index == 5
+
+    def test_negative_ttl_rejected(self):
+        with pytest.raises(ValueError):
+            classify_ttl(-1)
+
+    def test_bad_index_rejected(self):
+        with pytest.raises(ValueError):
+            class_by_index(0)
+        with pytest.raises(ValueError):
+            class_by_index(6)
+
+    def test_probe_counts(self):
+        # Class 1: one day at 20 s → 4320 probes.
+        assert class_by_index(1).probe_count == 4320
+        # Class 5: a month at one day → 30 probes.
+        assert class_by_index(5).probe_count == 30
+
+    def test_describe_mentions_class(self):
+        assert "class 3" in class_by_index(3).describe()
+
+
+class TestLifetimes:
+    def test_paper_lifetime_arithmetic(self):
+        """§3.2: class 3 at 3 % change frequency → ~2.8 h lifetimes."""
+        lifetime = expected_lifetime(0.03, 300)
+        assert lifetime == pytest.approx(10_000)
+
+    def test_class5_example(self):
+        """§3.2: 'a change happens every 10 days' at 10 % in class 5."""
+        assert expected_lifetime(0.10, 86400) == pytest.approx(10 * 86400)
+
+    def test_zero_frequency_infinite(self):
+        assert math.isinf(expected_lifetime(0.0, 300))

@@ -1,0 +1,126 @@
+"""Tests for delegation checking and lame-delegation repair."""
+
+import pytest
+
+from repro.dnslib import A, Name, NS, RRSet, RRType, SOA
+from repro.zone import (
+    DelegationStatus,
+    Zone,
+    check_delegations,
+    delegation_cuts,
+    repair_parent,
+)
+
+
+def make_parent():
+    soa = SOA("ns.com.", "admin.com.", 1, 2, 3, 4, 5)
+    parent = Zone("com", soa)
+    parent.put_rrset(RRSet("example.com", RRType.NS, 172800,
+                           [NS("ns1.example.com"), NS("ns2.example.com")]))
+    parent.put_rrset(RRSet("other.com", RRType.NS, 172800,
+                           [NS("ns1.other.com")]))
+    return parent
+
+
+def make_child(origin="example.com", ns_names=("ns1.example.com",
+                                                "ns2.example.com")):
+    soa = SOA(ns_names[0], f"admin.{origin}.", 1, 2, 3, 4, 5)
+    child = Zone(origin, soa)
+    child.put_rrset(RRSet(origin, RRType.NS, 86400,
+                          [NS(name) for name in ns_names]))
+    return child
+
+
+class TestDelegationCuts:
+    def test_finds_cuts_below_apex(self):
+        parent = make_parent()
+        cuts = delegation_cuts(parent)
+        assert Name.from_text("example.com") in cuts
+        assert Name.from_text("other.com") in cuts
+
+    def test_apex_ns_excluded(self):
+        parent = make_parent()
+        parent.put_rrset(RRSet("com", RRType.NS, 86400, [NS("a.gtld.net.")]))
+        assert Name.from_text("com") not in delegation_cuts(parent)
+
+
+class TestCheckDelegations:
+    def test_consistent(self):
+        parent = make_parent()
+        children = {Name.from_text("example.com"): make_child(),
+                    Name.from_text("other.com"):
+                        make_child("other.com", ("ns1.other.com",))}
+        reports = {r.child: r for r in check_delegations(parent, children)}
+        assert reports[Name.from_text("example.com")].status == \
+            DelegationStatus.CONSISTENT
+
+    def test_orphan(self):
+        parent = make_parent()
+        reports = {r.child: r for r in check_delegations(parent, {})}
+        report = reports[Name.from_text("example.com")]
+        assert report.status == DelegationStatus.ORPHAN
+        assert report.is_lame
+
+    def test_parent_only_mismatch(self):
+        parent = make_parent()
+        child = make_child(ns_names=("ns1.example.com",))  # missing ns2
+        reports = {r.child: r for r in check_delegations(
+            parent, {Name.from_text("example.com"): child})}
+        assert reports[Name.from_text("example.com")].status == \
+            DelegationStatus.PARENT_ONLY
+
+    def test_child_only_mismatch(self):
+        parent = make_parent()
+        child = make_child(ns_names=("ns1.example.com", "ns2.example.com",
+                                     "ns3.example.com"))
+        reports = {r.child: r for r in check_delegations(
+            parent, {Name.from_text("example.com"): child})}
+        assert reports[Name.from_text("example.com")].status == \
+            DelegationStatus.CHILD_ONLY
+
+    def test_lame_when_no_listed_server_serves_child(self):
+        parent = make_parent()
+        child = make_child()
+        serving = {Name.from_text("ns1.example.com"): [],
+                   Name.from_text("ns2.example.com"): []}
+        reports = {r.child: r for r in check_delegations(
+            parent, {Name.from_text("example.com"): child}, serving)}
+        report = reports[Name.from_text("example.com")]
+        assert report.status == DelegationStatus.LAME
+        assert len(report.lame_servers) == 2
+
+    def test_partial_lameness_not_fully_lame(self):
+        parent = make_parent()
+        child = make_child()
+        serving = {
+            Name.from_text("ns1.example.com"): [Name.from_text("example.com")],
+            Name.from_text("ns2.example.com"): [],
+        }
+        reports = {r.child: r for r in check_delegations(
+            parent, {Name.from_text("example.com"): child}, serving)}
+        assert reports[Name.from_text("example.com")].status == \
+            DelegationStatus.CONSISTENT
+
+
+class TestRepair:
+    def test_repair_pushes_child_ns_to_parent(self):
+        parent = make_parent()
+        child = make_child(ns_names=("ns1.example.com", "ns9.example.com"))
+        assert repair_parent(parent, child)
+        parent_ns = parent.get_rrset("example.com", RRType.NS)
+        assert {r.target for r in parent_ns.rdatas} == {
+            Name.from_text("ns1.example.com"), Name.from_text("ns9.example.com")}
+
+    def test_repair_noop_when_consistent(self):
+        parent = make_parent()
+        child = make_child()
+        assert not repair_parent(parent, child)
+
+    def test_repair_then_check_consistent(self):
+        parent = make_parent()
+        child = make_child(ns_names=("nsX.example.com",))
+        repair_parent(parent, child)
+        reports = {r.child: r for r in check_delegations(
+            parent, {Name.from_text("example.com"): child})}
+        assert reports[Name.from_text("example.com")].status == \
+            DelegationStatus.CONSISTENT

@@ -1,0 +1,61 @@
+"""Tests for RFC 1982 serial arithmetic."""
+
+import pytest
+
+from repro.zone import serial_add, serial_gt, serial_lt, serial_max
+
+
+class TestSerialAdd:
+    def test_plain_addition(self):
+        assert serial_add(1, 1) == 2
+
+    def test_wraps_at_32_bits(self):
+        assert serial_add(0xFFFFFFFF, 1) == 0
+
+    def test_increment_bounds(self):
+        with pytest.raises(ValueError):
+            serial_add(0, 1 << 31)
+        with pytest.raises(ValueError):
+            serial_add(0, -1)
+
+    def test_max_increment_ok(self):
+        serial_add(0, (1 << 31) - 1)
+
+
+class TestSerialCompare:
+    def test_simple_ordering(self):
+        assert serial_gt(2, 1)
+        assert not serial_gt(1, 2)
+        assert serial_lt(1, 2)
+
+    def test_equal_is_not_greater(self):
+        assert not serial_gt(5, 5)
+
+    def test_wraparound_ordering(self):
+        # 0 is "after" 0xFFFFFFFF in sequence space.
+        assert serial_gt(0, 0xFFFFFFFF)
+        assert not serial_gt(0xFFFFFFFF, 0)
+
+    def test_half_space_is_incomparable(self):
+        a, b = 0, 1 << 31
+        assert not serial_gt(a, b)
+        assert not serial_gt(b, a)
+
+    def test_just_under_half_space(self):
+        assert serial_gt((1 << 31) - 1, 0)
+        assert not serial_gt(0, (1 << 31) - 1)
+
+    def test_rfc_examples(self):
+        # RFC 1982 §5.1 examples with SERIAL_BITS=32.
+        assert serial_gt(44, 43)
+        assert serial_gt(100, 0)
+        assert serial_gt(0, 4294967295)
+
+
+class TestSerialMax:
+    def test_picks_later(self):
+        assert serial_max(1, 2) == 2
+        assert serial_max(0, 0xFFFFFFFF) == 0
+
+    def test_equal(self):
+        assert serial_max(7, 7) == 7

@@ -1,0 +1,121 @@
+"""Tests for NOTIFY/AXFR/IXFR replication."""
+
+import pytest
+
+from repro.dnslib import A, RRType, SOA
+from repro.zone import (
+    ChangeLog,
+    Zone,
+    ZoneMaster,
+    ZoneSlave,
+    load_zone,
+    zones_equal,
+)
+from tests.conftest import EXAMPLE_ZONE_TEXT
+
+
+@pytest.fixture
+def master_zone():
+    return load_zone(EXAMPLE_ZONE_TEXT)
+
+
+@pytest.fixture
+def master(master_zone):
+    return ZoneMaster(master_zone)
+
+
+@pytest.fixture
+def slave(master):
+    """A slave bootstrapped by one full transfer."""
+    replica_zone = load_zone(EXAMPLE_ZONE_TEXT)
+    slave = ZoneSlave(replica_zone)
+    serial, rrsets = master.serve_axfr()
+    slave.apply_axfr(serial, rrsets)
+    return slave
+
+
+class TestChangeLog:
+    def test_records_and_replays(self):
+        log = ChangeLog()
+        log.record(1, 2, ["a"])
+        log.record(2, 3, ["b", "c"])
+        assert log.replay_from(1) == ["a", "b", "c"]
+        assert log.replay_from(2) == ["b", "c"]
+
+    def test_unknown_serial_returns_none(self):
+        log = ChangeLog()
+        log.record(5, 6, ["x"])
+        assert log.replay_from(1) is None
+
+    def test_capacity_evicts_oldest(self):
+        log = ChangeLog(capacity=2)
+        log.record(1, 2, ["a"])
+        log.record(2, 3, ["b"])
+        log.record(3, 4, ["c"])
+        assert log.replay_from(1) is None
+        assert log.replay_from(2) == ["b", "c"]
+
+
+class TestAxfr:
+    def test_axfr_bootstraps_identical_content(self, master_zone, slave):
+        assert zones_equal(master_zone, slave.zone, ignore_soa=False)
+
+    def test_axfr_adopts_master_serial(self, master_zone, slave):
+        assert slave.zone.serial == master_zone.serial
+
+
+class TestIxfr:
+    def test_incremental_change_propagates(self, master_zone, master, slave):
+        master_zone.replace_address("www.example.com", ["9.9.9.9"])
+        outcome = slave.refresh_from(master)
+        assert outcome == "ixfr"
+        assert zones_equal(master_zone, slave.zone, ignore_soa=False)
+        rrset = slave.zone.get_rrset("www.example.com", RRType.A)
+        assert rrset.rdatas == (A("9.9.9.9"),)
+
+    def test_deletion_propagates(self, master_zone, master, slave):
+        master_zone.delete_rrset("mail.example.com", RRType.A)
+        slave.refresh_from(master)
+        assert slave.zone.get_rrset("mail.example.com", RRType.A) is None
+
+    def test_noop_when_current(self, master, slave):
+        assert slave.refresh_from(master) == "current"
+        assert slave.transfers_incremental == 0
+
+    def test_multiple_changes_replayed_in_order(self, master_zone, master, slave):
+        master_zone.replace_address("www.example.com", ["1.1.1.1"])
+        master_zone.replace_address("www.example.com", ["2.2.2.2"])
+        master_zone.replace_address("www.example.com", ["3.3.3.3"])
+        slave.refresh_from(master)
+        rrset = slave.zone.get_rrset("www.example.com", RRType.A)
+        assert rrset.rdatas == (A("3.3.3.3"),)
+        assert slave.zone.serial == master_zone.serial
+
+    def test_fallback_to_axfr_when_log_expired(self, master_zone, slave):
+        cramped = ZoneMaster(load_zone(EXAMPLE_ZONE_TEXT), log_capacity=1)
+        cramped.zone.replace_address("www.example.com", ["1.1.1.1"])
+        cramped.zone.replace_address("www.example.com", ["2.2.2.2"])
+        stale_slave = ZoneSlave(load_zone(EXAMPLE_ZONE_TEXT))
+        outcome = stale_slave.refresh_from(cramped)
+        assert outcome == "axfr"
+        assert zones_equal(cramped.zone, stale_slave.zone, ignore_soa=False)
+
+    def test_needs_refresh_uses_serial_arithmetic(self, slave):
+        assert slave.needs_refresh(slave.serial + 1)
+        assert not slave.needs_refresh(slave.serial)
+
+
+class TestEndToEndReplication:
+    def test_two_slaves_stay_consistent(self, master_zone, master):
+        slaves = []
+        for _ in range(2):
+            replica = ZoneSlave(load_zone(EXAMPLE_ZONE_TEXT))
+            serial, rrsets = master.serve_axfr()
+            replica.apply_axfr(serial, rrsets)
+            slaves.append(replica)
+        for step in range(5):
+            master_zone.replace_address("www.example.com", [f"10.9.0.{step + 1}"])
+            for replica in slaves:
+                replica.refresh_from(master)
+        for replica in slaves:
+            assert zones_equal(master_zone, replica.zone, ignore_soa=False)

@@ -1,0 +1,253 @@
+"""Tests for RFC 2136 dynamic update processing."""
+
+import pytest
+
+from repro.dnslib import (
+    A,
+    Message,
+    NS,
+    Name,
+    Opcode,
+    Rcode,
+    ResourceRecord,
+    RRType,
+    TXT,
+    RRSet,
+    make_query,
+    make_update,
+)
+from repro.zone import (
+    UpdateProcessor,
+    load_zone,
+    prereq_name_in_use,
+    prereq_name_not_in_use,
+    prereq_rrset_absent,
+    prereq_rrset_exists,
+    prereq_rrset_exists_value,
+    update_add,
+    update_delete_name,
+    update_delete_record,
+    update_delete_rrset,
+)
+from tests.conftest import EXAMPLE_ZONE_TEXT
+
+
+@pytest.fixture
+def zone():
+    return load_zone(EXAMPLE_ZONE_TEXT)
+
+
+@pytest.fixture
+def processor(zone):
+    return UpdateProcessor(zone)
+
+
+def run_update(processor, *updates, prereqs=()):
+    message = make_update("example.com")
+    message.prerequisite.extend(prereqs)
+    message.update.extend(updates)
+    # Wire roundtrip so the test exercises encode/decode of pseudo-records.
+    decoded = Message.from_wire(message.to_wire())
+    return processor.process(decoded)
+
+
+class TestZoneSection:
+    def test_wrong_opcode_formerr(self, processor):
+        response = processor.process(make_query("example.com", RRType.A))
+        assert response.rcode == Rcode.FORMERR
+
+    def test_wrong_zone_notauth(self, processor):
+        message = make_update("other.org")
+        assert processor.process(message).rcode == Rcode.NOTAUTH
+
+    def test_non_soa_zone_type_formerr(self, processor):
+        message = make_update("example.com")
+        message.zone[0].rrtype = RRType.A
+        assert processor.process(message).rcode == Rcode.FORMERR
+
+
+class TestPrerequisites:
+    def test_rrset_exists_passes(self, processor):
+        response = run_update(
+            processor,
+            update_add(ResourceRecord("new.example.com", RRType.A, 60,
+                                      A("5.5.5.5"))),
+            prereqs=[prereq_rrset_exists("www.example.com", RRType.A)])
+        assert response.rcode == Rcode.NOERROR
+
+    def test_rrset_exists_fails_nxrrset(self, processor):
+        response = run_update(
+            processor,
+            prereqs=[prereq_rrset_exists("nope.example.com", RRType.A)])
+        assert response.rcode == Rcode.NXRRSET
+
+    def test_rrset_absent_passes(self, processor):
+        response = run_update(
+            processor,
+            prereqs=[prereq_rrset_absent("nope.example.com", RRType.A)])
+        assert response.rcode == Rcode.NOERROR
+
+    def test_rrset_absent_fails_yxrrset(self, processor):
+        response = run_update(
+            processor,
+            prereqs=[prereq_rrset_absent("www.example.com", RRType.A)])
+        assert response.rcode == Rcode.YXRRSET
+
+    def test_name_in_use_passes(self, processor):
+        response = run_update(processor,
+                              prereqs=[prereq_name_in_use("www.example.com")])
+        assert response.rcode == Rcode.NOERROR
+
+    def test_name_in_use_fails_nxdomain(self, processor):
+        response = run_update(processor,
+                              prereqs=[prereq_name_in_use("nope.example.com")])
+        assert response.rcode == Rcode.NXDOMAIN
+
+    def test_name_not_in_use_fails_yxdomain(self, processor):
+        response = run_update(
+            processor, prereqs=[prereq_name_not_in_use("www.example.com")])
+        assert response.rcode == Rcode.YXDOMAIN
+
+    def test_value_dependent_match(self, processor, zone):
+        rrset = zone.get_rrset("www.example.com", RRType.A)
+        prereqs = [prereq_rrset_exists_value("www.example.com", RRType.A, rdata)
+                   for rdata in rrset.rdatas]
+        assert run_update(processor, prereqs=prereqs).rcode == Rcode.NOERROR
+
+    def test_value_dependent_mismatch(self, processor):
+        prereqs = [prereq_rrset_exists_value("www.example.com", RRType.A,
+                                             A("9.9.9.9"))]
+        assert run_update(processor, prereqs=prereqs).rcode == Rcode.NXRRSET
+
+    def test_prereq_outside_zone_notzone(self, processor):
+        assert run_update(
+            processor,
+            prereqs=[prereq_rrset_exists("www.other.org", RRType.A)]
+        ).rcode == Rcode.NOTZONE
+
+    def test_nonzero_ttl_prereq_formerr(self, processor):
+        bad = prereq_rrset_exists("www.example.com", RRType.A)
+        bad = ResourceRecord(bad.name, bad.rrtype, 5, bad.rdata, bad.rrclass)
+        assert run_update(processor, prereqs=[bad]).rcode == Rcode.FORMERR
+
+
+class TestUpdates:
+    def test_add_new_rrset(self, processor, zone):
+        response = run_update(
+            processor,
+            update_add(ResourceRecord("new.example.com", RRType.A, 60,
+                                      A("5.5.5.5"))))
+        assert response.rcode == Rcode.NOERROR
+        assert zone.get_rrset("new.example.com", RRType.A) is not None
+
+    def test_add_merges_into_existing(self, processor, zone):
+        run_update(processor,
+                   update_add(ResourceRecord("www.example.com", RRType.A, 60,
+                                             A("7.7.7.7"))))
+        rrset = zone.get_rrset("www.example.com", RRType.A)
+        assert A("7.7.7.7") in rrset
+        assert len(rrset) == 3
+
+    def test_delete_rrset(self, processor, zone):
+        run_update(processor, update_delete_rrset("www.example.com", RRType.A))
+        assert zone.get_rrset("www.example.com", RRType.A) is None
+
+    def test_delete_one_record(self, processor, zone):
+        run_update(processor,
+                   update_delete_record("www.example.com", RRType.A,
+                                        A("10.0.0.10")))
+        rrset = zone.get_rrset("www.example.com", RRType.A)
+        assert len(rrset) == 1
+        assert A("10.0.0.11") in rrset
+
+    def test_delete_last_record_removes_rrset(self, processor, zone):
+        run_update(processor,
+                   update_delete_record("mail.example.com", RRType.A,
+                                        A("10.0.0.20")))
+        assert zone.get_rrset("mail.example.com", RRType.A) is None
+
+    def test_delete_name(self, processor, zone):
+        run_update(processor, update_delete_name("www.example.com"))
+        assert not zone.rrsets_at("www.example.com")
+
+    def test_apex_soa_protected_from_delete(self, processor, zone):
+        run_update(processor, update_delete_rrset("example.com", RRType.SOA))
+        assert zone.get_rrset("example.com", RRType.SOA) is not None
+
+    def test_apex_ns_protected_from_rrset_delete(self, processor, zone):
+        run_update(processor, update_delete_rrset("example.com", RRType.NS))
+        assert zone.get_rrset("example.com", RRType.NS) is not None
+
+    def test_last_apex_ns_record_protected(self, processor, zone):
+        run_update(processor,
+                   update_delete_record("example.com", RRType.NS,
+                                        NS("ns1.example.com")))
+        run_update(processor,
+                   update_delete_record("example.com", RRType.NS,
+                                        NS("ns2.example.com")))
+        rrset = zone.get_rrset("example.com", RRType.NS)
+        assert rrset is not None and len(rrset) == 1
+
+    def test_apex_delete_all_keeps_soa_and_ns(self, processor, zone):
+        run_update(processor, update_delete_name("example.com"))
+        assert zone.get_rrset("example.com", RRType.SOA) is not None
+        assert zone.get_rrset("example.com", RRType.NS) is not None
+        assert zone.get_rrset("example.com", RRType.MX) is None
+
+    def test_replace_idiom(self, processor, zone):
+        """delete-rrset + add = the paper's DN2IP mapping change."""
+        response = run_update(
+            processor,
+            update_delete_rrset("www.example.com", RRType.A),
+            update_add(ResourceRecord("www.example.com", RRType.A, 300,
+                                      A("172.16.0.1"))))
+        assert response.rcode == Rcode.NOERROR
+        rrset = zone.get_rrset("www.example.com", RRType.A)
+        assert rrset.rdatas == (A("172.16.0.1"),)
+
+    def test_cname_add_on_occupied_name_skipped(self, processor, zone):
+        from repro.dnslib import CNAME
+        run_update(processor,
+                   update_add(ResourceRecord("www.example.com", RRType.CNAME,
+                                             60, CNAME("x.example.com"))))
+        assert zone.get_rrset("www.example.com", RRType.CNAME) is None
+
+    def test_add_on_cname_owner_skipped(self, processor, zone):
+        run_update(processor,
+                   update_add(ResourceRecord("ftp.example.com", RRType.A,
+                                             60, A("6.6.6.6"))))
+        assert zone.get_rrset("ftp.example.com", RRType.A) is None
+
+    def test_update_outside_zone_notzone(self, processor):
+        response = run_update(
+            processor,
+            update_add(ResourceRecord("w.other.org", RRType.A, 60,
+                                      A("5.5.5.5"))))
+        assert response.rcode == Rcode.NOTZONE
+
+    def test_any_type_add_formerr(self, processor):
+        bad = ResourceRecord("w.example.com", RRType.ANY, 60,
+                             A("5.5.5.5"))
+        assert run_update(processor, bad).rcode == Rcode.FORMERR
+
+    def test_atomicity_on_prereq_failure(self, processor, zone):
+        """A failed prerequisite must leave the zone untouched."""
+        before = zone.serial
+        response = run_update(
+            processor,
+            update_add(ResourceRecord("new.example.com", RRType.A, 60,
+                                      A("5.5.5.5"))),
+            prereqs=[prereq_rrset_exists("missing.example.com", RRType.A)])
+        assert response.rcode == Rcode.NXRRSET
+        assert zone.get_rrset("new.example.com", RRType.A) is None
+        assert zone.serial == before
+
+    def test_serial_bumps_once_per_message(self, processor, zone):
+        before = zone.serial
+        run_update(
+            processor,
+            update_add(ResourceRecord("a.example.com", RRType.A, 60,
+                                      A("1.1.1.1"))),
+            update_add(ResourceRecord("b.example.com", RRType.A, 60,
+                                      A("2.2.2.2"))))
+        assert zone.serial == before + 1

@@ -1,0 +1,201 @@
+"""Tests for the Zone store and its invariants."""
+
+import pytest
+
+from repro.dnslib import A, CNAME, Name, NS, RRSet, RRType, SOA, TXT
+from repro.zone import Zone, ZoneError, diff_snapshots
+
+
+def make_zone() -> Zone:
+    soa = SOA("ns1.example.com", "admin.example.com", 1, 7200, 900, 604800, 300)
+    return Zone("example.com", soa)
+
+
+class TestBasics:
+    def test_apex_soa_present(self):
+        zone = make_zone()
+        assert zone.soa.serial == 1
+        assert zone.get_rrset("example.com", RRType.SOA) is not None
+
+    def test_put_and_get(self, a_rrset):
+        zone = make_zone()
+        zone.put_rrset(a_rrset("www.example.com", 300, "1.2.3.4"))
+        rrset = zone.get_rrset("www.example.com", RRType.A)
+        assert rrset is not None and len(rrset) == 1
+
+    def test_put_outside_zone_rejected(self, a_rrset):
+        zone = make_zone()
+        with pytest.raises(ZoneError):
+            zone.put_rrset(a_rrset("www.other.org", 300, "1.2.3.4"))
+
+    def test_put_empty_rrset_rejected(self):
+        zone = make_zone()
+        with pytest.raises(ZoneError):
+            zone.put_rrset(RRSet("www.example.com", RRType.A, 300, []))
+
+    def test_stored_copy_is_isolated(self, a_rrset):
+        zone = make_zone()
+        original = a_rrset("www.example.com", 300, "1.2.3.4")
+        zone.put_rrset(original)
+        original.add(A("5.6.7.8"))
+        assert len(zone.get_rrset("www.example.com", RRType.A)) == 1
+
+    def test_has_name_with_empty_nonterminal(self, a_rrset):
+        zone = make_zone()
+        zone.put_rrset(a_rrset("a.b.example.com", 300, "1.2.3.4"))
+        assert zone.has_name("b.example.com")  # empty non-terminal
+        assert not zone.has_name("c.example.com")
+
+
+class TestInvariants:
+    def test_second_soa_rejected_off_apex(self):
+        zone = make_zone()
+        soa = SOA("x.", "y.", 9, 1, 1, 1, 1)
+        with pytest.raises(ZoneError):
+            zone.put_rrset(RRSet("sub.example.com", RRType.SOA, 60, [soa]))
+
+    def test_cname_conflicts_with_existing_data(self, a_rrset):
+        zone = make_zone()
+        zone.put_rrset(a_rrset("www.example.com", 300, "1.2.3.4"))
+        with pytest.raises(ZoneError):
+            zone.put_rrset(RRSet("www.example.com", RRType.CNAME, 300,
+                                 [CNAME("x.example.com")]))
+
+    def test_data_conflicts_with_existing_cname(self, a_rrset):
+        zone = make_zone()
+        zone.put_rrset(RRSet("alias.example.com", RRType.CNAME, 300,
+                             [CNAME("www.example.com")]))
+        with pytest.raises(ZoneError):
+            zone.put_rrset(a_rrset("alias.example.com", 300, "1.2.3.4"))
+
+    def test_cannot_delete_apex_soa(self):
+        zone = make_zone()
+        with pytest.raises(ZoneError):
+            zone.delete_rrset("example.com", RRType.SOA)
+
+
+class TestSerialAndListeners:
+    def test_serial_bumps_on_put(self, a_rrset):
+        zone = make_zone()
+        zone.put_rrset(a_rrset("www.example.com", 300, "1.2.3.4"))
+        assert zone.serial == 2
+
+    def test_identical_put_is_noop(self, a_rrset):
+        zone = make_zone()
+        rrset = a_rrset("www.example.com", 300, "1.2.3.4")
+        zone.put_rrset(rrset)
+        serial = zone.serial
+        zone.put_rrset(rrset.copy())
+        assert zone.serial == serial
+
+    def test_listener_receives_old_and_new(self, a_rrset):
+        zone = make_zone()
+        zone.put_rrset(a_rrset("www.example.com", 300, "1.2.3.4"))
+        seen = []
+        zone.add_change_listener(lambda z, changes: seen.extend(changes))
+        zone.put_rrset(a_rrset("www.example.com", 300, "9.9.9.9"))
+        assert len(seen) == 1
+        name, rrtype, old, new = seen[0]
+        assert old.rdatas == (A("1.2.3.4"),)
+        assert new.rdatas == (A("9.9.9.9"),)
+
+    def test_bulk_update_single_bump_and_callback(self, a_rrset):
+        zone = make_zone()
+        calls = []
+        zone.add_change_listener(lambda z, changes: calls.append(list(changes)))
+        with zone.bulk_update():
+            zone.put_rrset(a_rrset("a.example.com", 300, "1.1.1.1"))
+            zone.put_rrset(a_rrset("b.example.com", 300, "2.2.2.2"))
+        assert zone.serial == 2
+        assert len(calls) == 1 and len(calls[0]) == 2
+
+    def test_bulk_update_coalesces_delete_add(self, a_rrset):
+        zone = make_zone()
+        zone.put_rrset(a_rrset("www.example.com", 300, "1.2.3.4"))
+        seen = []
+        zone.add_change_listener(lambda z, changes: seen.append(list(changes)))
+        with zone.bulk_update():
+            zone.delete_rrset("www.example.com", RRType.A)
+            zone.put_rrset(a_rrset("www.example.com", 300, "9.9.9.9"))
+        assert len(seen) == 1 and len(seen[0]) == 1
+        _, _, old, new = seen[0][0]
+        assert old is not None and new is not None
+
+    def test_bulk_update_nets_out_to_nothing(self, a_rrset):
+        zone = make_zone()
+        rrset = a_rrset("www.example.com", 300, "1.2.3.4")
+        zone.put_rrset(rrset)
+        serial = zone.serial
+        seen = []
+        zone.add_change_listener(lambda z, changes: seen.append(changes))
+        with zone.bulk_update():
+            zone.delete_rrset("www.example.com", RRType.A)
+            zone.put_rrset(rrset.copy())
+        assert not seen
+        assert zone.serial == serial
+
+    def test_no_bump_mode_and_set_serial(self, a_rrset):
+        zone = make_zone()
+        with zone.bulk_update(bump_serial=False):
+            zone.put_rrset(a_rrset("www.example.com", 300, "1.2.3.4"))
+        assert zone.serial == 1
+        zone.set_serial(42)
+        assert zone.serial == 42
+
+    def test_remove_listener(self, a_rrset):
+        zone = make_zone()
+        seen = []
+        listener = lambda z, c: seen.append(c)  # noqa: E731
+        zone.add_change_listener(listener)
+        zone.remove_change_listener(listener)
+        zone.put_rrset(a_rrset("www.example.com", 300, "1.2.3.4"))
+        assert not seen
+
+
+class TestDelegationLookup:
+    def test_find_delegation_below_cut(self, a_rrset):
+        zone = make_zone()
+        zone.put_rrset(RRSet("sub.example.com", RRType.NS, 300,
+                             [NS("ns1.sub.example.com")]))
+        found = zone.find_delegation(Name.from_text("www.sub.example.com"))
+        assert found is not None
+        assert found.name == Name.from_text("sub.example.com")
+
+    def test_apex_ns_is_not_delegation(self):
+        zone = make_zone()
+        zone.put_rrset(RRSet("example.com", RRType.NS, 300,
+                             [NS("ns1.example.com")]))
+        assert zone.find_delegation(Name.from_text("www.example.com")) is None
+
+    def test_outside_zone_returns_none(self):
+        zone = make_zone()
+        assert zone.find_delegation(Name.from_text("www.other.org")) is None
+
+
+class TestHelpers:
+    def test_replace_address_keeps_ttl(self, a_rrset):
+        zone = make_zone()
+        zone.put_rrset(a_rrset("www.example.com", 123, "1.2.3.4"))
+        zone.replace_address("www.example.com", ["9.9.9.9"])
+        rrset = zone.get_rrset("www.example.com", RRType.A)
+        assert rrset.ttl == 123
+        assert rrset.rdatas == (A("9.9.9.9"),)
+
+    def test_delete_name_counts(self, a_rrset):
+        zone = make_zone()
+        zone.put_rrset(a_rrset("www.example.com", 60, "1.1.1.1"))
+        zone.put_rrset(RRSet("www.example.com", RRType.TXT, 60, [TXT("x")]))
+        assert zone.delete_name("www.example.com") == 2
+
+    def test_diff_snapshots(self, a_rrset):
+        zone = make_zone()
+        zone.put_rrset(a_rrset("www.example.com", 60, "1.1.1.1"))
+        before = zone.snapshot()
+        zone.put_rrset(a_rrset("www.example.com", 60, "2.2.2.2"))
+        zone.put_rrset(a_rrset("new.example.com", 60, "3.3.3.3"))
+        changes = diff_snapshots(before, zone.snapshot())
+        keys = {(name.to_text(), rrtype) for name, rrtype, _, _ in changes}
+        assert ("www.example.com.", RRType.A) in keys
+        assert ("new.example.com.", RRType.A) in keys
+        # SOA serial changed too.
+        assert ("example.com.", RRType.SOA) in keys
