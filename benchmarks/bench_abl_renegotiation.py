@@ -86,13 +86,15 @@ def test_abl_renegotiation(benchmark):
         run, args=(True,), rounds=1, iterations=1)
     cold_without, hot_without, resolver_without, _, _ = run(False)
 
+    notify_stats = middleware_with.notification.stats
     print_table("Ablation — renegotiation after a 30x rate shift "
                 "(6 records, grant threshold 0.02 q/s)",
                 ("configuration", "leased before shift",
-                 "leased after shift", "renegotiations"),
+                 "leased after shift", "renegotiations", "wire encodes"),
                 [("with agent", cold_with, hot_with,
-                  agent.stats.renegotiations_sent),
-                 ("without agent", cold_without, hot_without, 0)])
+                  agent.stats.renegotiations_sent,
+                  notify_stats.wire_encodes),
+                 ("without agent", cold_without, hot_without, 0, "-")])
 
     # Cold phase: rates below threshold → few or no leases either way.
     assert cold_with <= 2 and cold_without <= 2

@@ -16,19 +16,30 @@ then print both curves and the paper's two headline readings:
 
 Absolute numbers shift with the synthetic trace; the assertions check
 the relationships (who wins, and by a material factor).
+
+The sweep runs on the pair-indexed fast replay engine (the
+``figure5_curves`` default); one operating point is re-run through the
+reference oracle to witness the engines' bit-identity in situ (the full
+cross-check lives in ``bench_perf_replay`` and
+``tests/test_fastreplay.py``).
 """
 
 import pytest
 
 from repro.sim import (
+    default_max_lease_of,
     figure5_curves,
+    fixed_lease_fn,
     interpolate_at_query_rate,
     interpolate_at_storage,
     logspace,
+    simulate_lease_trace,
     train_pair_rates,
 )
 
 from benchmarks.conftest import print_table
+
+FIXED_LENGTHS = logspace(10.0, 6 * 86400.0, 12)
 
 
 def run_figure5(week_trace, population):
@@ -41,8 +52,8 @@ def run_figure5(week_trace, population):
                   + [rates[-1] * 2.0])
     return figure5_curves(
         events, population, config.duration,
-        fixed_lengths=logspace(10.0, 6 * 86400.0, 12),
-        rate_thresholds=thresholds)
+        fixed_lengths=FIXED_LENGTHS,
+        rate_thresholds=thresholds, engine="fast")
 
 
 def test_fig5_fixed_vs_dynamic_lease(benchmark, week_trace, population):
@@ -92,3 +103,16 @@ def test_fig5_fixed_vs_dynamic_lease(benchmark, week_trace, population):
     assert max(s for s, _ in fixed_points + dynamic_points) < 90.0
     # Polling baseline.
     assert curves.polling.query_rate_percentage == 100.0
+
+    # -- oracle spot-check ------------------------------------------------
+    # One fixed operating point re-run through the reference replay must
+    # reproduce the fast engine's result bit for bit.
+    events, config = week_trace
+    ordered = sorted(events, key=lambda e: e.time)
+    rates = train_pair_rates(ordered, config.duration / 7.0)
+    mid = FIXED_LENGTHS[len(FIXED_LENGTHS) // 2]
+    oracle = simulate_lease_trace(
+        ordered, rates, default_max_lease_of(population),
+        fixed_lease_fn(mid), config.duration,
+        scheme="fixed", parameter=mid)
+    assert oracle == curves.fixed[len(FIXED_LENGTHS) // 2]

@@ -7,7 +7,10 @@ second of delay multiplies load on the dying origin.  With DNScup the
 CACHE-UPDATE push retargets every leased cache in one round trip.
 
 Measured: client requests still landing on the overloaded origin after
-the redirect, and how long the origin keeps absorbing them.
+the redirect, how long the origin keeps absorbing them, and — on the
+DNScup side — how many CACHE-UPDATE wire images the fan-out actually
+encoded (the encode-once path builds one per changed RRset, however
+many lease holders receive it).
 """
 
 import pytest
@@ -56,8 +59,9 @@ def run_flash_crowd(dnscup_enabled):
                         [load_zone(ROOT_TEXT, origin=Name.root())])
     zone = load_zone(ZONE_TEXT)
     auth = AuthoritativeServer(Host(network, "10.41.0.1"), [zone])
+    middleware = None
     if dnscup_enabled:
-        attach_dnscup(auth, policy=DynamicLeasePolicy(0.0))
+        middleware = attach_dnscup(auth, policy=DynamicLeasePolicy(0.0))
     resolver = RecursiveResolver(Host(network, "10.42.0.1"),
                                  [("198.41.0.4", 53)],
                                  dnscup_enabled=dnscup_enabled)
@@ -84,10 +88,13 @@ def run_flash_crowd(dnscup_enabled):
     overloaded_after = [t for t, addr in hits
                         if t > REDIRECT_AT and addr == ORIGIN_ADDRESS]
     last_origin_hit = max(overloaded_after, default=REDIRECT_AT)
+    stats = middleware.notification.stats if middleware else None
     return {
         "requests": len(hits),
         "origin_hits_after_redirect": len(overloaded_after),
         "origin_relief_delay": last_origin_hit - REDIRECT_AT,
+        "notifications_sent": stats.notifications_sent if stats else 0,
+        "wire_encodes": stats.wire_encodes if stats else 0,
     }
 
 
@@ -99,13 +106,17 @@ def test_flash_crowd_redirect(benchmark):
     print_table("Flash crowd: 60x spike at t=300 s, operator redirect at "
                 f"t=360 s (TTL {TTL} s)",
                 ("mode", "requests", "origin hits after redirect",
-                 "origin relief delay (s)"),
+                 "origin relief delay (s)", "notifies", "wire encodes"),
                 [("DNScup", with_cup["requests"],
                   with_cup["origin_hits_after_redirect"],
-                  f"{with_cup['origin_relief_delay']:.1f}"),
+                  f"{with_cup['origin_relief_delay']:.1f}",
+                  with_cup["notifications_sent"],
+                  with_cup["wire_encodes"]),
                  ("TTL only", without["requests"],
                   without["origin_hits_after_redirect"],
-                  f"{without['origin_relief_delay']:.1f}")])
+                  f"{without['origin_relief_delay']:.1f}",
+                  without["notifications_sent"],
+                  without["wire_encodes"])])
 
     # Same request stream both runs.
     assert with_cup["requests"] == without["requests"]
@@ -115,3 +126,7 @@ def test_flash_crowd_redirect(benchmark):
     assert without["origin_hits_after_redirect"] > 100
     assert with_cup["origin_relief_delay"] < 10.0
     assert without["origin_relief_delay"] > TTL / 2
+    # The redirect was pushed via CACHE-UPDATE, and each changed RRset
+    # was encoded at most once however many holders it fanned out to.
+    assert with_cup["notifications_sent"] >= 1
+    assert with_cup["notifications_sent"] >= with_cup["wire_encodes"] >= 1

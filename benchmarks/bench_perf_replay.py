@@ -1,0 +1,123 @@
+"""Perf: pair-indexed fast replay vs the reference replay engine.
+
+Times the full Figure 5 sweep (12 fixed lease lengths, 13 dynamic
+thresholds, polling baseline) on a fixed-seed trace of ≥100k query
+events, once with the O(sweep × trace) reference oracle and once with
+the pair-indexed engine, asserts the two produce *identical*
+``LeaseSimResult`` values at every operating point, and writes the
+machine-readable trajectory to ``BENCH_replay.json`` at the repo root
+so future PRs can regress against it.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.sim import figure5_curves, logspace, train_pair_rates
+from repro.traces import (
+    PopulationConfig,
+    WorkloadConfig,
+    assign_global_zipf,
+    generate_population,
+    generate_queries,
+)
+
+from benchmarks.conftest import print_table
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_replay.json"
+
+#: The acceptance floor this PR establishes; regressions must stay above.
+MIN_SPEEDUP = 5.0
+
+FIXED_POINTS = 12
+DYNAMIC_POINTS = 13
+
+
+def build_trace():
+    """A fixed-seed week-long trace with at least 100k query events."""
+    domains = assign_global_zipf(
+        generate_population(PopulationConfig(
+            regular_per_tld=40, cdn_count=30, dyn_count=30, seed=2006)),
+        exponent=1.1, seed=99)
+    config = WorkloadConfig(duration=7 * 86400.0, clients=150,
+                            nameservers=3, total_request_rate=0.7,
+                            client_cache_seconds=900.0, seed=424242)
+    events = list(generate_queries(domains, config))
+    return events, domains, config
+
+
+def sweep_parameters(events, duration):
+    rates = sorted(train_pair_rates(
+        sorted(events, key=lambda e: e.time), duration / 7.0).values())
+    quantiles = (0.05, 0.2, 0.4, 0.6, 0.75, 0.9, 0.95, 0.98, 0.99,
+                 0.995, 0.999)
+    thresholds = ([0.0]
+                  + [rates[int(q * (len(rates) - 1))] for q in quantiles]
+                  + [rates[-1] * 2.0])
+    return logspace(10.0, 6 * 86400.0, FIXED_POINTS), thresholds
+
+
+def run_engine(engine, events, domains, duration, fixed_lengths, thresholds):
+    started = time.perf_counter()
+    curves = figure5_curves(events, domains, duration,
+                            fixed_lengths=fixed_lengths,
+                            rate_thresholds=thresholds, engine=engine)
+    return curves, time.perf_counter() - started
+
+
+def test_perf_replay_engines(benchmark):
+    events, domains, config = build_trace()
+    assert len(events) >= 100_000, \
+        f"perf trace too small: {len(events)} events"
+    fixed_lengths, thresholds = sweep_parameters(events, config.duration)
+    sweep_points = len(fixed_lengths) + len(thresholds) + 1
+
+    fast_curves, fast_seconds = benchmark.pedantic(
+        run_engine,
+        args=("fast", events, domains, config.duration, fixed_lengths,
+              thresholds),
+        rounds=1, iterations=1)[0:2]
+    reference_curves, reference_seconds = run_engine(
+        "reference", events, domains, config.duration, fixed_lengths,
+        thresholds)
+
+    # -- bit-identical results at every operating point -------------------
+    assert fast_curves.fixed == reference_curves.fixed
+    assert fast_curves.dynamic == reference_curves.dynamic
+    assert fast_curves.polling == reference_curves.polling
+
+    speedup = reference_seconds / fast_seconds
+    replayed_events = len(events) * sweep_points
+    record = {
+        "bench": "figure5_replay_sweep",
+        "trace_events": len(events),
+        "pairs": fast_curves.polling.pair_count,
+        "sweep_points": sweep_points,
+        "fixed_points": len(fixed_lengths),
+        "dynamic_points": len(thresholds),
+        "reference_seconds": round(reference_seconds, 4),
+        "fast_seconds": round(fast_seconds, 4),
+        "speedup": round(speedup, 2),
+        "reference_events_per_sec": round(replayed_events
+                                          / reference_seconds),
+        "fast_events_per_sec": round(replayed_events / fast_seconds),
+        "min_speedup": MIN_SPEEDUP,
+    }
+    BENCH_JSON.write_text(json.dumps(record, indent=2) + "\n")
+
+    print_table(
+        f"Replay engines — {len(events)} events × {sweep_points} sweep "
+        "points",
+        ("engine", "wall time (s)", "sweep events/s"),
+        [("reference", f"{reference_seconds:8.3f}",
+          f"{record['reference_events_per_sec']:,}"),
+         ("fast (pair-indexed)", f"{fast_seconds:8.3f}",
+          f"{record['fast_events_per_sec']:,}")])
+    print(f"\nspeedup: {speedup:.1f}x (floor {MIN_SPEEDUP}x); "
+          f"results bit-identical at all {sweep_points} operating points")
+    print(f"trajectory written to {BENCH_JSON.name}")
+
+    assert speedup >= MIN_SPEEDUP, \
+        f"fast engine only {speedup:.1f}x faster (need {MIN_SPEEDUP}x)"

@@ -163,6 +163,9 @@ class DNScup:
             "notifications_sent": float(self.notification.stats.notifications_sent),
             "acks_received": float(self.notification.stats.acks_received),
             "ack_ratio": self.notification.ack_ratio(),
+            # Encode-once fan-out: wire encodes per changed RRset versus
+            # notifications addressed from the shared template.
+            "wire_encodes": float(self.notification.stats.wire_encodes),
         }
 
 

@@ -27,9 +27,11 @@ from ..dnslib import (
     TsigError,
     Verifier,
     WireFormatError,
+    WireTemplate,
     make_cache_update,
     sign,
 )
+from ..dnslib.message import next_message_id
 from ..net import Endpoint, RetryPolicy, Socket
 from .detection import RecordChange
 from .lease import LeaseTable
@@ -43,6 +45,10 @@ class NotificationStats:
     acks_received: int = 0
     failures: int = 0
     caches_notified: int = 0
+    #: Full wire encodes performed (one per changed RRset); the
+    #: difference against ``notifications_sent`` is encodes the
+    #: template fan-out saved.
+    wire_encodes: int = 0
     #: Notifications suppressed because no valid lease existed.
     no_holders: int = 0
     #: Acks dropped because their TSIG failed verification (§5.3 mode).
@@ -89,7 +95,12 @@ class NotificationModule:
     # -- the detection sink -----------------------------------------------------
 
     def on_change(self, change: RecordChange) -> None:
-        """Detection-module sink: fan this change out to lease holders."""
+        """Detection-module sink: fan this change out to lease holders.
+
+        The CACHE-UPDATE wire image is encoded *once* per changed RRset;
+        each leaseholder's copy differs only in its message ID, which is
+        patched into the shared template in place.
+        """
         self.stats.changes_processed += 1
         now = self.simulator.now
         holders = self.table.holders(change.name, change.rrtype, now)
@@ -97,25 +108,37 @@ class NotificationModule:
             self.stats.no_holders += 1
             return
         records = change.new.to_records() if change.new is not None else []
+        template = self._encode_template(change.name, change.rrtype, records)
+        if template is None:
+            return
         for lease in holders:
-            self._notify(lease.cache, change.name, change.rrtype, records)
+            self._notify(lease.cache, change.name, change.rrtype, template)
 
-    def _notify(self, cache: Endpoint, name: Name, rrtype: RRType,
-                records) -> None:
+    def _encode_template(self, name: Name, rrtype: RRType,
+                         records) -> Optional[WireTemplate]:
+        """One shared wire encoding of this change's CACHE-UPDATE."""
         message = make_cache_update(name, list(records))
         if not message.question:
-            return
+            return None
         # A deletion carries no records, so the question type falls back
         # to A in make_cache_update; force the real type.
         message.question[0].rrtype = rrtype
+        self.stats.wire_encodes += 1
+        return WireTemplate(message)
+
+    def _notify(self, cache: Endpoint, name: Name, rrtype: RRType,
+                template: WireTemplate) -> None:
+        msg_id = next_message_id()
         sent_at = self.simulator.now
         self.stats.notifications_sent += 1
         self.stats.caches_notified += 1
-        wire = message.to_wire()
+        wire = template.with_id(msg_id)
         if self.tsig_key is not None:
+            # Signing covers the patched ID, so each recipient's TSIG is
+            # computed over its own datagram (no MAC sharing).
             wire = sign(wire, self.tsig_key, sent_at)
         self.socket.request(
-            wire, cache, message.id,
+            wire, cache, msg_id,
             lambda payload, src: self._on_ack(cache, name, rrtype, sent_at,
                                               payload),
             retry=self.retry)

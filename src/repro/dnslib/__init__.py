@@ -19,6 +19,7 @@ from .message import (
     MAX_U16,
     Message,
     Question,
+    WireTemplate,
     make_cache_update,
     make_cache_update_ack,
     make_notify,
@@ -62,7 +63,8 @@ __all__ = [
     "Rdata", "EmptyRdata", "rdata_class_for", "rdata_from_text", "rdata_from_wire",
     "Name", "NameError_", "as_name",
     "ResourceRecord", "RRSet", "records_to_rrsets",
-    "Message", "Question", "make_query", "make_response", "make_update",
+    "Message", "Question", "WireTemplate", "make_query", "make_response",
+    "make_update",
     "make_notify", "make_cache_update", "make_cache_update_ack",
     "truncate_response",
     "Opcode", "Rcode", "RRClass", "RRType",

@@ -20,6 +20,7 @@ aliases on :class:`Message` expose that vocabulary.
 from __future__ import annotations
 
 import itertools
+import struct
 from typing import List, Optional, Tuple
 
 from .enums import MAX_UDP_PAYLOAD, Opcode, Rcode, RRClass, RRType
@@ -269,6 +270,33 @@ class Message:
                 f"rcode={self.rcode_value.name}, q={len(self.question)}, "
                 f"an={len(self.answer)}, au={len(self.authority)}, "
                 f"ad={len(self.additional)})")
+
+
+class WireTemplate:
+    """A message encoded once, re-addressed per recipient.
+
+    Fan-out paths (CACHE-UPDATE notifications, DNS-Push pushes) send the
+    *same* message body to many peers, differing only in the 16-bit
+    message ID each peer will echo in its acknowledgement.  Encoding the
+    message per recipient re-runs name compression and section
+    serialization N times for identical bytes; this template encodes the
+    wire image once into a :class:`bytearray` and :meth:`with_id` merely
+    patches the ID field (the first two octets, RFC 1035 §4.1.1) in
+    place before snapshotting the datagram.
+    """
+
+    __slots__ = ("_buffer",)
+
+    def __init__(self, message: "Message"):
+        self._buffer = bytearray(message.to_wire())
+
+    def with_id(self, msg_id: int) -> bytes:
+        """The wire image re-addressed to carry ``msg_id``."""
+        struct.pack_into("!H", self._buffer, 0, msg_id & MAX_U16)
+        return bytes(self._buffer)
+
+    def __len__(self) -> int:
+        return len(self._buffer)
 
 
 # -- factories ----------------------------------------------------------------

@@ -30,7 +30,7 @@ class Name:
     Name('example.com.')
     """
 
-    __slots__ = ("_labels", "_key")
+    __slots__ = ("_labels", "_key", "_hash")
 
     def __init__(self, labels: Sequence[str]):
         labels = tuple(labels)
@@ -43,6 +43,10 @@ class Name:
             raise NameError_("name exceeds 255 octets on the wire")
         self._labels: Tuple[str, ...] = labels
         self._key: Tuple[str, ...] = tuple(label.lower() for label in labels)
+        # Names key every cache, lease table and trace index in the
+        # system; precomputing the (immutable) hash keeps those dict
+        # operations off the tuple-hashing path.
+        self._hash: int = hash(self._key)
 
     @staticmethod
     def _wire_length(labels: Sequence[str]) -> int:
@@ -152,7 +156,7 @@ class Name:
         return tuple(reversed(self._key)) < tuple(reversed(other._key))
 
     def __hash__(self) -> int:
-        return hash(self._key)
+        return self._hash
 
     def __len__(self) -> int:
         return len(self._labels)

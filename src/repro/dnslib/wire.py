@@ -23,6 +23,10 @@ from .name import Name, NameError_
 _POINTER_TAG = 0xC0
 _MAX_POINTER_OFFSET = 0x3FFF
 
+_PACK_U8 = struct.Struct("!B").pack
+_PACK_U16 = struct.Struct("!H").pack
+_PACK_U32 = struct.Struct("!I").pack
+
 
 class WireFormatError(ValueError):
     """Raised on malformed wire data: truncation, bad pointers, overruns."""
@@ -36,32 +40,40 @@ class WireWriter:
     can be disabled (``compress=False``) — RFC 3597 forbids compressing
     names inside the RDATA of unknown types, and tests use it to measure
     the savings compression buys.
+
+    Output accumulates in one growing :class:`bytearray` (amortized O(1)
+    appends, no per-write 1–2-byte ``bytes`` objects), and each name's
+    length-prefixed label encodings are cached so re-emitting a name —
+    the uncompressed path and every partial suffix match — skips the
+    per-label ASCII re-encoding.  :meth:`reset` clears the message state
+    while keeping the grown buffer storage and the name cache, so one
+    writer can encode a stream of messages.
     """
 
     def __init__(self, compress: bool = True):
-        self._chunks: List[bytes] = []
-        self._length = 0
+        self._buffer = bytearray()
         self._compress = compress
         self._offsets: Dict[Tuple[str, ...], int] = {}
+        #: Exact-spelling label-chunk cache: labels tuple -> encoded chunks.
+        self._name_cache: Dict[Tuple[str, ...], Tuple[bytes, ...]] = {}
 
     # -- primitives --------------------------------------------------------
 
     def write_bytes(self, data: bytes) -> None:
         """Append raw bytes."""
-        self._chunks.append(data)
-        self._length += len(data)
+        self._buffer += data
 
     def write_u8(self, value: int) -> None:
         """Append one unsigned byte."""
-        self.write_bytes(struct.pack("!B", value))
+        self._buffer += _PACK_U8(value)
 
     def write_u16(self, value: int) -> None:
         """Append a 16-bit big-endian integer."""
-        self.write_bytes(struct.pack("!H", value))
+        self._buffer += _PACK_U16(value)
 
     def write_u32(self, value: int) -> None:
         """Append a 32-bit big-endian integer."""
-        self.write_bytes(struct.pack("!I", value))
+        self._buffer += _PACK_U32(value)
 
     def write_string(self, data: bytes) -> None:
         """A length-prefixed character string (max 255 octets)."""
@@ -72,31 +84,58 @@ class WireWriter:
 
     # -- names -------------------------------------------------------------
 
+    def _encoded_labels(self, name: Name) -> Tuple[bytes, ...]:
+        """``name``'s length-prefixed label chunks, cached by spelling."""
+        labels = name.labels
+        chunks = self._name_cache.get(labels)
+        if chunks is None:
+            chunks = tuple(_PACK_U8(len(encoded)) + encoded
+                           for encoded in (label.encode("ascii")
+                                           for label in labels))
+            self._name_cache[labels] = chunks
+        return chunks
+
     def write_name(self, name: Name) -> None:
         """Emit ``name``, compressing against previously written names."""
-        labels = name.labels
         key = name.key
-        for i in range(len(labels)):
-            suffix = key[i:]
-            target = self._offsets.get(suffix) if self._compress else None
+        buffer = self._buffer
+        if self._compress:
+            target = self._offsets.get(key)
             if target is not None:
-                self.write_u16(_POINTER_TAG << 8 | target)
+                # Whole-name hit — the common case on repeated owners.
+                buffer += _PACK_U16(_POINTER_TAG << 8 | target)
                 return
-            if self._compress and self._length <= _MAX_POINTER_OFFSET:
-                self._offsets[suffix] = self._length
-            label = labels[i].encode("ascii")
-            self.write_u8(len(label))
-            self.write_bytes(label)
-        self.write_u8(0)
+        chunks = self._encoded_labels(name)
+        if self._compress:
+            offsets = self._offsets
+            for i in range(len(chunks)):
+                suffix = key[i:]
+                if i:
+                    target = offsets.get(suffix)
+                    if target is not None:
+                        buffer += _PACK_U16(_POINTER_TAG << 8 | target)
+                        return
+                if len(buffer) <= _MAX_POINTER_OFFSET:
+                    offsets[suffix] = len(buffer)
+                buffer += chunks[i]
+        else:
+            for chunk in chunks:
+                buffer += chunk
+        buffer.append(0)
 
     # -- output ------------------------------------------------------------
 
     def getvalue(self) -> bytes:
         """The accumulated buffer."""
-        return b"".join(self._chunks)
+        return bytes(self._buffer)
+
+    def reset(self) -> None:
+        """Start a fresh message, reusing buffer storage and name cache."""
+        self._buffer.clear()
+        self._offsets.clear()
 
     def __len__(self) -> int:
-        return self._length
+        return len(self._buffer)
 
 
 class WireReader:
@@ -113,7 +152,7 @@ class WireReader:
 
     @property
     def remaining(self) -> int:
-        """Seconds left before expiry (never negative)."""
+        """Bytes left in the buffer after the cursor."""
         return len(self._data) - self._offset
 
     def seek(self, offset: int) -> None:

@@ -37,6 +37,7 @@ class EventHandle:
         if not self._cancelled:
             self._cancelled = True
             self._callback = _noop
+            self._simulator._live_pending -= 1
             if not self.daemon:
                 self._simulator._nondaemon_pending -= 1
 
@@ -66,6 +67,7 @@ class Simulator:
         self._sequence = itertools.count()
         self.events_processed = 0
         self._nondaemon_pending = 0
+        self._live_pending = 0
 
     @property
     def now(self) -> float:
@@ -80,6 +82,7 @@ class Simulator:
         if time < self._now:
             raise SimulationError(f"cannot schedule at {time} < now {self._now}")
         handle = EventHandle(time, callback, self, daemon=daemon)
+        self._live_pending += 1
         if not daemon:
             self._nondaemon_pending += 1
         heapq.heappush(self._queue, (time, next(self._sequence), handle))
@@ -106,6 +109,7 @@ class Simulator:
                 continue
             self._now = time
             self.events_processed += 1
+            self._live_pending -= 1
             if not handle.daemon:
                 self._nondaemon_pending -= 1
             handle._fire()
@@ -152,8 +156,13 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Scheduled events that have not fired or been cancelled."""
-        return sum(1 for _, _, h in self._queue if not h.cancelled)
+        """Scheduled events that have not fired or been cancelled.
+
+        O(1): a live-event counter maintained on schedule/cancel/fire,
+        not a scan of the heap (cancelled entries linger there until
+        popped).
+        """
+        return self._live_pending
 
     def __repr__(self) -> str:
         return f"Simulator(now={self._now:.3f}, pending={self.pending})"

@@ -30,12 +30,14 @@ from ..dnslib import (
     Question,
     RRType,
     WireFormatError,
+    WireTemplate,
     make_cache_update,
     make_cache_update_ack,
     make_query,
     make_response,
     records_to_rrsets,
 )
+from ..dnslib.message import next_message_id
 from ..net import Endpoint, PeriodicTimer, Socket
 from ..zone import Zone, ZoneChange
 
@@ -50,6 +52,8 @@ class PushServiceStats:
     unsubscriptions: int = 0
     pushes_sent: int = 0
     keepalives_sent: int = 0
+    #: Full wire encodes (one per changed RRset, shared by subscribers).
+    wire_encodes: int = 0
 
 
 class PushService:
@@ -101,12 +105,18 @@ class PushService:
             if rrtype == RRType.SOA:
                 continue
             holders = self._subscribers.get((name, rrtype), set())
+            if not holders:
+                continue
             records = new.to_records() if new is not None else []
+            # Encode once per changed RRset; patch only the per-push ID.
+            message = make_cache_update(name, list(records))
+            message.question[0].rrtype = rrtype
+            self.stats.wire_encodes += 1
+            template = WireTemplate(message)
             for subscriber in holders:
-                message = make_cache_update(name, list(records))
-                message.question[0].rrtype = rrtype
                 self.stats.pushes_sent += 1
-                self.socket.send_stream(message.to_wire(), subscriber)
+                self.socket.send_stream(
+                    template.with_id(next_message_id()), subscriber)
 
     def _send_keepalives(self) -> None:
         """One keepalive per subscriber connection per interval."""

@@ -12,6 +12,13 @@ from .driver import (
     simulate_lease_trace,
     train_pair_rates,
 )
+from .fastreplay import (
+    ExactSum,
+    PairIndex,
+    fast_dynamic_sweep,
+    fast_lease_replay,
+    fast_polling,
+)
 from .metrics import (
     ConsistencyReport,
     LeaseSimResult,
@@ -27,6 +34,8 @@ __all__ = [
     "fixed_lease_fn", "dynamic_lease_fn", "no_lease_fn",
     "train_pair_rates", "default_max_lease_of", "logspace",
     "TraceSimConfig",
+    "PairIndex", "ExactSum", "fast_lease_replay", "fast_dynamic_sweep",
+    "fast_polling",
     "LeaseSimResult", "ConsistencyReport", "StalenessSample",
     "interpolate_at_storage", "interpolate_at_query_rate",
     "ProtocolScenario", "ScenarioConfig",

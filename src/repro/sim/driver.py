@@ -27,6 +27,7 @@ analyses" (§5.1.2): pair rates come from a training prefix of the trace
 from __future__ import annotations
 
 import dataclasses
+import math
 from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 from ..dnslib import Name
@@ -84,11 +85,19 @@ def simulate_lease_trace(events: Sequence[QueryEvent],
                          duration: float,
                          scheme: str = "custom",
                          parameter: float = 0.0) -> LeaseSimResult:
-    """Replay ``events`` under one lease scheme; see module docstring."""
+    """Replay ``events`` under one lease scheme; see module docstring.
+
+    This is the *reference oracle*: one full pass over the trace per
+    call.  Sweeps should use :mod:`repro.sim.fastreplay` (the default
+    engine of :func:`figure5_curves`), which is held bit-identical to
+    this function by a property test.  ``lease_seconds`` is an exactly
+    rounded sum (``math.fsum``) so that identity is independent of the
+    order either engine visits the grants in.
+    """
     lease_expiry: Dict[Pair, float] = {}
     upstream = 0
     grants = 0
-    lease_seconds = 0.0
+    lease_terms: List[float] = []
     total = 0
     pairs_seen = set()
     for event in events:
@@ -104,12 +113,12 @@ def simulate_lease_trace(events: Sequence[QueryEvent],
         if length > 0:
             grants += 1
             end = min(event.time + length, duration)
-            lease_seconds += max(0.0, end - event.time)
+            lease_terms.append(max(0.0, end - event.time))
             lease_expiry[pair] = event.time + length
     return LeaseSimResult(
         scheme=scheme, parameter=parameter, total_queries=total,
         upstream_messages=upstream, grants=grants,
-        lease_seconds=lease_seconds, pair_count=len(pairs_seen),
+        lease_seconds=math.fsum(lease_terms), pair_count=len(pairs_seen),
         duration=duration)
 
 
@@ -148,23 +157,46 @@ def figure5_curves(events: Sequence[QueryEvent],
                    duration: float,
                    fixed_lengths: Sequence[float],
                    rate_thresholds: Sequence[float],
-                   training_fraction: float = 1.0 / 7.0) -> Figure5Curves:
-    """Run the full Figure 5 comparison on one trace."""
+                   training_fraction: float = 1.0 / 7.0,
+                   engine: str = "fast") -> Figure5Curves:
+    """Run the full Figure 5 comparison on one trace.
+
+    ``engine="fast"`` (the default) groups the trace once into the
+    pair index and evaluates every sweep point from it —
+    O(trace + sweep × pairs) instead of the reference engine's
+    O(sweep × trace) — producing bit-identical results; pass
+    ``engine="reference"`` to run the per-point oracle instead.
+    """
     events = sorted(events, key=lambda e: e.time)
     rates = train_pair_rates(events, duration * training_fraction)
     max_lease_of = default_max_lease_of(domains)
-    fixed = [
-        simulate_lease_trace(events, rates, max_lease_of,
-                             fixed_lease_fn(length), duration,
-                             scheme="fixed", parameter=length)
-        for length in fixed_lengths]
-    dynamic = [
-        simulate_lease_trace(events, rates, max_lease_of,
-                             dynamic_lease_fn(threshold), duration,
-                             scheme="dynamic", parameter=threshold)
-        for threshold in rate_thresholds]
-    polling = simulate_lease_trace(events, rates, max_lease_of,
-                                   no_lease_fn(), duration, scheme="none")
+    if engine == "fast":
+        from .fastreplay import (
+            PairIndex, fast_dynamic_sweep, fast_lease_replay, fast_polling)
+        index = PairIndex(events)
+        fixed = [
+            fast_lease_replay(index, rates, max_lease_of,
+                              fixed_lease_fn(length), duration,
+                              scheme="fixed", parameter=length)
+            for length in fixed_lengths]
+        dynamic = fast_dynamic_sweep(index, rates, max_lease_of,
+                                     rate_thresholds, duration)
+        polling = fast_polling(index, duration)
+    elif engine == "reference":
+        fixed = [
+            simulate_lease_trace(events, rates, max_lease_of,
+                                 fixed_lease_fn(length), duration,
+                                 scheme="fixed", parameter=length)
+            for length in fixed_lengths]
+        dynamic = [
+            simulate_lease_trace(events, rates, max_lease_of,
+                                 dynamic_lease_fn(threshold), duration,
+                                 scheme="dynamic", parameter=threshold)
+            for threshold in rate_thresholds]
+        polling = simulate_lease_trace(events, rates, max_lease_of,
+                                       no_lease_fn(), duration, scheme="none")
+    else:
+        raise ValueError(f"unknown engine: {engine!r}")
     return Figure5Curves(fixed=fixed, dynamic=dynamic, polling=polling)
 
 
@@ -172,6 +204,5 @@ def logspace(low: float, high: float, count: int) -> List[float]:
     """Log-spaced sweep values (both figures use log-scale sweeps)."""
     if low <= 0 or high <= low or count < 2:
         raise ValueError("want 0 < low < high and count >= 2")
-    import math
     step = (math.log(high) - math.log(low)) / (count - 1)
     return [math.exp(math.log(low) + i * step) for i in range(count)]

@@ -3,6 +3,11 @@
 Reads a query trace (``repro-trace`` output) plus its domain catalog,
 replays it under the fixed-length and dynamic lease schemes, and writes
 the two operating-point curves as CSV (and a text summary to stdout).
+
+Two replay engines are available: ``--engine fast`` (default) groups the
+trace once into a pair index and evaluates the whole sweep from it;
+``--engine reference`` replays the full trace once per sweep point — the
+oracle the fast engine is held bit-identical to.
 """
 
 from __future__ import annotations
@@ -15,7 +20,10 @@ from ..core.policy import MAX_LEASE_CDN, MAX_LEASE_DYN, MAX_LEASE_REGULAR
 from ..dnslib import Name
 from ..report import format_table, read_csv, write_csv
 from ..sim import (
+    PairIndex,
     dynamic_lease_fn,
+    fast_dynamic_sweep,
+    fast_lease_replay,
     fixed_lease_fn,
     interpolate_at_query_rate,
     interpolate_at_storage,
@@ -42,6 +50,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--fixed-points", type=int, default=10)
     parser.add_argument("--dynamic-points", type=int, default=10)
     parser.add_argument("--training-fraction", type=float, default=1 / 7)
+    parser.add_argument("--engine", choices=("reference", "fast"),
+                        default="fast",
+                        help="replay engine: pair-indexed fast engine "
+                             "(default) or the per-point reference oracle")
     return parser
 
 
@@ -72,20 +84,31 @@ def main(argv: Optional[List[str]] = None) -> int:
     rates = train_pair_rates(events, duration * args.training_fraction)
     max_lease_of = load_max_lease(args.catalog)
 
-    results = []
-    for length in logspace(10.0, 6 * 86400.0, args.fixed_points):
-        results.append(simulate_lease_trace(
-            events, rates, max_lease_of, fixed_lease_fn(length), duration,
-            scheme="fixed", parameter=length))
+    fixed_lengths = logspace(10.0, 6 * 86400.0, args.fixed_points)
     ordered = sorted(rates.values())
     quantile_count = max(2, args.dynamic_points - 2)
     quantiles = [i / (quantile_count + 1) for i in range(1, quantile_count + 1)]
     thresholds = [0.0] + [ordered[int(q * (len(ordered) - 1))]
                           for q in quantiles] + [ordered[-1] * 2]
-    for threshold in thresholds:
-        results.append(simulate_lease_trace(
-            events, rates, max_lease_of, dynamic_lease_fn(threshold),
-            duration, scheme="dynamic", parameter=threshold))
+
+    results = []
+    if args.engine == "fast":
+        index = PairIndex(events)
+        for length in fixed_lengths:
+            results.append(fast_lease_replay(
+                index, rates, max_lease_of, fixed_lease_fn(length), duration,
+                scheme="fixed", parameter=length))
+        results.extend(fast_dynamic_sweep(index, rates, max_lease_of,
+                                          thresholds, duration))
+    else:
+        for length in fixed_lengths:
+            results.append(simulate_lease_trace(
+                events, rates, max_lease_of, fixed_lease_fn(length), duration,
+                scheme="fixed", parameter=length))
+        for threshold in thresholds:
+            results.append(simulate_lease_trace(
+                events, rates, max_lease_of, dynamic_lease_fn(threshold),
+                duration, scheme="dynamic", parameter=threshold))
 
     rows = [(r.scheme, f"{r.parameter:.6g}", f"{r.storage_percentage:.3f}",
              f"{r.query_rate_percentage:.3f}", r.grants,

@@ -275,3 +275,39 @@ class TestNotificationModule:
         assert len(received) == 1
         assert not received[0].answer
         assert received[0].question[0].rrtype == RRType.A
+
+    def test_fanout_encodes_once_with_unique_ids(self, make_host, simulator):
+        """One change to N leaseholders: one wire encode, N messages that
+        differ only in their patched IDs, all acked."""
+        server_host = make_host("10.1.0.1")
+        table = LeaseTable()
+        module = NotificationModule(
+            server_host.dns_socket(), table,
+            retry=RetryPolicy(initial_timeout=0.5, max_attempts=3))
+        received = []
+        caches = [f"10.2.0.{i}" for i in range(1, 6)]
+        for address in caches:
+            socket = make_host(address).dns_socket()
+
+            def on_datagram(payload, src, dst, socket=socket):
+                message = Message.from_wire(payload)
+                if message.opcode == Opcode.CACHE_UPDATE:
+                    received.append(message)
+                    socket.send(make_cache_update_ack(message).to_wire(), src)
+
+            socket.on_receive(on_datagram)
+            table.grant((address, 53), "www.example.com", RRType.A,
+                        0.0, 100.0)
+        module.on_change(self.fake_change())
+        simulator.run()
+        assert len(received) == 5
+        assert module.stats.wire_encodes == 1
+        assert module.stats.notifications_sent == 5
+        assert module.stats.acks_received == 5
+        # Every copy is individually addressable...
+        assert len({message.id for message in received}) == 5
+        # ...but carries the identical payload.
+        for message in received:
+            assert message.answer[0].rdata == A("9.9.9.9")
+            assert message.question[0].name == Name.from_text(
+                "www.example.com")

@@ -14,6 +14,7 @@ from repro.dnslib import (
     WireFormatError,
     make_cache_update,
     make_cache_update_ack,
+    WireTemplate,
     make_notify,
     make_query,
     make_response,
@@ -164,6 +165,40 @@ class TestCacheUpdate:
         message = make_cache_update("www.example.com", records)
         assert message.fits_in_udp()
         assert message.wire_size() <= MAX_UDP_PAYLOAD
+
+
+class TestWireTemplate:
+    def test_patched_id_only_difference(self):
+        records = [ResourceRecord("www.example.com", RRType.A, 60,
+                                  A("10.0.0.1"))]
+        message = make_cache_update("www.example.com", records)
+        template = WireTemplate(message)
+        first = template.with_id(0x1234)
+        second = template.with_id(0x4321)
+        assert first[:2] == b"\x12\x34" and second[:2] == b"\x43\x21"
+        assert first[2:] == second[2:]
+        assert len(template) == message.wire_size()
+
+    def test_patched_copy_decodes_to_same_message(self):
+        records = [ResourceRecord("www.example.com", RRType.A, 60,
+                                  A("10.0.0.1"))]
+        message = make_cache_update("www.example.com", records)
+        decoded = Message.from_wire(WireTemplate(message).with_id(777))
+        assert decoded.id == 777
+        assert decoded.opcode == Opcode.CACHE_UPDATE
+        assert decoded.question[0].name == message.question[0].name
+        assert decoded.answer[0].rdata == A("10.0.0.1")
+
+    def test_id_wraps_to_16_bits(self):
+        template = WireTemplate(make_query("a.example.com", RRType.A))
+        assert template.with_id(0x1_0002)[:2] == b"\x00\x02"
+
+    def test_snapshots_are_independent(self):
+        """with_id returns immutable snapshots, not views of the buffer."""
+        template = WireTemplate(make_query("a.example.com", RRType.A))
+        first = template.with_id(1)
+        template.with_id(2)
+        assert first[:2] == b"\x00\x01"
 
 
 class TestSizes:

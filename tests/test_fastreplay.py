@@ -1,0 +1,248 @@
+"""The pair-indexed fast replay engine against the reference oracle.
+
+The contract under test is *bit identity*: for any trace, any trained
+rates and any scheme, :mod:`repro.sim.fastreplay` must return the exact
+:class:`~repro.sim.metrics.LeaseSimResult` (every field, including the
+float ``lease_seconds``) that :func:`~repro.sim.driver.simulate_lease_trace`
+produces by brute-force replay.
+"""
+
+import dataclasses
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dnslib import Name
+from repro.sim import (
+    ExactSum,
+    PairIndex,
+    dynamic_lease_fn,
+    fast_dynamic_sweep,
+    fast_lease_replay,
+    fast_polling,
+    figure5_curves,
+    fixed_lease_fn,
+    no_lease_fn,
+    simulate_lease_trace,
+)
+from repro.traces import DomainSpec, StableProcess
+from repro.traces.workload import QueryEvent, measured_rates
+
+NAMES = [Name.from_text(f"host{i}.example.com") for i in range(6)]
+
+DURATION = 1000.0
+
+
+def _assert_identical(reference, fast):
+    """Field-for-field comparison with a readable diff on failure."""
+    assert dataclasses.astuple(reference) == dataclasses.astuple(fast), \
+        f"\nreference: {reference}\nfast:      {fast}"
+
+
+def make_max_lease_of(spread):
+    """A deterministic per-name max lease with some variety."""
+    def max_lease_of(name):
+        return spread * (1 + len(name.labels[0]) % 3)
+    return max_lease_of
+
+
+# -- strategies ----------------------------------------------------------------
+
+events_strategy = st.lists(
+    st.builds(
+        QueryEvent,
+        time=st.floats(min_value=0.0, max_value=DURATION * 1.2,
+                       allow_nan=False, allow_infinity=False),
+        client=st.integers(0, 4),
+        name=st.sampled_from(NAMES),
+        nameserver=st.integers(0, 2)),
+    min_size=0, max_size=200)
+
+lengths_strategy = st.floats(min_value=0.001, max_value=DURATION * 2,
+                             allow_nan=False, allow_infinity=False)
+
+
+def trained(events):
+    return measured_rates(events, DURATION, by="name-nameserver") \
+        if events else {}
+
+
+# -- the property: bit-identical to the oracle ---------------------------------
+
+
+class TestReplayEquivalence:
+    @settings(max_examples=120, deadline=None)
+    @given(events=events_strategy, length=lengths_strategy,
+           spread=st.floats(min_value=0.5, max_value=500.0))
+    def test_fixed_scheme_identical(self, events, length, spread):
+        events = sorted(events, key=lambda e: e.time)
+        rates = trained(events)
+        max_lease_of = make_max_lease_of(spread)
+        reference = simulate_lease_trace(
+            events, rates, max_lease_of, fixed_lease_fn(length), DURATION,
+            scheme="fixed", parameter=length)
+        fast = fast_lease_replay(
+            events, rates, max_lease_of, fixed_lease_fn(length), DURATION,
+            scheme="fixed", parameter=length)
+        _assert_identical(reference, fast)
+
+    @settings(max_examples=80, deadline=None)
+    @given(events=events_strategy, spread=st.floats(min_value=0.5,
+                                                    max_value=500.0),
+           thresholds=st.lists(st.floats(min_value=0.0, max_value=1.0),
+                               min_size=1, max_size=8))
+    def test_dynamic_sweep_identical(self, events, spread, thresholds):
+        events = sorted(events, key=lambda e: e.time)
+        rates = trained(events)
+        max_lease_of = make_max_lease_of(spread)
+        reference = [
+            simulate_lease_trace(events, rates, max_lease_of,
+                                 dynamic_lease_fn(threshold), DURATION,
+                                 scheme="dynamic", parameter=threshold)
+            for threshold in thresholds]
+        fast = fast_dynamic_sweep(events, rates, max_lease_of, thresholds,
+                                  DURATION)
+        assert len(reference) == len(fast)
+        for ref, fst in zip(reference, fast):
+            _assert_identical(ref, fst)
+
+    @settings(max_examples=60, deadline=None)
+    @given(events=events_strategy)
+    def test_polling_identical(self, events):
+        rates = trained(events)
+        reference = simulate_lease_trace(
+            events, rates, lambda name: 100.0, no_lease_fn(), DURATION,
+            scheme="none")
+        _assert_identical(reference, fast_polling(events, DURATION))
+
+    @settings(max_examples=60, deadline=None)
+    @given(events=events_strategy, length=lengths_strategy,
+           seed=st.integers(0, 2**16))
+    def test_unsorted_trace_identical(self, events, length, seed):
+        """The oracle replays events in *input* order; so must the fast
+        engine, even when that order is not time-sorted."""
+        random.Random(seed).shuffle(events)
+        rates = trained(events)
+        max_lease_of = make_max_lease_of(10.0)
+        reference = simulate_lease_trace(
+            events, rates, max_lease_of, fixed_lease_fn(length), DURATION,
+            scheme="fixed", parameter=length)
+        fast = fast_lease_replay(
+            events, rates, max_lease_of, fixed_lease_fn(length), DURATION,
+            scheme="fixed", parameter=length)
+        _assert_identical(reference, fast)
+
+
+# -- edge cases ----------------------------------------------------------------
+
+
+class TestEdgeCases:
+    def test_lease_truncated_at_duration(self):
+        """A lease granted near the end only counts coverage up to
+        ``duration``, in both engines."""
+        events = [QueryEvent(995.0, 0, NAMES[0], 0)]
+        for engine_result in (
+                simulate_lease_trace(events, {}, lambda n: 1e9,
+                                     fixed_lease_fn(50.0), DURATION,
+                                     scheme="fixed", parameter=50.0),
+                fast_lease_replay(events, {}, lambda n: 1e9,
+                                  fixed_lease_fn(50.0), DURATION,
+                                  scheme="fixed", parameter=50.0)):
+            assert engine_result.grants == 1
+            assert engine_result.lease_seconds == 5.0
+
+    def test_grant_after_duration_counts_zero_coverage(self):
+        """The oracle clamps coverage to zero for grants past the end of
+        the measured window; the fast engine must do the same."""
+        events = [QueryEvent(1005.0, 0, NAMES[0], 0)]
+        reference = simulate_lease_trace(
+            events, {}, lambda n: 1e9, fixed_lease_fn(50.0), DURATION,
+            scheme="fixed", parameter=50.0)
+        fast = fast_lease_replay(
+            events, {}, lambda n: 1e9, fixed_lease_fn(50.0), DURATION,
+            scheme="fixed", parameter=50.0)
+        _assert_identical(reference, fast)
+        assert fast.lease_seconds == 0.0
+        assert fast.grants == 1
+
+    def test_absorption_is_strictly_before_expiry(self):
+        """A query at exactly the expiry instant goes upstream (the
+        oracle's ``time < expiry`` is strict)."""
+        events = [QueryEvent(0.0, 0, NAMES[0], 0),
+                  QueryEvent(10.0, 0, NAMES[0], 0)]
+        for result in (
+                simulate_lease_trace(events, {}, lambda n: 1e9,
+                                     fixed_lease_fn(10.0), DURATION),
+                fast_lease_replay(events, {}, lambda n: 1e9,
+                                  fixed_lease_fn(10.0), DURATION)):
+            assert result.upstream_messages == 2
+
+    def test_empty_trace(self):
+        reference = simulate_lease_trace(
+            [], {}, lambda n: 1.0, fixed_lease_fn(1.0), DURATION)
+        fast = fast_lease_replay(
+            [], {}, lambda n: 1.0, fixed_lease_fn(1.0), DURATION)
+        _assert_identical(reference, fast)
+        assert fast.total_queries == 0 and fast.pair_count == 0
+
+    def test_pair_index_is_reusable(self):
+        """One index serves many sweep points without rebuilding."""
+        events = [QueryEvent(float(i), i % 3, NAMES[i % len(NAMES)], i % 2)
+                  for i in range(50)]
+        index = PairIndex(events)
+        for length in (0.5, 3.0, 100.0):
+            reference = simulate_lease_trace(
+                events, {}, lambda n: 40.0, fixed_lease_fn(length), DURATION,
+                scheme="fixed", parameter=length)
+            fast = fast_lease_replay(
+                index, {}, lambda n: 40.0, fixed_lease_fn(length), DURATION,
+                scheme="fixed", parameter=length)
+            _assert_identical(reference, fast)
+
+    def test_figure5_engines_agree(self):
+        """The public Figure 5 entry point: fast and reference engines
+        return identical curves."""
+        rng = random.Random(5)
+        domains = [DomainSpec(name, category, 3600.0, 1.0,
+                              StableProcess(["10.0.0.1"]))
+                   for name, category in zip(
+                       NAMES, ("regular", "cdn", "dyn", "regular", "cdn",
+                               "dyn"))]
+        events = sorted(
+            (QueryEvent(rng.uniform(0, DURATION), rng.randrange(6),
+                        rng.choice(NAMES), rng.randrange(3))
+             for _ in range(800)),
+            key=lambda e: e.time)
+        kwargs = dict(duration=DURATION, fixed_lengths=[5.0, 50.0, 500.0],
+                      rate_thresholds=[0.0, 0.01, 0.1, 10.0])
+        fast = figure5_curves(events, domains, engine="fast", **kwargs)
+        reference = figure5_curves(events, domains, engine="reference",
+                                   **kwargs)
+        for ref, fst in zip(reference.fixed + reference.dynamic
+                            + [reference.polling],
+                            fast.fixed + fast.dynamic + [fast.polling]):
+            _assert_identical(ref, fst)
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            figure5_curves([], [], duration=1.0, fixed_lengths=[],
+                           rate_thresholds=[], engine="bogus")
+
+
+# -- the exact accumulator -----------------------------------------------------
+
+
+class TestExactSum:
+    @settings(max_examples=80, deadline=None)
+    @given(terms=st.lists(st.floats(min_value=0.0, max_value=1e9,
+                                    allow_nan=False, allow_infinity=False),
+                          max_size=100),
+           seed=st.integers(0, 2**16))
+    def test_order_independent_and_fsum_exact(self, terms, seed):
+        shuffled = list(terms)
+        random.Random(seed).shuffle(shuffled)
+        acc = ExactSum()
+        acc.add_all(shuffled)
+        assert acc.value() == math.fsum(terms)

@@ -73,6 +73,24 @@ class TestLeasesimTool:
         open(path, "w").write("# nothing\n")
         assert leasesim_tool.main([path]) == 1
 
+    def test_engines_write_identical_curves(self, tmp_path):
+        """--engine fast (default) and --engine reference agree byte for
+        byte on the emitted CSV."""
+        trace_path = str(tmp_path / "trace.txt")
+        trace_tool.main([trace_path, "--days", "0.05", "--rate", "3.0",
+                         "--regular-per-tld", "6", "--cdn", "6",
+                         "--dyn", "6"])
+        fast_csv = str(tmp_path / "fast.csv")
+        reference_csv = str(tmp_path / "reference.csv")
+        assert leasesim_tool.main([trace_path, "--output", fast_csv,
+                                   "--fixed-points", "4",
+                                   "--dynamic-points", "4"]) == 0
+        assert leasesim_tool.main([trace_path, "--output", reference_csv,
+                                   "--engine", "reference",
+                                   "--fixed-points", "4",
+                                   "--dynamic-points", "4"]) == 0
+        assert open(fast_csv).read() == open(reference_csv).read()
+
 
 class TestProbeTool:
     def test_prints_summary_and_writes_csv(self, tmp_path, capsys):
