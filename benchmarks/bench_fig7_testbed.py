@@ -7,26 +7,35 @@ and validates the §5.2 claims: everything resolves, replication and
 CACHE-UPDATE keep every copy consistent, and all messages stay below
 the 512-byte RFC 1035 bound.  The benchmarked unit is a full
 resolve-everything pass from one client.
+
+The run is traced: the headline numbers (CACHE-UPDATEs, acks, ack RTT,
+consistency window) are re-derived from the exported JSONL trace via
+``repro-obs summarize`` and must match the live registry *exactly* —
+the trace is a full, faithful account of the run.
 """
+
+import json
 
 import pytest
 
 from repro.dnslib import MAX_UDP_PAYLOAD, Rcode, RRType
+from repro.obs import load_trace_events, summarize_events
 from repro.sim import Testbed, TestbedConfig
+from repro.tools import obs_tool
 
 from benchmarks.conftest import print_table
 
 
 @pytest.fixture(scope="module")
 def testbed():
-    return Testbed(TestbedConfig())
+    return Testbed(TestbedConfig(observability=True))
 
 
 def lookup_everything(testbed):
     return testbed.lookup_all(0)
 
 
-def test_fig7_testbed(benchmark, testbed):
+def test_fig7_testbed(benchmark, testbed, tmp_path):
     answers = benchmark.pedantic(lookup_everything, args=(testbed,),
                                  rounds=3, iterations=1, warmup_rounds=1)
     testbed.lookup_all(1)
@@ -67,3 +76,64 @@ def test_fig7_testbed(benchmark, testbed):
     # The §5.2 claim: all messages far below 512 bytes.
     assert testbed.max_message_size() <= MAX_UDP_PAYLOAD
     assert testbed.max_message_size() < MAX_UDP_PAYLOAD * 0.75
+
+    # -- trace-derived numbers reproduce the live registry exactly --------
+    obs = testbed.observability
+    trace_path = tmp_path / "fig7_trace.jsonl"
+    metrics_path = tmp_path / "fig7_metrics.json"
+    summary_path = tmp_path / "fig7_summary.json"
+    obs.trace.export_jsonl(str(trace_path))
+    obs.registry.export_json(str(metrics_path))
+    assert obs.trace.dropped == 0
+
+    rc = obs_tool.main(["summarize", str(trace_path), "--json",
+                        "--output", str(summary_path)])
+    assert rc == 0
+    derived = json.loads(summary_path.read_text())
+    snapshot = json.loads(metrics_path.read_text())
+
+    # Counters: the trace accounts for every notification and ack.
+    assert derived["notify"]["sends"] == stats.notifications_sent
+    assert derived["notify"]["acks"] == stats.acks_received
+    assert derived["notify"]["timeouts"] == stats.failures
+    assert derived["changes"]["detected"] \
+        == testbed.dnscup.detection.changes_detected
+    assert snapshot["gauges"]["notify.sent"] == stats.notifications_sent
+    assert snapshot["gauges"]["net.datagrams_delivered"] \
+        == testbed.network.stats.datagrams_delivered
+
+    # Timings: identical floats, not merely close — the trace-side
+    # recomputation performs the same additions in the same order as
+    # the live histograms.
+    rtt_hist = snapshot["histograms"]["notify.ack_rtt"]
+    assert derived["notify"]["ack_rtt"]["count"] == rtt_hist["count"]
+    assert derived["notify"]["ack_rtt"]["sum"] == rtt_hist["sum"]
+    assert derived["notify"]["ack_rtt"]["mean"] == rtt_hist["mean"]
+    window_hist = snapshot["histograms"]["notify.consistency_window"]
+    assert derived["changes"]["consistency_window"]["count"] \
+        == window_hist["count"]
+    assert derived["changes"]["consistency_window"]["sum"] \
+        == window_hist["sum"]
+    assert derived["changes"]["consistency_window"]["mean"] \
+        == window_hist["mean"]
+
+    # The in-process API agrees with the file round trip.
+    assert summarize_events(load_trace_events(str(trace_path))) == derived
+
+    fates = obs.capture.fates()
+    print_table("Observability — trace-derived headline numbers",
+                ("quantity", "trace", "registry"),
+                [("CACHE-UPDATEs sent", derived["notify"]["sends"],
+                  int(snapshot["gauges"]["notify.sent"])),
+                 ("acks", derived["notify"]["acks"],
+                  int(snapshot["gauges"]["notify.acked"])),
+                 ("mean ack RTT (s)",
+                  f"{derived['notify']['ack_rtt']['mean']:.6f}",
+                  f"{rtt_hist['mean']:.6f}"),
+                 ("mean consistency window (s)",
+                  f"{derived['changes']['consistency_window']['mean']:.6f}",
+                  f"{window_hist['mean']:.6f}"),
+                 ("trace events", derived["span"]["count"],
+                  obs.trace.emitted),
+                 ("captured datagrams", sum(fates.values()),
+                  len(obs.capture))])

@@ -15,9 +15,10 @@ many lease holders receive it).
 
 import pytest
 
-from repro.core import DynamicLeasePolicy, attach_dnscup
+from repro.core import DNScupConfig, DynamicLeasePolicy, attach_dnscup
 from repro.dnslib import Name, RRType
 from repro.net import Host, Network, Simulator
+from repro.obs import Observability
 from repro.server import AuthoritativeServer, RecursiveResolver, StubResolver
 from repro.zone import load_zone
 
@@ -60,8 +61,13 @@ def run_flash_crowd(dnscup_enabled):
     zone = load_zone(ZONE_TEXT)
     auth = AuthoritativeServer(Host(network, "10.41.0.1"), [zone])
     middleware = None
+    obs = None
     if dnscup_enabled:
-        middleware = attach_dnscup(auth, policy=DynamicLeasePolicy(0.0))
+        obs = Observability.for_simulator(simulator)
+        obs.observe_network(network)
+        middleware = attach_dnscup(
+            auth, policy=DynamicLeasePolicy(0.0),
+            config=DNScupConfig(observability=obs))
     resolver = RecursiveResolver(Host(network, "10.42.0.1"),
                                  [("198.41.0.4", 53)],
                                  dnscup_enabled=dnscup_enabled)
@@ -89,6 +95,16 @@ def run_flash_crowd(dnscup_enabled):
                         if t > REDIRECT_AT and addr == ORIGIN_ADDRESS]
     last_origin_hit = max(overloaded_after, default=REDIRECT_AT)
     stats = middleware.notification.stats if middleware else None
+    if obs is not None:
+        # The registry mirrors the module counters and the trace
+        # accounts for every push — derived and live numbers must agree.
+        gauges = obs.registry.snapshot()["gauges"]
+        trace_counts = obs.trace.counts()
+        assert gauges["notify.sent"] == stats.notifications_sent
+        assert gauges["notify.wire_encodes"] == stats.wire_encodes
+        assert trace_counts.get("notify.send", 0) == stats.notifications_sent
+        assert trace_counts.get("change.detected", 0) \
+            == middleware.detection.changes_detected
     return {
         "requests": len(hits),
         "origin_hits_after_redirect": len(overloaded_after),

@@ -33,6 +33,11 @@ class RecordChange:
     old: Optional[RRSet]
     new: Optional[RRSet]
     detected_at: float
+    #: Correlation id assigned by the detection module (1-based, unique
+    #: per module); 0 means "not tracked" (hand-built changes in tests).
+    #: Trace events downstream carry this seq so one change's fan-out is
+    #: reconstructible from the trace alone.
+    seq: int = 0
 
     @property
     def is_deletion(self) -> bool:
@@ -43,6 +48,15 @@ class RecordChange:
     def is_addition(self) -> bool:
         """True when the record is new."""
         return self.old is None
+
+    @property
+    def kind(self) -> str:
+        """``add`` / ``delete`` / ``update``, for traces and logs."""
+        if self.old is None:
+            return "add"
+        if self.new is None:
+            return "delete"
+        return "update"
 
 
 ChangeSink = Callable[[RecordChange], None]
@@ -61,6 +75,9 @@ class DetectionModule:
         #: Record types excluded from notification; SOA serial churn is
         #: replication bookkeeping, not a DN2IP mapping change.
         self.ignored_types = {RRType.SOA}
+        #: Optional :class:`repro.obs.TraceBus` receiving
+        #: ``change.detected`` events; attached by the middleware.
+        self.trace = None
 
     # -- wiring ---------------------------------------------------------------
 
@@ -118,8 +135,14 @@ class DetectionModule:
               old: Optional[RRSet], new: Optional[RRSet]) -> None:
         if rrtype in self.ignored_types:
             return
-        change = RecordChange(origin, name, rrtype, old, new,
-                              self.simulator.now)
         self.changes_detected += 1
+        change = RecordChange(origin, name, rrtype, old, new,
+                              self.simulator.now,
+                              seq=self.changes_detected)
+        if self.trace is not None:
+            self.trace.emit("change.detected", t=change.detected_at,
+                            seq=change.seq, zone=origin.to_text(),
+                            name=name.to_text(), rrtype=rrtype.name,
+                            kind=change.kind)
         for sink in list(self._sinks):
             sink(change)

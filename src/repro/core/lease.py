@@ -80,6 +80,13 @@ class LeaseTable:
         self.stats = LeaseTableStats()
         self._by_record: Dict[RecordKey, Dict[Endpoint, Lease]] = {}
         self._active = 0
+        #: Observability hooks, attached by the DNScup middleware when an
+        #: :class:`repro.obs.Observability` bundle is configured: a
+        #: :class:`repro.obs.TraceBus` receiving ``lease.*`` lifecycle
+        #: events, and a :class:`repro.obs.Histogram` of granted lease
+        #: lengths.  None by default — the guarded emits cost nothing.
+        self.trace = None
+        self.length_hist = None
 
     # -- mutation ------------------------------------------------------------
 
@@ -96,12 +103,24 @@ class LeaseTable:
             existing.granted_at = now
             existing.length = length
             self.stats.renewals += 1
+            if self.length_hist is not None:
+                self.length_hist.observe(length)
+            if self.trace is not None:
+                self.trace.emit("lease.renew", t=now,
+                                cache=f"{cache[0]}:{cache[1]}",
+                                name=owner.to_text(),
+                                rrtype=RRType(rrtype).name, length=length)
             return existing
         if existing is not None:
             # Present but expired: reclaim before counting capacity.
             del holders[cache]
             self._active -= 1
             self.stats.expirations += 1
+            if self.trace is not None:
+                self.trace.emit("lease.expire", t=now,
+                                cache=f"{cache[0]}:{cache[1]}",
+                                name=owner.to_text(),
+                                rrtype=RRType(rrtype).name)
         if self.capacity is not None and self._active >= self.capacity:
             self.sweep(now)
             if self._active >= self.capacity:
@@ -111,6 +130,13 @@ class LeaseTable:
         self._active += 1
         self.stats.grants += 1
         self.stats.peak_active = max(self.stats.peak_active, self._active)
+        if self.length_hist is not None:
+            self.length_hist.observe(length)
+        if self.trace is not None:
+            self.trace.emit("lease.grant", t=now,
+                            cache=f"{cache[0]}:{cache[1]}",
+                            name=owner.to_text(),
+                            rrtype=RRType(rrtype).name, length=length)
         return lease
 
     def revoke(self, cache: Endpoint, name, rrtype: RRType) -> bool:
@@ -124,6 +150,10 @@ class LeaseTable:
             self.stats.revocations += 1
             if not holders:
                 del self._by_record[key]
+            if self.trace is not None:
+                self.trace.emit("lease.revoke",
+                                cache=f"{cache[0]}:{cache[1]}",
+                                name=key[0].to_text(), rrtype=key[1].name)
             return True
         return False
 
@@ -136,6 +166,11 @@ class LeaseTable:
                           if not lease.is_valid(now)]:
                 del holders[cache]
                 removed += 1
+                if self.trace is not None:
+                    self.trace.emit("lease.expire", t=now,
+                                    cache=f"{cache[0]}:{cache[1]}",
+                                    name=key[0].to_text(),
+                                    rrtype=key[1].name)
             if not holders:
                 del self._by_record[key]
         self._active -= removed

@@ -24,6 +24,7 @@ from typing import Dict, Optional
 
 from ..dnslib import Key, Name, RRType
 from ..net import RetryPolicy
+from ..obs import LEASE_BUCKETS, Observability
 from ..server import AuthoritativeServer
 from .detection import DetectionModule
 from .lease import LeaseTable, load_track_file, save_track_file
@@ -58,6 +59,12 @@ class DNScupConfig:
     #: Online deprivation (§4.2.2 applied live): when the lease table is
     #: full, revoke the coldest live lease to admit a hotter candidate.
     evict_under_pressure: bool = False
+    #: Observability bundle (:class:`repro.obs.Observability`): when set,
+    #: the lease table, detection and notification modules emit trace
+    #: events and every module's counters are mirrored into the metrics
+    #: registry.  None (the default) leaves all hooks detached and the
+    #: instrumented paths cost nothing.
+    observability: Optional["Observability"] = None
 
 
 def category_max_lease(categories: Dict[Name, str]) -> MaxLeaseFn:
@@ -110,7 +117,50 @@ class DNScup:
             server.socket, self.table, retry=self.config.notify_retry,
             tsig_key=self.config.tsig_key)
         self.detection.add_sink(self.notification.on_change)
+        self.observability = self.config.observability
+        if self.observability is not None:
+            self._install_observability(self.observability)
         self._attached = False
+
+    def _install_observability(self, obs: Observability) -> None:
+        """Attach the trace bus and mirror every module's counters.
+
+        Gauges go through :meth:`Observability.bind`, which sums across
+        repeated binds — several middlewares (one per authoritative
+        server) sharing one bundle aggregate into a single registry.
+        """
+        self.table.trace = obs.trace
+        self.table.length_hist = obs.registry.histogram("lease.length",
+                                                        LEASE_BUCKETS)
+        self.detection.trace = obs.trace
+        self.notification.trace = obs.trace
+        self.notification.ack_rtt_hist = obs.registry.histogram(
+            "notify.ack_rtt")
+        self.notification.window_hist = obs.registry.histogram(
+            "notify.consistency_window")
+        table, listening = self.table, self.listening
+        notify, detection = self.notification.stats, self.detection
+        obs.bind("lease.active", lambda: len(table))
+        obs.bind("lease.grants", lambda: table.stats.grants)
+        obs.bind("lease.renewals", lambda: table.stats.renewals)
+        obs.bind("lease.expirations", lambda: table.stats.expirations)
+        obs.bind("lease.revocations", lambda: table.stats.revocations)
+        obs.bind("lease.peak_active", lambda: table.stats.peak_active)
+        obs.bind("listening.queries_seen",
+                 lambda: listening.stats.queries_seen)
+        obs.bind("listening.dnscup_queries",
+                 lambda: listening.stats.dnscup_queries)
+        obs.bind("listening.grants", lambda: listening.stats.grants)
+        obs.bind("listening.denials", lambda: listening.stats.denials)
+        obs.bind("listening.table_full", lambda: listening.stats.table_full)
+        obs.bind("detection.changes", lambda: detection.changes_detected)
+        obs.bind("notify.sent", lambda: notify.notifications_sent)
+        obs.bind("notify.acked", lambda: notify.acks_received)
+        obs.bind("notify.failed", lambda: notify.failures)
+        obs.bind("notify.in_flight", lambda: notify.in_flight)
+        obs.bind("notify.retransmissions", lambda: notify.retransmissions)
+        obs.bind("notify.wire_encodes", lambda: notify.wire_encodes)
+        obs.bind("notify.no_holders", lambda: notify.no_holders)
 
     # -- lifecycle -------------------------------------------------------------
 

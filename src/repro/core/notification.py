@@ -45,6 +45,11 @@ class NotificationStats:
     acks_received: int = 0
     failures: int = 0
     caches_notified: int = 0
+    #: Notifications sent but not yet acknowledged or given up on — a
+    #: gauge, not a counter: it falls back to zero as acks arrive.
+    in_flight: int = 0
+    #: Datagram retransmissions performed by the retry schedule.
+    retransmissions: int = 0
     #: Full wire encodes performed (one per changed RRset); the
     #: difference against ``notifications_sent`` is encodes the
     #: template fan-out saved.
@@ -66,6 +71,19 @@ class NotificationOutcome:
     rtt: Optional[float]
 
 
+class _ChangeProgress:
+    """Settle tracking for one detected change's fan-out."""
+
+    __slots__ = ("detected_at", "outstanding", "acked", "failed", "last_ack")
+
+    def __init__(self, detected_at: float, outstanding: int):
+        self.detected_at = detected_at
+        self.outstanding = outstanding
+        self.acked = 0
+        self.failed = 0
+        self.last_ack: Optional[float] = None
+
+
 class NotificationModule:
     """CACHE-UPDATE fan-out with per-cache retransmission."""
 
@@ -79,6 +97,17 @@ class NotificationModule:
         self.outcomes: List[NotificationOutcome] = []
         #: Caches that failed to ack their most recent notification.
         self.unreachable: Set[Endpoint] = set()
+        #: Observability hooks, attached by the middleware: a
+        #: :class:`repro.obs.TraceBus` for ``notify.*`` /
+        #: ``change.settled`` events and two
+        #: :class:`repro.obs.Histogram` instruments.
+        self.trace = None
+        self.ack_rtt_hist = None
+        self.window_hist = None
+        #: Per-change fan-out progress, keyed by the detection seq; used
+        #: to measure the consistency window (change detected -> last
+        #: lease holder acknowledged).  Untracked changes (seq 0) skip it.
+        self._progress: Dict[int, _ChangeProgress] = {}
         #: §5.3 secure mode: sign CACHE-UPDATEs and require signed acks.
         self.tsig_key = tsig_key
         self._ack_verifier: Optional[Verifier] = None
@@ -111,8 +140,12 @@ class NotificationModule:
         template = self._encode_template(change.name, change.rrtype, records)
         if template is None:
             return
+        if change.seq:
+            self._progress[change.seq] = _ChangeProgress(
+                change.detected_at, len(holders))
         for lease in holders:
-            self._notify(lease.cache, change.name, change.rrtype, template)
+            self._notify(lease.cache, change.name, change.rrtype, template,
+                         change.seq)
 
     def _encode_template(self, name: Name, rrtype: RRType,
                          records) -> Optional[WireTemplate]:
@@ -127,11 +160,17 @@ class NotificationModule:
         return WireTemplate(message)
 
     def _notify(self, cache: Endpoint, name: Name, rrtype: RRType,
-                template: WireTemplate) -> None:
+                template: WireTemplate, seq: int = 0) -> None:
         msg_id = next_message_id()
         sent_at = self.simulator.now
         self.stats.notifications_sent += 1
         self.stats.caches_notified += 1
+        self.stats.in_flight += 1
+        if self.trace is not None:
+            self.trace.emit("notify.send", t=sent_at, seq=seq,
+                            cache=f"{cache[0]}:{cache[1]}",
+                            name=name.to_text(), rrtype=rrtype.name,
+                            id=msg_id)
         wire = template.with_id(msg_id)
         if self.tsig_key is not None:
             # Signing covers the patched ID, so each recipient's TSIG is
@@ -140,16 +179,29 @@ class NotificationModule:
         self.socket.request(
             wire, cache, msg_id,
             lambda payload, src: self._on_ack(cache, name, rrtype, sent_at,
-                                              payload),
-            retry=self.retry)
+                                              payload, seq),
+            retry=self.retry,
+            on_attempt=lambda attempt: self._on_attempt(
+                cache, name, rrtype, msg_id, seq, attempt))
+
+    def _on_attempt(self, cache: Endpoint, name: Name, rrtype: RRType,
+                    msg_id: int, seq: int, attempt: int) -> None:
+        if attempt <= 1:
+            return
+        self.stats.retransmissions += 1
+        if self.trace is not None:
+            self.trace.emit("notify.retransmit", seq=seq,
+                            cache=f"{cache[0]}:{cache[1]}",
+                            name=name.to_text(), rrtype=rrtype.name,
+                            id=msg_id, attempt=attempt)
 
     def _on_ack(self, cache: Endpoint, name: Name, rrtype: RRType,
-                sent_at: float, payload: Optional[bytes]) -> None:
+                sent_at: float, payload: Optional[bytes],
+                seq: int = 0) -> None:
+        self.stats.in_flight -= 1
         if payload is None:
-            self.stats.failures += 1
+            self._record_failure(cache, name, rrtype, seq, "timeout")
             self.unreachable.add(cache)
-            self.outcomes.append(NotificationOutcome(cache, name, rrtype,
-                                                     acked=False, rtt=None))
             return
         if self._ack_verifier is not None:
             try:
@@ -157,28 +209,75 @@ class NotificationModule:
                                                     self.simulator.now)
             except TsigError:
                 self.stats.ack_tsig_failures += 1
-                self.stats.failures += 1
-                self.outcomes.append(NotificationOutcome(
-                    cache, name, rrtype, acked=False, rtt=None))
+                self._record_failure(cache, name, rrtype, seq, "tsig")
                 return
         try:
             Message.from_wire(payload)
         except (WireFormatError, ValueError):
-            self.stats.failures += 1
-            self.outcomes.append(NotificationOutcome(cache, name, rrtype,
-                                                     acked=False, rtt=None))
+            self._record_failure(cache, name, rrtype, seq, "malformed")
             return
+        now = self.simulator.now
+        rtt = now - sent_at
         self.stats.acks_received += 1
         self.unreachable.discard(cache)
         self.outcomes.append(NotificationOutcome(
-            cache, name, rrtype, acked=True,
-            rtt=self.simulator.now - sent_at))
+            cache, name, rrtype, acked=True, rtt=rtt))
+        if self.ack_rtt_hist is not None:
+            self.ack_rtt_hist.observe(rtt)
+        if self.trace is not None:
+            self.trace.emit("notify.ack", t=now, seq=seq,
+                            cache=f"{cache[0]}:{cache[1]}",
+                            name=name.to_text(), rrtype=rrtype.name,
+                            rtt=rtt)
+        self._settle(seq, acked=True)
+
+    def _record_failure(self, cache: Endpoint, name: Name, rrtype: RRType,
+                        seq: int, reason: str) -> None:
+        self.stats.failures += 1
+        self.outcomes.append(NotificationOutcome(cache, name, rrtype,
+                                                 acked=False, rtt=None))
+        if self.trace is not None:
+            self.trace.emit("notify.timeout", seq=seq,
+                            cache=f"{cache[0]}:{cache[1]}",
+                            name=name.to_text(), rrtype=rrtype.name,
+                            reason=reason)
+        self._settle(seq, acked=False)
+
+    def _settle(self, seq: int, acked: bool) -> None:
+        """Progress one change's fan-out; on the last resolution, measure
+        the consistency window (detection -> last holder acknowledged)."""
+        progress = self._progress.get(seq) if seq else None
+        if progress is None:
+            return
+        now = self.simulator.now
+        progress.outstanding -= 1
+        if acked:
+            progress.acked += 1
+            progress.last_ack = now
+        else:
+            progress.failed += 1
+        if progress.outstanding > 0:
+            return
+        del self._progress[seq]
+        window = (progress.last_ack - progress.detected_at
+                  if progress.last_ack is not None else None)
+        if window is not None and self.window_hist is not None:
+            self.window_hist.observe(window)
+        if self.trace is not None:
+            self.trace.emit("change.settled", t=now, seq=seq, window=window,
+                            acked=progress.acked, failed=progress.failed)
 
     # -- reporting ------------------------------------------------------------------
 
     def ack_ratio(self) -> float:
-        """Acknowledged notifications / attempted notifications."""
-        total = self.stats.acks_received + self.stats.failures
+        """Acknowledged notifications / attempted notifications.
+
+        In-flight notifications count as attempted-but-unacknowledged,
+        so a mid-run reading is well-defined instead of optimistically
+        reporting 1.0 before the first ack or failure lands.
+        """
+        total = (self.stats.acks_received + self.stats.failures
+                 + self.stats.in_flight)
         return self.stats.acks_received / total if total else 1.0
 
     def mean_ack_rtt(self) -> Optional[float]:

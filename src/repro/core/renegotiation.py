@@ -48,7 +48,8 @@ class RenegotiationAgent:
     def __init__(self, resolver: RecursiveResolver,
                  interval: float = 300.0,
                  change_factor: float = 4.0,
-                 min_rate_floor: float = 1e-6):
+                 min_rate_floor: float = 1e-6,
+                 trace=None):
         if change_factor <= 1.0:
             raise ValueError("change_factor must exceed 1")
         if not resolver.dnscup_enabled:
@@ -57,6 +58,9 @@ class RenegotiationAgent:
         self.change_factor = change_factor
         self.min_rate_floor = min_rate_floor
         self.stats = RenegotiationStats()
+        #: Optional :class:`repro.obs.TraceBus` receiving ``renego.*``
+        #: events; costs nothing while None.
+        self.trace = trace
         self._timer = PeriodicTimer(resolver.host.simulator, interval,
                                     self.run_once)
 
@@ -99,6 +103,10 @@ class RenegotiationAgent:
         query = make_query(key[0], key[1], recursion_desired=False,
                            rrc=rate_to_rrc(current_rate))
         self.stats.renegotiations_sent += 1
+        if self.trace is not None:
+            self.trace.emit("renego.send", name=key[0].to_text(),
+                            rrtype=key[1].name, rate=current_rate,
+                            id=query.id)
         resolver.upstream_socket.request(
             query.to_wire(), info.origin, query.id,
             lambda payload, src: self._on_response(key, info, current_rate,
@@ -112,11 +120,17 @@ class RenegotiationAgent:
         now = resolver.now
         if payload is None:
             self.stats.failures += 1
+            if self.trace is not None:
+                self.trace.emit("renego.fail", name=key[0].to_text(),
+                                rrtype=key[1].name, reason="timeout")
             return
         try:
             response = Message.from_wire(payload)
         except (WireFormatError, ValueError):
             self.stats.failures += 1
+            if self.trace is not None:
+                self.trace.emit("renego.fail", name=key[0].to_text(),
+                                rrtype=key[1].name, reason="malformed")
             return
         # Freshness bonus: adopt the re-fetched answer either way.
         from ..dnslib import records_to_rrsets
@@ -129,9 +143,16 @@ class RenegotiationAgent:
                 origin=info.origin, granted_at=now,
                 llt=float(response.llt), rate_at_grant=current_rate)
             self.stats.leases_refreshed += 1
+            if self.trace is not None:
+                self.trace.emit("renego.refresh", t=now,
+                                name=key[0].to_text(), rrtype=key[1].name,
+                                llt=float(response.llt))
         else:
             # Declined: remember the shrunken rate so the agent does not
             # keep re-asking; the old lease simply runs out.
             resolver.lease_grants[key] = dataclasses.replace(
                 info, rate_at_grant=current_rate)
             self.stats.leases_lost += 1
+            if self.trace is not None:
+                self.trace.emit("renego.lost", t=now,
+                                name=key[0].to_text(), rrtype=key[1].name)

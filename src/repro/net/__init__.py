@@ -7,6 +7,7 @@ from .network import (
     Endpoint,
     LatencyModel,
     LinkProfile,
+    LinkStats,
     LognormalLatency,
     Network,
     NetworkError,
@@ -17,7 +18,7 @@ from .timers import PeriodicTimer, RetryPolicy
 
 __all__ = [
     "Simulator", "EventHandle", "SimulationError",
-    "Network", "NetworkError", "NetworkStats", "LinkProfile",
+    "Network", "NetworkError", "NetworkStats", "LinkProfile", "LinkStats",
     "LatencyModel", "LognormalLatency", "Endpoint", "DatagramHandler",
     "DNS_PORT",
     "Host", "Socket", "ResponseHandler",

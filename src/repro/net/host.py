@@ -63,18 +63,23 @@ class Socket:
 
     def request(self, payload: bytes, dst: Endpoint, match_id: int,
                 handler: ResponseHandler,
-                retry: Optional[RetryPolicy] = None) -> None:
+                retry: Optional[RetryPolicy] = None,
+                on_attempt: Optional[Callable[[int], None]] = None) -> None:
         """Send ``payload`` and route the matching response to ``handler``.
 
         Responses are matched by (source endpoint, ``match_id``) where the
         ID is read from the first two payload bytes — the DNS message ID.
         On exhaustion of the retry budget the handler gets ``(None, None)``.
+        ``on_attempt`` is invoked with the 1-based attempt number on each
+        transmission — attempt 2 and up are retransmissions — letting
+        callers observe their retry traffic without owning the timer.
         """
         policy = retry or RetryPolicy()
         key = (dst, match_id)
         if key in self._pending:
             raise NetworkError(f"duplicate outstanding request: {key}")
         pending = _PendingRequest(self, payload, dst, match_id, handler, policy)
+        pending.on_attempt = on_attempt
         self._pending[key] = pending
         pending.send_attempt()
 
@@ -146,12 +151,15 @@ class _PendingRequest:
         self._timer: Optional[EventHandle] = None
         self.retransmissions = 0
         self.stream = False
+        self.on_attempt: Optional[Callable[[int], None]] = None
 
     def send_attempt(self) -> None:
         """Transmit (or retransmit) the request payload."""
         self.attempt += 1
         if self.attempt > 1:
             self.retransmissions += 1
+        if self.on_attempt is not None:
+            self.on_attempt(self.attempt)
         if self.stream:
             self.socket.send_stream(self.payload, self.dst)
         else:

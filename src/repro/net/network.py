@@ -32,6 +32,11 @@ class NetworkError(RuntimeError):
     """Raised on misuse: double binds, oversized datagrams, unknown hosts."""
 
 
+def _ep(endpoint: Endpoint) -> str:
+    """Trace-friendly ``addr:port`` form of an endpoint."""
+    return f"{endpoint[0]}:{endpoint[1]}"
+
+
 class LatencyModel:
     """One-way delay generator.
 
@@ -66,12 +71,33 @@ class LognormalLatency(LatencyModel):
 
 
 @dataclasses.dataclass
+class LinkStats:
+    """Per-:class:`LinkProfile` datagram fates (plain attributes for tests;
+    mirrored into the metrics registry by the observability layer)."""
+
+    delivered: int = 0
+    dropped: int = 0
+    duplicated: int = 0
+    unreachable: int = 0
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        for field in dataclasses.fields(self):
+            setattr(self, field.name, 0)
+
+
+@dataclasses.dataclass
 class LinkProfile:
     """Loss/latency characteristics of one directed host pair (or default)."""
 
     latency: LatencyModel = dataclasses.field(default_factory=LatencyModel)
     loss_rate: float = 0.0
     duplicate_rate: float = 0.0
+    #: Fate counters for traffic carried by this profile.  Excluded from
+    #: init/compare so ``dataclasses.replace`` starts fresh counters.
+    stats: LinkStats = dataclasses.field(default_factory=LinkStats,
+                                         init=False, repr=False,
+                                         compare=False)
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.loss_rate < 1.0:
@@ -88,6 +114,8 @@ class NetworkStats:
     datagrams_delivered: int = 0
     datagrams_lost: int = 0
     datagrams_duplicated: int = 0
+    #: Datagrams that arrived at an endpoint nobody was bound to.
+    datagrams_unreachable: int = 0
     bytes_sent: int = 0
     bytes_delivered: int = 0
     #: Largest datagram seen — checked against the 512-byte RFC 1035
@@ -123,6 +151,13 @@ class Network:
         self._bindings: Dict[Endpoint, DatagramHandler] = {}
         self._stream_bindings: Dict[Endpoint, DatagramHandler] = {}
         self._profiles: Dict[Tuple[str, str], LinkProfile] = {}
+        #: Observability hooks (both off by default and zero-cost when
+        #: off): a :class:`repro.obs.TraceBus` receiving ``net.*``
+        #: transport events, and a :class:`repro.obs.WireCapture`
+        #: recording every datagram's fate.  Attached by
+        #: :meth:`repro.obs.Observability.observe_network`.
+        self.trace = None
+        self.capture = None
 
     # -- topology ------------------------------------------------------------
 
@@ -165,21 +200,50 @@ class Network:
         if profile.duplicate_rate and self.rng.random() < profile.duplicate_rate:
             copies = 2
             self.stats.datagrams_duplicated += 1
-        for _ in range(copies):
+            profile.stats.duplicated += 1
+            if self.trace is not None:
+                self.trace.emit("net.duplicate", src=_ep(src), dst=_ep(dst),
+                                size=len(payload))
+        for copy in range(copies):
             if profile.loss_rate and self.rng.random() < profile.loss_rate:
                 self.stats.datagrams_lost += 1
+                profile.stats.dropped += 1
+                if self.trace is not None:
+                    self.trace.emit("net.drop", src=_ep(src), dst=_ep(dst),
+                                    size=len(payload))
+                if self.capture is not None:
+                    self.capture.record(self.simulator.now, "udp", src, dst,
+                                        payload, "dropped", dup=copy > 0)
                 continue
             delay = profile.latency.sample(self.rng)
             self.simulator.schedule(
-                delay, lambda p=payload: self._deliver(p, src, dst))
+                delay, lambda p=payload, d=copy > 0: self._deliver(p, src,
+                                                                   dst, d))
 
-    def _deliver(self, payload: bytes, src: Endpoint, dst: Endpoint) -> None:
+    def _deliver(self, payload: bytes, src: Endpoint, dst: Endpoint,
+                 dup: bool = False) -> None:
         handler = self._bindings.get(dst)
         if handler is None:
-            # Port unreachable: silently dropped, like real UDP without ICMP.
+            # Port unreachable: dropped like real UDP without ICMP, but
+            # counted — an unreachable storm is a topology bug.
+            self.stats.datagrams_unreachable += 1
+            self._profile_for(src, dst).stats.unreachable += 1
+            if self.trace is not None:
+                self.trace.emit("net.unreachable", src=_ep(src),
+                                dst=_ep(dst), size=len(payload))
+            if self.capture is not None:
+                self.capture.record(self.simulator.now, "udp", src, dst,
+                                    payload, "unreachable", dup=dup)
             return
         self.stats.datagrams_delivered += 1
         self.stats.bytes_delivered += len(payload)
+        self._profile_for(src, dst).stats.delivered += 1
+        if self.trace is not None:
+            self.trace.emit("net.deliver", src=_ep(src), dst=_ep(dst),
+                            size=len(payload))
+        if self.capture is not None:
+            self.capture.record(self.simulator.now, "udp", src, dst,
+                                payload, "delivered", dup=dup)
         handler(payload, src, dst)
 
     # -- reliable streams (TCP-like, for truncation fallback) -----------------
@@ -211,5 +275,12 @@ class Network:
     def _deliver_stream(self, payload: bytes, src: Endpoint,
                         dst: Endpoint) -> None:
         handler = self._stream_bindings.get(dst)
-        if handler is not None:
-            handler(payload, src, dst)
+        if handler is None:
+            if self.capture is not None:
+                self.capture.record(self.simulator.now, "stream", src, dst,
+                                    payload, "unreachable")
+            return
+        if self.capture is not None:
+            self.capture.record(self.simulator.now, "stream", src, dst,
+                                payload, "delivered")
+        handler(payload, src, dst)

@@ -68,6 +68,10 @@ class Simulator:
         self.events_processed = 0
         self._nondaemon_pending = 0
         self._live_pending = 0
+        #: Observability hook: called with the event time after each
+        #: fired event.  None (the default) costs one comparison per
+        #: step; set by :meth:`repro.obs.Observability.observe_simulator`.
+        self.observer: Optional[Callable[[float], None]] = None
 
     @property
     def now(self) -> float:
@@ -113,6 +117,8 @@ class Simulator:
             if not handle.daemon:
                 self._nondaemon_pending -= 1
             handle._fire()
+            if self.observer is not None:
+                self.observer(time)
             return True
         return False
 

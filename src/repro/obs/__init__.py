@@ -1,0 +1,84 @@
+"""Observability: sim-clock-aware tracing, metrics, and wire capture.
+
+Three instruments, all off by default and zero-cost when off:
+
+* :class:`TraceBus` — ring-buffered structured event recorder stamped
+  with the simulator's virtual clock; JSONL export for ``repro-obs``;
+* :class:`Registry` — counters, gauges, and fixed-bucket histograms
+  behind one :meth:`Registry.snapshot`;
+* :class:`WireCapture` — a pcap-like JSONL record of every simulated
+  datagram (timestamp, endpoints, DNS header fields, size, fate).
+
+:class:`Observability` bundles the three and attaches them across the
+stack; :mod:`repro.obs.analyze` recomputes the evaluation's headline
+numbers (ack RTT, consistency window) from the raw trace alone.
+"""
+
+from .analyze import (
+    consistency_windows,
+    diff_summaries,
+    flatten_summary,
+    summarize_events,
+)
+from .capture import (
+    FATE_DELIVERED,
+    FATE_DROPPED,
+    FATE_UNREACHABLE,
+    WireCapture,
+    load_capture,
+    sniff_header,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    LATENCY_BUCKETS,
+    LEASE_BUCKETS,
+    Registry,
+)
+from .trace import (
+    CHANGE_DETECTED,
+    CHANGE_SETTLED,
+    EVENT_NAMES,
+    LEASE_EXPIRE,
+    LEASE_GRANT,
+    LEASE_RENEW,
+    LEASE_REVOKE,
+    NET_DELIVER,
+    NET_DROP,
+    NET_DUPLICATE,
+    NET_UNREACHABLE,
+    NOTIFY_ACK,
+    NOTIFY_RETRANSMIT,
+    NOTIFY_SEND,
+    NOTIFY_TIMEOUT,
+    PUSH_KEEPALIVE,
+    PUSH_SEND,
+    RENEGO_FAIL,
+    RENEGO_LOST,
+    RENEGO_REFRESH,
+    RENEGO_SEND,
+    TraceBus,
+    TraceEvent,
+    load_trace_events,
+    merge_traces,
+)
+from .wiring import Observability
+
+__all__ = [
+    "TraceBus", "TraceEvent", "load_trace_events", "merge_traces",
+    "EVENT_NAMES",
+    "LEASE_GRANT", "LEASE_RENEW", "LEASE_EXPIRE", "LEASE_REVOKE",
+    "CHANGE_DETECTED", "CHANGE_SETTLED",
+    "NOTIFY_SEND", "NOTIFY_RETRANSMIT", "NOTIFY_ACK", "NOTIFY_TIMEOUT",
+    "NET_DELIVER", "NET_DROP", "NET_DUPLICATE", "NET_UNREACHABLE",
+    "RENEGO_SEND", "RENEGO_REFRESH", "RENEGO_LOST", "RENEGO_FAIL",
+    "PUSH_SEND", "PUSH_KEEPALIVE",
+    "Counter", "Gauge", "Histogram", "Registry",
+    "LATENCY_BUCKETS", "LEASE_BUCKETS",
+    "WireCapture", "load_capture", "sniff_header",
+    "FATE_DELIVERED", "FATE_DROPPED", "FATE_UNREACHABLE",
+    "summarize_events", "consistency_windows", "flatten_summary",
+    "diff_summaries",
+    "Observability",
+]

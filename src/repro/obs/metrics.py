@@ -1,0 +1,199 @@
+"""The metrics registry: counters, gauges, fixed-bucket histograms.
+
+One :class:`Registry` per run replaces reading half a dozen scattered
+stats dataclasses: every instrumented component either maintains its own
+instruments (histograms of ack RTT, consistency window, lease length) or
+is mirrored into the registry through *callable gauges* that read the
+component's existing counters at snapshot time — the stats dataclasses
+stay authoritative for tests, and :meth:`Registry.snapshot` is the one
+machine-readable view of everything.
+
+Metric names are a stable contract documented in PROTOCOL.md §9.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Callable, Dict, List, Optional, Sequence, TextIO, Union
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be non-negative)."""
+        if amount < 0:
+            raise ValueError(f"counter decrement: {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value: either set explicitly or read from ``fn``."""
+
+    __slots__ = ("name", "_value", "fn")
+
+    def __init__(self, name: str, fn: Optional[Callable[[], float]] = None):
+        self.name = name
+        self._value = 0.0
+        self.fn = fn
+
+    def set(self, value: float) -> None:
+        """Pin the gauge to ``value`` (only for gauges without ``fn``)."""
+        if self.fn is not None:
+            raise ValueError(f"gauge {self.name} is callable-backed")
+        self._value = value
+
+    @property
+    def value(self) -> float:
+        """Current reading."""
+        return float(self.fn()) if self.fn is not None else self._value
+
+
+#: Default histogram buckets for round-trip / window measurements, seconds.
+LATENCY_BUCKETS = (0.0005, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05,
+                   0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0, 30.0)
+
+#: Default histogram buckets for lease lengths, seconds (200 s and 6000 s
+#: are the paper's CDN/Dyn maxima; 518400 s is the 6-day regular maximum).
+LEASE_BUCKETS = (60.0, 200.0, 600.0, 3600.0, 6000.0, 21600.0,
+                 86400.0, 259200.0, 518400.0)
+
+
+class Histogram:
+    """Fixed-bucket histogram with exact sum/count/min/max.
+
+    ``buckets`` are inclusive upper bounds; an implicit +inf bucket
+    catches the overflow.  The mean is exact (running float sum in
+    observation order), which is what lets trace-derived recomputations
+    match live measurements bit for bit.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "sum", "min", "max")
+
+    def __init__(self, name: str, buckets: Sequence[float] = LATENCY_BUCKETS):
+        bounds = tuple(float(b) for b in buckets)
+        if list(bounds) != sorted(set(bounds)):
+            raise ValueError(f"histogram buckets must strictly increase: "
+                             f"{buckets}")
+        self.name = name
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        index = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                index = i
+                break
+        self.counts[index] += 1
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> Optional[float]:
+        """Exact mean of all observations, or None when empty."""
+        return self.sum / self.count if self.count else None
+
+    def as_dict(self) -> Dict[str, object]:
+        """Snapshot form: summary stats plus per-bucket counts."""
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "buckets": [[bound, count] for bound, count
+                        in zip((*self.bounds, math.inf), self.counts)],
+        }
+
+
+class Registry:
+    """A flat namespace of instruments with one consistent snapshot."""
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- creation (idempotent per name) --------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter ``name``."""
+        self._check_free(name, self._counters)
+        return self._counters.setdefault(name, Counter(name))
+
+    def gauge(self, name: str,
+              fn: Optional[Callable[[], float]] = None) -> Gauge:
+        """Get or create the gauge ``name``; ``fn`` makes it callable-backed."""
+        self._check_free(name, self._gauges)
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = self._gauges[name] = Gauge(name, fn=fn)
+        elif fn is not None:
+            gauge.fn = fn
+        return gauge
+
+    def histogram(self, name: str,
+                  buckets: Sequence[float] = LATENCY_BUCKETS) -> Histogram:
+        """Get or create the histogram ``name``."""
+        self._check_free(name, self._histograms)
+        return self._histograms.setdefault(name, Histogram(name, buckets))
+
+    def _check_free(self, name: str, own: Dict) -> None:
+        for family in (self._counters, self._gauges, self._histograms):
+            if family is not own and name in family:
+                raise ValueError(f"metric name already used with a "
+                                 f"different type: {name}")
+
+    # -- reading -------------------------------------------------------------
+
+    def names(self) -> List[str]:
+        """Every registered metric name, sorted."""
+        return sorted([*self._counters, *self._gauges, *self._histograms])
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """One consistent, JSON-ready view of every instrument.
+
+        Keys at both levels are sorted, so identical runs serialize to
+        byte-identical JSON.
+        """
+        return {
+            "counters": {name: self._counters[name].value
+                         for name in sorted(self._counters)},
+            "gauges": {name: self._gauges[name].value
+                       for name in sorted(self._gauges)},
+            "histograms": {name: self._histograms[name].as_dict()
+                           for name in sorted(self._histograms)},
+        }
+
+    def export_json(self, target: Union[str, TextIO]) -> None:
+        """Write :meth:`snapshot` as stable, indented JSON."""
+        own = isinstance(target, str)
+        stream: TextIO = open(target, "w") if own else target  # type: ignore[arg-type]
+        try:
+            json.dump(self.snapshot(), stream, indent=2)
+            stream.write("\n")
+        finally:
+            if own:
+                stream.close()
+
+    def __repr__(self) -> str:
+        return (f"Registry(counters={len(self._counters)}, "
+                f"gauges={len(self._gauges)}, "
+                f"histograms={len(self._histograms)})")

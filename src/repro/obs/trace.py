@@ -1,0 +1,201 @@
+"""The trace bus: sim-clock-aware structured event recording.
+
+Every interesting protocol moment — a lease granted, a change detected,
+a CACHE-UPDATE retransmitted, a datagram dropped — can be emitted as one
+:class:`TraceEvent` onto a process-local :class:`TraceBus`.  The bus
+stamps each event with the simulator's virtual clock, keeps them in a
+bounded ring buffer, and exports JSON-lines for offline analysis with
+``repro-obs`` (:mod:`repro.tools.obs_tool`).
+
+Tracing is **off by default** and zero-cost when off: instrumented
+components hold ``trace = None`` and guard every emission with a plain
+``is not None`` check, so no event object, string, or dict is ever built
+unless a bus is attached.  Event names are a stable contract documented
+in PROTOCOL.md §9.
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+from typing import (
+    Callable,
+    Deque,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    TextIO,
+    Tuple,
+    Union,
+)
+
+# -- the event-name contract (PROTOCOL.md §9) --------------------------------
+
+#: Lease lifecycle (emitted by :class:`repro.core.lease.LeaseTable`).
+LEASE_GRANT = "lease.grant"
+LEASE_RENEW = "lease.renew"
+LEASE_EXPIRE = "lease.expire"
+LEASE_REVOKE = "lease.revoke"
+
+#: Change detection (emitted by :class:`repro.core.detection.DetectionModule`).
+CHANGE_DETECTED = "change.detected"
+#: All notifications for one change resolved (acked or timed out).
+CHANGE_SETTLED = "change.settled"
+
+#: CACHE-UPDATE fan-out (emitted by
+#: :class:`repro.core.notification.NotificationModule`).
+NOTIFY_SEND = "notify.send"
+NOTIFY_RETRANSMIT = "notify.retransmit"
+NOTIFY_ACK = "notify.ack"
+NOTIFY_TIMEOUT = "notify.timeout"
+
+#: Network transport (emitted by :class:`repro.net.network.Network`).
+NET_DELIVER = "net.deliver"
+NET_DROP = "net.drop"
+NET_DUPLICATE = "net.duplicate"
+NET_UNREACHABLE = "net.unreachable"
+
+#: Lease renegotiation (emitted by
+#: :class:`repro.core.renegotiation.RenegotiationAgent`).
+RENEGO_SEND = "renego.send"
+RENEGO_REFRESH = "renego.refresh"
+RENEGO_LOST = "renego.lost"
+RENEGO_FAIL = "renego.fail"
+
+#: DNS-Push comparator (emitted by :class:`repro.server.push.PushService`).
+PUSH_SEND = "push.send"
+PUSH_KEEPALIVE = "push.keepalive"
+
+#: Every event name the instrumentation can emit, for validation.
+EVENT_NAMES = frozenset({
+    LEASE_GRANT, LEASE_RENEW, LEASE_EXPIRE, LEASE_REVOKE,
+    CHANGE_DETECTED, CHANGE_SETTLED,
+    NOTIFY_SEND, NOTIFY_RETRANSMIT, NOTIFY_ACK, NOTIFY_TIMEOUT,
+    NET_DELIVER, NET_DROP, NET_DUPLICATE, NET_UNREACHABLE,
+    RENEGO_SEND, RENEGO_REFRESH, RENEGO_LOST, RENEGO_FAIL,
+    PUSH_SEND, PUSH_KEEPALIVE,
+})
+
+
+#: One recorded event: (time, event name, fields).  A plain tuple keeps
+#: recording allocation-light; fields is the emit call's keyword dict.
+TraceEvent = Tuple[float, str, Dict[str, object]]
+
+#: A clock source: a zero-arg callable returning seconds of virtual time.
+Clock = Callable[[], float]
+
+
+class TraceBus:
+    """Ring-buffered, sim-clock-stamped structured event recorder.
+
+    ``clock`` is either a :class:`~repro.net.simulator.Simulator` (its
+    ``now`` is read per event) or any zero-arg callable; without one,
+    emitters must pass an explicit ``t``.  ``capacity`` bounds memory:
+    the oldest events fall off the ring first.
+    """
+
+    def __init__(self, clock: Optional[Union[Clock, object]] = None,
+                 capacity: int = 1 << 20):
+        if clock is not None and not callable(clock):
+            simulator = clock
+            clock = lambda: simulator.now  # noqa: E731
+        self._clock: Optional[Clock] = clock
+        self.events: Deque[TraceEvent] = collections.deque(maxlen=capacity)
+        #: Emissions that fell off the ring (total emitted - retained).
+        self.dropped = 0
+        self._emitted = 0
+
+    def emit(self, event: str, t: Optional[float] = None, **fields) -> None:
+        """Record one event, stamped ``t`` or the bus clock's now."""
+        if t is None:
+            t = self._clock() if self._clock is not None else 0.0
+        self._emitted += 1
+        self.events.append((t, event, fields))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    @property
+    def emitted(self) -> int:
+        """Total events emitted, including any that fell off the ring."""
+        return self._emitted
+
+    def counts(self) -> Dict[str, int]:
+        """Event-name -> occurrences currently retained."""
+        tally: Dict[str, int] = {}
+        for _t, name, _fields in self.events:
+            tally[name] = tally.get(name, 0) + 1
+        return dict(sorted(tally.items()))
+
+    def select(self, *names: str) -> List[TraceEvent]:
+        """Retained events whose name is in ``names``, in time order."""
+        wanted = frozenset(names)
+        return [ev for ev in self.events if ev[1] in wanted]
+
+    def clear(self) -> None:
+        """Drop every retained event (counters keep running)."""
+        self.dropped += len(self.events)
+        self.events.clear()
+
+    # -- JSONL export/import -------------------------------------------------
+
+    def export_jsonl(self, target: Union[str, TextIO]) -> int:
+        """Write retained events as JSON lines; returns lines written.
+
+        Each line is ``{"t": ..., "event": ..., <fields>}`` with ``t``
+        and ``event`` first and the remaining keys in sorted order, so
+        identical runs export byte-identical traces.
+        """
+        own = isinstance(target, str)
+        stream: TextIO = open(target, "w") if own else target  # type: ignore[arg-type]
+        try:
+            written = 0
+            for t, name, fields in self.events:
+                record = {"t": t, "event": name}
+                for key in sorted(fields):
+                    record[key] = fields[key]
+                stream.write(json.dumps(record, separators=(",", ":"))
+                             + "\n")
+                written += 1
+            return written
+        finally:
+            if own:
+                stream.close()
+
+
+def load_trace_events(source: Union[str, TextIO]) -> List[TraceEvent]:
+    """Read a JSONL trace back into :data:`TraceEvent` tuples."""
+    own = isinstance(source, str)
+    stream: TextIO = open(source) if own else source  # type: ignore[arg-type]
+    try:
+        events: List[TraceEvent] = []
+        for lineno, line in enumerate(stream, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            try:
+                t = float(record.pop("t"))
+                name = str(record.pop("event"))
+            except KeyError as exc:
+                raise ValueError(
+                    f"trace line {lineno}: missing {exc}") from None
+            events.append((t, name, record))
+        return events
+    finally:
+        if own:
+            stream.close()
+
+
+def merge_traces(*traces: Iterable[TraceEvent]) -> List[TraceEvent]:
+    """Merge several event streams into one, sorted by timestamp."""
+    merged: List[TraceEvent] = []
+    for trace in traces:
+        merged.extend(trace)
+    merged.sort(key=lambda ev: ev[0])
+    return merged

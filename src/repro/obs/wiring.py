@@ -1,0 +1,89 @@
+"""Assembling the observability layer onto a running simulation.
+
+:class:`Observability` bundles the three instruments — trace bus,
+metrics registry, optional wire capture — and knows how to attach them
+to the substrate objects (:class:`~repro.net.simulator.Simulator`,
+:class:`~repro.net.network.Network`).  Protocol components (the DNScup
+middleware, the push comparator, the renegotiation agent) accept the
+bundle at construction instead, so attachment stays a construction-time
+decision and the disabled path stays allocation-free.
+
+Gauges registered through :meth:`Observability.bind` *sum* every bound
+reader under one name, so several DNScup middlewares (one per
+authoritative server, as in the protocol scenarios) aggregate naturally
+into a single registry — mirroring how ``dnscup_summary()`` sums
+per-server counters today.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional
+
+from .capture import WireCapture
+from .metrics import Registry
+from .trace import TraceBus
+
+
+@dataclasses.dataclass
+class Observability:
+    """One run's trace bus + metrics registry (+ optional wire capture)."""
+
+    trace: TraceBus
+    registry: Registry
+    capture: Optional[WireCapture] = None
+    _bound: Dict[str, List[Callable[[], float]]] = dataclasses.field(
+        default_factory=dict, repr=False)
+
+    @classmethod
+    def for_simulator(cls, simulator, capture: bool = False,
+                      trace_capacity: int = 1 << 20) -> "Observability":
+        """Build a bundle clocked by ``simulator`` and instrument it."""
+        obs = cls(trace=TraceBus(simulator, capacity=trace_capacity),
+                  registry=Registry(),
+                  capture=WireCapture() if capture else None)
+        obs.observe_simulator(simulator)
+        return obs
+
+    # -- aggregating gauges ---------------------------------------------------
+
+    def bind(self, name: str, reader: Callable[[], float]) -> None:
+        """Register ``reader`` under gauge ``name``; repeated binds sum.
+
+        A single bind reads through directly; a second bind under the
+        same name turns the gauge into the sum of all bound readers.
+        """
+        readers = self._bound.setdefault(name, [])
+        readers.append(reader)
+        self.registry.gauge(
+            name, fn=lambda readers=readers: sum(r() for r in readers))
+
+    # -- substrate attachment -------------------------------------------------
+
+    def observe_simulator(self, simulator) -> None:
+        """Mirror the event loop's vitals and count fired events."""
+        self.bind("sim.now", lambda: simulator.now)
+        self.bind("sim.pending", lambda: simulator.pending)
+        self.bind("sim.events_processed",
+                  lambda: simulator.events_processed)
+        events = self.registry.counter("sim.events_observed")
+        simulator.observer = lambda _time: events.inc()
+
+    def observe_network(self, network) -> None:
+        """Attach trace + capture to ``network`` and mirror its counters."""
+        network.trace = self.trace
+        network.capture = self.capture
+        stats = network.stats
+        self.bind("net.datagrams_sent", lambda: stats.datagrams_sent)
+        self.bind("net.datagrams_delivered",
+                  lambda: stats.datagrams_delivered)
+        self.bind("net.datagrams_lost", lambda: stats.datagrams_lost)
+        self.bind("net.datagrams_duplicated",
+                  lambda: stats.datagrams_duplicated)
+        self.bind("net.datagrams_unreachable",
+                  lambda: stats.datagrams_unreachable)
+        self.bind("net.bytes_sent", lambda: stats.bytes_sent)
+        self.bind("net.bytes_delivered", lambda: stats.bytes_delivered)
+        self.bind("net.max_datagram", lambda: stats.max_datagram)
+        self.bind("net.stream_messages", lambda: stats.stream_messages)
+        self.bind("net.stream_bytes", lambda: stats.stream_bytes)

@@ -60,9 +60,13 @@ class PushService:
     """Server side: subscription registry + change push over streams."""
 
     def __init__(self, socket: Socket, zones: List[Zone],
-                 keepalive_interval: Optional[float] = 600.0):
+                 keepalive_interval: Optional[float] = 600.0,
+                 trace=None):
         self.socket = socket
         self.stats = PushServiceStats()
+        #: Optional :class:`repro.obs.TraceBus` receiving ``push.*``
+        #: events; costs nothing while None.
+        self.trace = trace
         self._subscribers: Dict[Tuple[Name, RRType], Set[Endpoint]] = {}
         self._zones = list(zones)
         for zone in self._zones:
@@ -115,6 +119,11 @@ class PushService:
             template = WireTemplate(message)
             for subscriber in holders:
                 self.stats.pushes_sent += 1
+                if self.trace is not None:
+                    self.trace.emit(
+                        "push.send",
+                        subscriber=f"{subscriber[0]}:{subscriber[1]}",
+                        name=name.to_text(), rrtype=rrtype.name)
                 self.socket.send_stream(
                     template.with_id(next_message_id()), subscriber)
 
@@ -123,6 +132,8 @@ class PushService:
         connections = {subscriber
                        for holders in self._subscribers.values()
                        for subscriber in holders}
+        if connections and self.trace is not None:
+            self.trace.emit("push.keepalive", count=len(connections))
         for subscriber in connections:
             ping = make_query("keepalive.push.", RRType.TXT,
                               recursion_desired=False)

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..core import DNScup, DNScupConfig, DynamicLeasePolicy, attach_dnscup
 from ..dnslib import A, Name, NS, RRType, RRSet, SOA, Rcode, make_update
 from ..net import Host, LinkProfile, LatencyModel, Network, Simulator
+from ..obs import Observability
 from ..server import AuthoritativeServer, RecursiveResolver, ResolverCache, StubResolver
 from ..traces.domains import DomainSpec, PopulationConfig, generate_population
 from ..traces.ircache import synthesize_proxy_log, top_domains
@@ -49,6 +50,11 @@ class TestbedConfig:
     dnscup_enabled: bool = True
     network_seed: int = 5
     loss_rate: float = 0.0
+    #: When True, build an :class:`repro.obs.Observability` bundle (trace
+    #: bus + metrics registry + wire capture), hook it into the network
+    #: and the master's DNScup middleware, and expose it as
+    #: ``Testbed.observability``.
+    observability: bool = False
 
 
 class Testbed:
@@ -64,6 +70,11 @@ class Testbed:
                                       loss_rate=self.config.loss_rate)
         self.network = Network(self.simulator, seed=self.config.network_seed,
                                default_profile=profile)
+        self.observability: Optional[Observability] = None
+        if self.config.observability:
+            self.observability = Observability.for_simulator(
+                self.simulator, capture=True)
+            self.observability.observe_network(self.network)
         self.domains = list(domains) if domains is not None \
             else self._select_domains()
         self._build()
@@ -130,7 +141,8 @@ class Testbed:
         self.dnscup: Optional[DNScup] = None
         if self.config.dnscup_enabled:
             self.dnscup = attach_dnscup(
-                self.master, policy=DynamicLeasePolicy(rate_threshold=0.0))
+                self.master, policy=DynamicLeasePolicy(rate_threshold=0.0),
+                config=DNScupConfig(observability=self.observability))
         # The two DNS caches.
         self.caches = [
             RecursiveResolver(host, [(ROOT_ADDRESS, 53)],

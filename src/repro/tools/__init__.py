@@ -1,12 +1,19 @@
 """Command-line tools: trace generation, lease simulation, probing,
-and the testbed demo.
+observability traces, and the testbed demo.
 
 Installed as console scripts (``repro-trace``, ``repro-leasesim``,
-``repro-probe``, ``repro-testbed``); each module also exposes
-``main(argv)`` for programmatic use and testing.
+``repro-probe``, ``repro-obs``, ``repro-testbed``); each module also
+exposes ``main(argv)`` for programmatic use and testing.
 """
 
-from . import leasesim_tool, probe_tool, report_tool, testbed_tool, trace_tool
+from . import (
+    leasesim_tool,
+    obs_tool,
+    probe_tool,
+    report_tool,
+    testbed_tool,
+    trace_tool,
+)
 
-__all__ = ["trace_tool", "leasesim_tool", "probe_tool",
+__all__ = ["trace_tool", "leasesim_tool", "obs_tool", "probe_tool",
            "report_tool", "testbed_tool"]

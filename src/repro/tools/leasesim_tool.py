@@ -13,6 +13,7 @@ oracle the fast engine is held bit-identical to.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Dict, List, Optional
 
@@ -47,6 +48,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--catalog", help="domain catalog CSV (for per-"
                         "category max leases); default: 6-day max for all")
     parser.add_argument("--output", help="CSV file for the curves")
+    parser.add_argument("--json", dest="json_output", metavar="PATH",
+                        help="JSON file for the curves + Figure 5 readings; "
+                             "carries the same numbers as the CSV at the "
+                             "same precision, in a byte-stable key order")
     parser.add_argument("--fixed-points", type=int, default=10)
     parser.add_argument("--dynamic-points", type=int, default=10)
     parser.add_argument("--training-fraction", type=float, default=1 / 7)
@@ -132,6 +137,35 @@ def main(argv: Optional[List[str]] = None) -> int:
                                 "query_rate_pct", "grants", "upstream"),
                   rows)
         print(f"curves written to {args.output}")
+    if args.json_output:
+        # Same numbers as the CSV at the same precision: the floats are
+        # round-tripped through the CSV's format strings so the two
+        # outputs can never drift apart.  Keys are emitted in insertion
+        # order (no sort_keys) so repeated runs are byte-identical.
+        document = {
+            "queries": len(events),
+            "duration_days": duration / 86400.0,
+            "engine": args.engine,
+            "rows": [
+                {"scheme": scheme,
+                 "parameter": float(parameter),
+                 "storage_pct": float(storage),
+                 "query_rate_pct": float(query_rate),
+                 "grants": grants,
+                 "upstream": upstream}
+                for scheme, parameter, storage, query_rate, grants, upstream
+                in rows],
+            "readings": {
+                "query_rate_at_storage_1pct": {
+                    "fixed": round(fixed_at1, 1), "dynamic": round(dyn_at1, 1)},
+                "storage_at_query_rate_20pct": {
+                    "fixed": round(fixed_at20, 1), "dynamic": round(dyn_at20, 1)},
+            },
+        }
+        with open(args.json_output, "w") as stream:
+            json.dump(document, stream, indent=2)
+            stream.write("\n")
+        print(f"curves written to {args.json_output}")
     return 0
 
 

@@ -1,0 +1,136 @@
+"""``repro-obs``: inspect exported observability traces.
+
+Works on the JSONL event files written by
+:meth:`repro.obs.TraceBus.export_jsonl`:
+
+* ``summarize`` — recompute the headline numbers (notification ack RTT,
+  consistency windows, lease churn, datagram fates) from the raw events;
+  ``--json`` emits the summary dict verbatim for machine consumption;
+* ``export`` — flatten the trace to CSV (time, event, details) for
+  spreadsheet spelunking;
+* ``diff`` — compare two runs' summaries key by key (an A/B harness for
+  "did my change alter the protocol's behaviour?").
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from ..obs import diff_summaries, load_trace_events, summarize_events
+from ..report import format_table, write_csv
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser for this tool."""
+    parser = argparse.ArgumentParser(
+        prog="repro-obs",
+        description="Summarize, export, or diff DNScup trace files.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    summarize = sub.add_parser(
+        "summarize", help="derive headline numbers from a trace")
+    summarize.add_argument("trace", help="JSONL trace file")
+    summarize.add_argument("--json", action="store_true",
+                           help="emit the summary as JSON instead of tables")
+    summarize.add_argument("--output",
+                           help="write the summary there instead of stdout")
+
+    export = sub.add_parser("export", help="flatten a trace to CSV")
+    export.add_argument("trace", help="JSONL trace file")
+    export.add_argument("--output", required=True, help="CSV destination")
+
+    diff = sub.add_parser("diff", help="compare two traces' summaries")
+    diff.add_argument("trace_a", help="baseline JSONL trace")
+    diff.add_argument("trace_b", help="candidate JSONL trace")
+    return parser
+
+
+def _format_value(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def _summary_tables(summary: dict) -> str:
+    """Human-oriented rendering of one trace summary."""
+    sections: List[str] = []
+    span = summary["span"]
+    sections.append(format_table(
+        ("events", "first", "last"),
+        [(span["count"], _format_value(span["first"]),
+          _format_value(span["last"]))],
+        title="Trace span"))
+    sections.append(format_table(
+        ("event", "count"),
+        sorted(summary["events"].items()),
+        title="Event counts"))
+    stat_rows = []
+    for label, stats in (("ack_rtt", summary["notify"]["ack_rtt"]),
+                         ("consistency_window",
+                          summary["changes"]["consistency_window"])):
+        stat_rows.append((label, stats["count"],
+                          _format_value(stats["mean"]),
+                          _format_value(stats["min"]),
+                          _format_value(stats["max"])))
+    sections.append(format_table(
+        ("quantity", "count", "mean", "min", "max"), stat_rows,
+        title="Derived timings (seconds)"))
+    return "\n\n".join(sections)
+
+
+def _emit(text: str, output: Optional[str]) -> None:
+    if output:
+        with open(output, "w") as stream:
+            stream.write(text + "\n")
+    else:
+        print(text)
+
+
+def cmd_summarize(args: argparse.Namespace) -> int:
+    events = load_trace_events(args.trace)
+    summary = summarize_events(events)
+    if args.json:
+        _emit(json.dumps(summary, sort_keys=True, indent=2), args.output)
+    else:
+        _emit(_summary_tables(summary), args.output)
+    return 0
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    events = load_trace_events(args.trace)
+    rows = [(f"{t!r}", name,
+             " ".join(f"{key}={fields[key]}" for key in sorted(fields)))
+            for t, name, fields in events]
+    write_csv(args.output, ("t", "event", "details"), rows)
+    print(f"{len(rows)} events written to {args.output}")
+    return 0
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    summary_a = summarize_events(load_trace_events(args.trace_a))
+    summary_b = summarize_events(load_trace_events(args.trace_b))
+    rows = [(key, _format_value(left), _format_value(right))
+            for key, left, right in diff_summaries(summary_a, summary_b)]
+    if not rows:
+        print("summaries identical")
+        return 0
+    print(format_table(("key", args.trace_a, args.trace_b), rows,
+                       title=f"{len(rows)} differing keys"))
+    return 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handler = {"summarize": cmd_summarize, "export": cmd_export,
+               "diff": cmd_diff}[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

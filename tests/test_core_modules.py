@@ -229,6 +229,34 @@ class TestNotificationModule:
         assert module.ack_ratio() == 1.0
         assert module.mean_ack_rtt() is not None
 
+    def test_ack_ratio_counts_in_flight(self, make_host, simulator):
+        """A mid-run reading must not report 1.0 while notifications are
+        still outstanding (regression: in-flight sends were invisible to
+        ack_ratio until their ack or timeout landed)."""
+        module, table, received = self.build(make_host)
+        table.grant(("10.2.0.1", 53), "www.example.com", RRType.A, 0.0, 100.0)
+        module.on_change(self.fake_change())
+        # Notification sent, ack not yet processed: 0 of 1 acknowledged.
+        assert module.stats.in_flight == 1
+        assert module.ack_ratio() == 0.0
+        simulator.run()
+        assert module.stats.in_flight == 0
+        assert module.ack_ratio() == 1.0
+        # Idle module with nothing attempted still reads 1.0.
+        idle = NotificationModule(make_host("10.1.0.9").dns_socket(),
+                                  LeaseTable())
+        assert idle.ack_ratio() == 1.0
+
+    def test_in_flight_settles_on_timeout(self, make_host, simulator):
+        module, table, received = self.build(make_host, loss_rate=0.999)
+        table.grant(("10.2.0.1", 53), "www.example.com", RRType.A, 0.0, 100.0)
+        module.on_change(self.fake_change())
+        assert module.stats.in_flight == 1
+        simulator.run()
+        assert module.stats.in_flight == 0
+        assert module.stats.failures == 1
+        assert module.ack_ratio() == 0.0
+
     def test_skips_expired_leases(self, make_host, simulator):
         module, table, received = self.build(make_host)
         table.grant(("10.2.0.1", 53), "www.example.com", RRType.A, 0.0, 100.0)

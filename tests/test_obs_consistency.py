@@ -1,0 +1,185 @@
+"""Hand-computed staleness / consistency-window scenario.
+
+One physical change, one lossy cache link, one retransmission — every
+timestamp in the run is computable by hand, so the consistency window
+and staleness measurements can be asserted *exactly* (no tolerances)
+against three independent accountings:
+
+* the live ``notify.ack_rtt`` / ``notify.consistency_window`` histograms;
+* the trace-derived recomputation (:func:`repro.obs.summarize_events`);
+* the :class:`repro.sim.StalenessSample` / ``ConsistencyReport`` path.
+
+Timeline (default link latency 0.01 s, no jitter; notify retry fires
+after exactly 1.0 s):
+
+====== ==============================================================
+100.00 zone change committed; detected synchronously; CACHE-UPDATE sent
+100.00 first datagram dropped (scripted loss on the auth->cache link)
+101.00 retry timer fires; retransmission sent
+101.01 retransmission delivered; cache applies the update (staleness
+       window closes: 1.01 s) and acks
+101.02 ack reaches the server (ack RTT = consistency window = 1.02 s)
+====== ==============================================================
+"""
+
+from repro.core import DNScupConfig, DynamicLeasePolicy, attach_dnscup
+from repro.dnslib import Name, RRType
+from repro.net import Host, LatencyModel, LinkProfile, Network, Simulator
+from repro.obs import Observability, consistency_windows, summarize_events
+from repro.server import AuthoritativeServer, RecursiveResolver, StubResolver
+from repro.sim import ConsistencyReport, StalenessSample
+from repro.zone import load_zone
+
+LATENCY = 0.01
+CHANGE_AT = 100.0
+RETRY_TIMEOUT = 1.0
+
+ROOT_TEXT = """\
+$ORIGIN .
+$TTL 86400
+.              IN SOA a.root. admin. 1 7200 900 604800 300
+.              IN NS a.root.
+a.root.        IN A  198.41.0.4
+viral.com.     IN NS ns1.viral.com.
+ns1.viral.com. IN A  10.41.0.1
+"""
+
+ZONE_TEXT = """\
+$ORIGIN viral.com.
+$TTL 1800
+@    IN SOA ns1 admin 1 7200 900 604800 300
+@    IN NS  ns1
+ns1  IN A   10.41.0.1
+www  IN A   10.40.0.1
+"""
+
+
+class ScriptedRng:
+    """A stand-in rng whose ``random()`` plays back a fixed script."""
+
+    def __init__(self, values):
+        self.values = list(values)
+
+    def random(self):
+        if not self.values:
+            raise AssertionError("rng consulted more often than scripted")
+        return self.values.pop(0)
+
+
+def test_hand_computed_consistency_window(tmp_path):
+    simulator = Simulator()
+    network = Network(simulator, seed=99,
+                      default_profile=LinkProfile(
+                          latency=LatencyModel(base=LATENCY)))
+    obs = Observability.for_simulator(simulator, capture=True)
+    obs.observe_network(network)
+    AuthoritativeServer(Host(network, "198.41.0.4"),
+                        [load_zone(ROOT_TEXT, origin=Name.root())])
+    zone = load_zone(ZONE_TEXT)
+    auth = AuthoritativeServer(Host(network, "10.41.0.1"), [zone])
+    middleware = attach_dnscup(auth, policy=DynamicLeasePolicy(0.0),
+                               config=DNScupConfig(observability=obs))
+    resolver = RecursiveResolver(Host(network, "10.42.0.1"),
+                                 [("198.41.0.4", 53)], dnscup_enabled=True)
+    client = StubResolver(Host(network, "10.43.0.1"), ("10.42.0.1", 53),
+                          cache_seconds=0.0)
+
+    # Warm the cache and obtain the lease over loss-free links.
+    answers = []
+    client.lookup("www.viral.com", lambda addrs, rc: answers.append(addrs))
+    simulator.run()
+    assert answers == [["10.40.0.1"]]
+    assert len(middleware.table) == 1
+
+    # From now on the auth->cache link drops per script: the first
+    # CACHE-UPDATE is lost (0.25 < 0.5), its retransmission survives
+    # (0.75 >= 0.5).  No other link has loss and no latency has jitter,
+    # so nothing else consults the rng.
+    network.set_link_profile(
+        "10.41.0.1", "10.42.0.1",
+        LinkProfile(latency=LatencyModel(base=LATENCY), loss_rate=0.5))
+    network.rng = ScriptedRng([0.25, 0.75])
+
+    # Record exactly when the cache adopts the pushed rrset.
+    applied_at = []
+    original_apply = resolver.cache.apply_cache_update
+
+    def observed_apply(rrset, now):
+        applied_at.append(now)
+        return original_apply(rrset, now)
+
+    resolver.cache.apply_cache_update = observed_apply
+
+    simulator.schedule_at(
+        CHANGE_AT,
+        lambda: zone.replace_address("www.viral.com", ["203.0.113.9"]))
+    simulator.run()
+
+    # -- the hand computation ---------------------------------------------
+    delivered_at = CHANGE_AT + RETRY_TIMEOUT + LATENCY       # 101.01
+    acked_at = delivered_at + LATENCY                        # 101.02
+    expected_staleness = delivered_at - CHANGE_AT            # 1.01
+    expected_window = acked_at - CHANGE_AT                   # 1.02
+
+    # Cache-side staleness: the update landed exactly when computed.
+    assert applied_at == [delivered_at]
+
+    # Live histograms: ack RTT == consistency window == 1.02 s, exactly.
+    snap = obs.registry.snapshot()
+    rtt = snap["histograms"]["notify.ack_rtt"]
+    window = snap["histograms"]["notify.consistency_window"]
+    assert rtt["count"] == 1 and window["count"] == 1
+    assert rtt["sum"] == expected_window
+    assert window["sum"] == expected_window
+
+    # Module stats: one send, one retransmission, one ack, none lost.
+    stats = middleware.notification.stats
+    assert stats.notifications_sent == 1
+    assert stats.retransmissions == 1
+    assert stats.acks_received == 1
+    assert stats.failures == 0
+    assert stats.in_flight == 0
+
+    # Trace-derived recomputation agrees to the last bit.
+    events = list(obs.trace.events)
+    summary = summarize_events(events)
+    assert summary["notify"]["retransmits"] == 1
+    assert summary["notify"]["ack_rtt"]["sum"] == expected_window
+    assert summary["changes"]["consistency_window"]["sum"] == expected_window
+    assert consistency_windows(events) == [(1, expected_window)]
+    send_events = [ev for ev in events if ev[1] == "notify.send"]
+    retransmit_events = [ev for ev in events if ev[1] == "notify.retransmit"]
+    assert [t for t, _n, _f in send_events] == [CHANGE_AT]
+    assert len(retransmit_events) == 1
+
+    # File round trip through the obs tool path preserves exactness.
+    from repro.obs import load_trace_events
+    trace_path = tmp_path / "trace.jsonl"
+    obs.trace.export_jsonl(str(trace_path))
+    reloaded = summarize_events(load_trace_events(str(trace_path)))
+    assert reloaded == summary
+
+    # Wire capture saw the drop and both CACHE-UPDATE transmissions.
+    drops = [r for r in obs.capture.records if r["fate"] == "dropped"]
+    assert len(drops) == 1
+    assert drops[0]["opcode"] == "CACHE-UPDATE"
+    cache_updates = [r for r in obs.capture.records
+                     if r["opcode"] == "CACHE-UPDATE" and not r["qr"]]
+    assert len(cache_updates) == 2  # dropped original + delivered retry
+
+    # The sim-metrics path reports the same staleness window.
+    sample = StalenessSample(name="www.viral.com", changed_at=CHANGE_AT,
+                             recovered_at={"10.42.0.1": applied_at[0]})
+    report = ConsistencyReport(samples=[sample])
+    assert sample.windows() == [expected_staleness]
+    assert report.mean_staleness() == expected_staleness
+    assert report.max_staleness() == expected_staleness
+
+    # Staleness (cache adopts) precedes full consistency (server learns).
+    assert expected_staleness < expected_window
+
+    # And the client now sees the new address.
+    post = []
+    client.lookup("www.viral.com", lambda addrs, rc: post.append(addrs))
+    simulator.run()
+    assert post == [["203.0.113.9"]]

@@ -1,9 +1,18 @@
 """Tests for the command-line tools."""
 
+import json
+
 import pytest
 
+from repro.obs import TraceBus
 from repro.report import format_table, read_csv, write_csv
-from repro.tools import leasesim_tool, probe_tool, testbed_tool, trace_tool
+from repro.tools import (
+    leasesim_tool,
+    obs_tool,
+    probe_tool,
+    testbed_tool,
+    trace_tool,
+)
 from repro.traces import load_trace
 
 
@@ -90,6 +99,99 @@ class TestLeasesimTool:
                                    "--fixed-points", "4",
                                    "--dynamic-points", "4"]) == 0
         assert open(fast_csv).read() == open(reference_csv).read()
+
+
+class TestLeasesimJson:
+    def test_json_matches_csv_numbers(self, tmp_path):
+        trace_path = str(tmp_path / "trace.txt")
+        trace_tool.main([trace_path, "--days", "0.05", "--rate", "3.0",
+                         "--regular-per-tld", "6", "--cdn", "6",
+                         "--dyn", "6"])
+        csv_path = str(tmp_path / "curves.csv")
+        json_path = str(tmp_path / "curves.json")
+        assert leasesim_tool.main([trace_path, "--output", csv_path,
+                                   "--json", json_path,
+                                   "--fixed-points", "4",
+                                   "--dynamic-points", "4"]) == 0
+        document = json.loads(open(json_path).read())
+        csv_rows = read_csv(csv_path)[1:]
+        assert len(document["rows"]) == len(csv_rows)
+        for json_row, csv_row in zip(document["rows"], csv_rows):
+            assert json_row["scheme"] == csv_row[0]
+            # Identical precision: the JSON floats round-trip the CSV's
+            # formatted strings.
+            assert json_row["parameter"] == float(csv_row[1])
+            assert json_row["storage_pct"] == float(csv_row[2])
+            assert json_row["query_rate_pct"] == float(csv_row[3])
+            assert json_row["grants"] == int(csv_row[4])
+            assert json_row["upstream"] == int(csv_row[5])
+        readings = document["readings"]
+        assert set(readings) == {"query_rate_at_storage_1pct",
+                                 "storage_at_query_rate_20pct"}
+
+    def test_json_output_is_byte_stable(self, tmp_path):
+        trace_path = str(tmp_path / "trace.txt")
+        trace_tool.main([trace_path, "--days", "0.03", "--rate", "3.0",
+                         "--regular-per-tld", "4", "--cdn", "4",
+                         "--dyn", "4"])
+        a = str(tmp_path / "a.json")
+        b = str(tmp_path / "b.json")
+        argv = [trace_path, "--fixed-points", "3", "--dynamic-points", "3"]
+        assert leasesim_tool.main(argv + ["--json", a]) == 0
+        assert leasesim_tool.main(argv + ["--json", b]) == 0
+        assert open(a).read() == open(b).read()
+
+
+class TestObsTool:
+    def make_trace(self, tmp_path, name="trace.jsonl", rtt=0.25):
+        bus = TraceBus()
+        bus.emit("change.detected", t=10.0, seq=1, name="www.example.com.")
+        bus.emit("notify.send", t=10.0, seq=1, cache="10.0.0.2:53")
+        bus.emit("notify.ack", t=10.0 + rtt, seq=1, rtt=rtt)
+        bus.emit("lease.grant", t=1.0, cache="10.0.0.2:53", length=60.0)
+        bus.emit("net.deliver", t=10.0, src="a:1", dst="b:53", size=40)
+        path = str(tmp_path / name)
+        bus.export_jsonl(path)
+        return path
+
+    def test_summarize_tables(self, tmp_path, capsys):
+        path = self.make_trace(tmp_path)
+        assert obs_tool.main(["summarize", path]) == 0
+        output = capsys.readouterr().out
+        assert "Event counts" in output
+        assert "notify.ack" in output
+        assert "consistency_window" in output
+
+    def test_summarize_json_to_file(self, tmp_path):
+        path = self.make_trace(tmp_path)
+        out = str(tmp_path / "summary.json")
+        assert obs_tool.main(["summarize", path, "--json",
+                              "--output", out]) == 0
+        summary = json.loads(open(out).read())
+        assert summary["notify"]["acks"] == 1
+        assert summary["notify"]["ack_rtt"]["mean"] == 0.25
+        assert summary["changes"]["consistency_window"]["sum"] == 0.25
+        assert summary["lease"]["grants"] == 1
+        assert summary["net"]["delivered"] == 1
+
+    def test_export_csv(self, tmp_path, capsys):
+        path = self.make_trace(tmp_path)
+        out = str(tmp_path / "events.csv")
+        assert obs_tool.main(["export", path, "--output", out]) == 0
+        rows = read_csv(out)
+        assert rows[0] == ["t", "event", "details"]
+        assert len(rows) == 6  # header + 5 events
+        assert rows[1][1] == "change.detected"
+
+    def test_diff_identical_and_differing(self, tmp_path, capsys):
+        a = self.make_trace(tmp_path, "a.jsonl", rtt=0.25)
+        same = self.make_trace(tmp_path, "same.jsonl", rtt=0.25)
+        b = self.make_trace(tmp_path, "b.jsonl", rtt=0.5)
+        assert obs_tool.main(["diff", a, same]) == 0
+        assert "identical" in capsys.readouterr().out
+        assert obs_tool.main(["diff", a, b]) == 1
+        output = capsys.readouterr().out
+        assert "notify.ack_rtt.mean" in output
 
 
 class TestProbeTool:
