@@ -11,7 +11,11 @@ resolve-everything pass from one client.
 The run is traced: the headline numbers (CACHE-UPDATEs, acks, ack RTT,
 consistency window) are re-derived from the exported JSONL trace via
 ``repro-obs summarize`` and must match the live registry *exactly* —
-the trace is a full, faithful account of the run.
+the trace is a full, faithful account of the run.  The same trace (and
+the wire capture) is then audited against the protocol invariants —
+completeness, termination, causality, staleness, trace/wire agreement —
+and the run must come back with zero violations, both through
+:meth:`Testbed.audit` and through the ``repro-obs audit`` CLI.
 """
 
 import json
@@ -119,6 +123,16 @@ def test_fig7_testbed(benchmark, testbed, tmp_path):
 
     # The in-process API agrees with the file round trip.
     assert summarize_events(load_trace_events(str(trace_path))) == derived
+
+    # -- the invariant audit: a clean run has zero violations -------------
+    report = testbed.audit()
+    assert report.ok, report.as_dict()
+    assert report.checks  # the families actually ran
+    capture_path = tmp_path / "fig7_capture.jsonl"
+    obs.capture.export_jsonl(str(capture_path))
+    rc = obs_tool.main(["audit", str(trace_path),
+                        "--capture", str(capture_path)])
+    assert rc == 0
 
     fates = obs.capture.fates()
     print_table("Observability — trace-derived headline numbers",

@@ -18,7 +18,7 @@ import pytest
 from repro.core import DNScupConfig, DynamicLeasePolicy, attach_dnscup
 from repro.dnslib import Name, RRType
 from repro.net import Host, Network, Simulator
-from repro.obs import Observability
+from repro.obs import AuditLimits, Observability, audit_observability
 from repro.server import AuthoritativeServer, RecursiveResolver, StubResolver
 from repro.zone import load_zone
 
@@ -63,7 +63,7 @@ def run_flash_crowd(dnscup_enabled):
     middleware = None
     obs = None
     if dnscup_enabled:
-        obs = Observability.for_simulator(simulator)
+        obs = Observability.for_simulator(simulator, capture=True)
         obs.observe_network(network)
         middleware = attach_dnscup(
             auth, policy=DynamicLeasePolicy(0.0),
@@ -105,6 +105,12 @@ def run_flash_crowd(dnscup_enabled):
         assert trace_counts.get("notify.send", 0) == stats.notifications_sent
         assert trace_counts.get("change.detected", 0) \
             == middleware.detection.changes_detected
+        # Invariant audit over trace + wire capture: the push retarget
+        # must be a *clean* protocol run — every leased holder notified,
+        # every send resolved, every ack backed by a delivered datagram,
+        # and no holder stale longer than a few round trips.
+        audit = audit_observability(obs, AuditLimits(max_staleness=10.0))
+        assert audit.ok, audit.as_dict()
     return {
         "requests": len(hits),
         "origin_hits_after_redirect": len(overloaded_after),

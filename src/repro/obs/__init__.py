@@ -12,6 +12,18 @@ Three instruments, all off by default and zero-cost when off:
 :class:`Observability` bundles the three and attaches them across the
 stack; :mod:`repro.obs.analyze` recomputes the evaluation's headline
 numbers (ack RTT, consistency window) from the raw trace alone.
+
+On top of the raw record sits the auditing layer:
+
+* :mod:`repro.obs.spans` rebuilds causal spans — per-change
+  notification trees and per-pair lease lifecycles;
+* :mod:`repro.obs.audit` checks the protocol's guarantees over those
+  spans (completeness, termination, causality, budget conformance,
+  staleness, trace/wire agreement) and emits :class:`Violation`
+  records;
+* :mod:`repro.obs.report` renders bucket-interpolated percentiles,
+  per-domain timelines, and the markdown run report behind
+  ``repro-obs audit|spans|report``.
 """
 
 from .analyze import (
@@ -19,6 +31,21 @@ from .analyze import (
     diff_summaries,
     flatten_summary,
     summarize_events,
+)
+from .audit import (
+    AuditLimits,
+    AuditReport,
+    BUDGET_RENEWAL,
+    BUDGET_STORAGE,
+    CAUSALITY,
+    COMPLETENESS,
+    STALENESS,
+    TERMINATION,
+    VIOLATION_KINDS,
+    Violation,
+    WIRE,
+    audit_observability,
+    audit_trace,
 )
 from .capture import (
     FATE_DELIVERED,
@@ -36,10 +63,25 @@ from .metrics import (
     LEASE_BUCKETS,
     Registry,
 )
+from .report import (
+    REPORT_QUANTILES,
+    domain_timelines,
+    histogram_percentile,
+    percentiles,
+    render_report,
+)
+from .spans import (
+    ChangeSpan,
+    LeaseSpan,
+    NotificationLeg,
+    SpanSet,
+    build_spans,
+)
 from .trace import (
     CHANGE_DETECTED,
     CHANGE_SETTLED,
     EVENT_NAMES,
+    TRACE_META,
     LEASE_EXPIRE,
     LEASE_GRANT,
     LEASE_RENEW,
@@ -67,7 +109,7 @@ from .wiring import Observability
 
 __all__ = [
     "TraceBus", "TraceEvent", "load_trace_events", "merge_traces",
-    "EVENT_NAMES",
+    "EVENT_NAMES", "TRACE_META",
     "LEASE_GRANT", "LEASE_RENEW", "LEASE_EXPIRE", "LEASE_REVOKE",
     "CHANGE_DETECTED", "CHANGE_SETTLED",
     "NOTIFY_SEND", "NOTIFY_RETRANSMIT", "NOTIFY_ACK", "NOTIFY_TIMEOUT",
@@ -81,4 +123,11 @@ __all__ = [
     "summarize_events", "consistency_windows", "flatten_summary",
     "diff_summaries",
     "Observability",
+    "ChangeSpan", "LeaseSpan", "NotificationLeg", "SpanSet", "build_spans",
+    "AuditLimits", "AuditReport", "Violation", "VIOLATION_KINDS",
+    "audit_trace", "audit_observability",
+    "COMPLETENESS", "TERMINATION", "CAUSALITY",
+    "BUDGET_STORAGE", "BUDGET_RENEWAL", "STALENESS", "WIRE",
+    "histogram_percentile", "percentiles", "REPORT_QUANTILES",
+    "domain_timelines", "render_report",
 ]

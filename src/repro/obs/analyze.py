@@ -28,6 +28,7 @@ from .trace import (
     NOTIFY_RETRANSMIT,
     NOTIFY_SEND,
     NOTIFY_TIMEOUT,
+    TRACE_META,
     TraceEvent,
 )
 
@@ -102,8 +103,18 @@ def summarize_events(events: Sequence[TraceEvent]) -> Dict[str, object]:
     * ``changes`` — detected count plus ``consistency_window`` running
       stats from :func:`consistency_windows`;
     * ``lease`` — grant/renew/expire/revoke counts;
-    * ``net`` — delivered/dropped/duplicated/unreachable counts.
+    * ``net`` — delivered/dropped/duplicated/unreachable counts;
+    * ``bus`` — the exporting bus's own bookkeeping
+      (emitted/retained/dropped/cleared) when the trace carries a
+      :data:`~repro.obs.trace.TRACE_META` record, else None.  A nonzero
+      ``dropped`` flags ring overflow — an incomplete trace; a nonzero
+      ``cleared`` records deliberate discards.
     """
+    bus: Optional[Dict[str, object]] = None
+    if any(name == TRACE_META for _t, name, _f in events):
+        bus = next(dict(fields) for _t, name, fields in events
+                   if name == TRACE_META)
+        events = [ev for ev in events if ev[1] != TRACE_META]
     counts: Dict[str, int] = {}
     for _t, name, _fields in events:
         counts[name] = counts.get(name, 0) + 1
@@ -143,6 +154,7 @@ def summarize_events(events: Sequence[TraceEvent]) -> Dict[str, object]:
             "duplicated": counts.get(NET_DUPLICATE, 0),
             "unreachable": counts.get(NET_UNREACHABLE, 0),
         },
+        "bus": bus,
     }
 
 

@@ -1,0 +1,411 @@
+"""The protocol invariant checker: every run audits its own trace.
+
+DNScup's headline claims are *guarantees*: after a DN2IP change every
+leased cache is consistent again within one notification round trip,
+live leases never exceed the storage budget, and renewals never exceed
+the message budget of the §4 optimizers.  :func:`audit_trace` checks
+those guarantees machine-readably over one exported trace (plus,
+optionally, the wire capture), emitting a structured
+:class:`Violation` per breach:
+
+* **completeness** — every cache holding a live lease on the changed
+  record when the change was detected received a ``notify.send``;
+* **termination** — every send resolves to an ack or a timeout, and
+  does so before the change settles;
+* **causality** — no effect precedes its cause (ack/timeout/retransmit
+  after the send, time monotone along each leg) and each ack's ``rtt``
+  field equals its ack−send timestamp difference exactly;
+* **budget.storage / budget.renewal** — replayed lease-table occupancy
+  never exceeds the storage-constrained budget; the renewal rate never
+  exceeds the communication-constrained budget;
+* **staleness** — the ``change.settled`` window equals the recomputed
+  last-ack window, no ack lands after settlement, and (when a bound is
+  configured) no acked holder stayed stale longer than it;
+* **wire** — each ``notify.send`` matches captured CACHE-UPDATE
+  datagrams by message ID, with enough transmissions for its attempts
+  and a delivered datagram behind every acknowledgement.
+
+The auditor assumes a complete trace (``TraceBus.dropped == 0``):
+ring-truncated traces decapitate spans and surface false causality
+orphans, which is the honest answer for an unauditable record.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .capture import FATE_DELIVERED
+from .spans import NotificationLeg, SpanSet, build_spans
+from .trace import LEASE_EXPIRE, LEASE_GRANT, LEASE_RENEW, LEASE_REVOKE, TraceEvent
+
+#: Violation kinds (a stable contract, PROTOCOL.md §9).
+COMPLETENESS = "completeness"
+TERMINATION = "termination"
+CAUSALITY = "causality"
+BUDGET_STORAGE = "budget.storage"
+BUDGET_RENEWAL = "budget.renewal"
+STALENESS = "staleness"
+WIRE = "wire"
+
+VIOLATION_KINDS = frozenset({
+    COMPLETENESS, TERMINATION, CAUSALITY,
+    BUDGET_STORAGE, BUDGET_RENEWAL, STALENESS, WIRE,
+})
+
+#: Slack for comparing a float carried in one event against the same
+#: quantity recomputed from two timestamps.  The live emitters record
+#: the identical float objects, so exact runs audit at zero slack; the
+#: epsilon only forgives decimal re-serialization by foreign tools.
+FLOAT_SLACK = 1e-9
+
+
+@dataclasses.dataclass(frozen=True)
+class Violation:
+    """One invariant breach, anchored to the offending trace events."""
+
+    kind: str
+    message: str
+    seq: int = 0
+    t: Optional[float] = None
+    #: Indices into the audited event list of the evidence.
+    events: Tuple[int, ...] = ()
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready form with stable key order."""
+        return {"kind": self.kind, "seq": self.seq, "t": self.t,
+                "events": list(self.events), "message": self.message}
+
+
+@dataclasses.dataclass
+class AuditLimits:
+    """The budgets and bounds the run promised to honour."""
+
+    #: Storage-constrained budget (§4.2.1): maximum live leases the
+    #: table may carry — the middleware's ``lease_capacity``.
+    storage_budget: Optional[int] = None
+    #: Communication-constrained budget (§4.2.2): maximum sustained
+    #: renewal rate, renewals/second over :attr:`renewal_window`.
+    renewal_budget: Optional[float] = None
+    renewal_window: float = 60.0
+    #: Bound on per-holder staleness: seconds between change detection
+    #: and that holder's acknowledgement (the consistency window each
+    #: acked cache experienced).  None skips the bound.
+    max_staleness: Optional[float] = None
+
+
+@dataclasses.dataclass
+class AuditReport:
+    """The auditor's verdict over one trace."""
+
+    violations: List[Violation]
+    #: Facts examined per check family (for "0 violations across N
+    #: checks" reporting; a family absent from the dict did not run).
+    checks: Dict[str, int]
+    spans: SpanSet
+    events_audited: int
+    capture_audited: Optional[int] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when no invariant was violated."""
+        return not self.violations
+
+    def counts(self) -> Dict[str, int]:
+        """Violation kind -> occurrences, sorted by kind."""
+        tally: Dict[str, int] = {}
+        for violation in self.violations:
+            tally[violation.kind] = tally.get(violation.kind, 0) + 1
+        return dict(sorted(tally.items()))
+
+    def kinds(self) -> frozenset:
+        """The set of violated kinds."""
+        return frozenset(v.kind for v in self.violations)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready form mirroring ``repro-obs audit --json``."""
+        return {
+            "ok": self.ok,
+            "events_audited": self.events_audited,
+            "capture_audited": self.capture_audited,
+            "checks": dict(sorted(self.checks.items())),
+            "violation_counts": self.counts(),
+            "violations": [v.as_dict() for v in self.violations],
+        }
+
+
+def audit_trace(events: Sequence[TraceEvent],
+                capture: Optional[Sequence[Dict[str, object]]] = None,
+                limits: Optional[AuditLimits] = None) -> AuditReport:
+    """Run every invariant check over one trace (see module docstring).
+
+    ``capture`` is the wire-capture record list
+    (:attr:`repro.obs.WireCapture.records` or
+    :func:`repro.obs.load_capture` output); None skips the trace/wire
+    cross-check.  ``limits`` supplies the budgets; None checks only the
+    budget-free invariants.
+    """
+    limits = limits or AuditLimits()
+    spans = build_spans(events)
+    violations: List[Violation] = []
+    checks: Dict[str, int] = {}
+
+    def check(kind: str, amount: int = 1) -> None:
+        checks[kind] = checks.get(kind, 0) + amount
+
+    _audit_orphans(spans, violations)
+    _audit_changes(spans, limits, violations, check)
+    _audit_untracked(spans.untracked, violations, check)
+    _audit_budgets(events, limits, violations, check)
+    if capture is not None:
+        _audit_wire(spans, capture, violations, check)
+    violations.sort(key=lambda v: (v.events[0] if v.events else len(events),
+                                   v.kind))
+    return AuditReport(
+        violations=violations, checks=checks, spans=spans,
+        events_audited=len(events),
+        capture_audited=len(capture) if capture is not None else None)
+
+
+def audit_observability(obs, limits: Optional[AuditLimits] = None
+                        ) -> AuditReport:
+    """Audit a live :class:`repro.obs.Observability` bundle in place."""
+    if obs.trace.dropped:
+        raise ValueError(
+            f"trace incomplete: {obs.trace.dropped} events fell off the "
+            f"ring — raise trace_capacity to audit this run")
+    capture = obs.capture.records if obs.capture is not None else None
+    return audit_trace(list(obs.trace.events), capture=capture,
+                       limits=limits)
+
+
+# -- span-level checks --------------------------------------------------------
+
+
+def _audit_orphans(spans: SpanSet, violations: List[Violation]) -> None:
+    for index, reason in spans.orphans:
+        violations.append(Violation(
+            kind=CAUSALITY, message=f"orphan event: {reason}",
+            events=(index,)))
+
+
+def _audit_leg(leg: NotificationLeg, detected_t: Optional[float],
+               limits: AuditLimits, violations: List[Violation],
+               check) -> None:
+    """Per-leg causality (+ optional staleness bound)."""
+    check(CAUSALITY)
+    where = f"seq={leg.seq} cache={leg.cache}"
+    for index, t, attempt in leg.retransmits:
+        if t < leg.send_t:
+            violations.append(Violation(
+                kind=CAUSALITY, seq=leg.seq, t=t,
+                events=(leg.send_index, index),
+                message=f"retransmit before its send ({where})"))
+        if attempt < 2:
+            violations.append(Violation(
+                kind=CAUSALITY, seq=leg.seq, t=t,
+                events=(leg.send_index, index),
+                message=f"retransmit with attempt={attempt} < 2 ({where})"))
+    if leg.ack_index is not None:
+        assert leg.ack_t is not None
+        if leg.ack_t < leg.send_t:
+            violations.append(Violation(
+                kind=CAUSALITY, seq=leg.seq, t=leg.ack_t,
+                events=(leg.send_index, leg.ack_index),
+                message=f"ack timestamped before its send ({where})"))
+        if leg.rtt is None:
+            violations.append(Violation(
+                kind=CAUSALITY, seq=leg.seq, t=leg.ack_t,
+                events=(leg.ack_index,),
+                message=f"ack carries no rtt field ({where})"))
+        elif abs((leg.ack_t - leg.send_t) - leg.rtt) > FLOAT_SLACK:
+            violations.append(Violation(
+                kind=CAUSALITY, seq=leg.seq, t=leg.ack_t,
+                events=(leg.send_index, leg.ack_index),
+                message=(f"rtt={leg.rtt!r} but ack-send timestamps give "
+                         f"{leg.ack_t - leg.send_t!r} ({where})")))
+        if limits.max_staleness is not None and detected_t is not None:
+            check(STALENESS)
+            staleness = leg.ack_t - detected_t
+            if staleness > limits.max_staleness + FLOAT_SLACK:
+                violations.append(Violation(
+                    kind=STALENESS, seq=leg.seq, t=leg.ack_t,
+                    events=(leg.send_index, leg.ack_index),
+                    message=(f"holder stale {staleness:.6g}s > bound "
+                             f"{limits.max_staleness:.6g}s ({where})")))
+    if leg.timeout_index is not None and leg.timeout_t is not None \
+            and leg.timeout_t < leg.send_t:
+        violations.append(Violation(
+            kind=CAUSALITY, seq=leg.seq, t=leg.timeout_t,
+            events=(leg.send_index, leg.timeout_index),
+            message=f"timeout timestamped before its send ({where})"))
+
+
+def _audit_changes(spans: SpanSet, limits: AuditLimits,
+                   violations: List[Violation], check) -> None:
+    for span in spans.changes:
+        # Completeness: every live holder at change time was notified.
+        if span.detected_index is not None and span.name is not None:
+            notified = {leg.cache for leg in span.legs}
+            holders = spans.holders_at(span.name, span.rrtype or "",
+                                       span.detected_t or 0.0,
+                                       span.detected_index)
+            check(COMPLETENESS, max(len(holders), 1))
+            for holder in holders:
+                if holder.cache not in notified:
+                    violations.append(Violation(
+                        kind=COMPLETENESS, seq=span.seq, t=span.detected_t,
+                        events=(span.detected_index, holder.grant_index),
+                        message=(f"lease holder {holder.cache} on "
+                                 f"{span.name}/{span.rrtype} never "
+                                 f"notified for seq={span.seq}")))
+        # Termination: every leg resolves, and before the settle event.
+        for leg in span.legs:
+            check(TERMINATION)
+            if not leg.resolved:
+                violations.append(Violation(
+                    kind=TERMINATION, seq=span.seq, t=leg.send_t,
+                    events=(leg.send_index,),
+                    message=(f"notify.send to {leg.cache} never resolved "
+                             f"to ack or timeout (seq={span.seq})")))
+            elif span.settled_index is not None \
+                    and leg.resolution_index > span.settled_index:
+                violations.append(Violation(
+                    kind=TERMINATION, seq=span.seq, t=span.settled_t,
+                    events=(leg.resolution_index, span.settled_index),
+                    message=(f"leg to {leg.cache} resolved after "
+                             f"change.settled (seq={span.seq})")))
+            _audit_leg(leg, span.detected_t, limits, violations, check)
+        if span.legs and span.settled_index is None:
+            check(TERMINATION)
+            violations.append(Violation(
+                kind=TERMINATION, seq=span.seq, t=span.detected_t,
+                events=tuple(leg.send_index for leg in span.legs),
+                message=(f"change seq={span.seq} fanned out to "
+                         f"{len(span.legs)} holders but never settled")))
+        if span.settled_index is not None:
+            _audit_settlement(span, violations, check)
+
+
+def _audit_settlement(span, violations: List[Violation], check) -> None:
+    """The settle event's bookkeeping matches the reconstructed tree."""
+    check(STALENESS)
+    acked = len(span.acked_legs())
+    failed = sum(1 for leg in span.legs
+                 if leg.resolved and not leg.acked)
+    if span.settled_acked is not None and span.settled_acked != acked:
+        violations.append(Violation(
+            kind=TERMINATION, seq=span.seq, t=span.settled_t,
+            events=(span.settled_index,),
+            message=(f"change.settled claims acked={span.settled_acked} "
+                     f"but the trace shows {acked} (seq={span.seq})")))
+    if span.settled_failed is not None and span.settled_failed != failed:
+        violations.append(Violation(
+            kind=TERMINATION, seq=span.seq, t=span.settled_t,
+            events=(span.settled_index,),
+            message=(f"change.settled claims failed={span.settled_failed} "
+                     f"but the trace shows {failed} (seq={span.seq})")))
+    window = span.window()
+    recorded = span.settled_window
+    if (window is None) != (recorded is None) or (
+            window is not None and recorded is not None
+            and abs(window - recorded) > FLOAT_SLACK):
+        violations.append(Violation(
+            kind=STALENESS, seq=span.seq, t=span.settled_t,
+            events=(span.settled_index,),
+            message=(f"settled window={recorded!r} but last-ack "
+                     f"recomputation gives {window!r} (seq={span.seq})")))
+
+
+def _audit_untracked(untracked: Sequence[NotificationLeg],
+                     violations: List[Violation], check) -> None:
+    """Untracked (seq 0) legs still owe termination and causality."""
+    for leg in untracked:
+        check(TERMINATION)
+        if not leg.resolved:
+            violations.append(Violation(
+                kind=TERMINATION, t=leg.send_t, events=(leg.send_index,),
+                message=(f"untracked notify.send to {leg.cache} never "
+                         f"resolved to ack or timeout")))
+        _audit_leg(leg, None, AuditLimits(), violations, check)
+
+
+# -- budget checks ------------------------------------------------------------
+
+
+def _audit_budgets(events: Sequence[TraceEvent], limits: AuditLimits,
+                   violations: List[Violation], check) -> None:
+    if limits.storage_budget is None and limits.renewal_budget is None:
+        return
+    active = 0
+    renew_times: List[float] = []  # used as a sliding-window deque
+    window_start = 0
+    for index, (t, event, _fields) in enumerate(events):
+        if event == LEASE_GRANT:
+            active += 1
+            if limits.storage_budget is not None:
+                check(BUDGET_STORAGE)
+                if active > limits.storage_budget:
+                    violations.append(Violation(
+                        kind=BUDGET_STORAGE, t=t, events=(index,),
+                        message=(f"lease occupancy {active} exceeds the "
+                                 f"storage budget "
+                                 f"{limits.storage_budget}")))
+        elif event in (LEASE_EXPIRE, LEASE_REVOKE):
+            active = max(0, active - 1)
+        elif event == LEASE_RENEW and limits.renewal_budget is not None:
+            check(BUDGET_RENEWAL)
+            renew_times.append(t)
+            while renew_times[window_start] <= t - limits.renewal_window:
+                window_start += 1
+            in_window = len(renew_times) - window_start
+            allowed = limits.renewal_budget * limits.renewal_window
+            if in_window > allowed + FLOAT_SLACK:
+                violations.append(Violation(
+                    kind=BUDGET_RENEWAL, t=t, events=(index,),
+                    message=(f"{in_window} renewals in "
+                             f"{limits.renewal_window:.6g}s exceeds the "
+                             f"communication budget of "
+                             f"{limits.renewal_budget:.6g}/s")))
+
+
+# -- trace/wire cross-check ---------------------------------------------------
+
+
+def _audit_wire(spans: SpanSet, capture: Sequence[Dict[str, object]],
+                violations: List[Violation], check) -> None:
+    """Each notify.send must leave matching datagrams in the capture."""
+    by_id: Dict[Tuple[object, str], List[Dict[str, object]]] = {}
+    for record in capture:
+        if record.get("opcode") != "CACHE-UPDATE" or record.get("qr"):
+            continue
+        key = (record.get("id"), str(record.get("dst")))
+        by_id.setdefault(key, []).append(record)
+    legs = [leg for span in spans.changes for leg in span.legs]
+    legs.extend(spans.untracked)
+    for leg in legs:
+        if leg.msg_id is None:
+            continue
+        check(WIRE)
+        datagrams = by_id.get((leg.msg_id, leg.cache), [])
+        where = f"id={leg.msg_id} cache={leg.cache} seq={leg.seq}"
+        if not datagrams:
+            violations.append(Violation(
+                kind=WIRE, seq=leg.seq, t=leg.send_t,
+                events=(leg.send_index,),
+                message=f"notify.send matches no captured datagram "
+                        f"({where})"))
+            continue
+        if len(datagrams) < leg.attempts:
+            violations.append(Violation(
+                kind=WIRE, seq=leg.seq, t=leg.send_t,
+                events=(leg.send_index,),
+                message=(f"{leg.attempts} attempts but only "
+                         f"{len(datagrams)} captured datagrams ({where})")))
+        if leg.acked and not any(d.get("fate") == FATE_DELIVERED
+                                 for d in datagrams):
+            violations.append(Violation(
+                kind=WIRE, seq=leg.seq, t=leg.ack_t,
+                events=(leg.send_index, leg.ack_index or leg.send_index),
+                message=(f"acknowledged but no captured datagram was "
+                         f"delivered ({where})")))

@@ -13,6 +13,7 @@ Metric names are a stable contract documented in PROTOCOL.md §9.
 
 from __future__ import annotations
 
+import bisect
 import json
 import math
 from typing import Callable, Dict, List, Optional, Sequence, TextIO, Union
@@ -92,11 +93,9 @@ class Histogram:
 
     def observe(self, value: float) -> None:
         """Record one observation."""
-        index = len(self.bounds)
-        for i, bound in enumerate(self.bounds):
-            if value <= bound:
-                index = i
-                break
+        # First bound >= value — same bucket the linear scan over the
+        # inclusive upper bounds found, in O(log buckets) on a hot path.
+        index = bisect.bisect_left(self.bounds, value)
         self.counts[index] += 1
         self.count += 1
         self.sum += value
@@ -111,16 +110,27 @@ class Histogram:
         return self.sum / self.count if self.count else None
 
     def as_dict(self) -> Dict[str, object]:
-        """Snapshot form: summary stats plus per-bucket counts."""
+        """Snapshot form: summary stats plus per-bucket counts.
+
+        Strictly JSON: the implicit +inf overflow bound serializes as
+        ``null``, and so do non-finite summary stats (min/max/sum/mean
+        after observing an infinity) — bare ``Infinity`` tokens are not
+        JSON and break every strict parser downstream.
+        """
         return {
             "count": self.count,
-            "sum": self.sum,
-            "mean": self.mean,
-            "min": self.min if self.count else None,
-            "max": self.max if self.count else None,
-            "buckets": [[bound, count] for bound, count
+            "sum": _json_number(self.sum),
+            "mean": _json_number(self.mean),
+            "min": _json_number(self.min) if self.count else None,
+            "max": _json_number(self.max) if self.count else None,
+            "buckets": [[_json_number(bound), count] for bound, count
                         in zip((*self.bounds, math.inf), self.counts)],
         }
+
+
+def _json_number(value: Optional[float]) -> Optional[float]:
+    """``value`` when finite, else None (JSON has no Infinity/NaN)."""
+    return value if value is not None and math.isfinite(value) else None
 
 
 class Registry:
@@ -183,11 +193,17 @@ class Registry:
         }
 
     def export_json(self, target: Union[str, TextIO]) -> None:
-        """Write :meth:`snapshot` as stable, indented JSON."""
+        """Write :meth:`snapshot` as stable, indented, *strict* JSON.
+
+        ``allow_nan=False`` turns any non-finite value that slipped
+        past the snapshot (e.g. a callable gauge reading inf) into a
+        loud :class:`ValueError` instead of silently emitting the
+        non-JSON ``Infinity`` token.
+        """
         own = isinstance(target, str)
         stream: TextIO = open(target, "w") if own else target  # type: ignore[arg-type]
         try:
-            json.dump(self.snapshot(), stream, indent=2)
+            json.dump(self.snapshot(), stream, indent=2, allow_nan=False)
             stream.write("\n")
         finally:
             if own:

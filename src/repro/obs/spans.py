@@ -1,0 +1,358 @@
+"""Causal spans: reconstructing protocol stories from raw trace events.
+
+A flat JSONL trace records *moments*; the protocol's guarantees are
+about *stories* — one DN2IP change fanning out to every lease holder and
+settling, one lease living from grant through renewals to expiry.  This
+module rebuilds those stories:
+
+* :class:`ChangeSpan` — one detected change and its notification tree:
+  ``change.detected`` → per-recipient ``notify.send`` (plus
+  ``notify.retransmit``) → ``notify.ack`` / ``notify.timeout`` →
+  ``change.settled``, correlated by the detection module's ``seq``;
+* :class:`LeaseSpan` — one lease lifecycle on a (cache, name, rrtype)
+  pair: ``lease.grant`` → ``lease.renew``* → ``lease.expire`` /
+  ``lease.revoke`` (or still open at end of trace).
+
+Matching is *positional*: events are consumed in trace order, so an
+acknowledgement only ever resolves a send that precedes it.  Events
+that tell no coherent story — an ack with no outstanding send, an
+expiry with no live lease — land in :attr:`SpanSet.orphans`, which the
+auditor (:mod:`repro.obs.audit`) treats as causality violations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .trace import (
+    CHANGE_DETECTED,
+    CHANGE_SETTLED,
+    LEASE_EXPIRE,
+    LEASE_GRANT,
+    LEASE_RENEW,
+    LEASE_REVOKE,
+    NOTIFY_ACK,
+    NOTIFY_RETRANSMIT,
+    NOTIFY_SEND,
+    NOTIFY_TIMEOUT,
+    TraceEvent,
+)
+
+#: A lease span's identity: (cache endpoint, owner name, rrtype) — the
+#: (domain, nameserver) pair of the paper, typed per record.
+LeaseKey = Tuple[str, str, str]
+
+
+@dataclasses.dataclass
+class NotificationLeg:
+    """One recipient's branch of a change's notification tree."""
+
+    seq: int
+    cache: str
+    name: Optional[str]
+    rrtype: Optional[str]
+    msg_id: Optional[int]
+    send_index: int
+    send_t: float
+    #: ``(event index, t, attempt)`` per retry-timer firing.
+    retransmits: List[Tuple[int, float, int]] = dataclasses.field(
+        default_factory=list)
+    ack_index: Optional[int] = None
+    ack_t: Optional[float] = None
+    rtt: Optional[float] = None
+    timeout_index: Optional[int] = None
+    timeout_t: Optional[float] = None
+    timeout_reason: Optional[str] = None
+
+    @property
+    def acked(self) -> bool:
+        """True when this leg resolved with an acknowledgement."""
+        return self.ack_index is not None
+
+    @property
+    def resolved(self) -> bool:
+        """True when this leg reached an ack or a timeout."""
+        return self.ack_index is not None or self.timeout_index is not None
+
+    @property
+    def resolution_index(self) -> Optional[int]:
+        """Event index of the ack/timeout, or None while unresolved."""
+        return self.ack_index if self.ack_index is not None \
+            else self.timeout_index
+
+    @property
+    def attempts(self) -> int:
+        """Datagram transmissions: the send plus every retransmit."""
+        return 1 + len(self.retransmits)
+
+
+@dataclasses.dataclass
+class ChangeSpan:
+    """One detected change and every notification it caused."""
+
+    seq: int
+    detected_index: Optional[int] = None
+    detected_t: Optional[float] = None
+    zone: Optional[str] = None
+    name: Optional[str] = None
+    rrtype: Optional[str] = None
+    kind: Optional[str] = None
+    legs: List[NotificationLeg] = dataclasses.field(default_factory=list)
+    settled_index: Optional[int] = None
+    settled_t: Optional[float] = None
+    #: The ``window`` field carried by ``change.settled`` (None when no
+    #: leg acked — the change fell back to TTL expiry).
+    settled_window: Optional[float] = None
+    settled_acked: Optional[int] = None
+    settled_failed: Optional[int] = None
+
+    @property
+    def settled(self) -> bool:
+        """True once a ``change.settled`` event was seen for this seq."""
+        return self.settled_index is not None
+
+    def acked_legs(self) -> List[NotificationLeg]:
+        """The legs that resolved with an acknowledgement."""
+        return [leg for leg in self.legs if leg.acked]
+
+    def window(self) -> Optional[float]:
+        """The consistency window recomputed from the legs.
+
+        Detection time to the *last* acknowledgement — when every
+        reachable lease holder is consistent again.  None when the
+        detection event is missing or no leg acked.
+        """
+        if self.detected_t is None:
+            return None
+        ack_times = [leg.ack_t for leg in self.legs if leg.ack_t is not None]
+        return max(ack_times) - self.detected_t if ack_times else None
+
+
+@dataclasses.dataclass
+class LeaseSpan:
+    """One lease lifecycle on a (cache, name, rrtype) pair."""
+
+    cache: str
+    name: str
+    rrtype: str
+    grant_index: int
+    granted_at: float
+    length: float
+    #: ``(event index, t, new length)`` per renewal; each renewal
+    #: restarts the term from its own timestamp.
+    renewals: List[Tuple[int, float, float]] = dataclasses.field(
+        default_factory=list)
+    end_index: Optional[int] = None
+    end_t: Optional[float] = None
+    end_kind: Optional[str] = None  # "expire" | "revoke" | None (open)
+
+    @property
+    def key(self) -> LeaseKey:
+        """The pair identity this span belongs to."""
+        return (self.cache, self.name, self.rrtype)
+
+    @property
+    def open(self) -> bool:
+        """True while no expire/revoke event has closed this span."""
+        return self.end_index is None
+
+    def expiry_as_of(self, index: int) -> float:
+        """The promised expiry time, considering events before ``index``.
+
+        The grant starts the term; every renewal with an event index
+        below ``index`` restarts it.  This is what the server's lazily
+        swept table believed at that point in the trace.
+        """
+        start, length = self.granted_at, self.length
+        for renew_index, t, new_length in self.renewals:
+            if renew_index < index:
+                start, length = t, new_length
+        return start + length
+
+    def covers(self, t: float, index: int) -> bool:
+        """True when this lease was live at time ``t``, event ``index``.
+
+        Live means: granted strictly before ``index`` in trace order,
+        not yet ended (expire/revoke) before ``index``, and the promised
+        term still running (``t < expiry``, matching
+        :meth:`repro.core.lease.Lease.is_valid`'s strict bound).
+        """
+        if self.grant_index >= index:
+            return False
+        if self.end_index is not None and self.end_index < index:
+            return False
+        return t < self.expiry_as_of(index)
+
+
+@dataclasses.dataclass
+class SpanSet:
+    """Every story one trace tells, plus the events telling none."""
+
+    changes: List[ChangeSpan]
+    leases: List[LeaseSpan]
+    #: Untracked (seq 0) notification legs — hand-fed changes with no
+    #: detection record; matched FIFO per (cache, name, rrtype).
+    untracked: List[NotificationLeg]
+    #: ``(event index, reason)`` for events that matched no span.
+    orphans: List[Tuple[int, str]]
+
+    def change_for(self, seq: int) -> Optional[ChangeSpan]:
+        """The change span with correlation id ``seq``, if any."""
+        for span in self.changes:
+            if span.seq == seq:
+                return span
+        return None
+
+    def holders_at(self, name: str, rrtype: str, t: float,
+                   index: int) -> List[LeaseSpan]:
+        """Lease spans live on (name, rrtype) at time ``t``/``index``."""
+        return [span for span in self.leases
+                if span.name == name and span.rrtype == rrtype
+                and span.covers(t, index)]
+
+
+def _as_seq(fields: Dict[str, object]) -> int:
+    value = fields.get("seq")
+    return int(value) if value is not None else 0
+
+
+def build_spans(events: Sequence[TraceEvent]) -> SpanSet:
+    """Reconstruct change and lease spans from one event stream.
+
+    ``events`` must be a complete trace in emission order (the order
+    :meth:`repro.obs.TraceBus.export_jsonl` preserves); a ring-truncated
+    trace reconstructs, but decapitated spans surface as orphans.
+    """
+    changes: List[ChangeSpan] = []
+    by_seq: Dict[int, ChangeSpan] = {}
+    leases: List[LeaseSpan] = []
+    open_leases: Dict[LeaseKey, LeaseSpan] = {}
+    untracked: List[NotificationLeg] = []
+    orphans: List[Tuple[int, str]] = []
+
+    def span_for(seq: int) -> ChangeSpan:
+        span = by_seq.get(seq)
+        if span is None:
+            span = by_seq[seq] = ChangeSpan(seq=seq)
+            changes.append(span)
+        return span
+
+    def open_leg(seq: int, cache: str, name: Optional[str],
+                 rrtype: Optional[str]) -> Optional[NotificationLeg]:
+        """The oldest unresolved leg this event can belong to."""
+        if seq:
+            span = by_seq.get(seq)
+            candidates = span.legs if span is not None else []
+        else:
+            candidates = untracked
+        for leg in candidates:
+            if leg.resolved or leg.cache != cache:
+                continue
+            if seq == 0 and (leg.name != name or leg.rrtype != rrtype):
+                continue
+            return leg
+        return None
+
+    for index, (t, event, fields) in enumerate(events):
+        if event == CHANGE_DETECTED:
+            seq = _as_seq(fields)
+            if not seq:
+                orphans.append((index, "change.detected without seq"))
+                continue
+            span = span_for(seq)
+            if span.detected_index is not None:
+                orphans.append((index, f"duplicate change.detected seq={seq}"))
+                continue
+            span.detected_index = index
+            span.detected_t = t
+            span.zone = fields.get("zone")
+            span.name = fields.get("name")
+            span.rrtype = fields.get("rrtype")
+            span.kind = fields.get("kind")
+        elif event == NOTIFY_SEND:
+            seq = _as_seq(fields)
+            leg = NotificationLeg(
+                seq=seq, cache=str(fields.get("cache")),
+                name=fields.get("name"), rrtype=fields.get("rrtype"),
+                msg_id=fields.get("id"), send_index=index, send_t=t)
+            if seq:
+                span_for(seq).legs.append(leg)
+            else:
+                untracked.append(leg)
+        elif event == NOTIFY_RETRANSMIT:
+            leg = open_leg(_as_seq(fields), str(fields.get("cache")),
+                           fields.get("name"), fields.get("rrtype"))
+            if leg is None:
+                orphans.append((index, "retransmit without outstanding send"))
+                continue
+            leg.retransmits.append((index, t, int(fields.get("attempt", 0))))
+        elif event == NOTIFY_ACK:
+            leg = open_leg(_as_seq(fields), str(fields.get("cache")),
+                           fields.get("name"), fields.get("rrtype"))
+            if leg is None:
+                orphans.append((index, "ack without outstanding send"))
+                continue
+            leg.ack_index = index
+            leg.ack_t = t
+            rtt = fields.get("rtt")
+            leg.rtt = float(rtt) if rtt is not None else None
+        elif event == NOTIFY_TIMEOUT:
+            leg = open_leg(_as_seq(fields), str(fields.get("cache")),
+                           fields.get("name"), fields.get("rrtype"))
+            if leg is None:
+                orphans.append((index, "timeout without outstanding send"))
+                continue
+            leg.timeout_index = index
+            leg.timeout_t = t
+            leg.timeout_reason = fields.get("reason")
+        elif event == CHANGE_SETTLED:
+            seq = _as_seq(fields)
+            if not seq:
+                orphans.append((index, "change.settled without seq"))
+                continue
+            span = span_for(seq)
+            if span.settled_index is not None:
+                orphans.append((index, f"duplicate change.settled seq={seq}"))
+                continue
+            span.settled_index = index
+            span.settled_t = t
+            window = fields.get("window")
+            span.settled_window = float(window) if window is not None else None
+            acked = fields.get("acked")
+            span.settled_acked = int(acked) if acked is not None else None
+            failed = fields.get("failed")
+            span.settled_failed = int(failed) if failed is not None else None
+        elif event in (LEASE_GRANT, LEASE_RENEW):
+            key: LeaseKey = (str(fields.get("cache")),
+                             str(fields.get("name")),
+                             str(fields.get("rrtype")))
+            length = float(fields.get("length", 0.0))
+            current = open_leases.get(key)
+            if event == LEASE_RENEW and current is not None:
+                current.renewals.append((index, t, length))
+                continue
+            # A fresh grant supersedes any span still open on the pair
+            # (the table reclaims expired entries before re-granting, so
+            # a live trace closes it with lease.expire first).
+            if current is not None:
+                current.end_index = index
+                current.end_t = t
+                current.end_kind = "superseded"
+            span = LeaseSpan(cache=key[0], name=key[1], rrtype=key[2],
+                             grant_index=index, granted_at=t, length=length)
+            leases.append(span)
+            open_leases[key] = span
+        elif event in (LEASE_EXPIRE, LEASE_REVOKE):
+            key = (str(fields.get("cache")), str(fields.get("name")),
+                   str(fields.get("rrtype")))
+            current = open_leases.pop(key, None)
+            if current is None:
+                orphans.append((index, f"{event} without a live lease"))
+                continue
+            current.end_index = index
+            current.end_t = t
+            current.end_kind = ("expire" if event == LEASE_EXPIRE
+                                else "revoke")
+    return SpanSet(changes=changes, leases=leases, untracked=untracked,
+                   orphans=orphans)

@@ -78,6 +78,11 @@ EVENT_NAMES = frozenset({
     PUSH_SEND, PUSH_KEEPALIVE,
 })
 
+#: Synthetic record written by ``export_jsonl(..., meta=True)`` carrying
+#: the bus's own bookkeeping (emitted/dropped/cleared/capacity) — not an
+#: instrumentation event, but accepted by strict loading.
+TRACE_META = "trace.meta"
+
 
 #: One recorded event: (time, event name, fields).  A plain tuple keeps
 #: recording allocation-light; fields is the emit call's keyword dict.
@@ -102,9 +107,10 @@ class TraceBus:
             simulator = clock
             clock = lambda: simulator.now  # noqa: E731
         self._clock: Optional[Clock] = clock
+        self.capacity = capacity
         self.events: Deque[TraceEvent] = collections.deque(maxlen=capacity)
-        #: Emissions that fell off the ring (total emitted - retained).
-        self.dropped = 0
+        #: Events discarded by an explicit :meth:`clear` (deliberate).
+        self.cleared = 0
         self._emitted = 0
 
     def emit(self, event: str, t: Optional[float] = None, **fields) -> None:
@@ -125,6 +131,26 @@ class TraceBus:
         """Total events emitted, including any that fell off the ring."""
         return self._emitted
 
+    @property
+    def dropped(self) -> int:
+        """Events that fell off the ring (overflow losses only).
+
+        An explicit :meth:`clear` is a deliberate discard and counts
+        under :attr:`cleared` instead — a nonzero ``dropped`` always
+        means the trace is an incomplete record of the run.
+        """
+        return self._emitted - self.cleared - len(self.events)
+
+    def stats(self) -> Dict[str, int]:
+        """Bus bookkeeping: capacity/emitted/retained/dropped/cleared."""
+        return {
+            "capacity": self.capacity,
+            "emitted": self._emitted,
+            "retained": len(self.events),
+            "dropped": self.dropped,
+            "cleared": self.cleared,
+        }
+
     def counts(self) -> Dict[str, int]:
         """Event-name -> occurrences currently retained."""
         tally: Dict[str, int] = {}
@@ -138,24 +164,36 @@ class TraceBus:
         return [ev for ev in self.events if ev[1] in wanted]
 
     def clear(self) -> None:
-        """Drop every retained event (counters keep running)."""
-        self.dropped += len(self.events)
+        """Discard every retained event (counters keep running).
+
+        Deliberate discards accrue to :attr:`cleared`, never to
+        :attr:`dropped` — the latter is reserved for ring overflow.
+        """
+        self.cleared += len(self.events)
         self.events.clear()
 
     # -- JSONL export/import -------------------------------------------------
 
-    def export_jsonl(self, target: Union[str, TextIO]) -> int:
+    def export_jsonl(self, target: Union[str, TextIO],
+                     meta: bool = False) -> int:
         """Write retained events as JSON lines; returns lines written.
 
         Each line is ``{"t": ..., "event": ..., <fields>}`` with ``t``
         and ``event`` first and the remaining keys in sorted order, so
-        identical runs export byte-identical traces.
+        identical runs export byte-identical traces.  ``meta=True``
+        prepends one :data:`TRACE_META` record carrying :meth:`stats`,
+        so downstream tools can tell a complete trace from a truncated
+        one (``repro-obs summarize`` reports it).
         """
         own = isinstance(target, str)
         stream: TextIO = open(target, "w") if own else target  # type: ignore[arg-type]
         try:
             written = 0
-            for t, name, fields in self.events:
+            records: List[TraceEvent] = list(self.events)
+            if meta:
+                records.insert(0, (0.0, TRACE_META,
+                                   dict(self.stats())))
+            for t, name, fields in records:
                 record = {"t": t, "event": name}
                 for key in sorted(fields):
                     record[key] = fields[key]
@@ -168,8 +206,17 @@ class TraceBus:
                 stream.close()
 
 
-def load_trace_events(source: Union[str, TextIO]) -> List[TraceEvent]:
-    """Read a JSONL trace back into :data:`TraceEvent` tuples."""
+def load_trace_events(source: Union[str, TextIO],
+                      strict: bool = False) -> List[TraceEvent]:
+    """Read a JSONL trace back into :data:`TraceEvent` tuples.
+
+    ``strict=True`` validates every event name against the
+    :data:`EVENT_NAMES` contract (plus :data:`TRACE_META`) and raises
+    :class:`ValueError` on the first unknown name — the mode for
+    rejecting hand-edited or version-skewed traces.  The default mode
+    loads anything well-formed; callers can diff names against
+    :data:`EVENT_NAMES` themselves to warn instead (``repro-obs`` does).
+    """
     own = isinstance(source, str)
     stream: TextIO = open(source) if own else source  # type: ignore[arg-type]
     try:
@@ -185,6 +232,9 @@ def load_trace_events(source: Union[str, TextIO]) -> List[TraceEvent]:
             except KeyError as exc:
                 raise ValueError(
                     f"trace line {lineno}: missing {exc}") from None
+            if strict and name not in EVENT_NAMES and name != TRACE_META:
+                raise ValueError(
+                    f"trace line {lineno}: unknown event name {name!r}")
             events.append((t, name, record))
         return events
     finally:

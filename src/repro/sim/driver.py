@@ -31,6 +31,7 @@ import math
 from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 from ..dnslib import Name
+from ..obs.trace import LEASE_EXPIRE, LEASE_GRANT, TraceBus
 from ..traces.domains import DomainSpec
 from ..traces.workload import QueryEvent, measured_rates
 from .metrics import LeaseSimResult
@@ -84,7 +85,8 @@ def simulate_lease_trace(events: Sequence[QueryEvent],
                          lease_fn: LeaseFn,
                          duration: float,
                          scheme: str = "custom",
-                         parameter: float = 0.0) -> LeaseSimResult:
+                         parameter: float = 0.0,
+                         trace: Optional[TraceBus] = None) -> LeaseSimResult:
     """Replay ``events`` under one lease scheme; see module docstring.
 
     This is the *reference oracle*: one full pass over the trace per
@@ -93,6 +95,13 @@ def simulate_lease_trace(events: Sequence[QueryEvent],
     this function by a property test.  ``lease_seconds`` is an exactly
     rounded sum (``math.fsum``) so that identity is independent of the
     order either engine visits the grants in.
+
+    ``trace`` (optional) receives the lease lifecycle as ``lease.grant``
+    / ``lease.expire`` events — the cache is ``ns<index>``, expiries are
+    recorded lazily when a later query observes them (stamps can trail
+    in time; trace order is the causal order, as with the live table's
+    lazy sweep).  The default ``None`` keeps the hot loop
+    allocation-free.
     """
     lease_expiry: Dict[Pair, float] = {}
     upstream = 0
@@ -107,6 +116,13 @@ def simulate_lease_trace(events: Sequence[QueryEvent],
         expiry = lease_expiry.get(pair)
         if expiry is not None and event.time < expiry:
             continue  # absorbed by a valid lease
+        if trace is not None and expiry is not None:
+            trace.emit(LEASE_EXPIRE, t=expiry,
+                       cache=f"ns{event.nameserver}",
+                       name=str(event.name), rrtype="A")
+            # Dropping the stale entry is behaviour-neutral: a missing
+            # entry and an expired one both send the query upstream.
+            del lease_expiry[pair]
         upstream += 1
         rate = pair_rates.get(pair, 0.0)
         length = lease_fn(pair, rate, max_lease_of(event.name))
@@ -115,6 +131,11 @@ def simulate_lease_trace(events: Sequence[QueryEvent],
             end = min(event.time + length, duration)
             lease_terms.append(max(0.0, end - event.time))
             lease_expiry[pair] = event.time + length
+            if trace is not None:
+                trace.emit(LEASE_GRANT, t=event.time,
+                           cache=f"ns{event.nameserver}",
+                           name=str(event.name), rrtype="A",
+                           length=length)
     return LeaseSimResult(
         scheme=scheme, parameter=parameter, total_queries=total,
         upstream_messages=upstream, grants=grants,

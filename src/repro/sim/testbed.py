@@ -24,7 +24,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..core import DNScup, DNScupConfig, DynamicLeasePolicy, attach_dnscup
 from ..dnslib import A, Name, NS, RRType, RRSet, SOA, Rcode, make_update
 from ..net import Host, LinkProfile, LatencyModel, Network, Simulator
-from ..obs import Observability
+from ..obs import AuditLimits, AuditReport, Observability, audit_observability
 from ..server import AuthoritativeServer, RecursiveResolver, ResolverCache, StubResolver
 from ..traces.domains import DomainSpec, PopulationConfig, generate_population
 from ..traces.ircache import synthesize_proxy_log, top_domains
@@ -260,3 +260,15 @@ class Testbed:
     def run(self) -> None:
         """Drain all pending (non-daemon) work."""
         self.simulator.run()
+
+    def audit(self, limits: Optional[AuditLimits] = None) -> AuditReport:
+        """Check the run's trace (and capture) against the protocol
+        invariants; see :func:`repro.obs.audit_trace`.
+
+        Requires the testbed to have been built with
+        ``observability=True`` so the full event record exists.
+        """
+        if self.observability is None:
+            raise ValueError("testbed built without observability=True; "
+                             "no trace to audit")
+        return audit_observability(self.observability, limits=limits)

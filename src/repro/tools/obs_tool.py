@@ -1,7 +1,8 @@
-"""``repro-obs``: inspect exported observability traces.
+"""``repro-obs``: inspect, audit, and report on exported traces.
 
 Works on the JSONL event files written by
-:meth:`repro.obs.TraceBus.export_jsonl`:
+:meth:`repro.obs.TraceBus.export_jsonl` (plus, for the wire
+cross-check, captures from :meth:`repro.obs.WireCapture.export_jsonl`):
 
 * ``summarize`` — recompute the headline numbers (notification ack RTT,
   consistency windows, lease churn, datagram fates) from the raw events;
@@ -9,7 +10,17 @@ Works on the JSONL event files written by
 * ``export`` — flatten the trace to CSV (time, event, details) for
   spreadsheet spelunking;
 * ``diff`` — compare two runs' summaries key by key (an A/B harness for
-  "did my change alter the protocol's behaviour?").
+  "did my change alter the protocol's behaviour?");
+* ``spans`` — rebuild causal spans: per-change notification trees and
+  per-pair lease lifecycles;
+* ``audit`` — run the protocol invariant checker (completeness,
+  termination, causality, budgets, staleness, trace/wire agreement);
+  exits 1 when any :class:`repro.obs.Violation` is found;
+* ``report`` — render the full markdown run report (overview,
+  bucket-interpolated percentiles, per-domain timelines, audit).
+
+Every subcommand warns on stderr about event names outside the
+PROTOCOL.md §9 contract; ``--strict`` turns the warning into an error.
 """
 
 from __future__ import annotations
@@ -17,9 +28,22 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
-from ..obs import diff_summaries, load_trace_events, summarize_events
+from ..obs import (
+    EVENT_NAMES,
+    TRACE_META,
+    AuditLimits,
+    AuditReport,
+    audit_trace,
+    build_spans,
+    diff_summaries,
+    load_capture,
+    load_trace_events,
+    render_report,
+    summarize_events,
+)
+from ..obs.trace import TraceEvent
 from ..report import format_table, write_csv
 
 
@@ -27,7 +51,11 @@ def build_parser() -> argparse.ArgumentParser:
     """The argparse parser for this tool."""
     parser = argparse.ArgumentParser(
         prog="repro-obs",
-        description="Summarize, export, or diff DNScup trace files.")
+        description="Summarize, export, diff, audit, or report on "
+                    "DNScup trace files.")
+    parser.add_argument("--strict", action="store_true",
+                        help="reject trace events whose names are outside "
+                             "the PROTOCOL.md §9 contract (default: warn)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     summarize = sub.add_parser(
@@ -45,7 +73,66 @@ def build_parser() -> argparse.ArgumentParser:
     diff = sub.add_parser("diff", help="compare two traces' summaries")
     diff.add_argument("trace_a", help="baseline JSONL trace")
     diff.add_argument("trace_b", help="candidate JSONL trace")
+
+    spans = sub.add_parser(
+        "spans", help="rebuild causal spans (changes and leases)")
+    spans.add_argument("trace", help="JSONL trace file")
+    spans.add_argument("--limit", type=int, default=20,
+                       help="rows per table (default 20; 0 = all)")
+
+    audit = sub.add_parser(
+        "audit", help="check the protocol invariants over a trace")
+    audit.add_argument("trace", help="JSONL trace file")
+    _audit_arguments(audit)
+    audit.add_argument("--json", action="store_true",
+                       help="emit the audit report as JSON")
+    audit.add_argument("--output",
+                       help="write the report there instead of stdout")
+
+    report = sub.add_parser(
+        "report", help="render the full markdown run report")
+    report.add_argument("trace", help="JSONL trace file")
+    _audit_arguments(report)
+    report.add_argument("--title", default="DNScup run report",
+                        help="report heading")
+    report.add_argument("--output",
+                        help="write the markdown there instead of stdout")
     return parser
+
+
+def _audit_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--capture",
+                        help="wire-capture JSONL for the trace/wire "
+                             "cross-check")
+    parser.add_argument("--storage-budget", type=int, default=None,
+                        help="§4.2.1 storage budget: max live leases")
+    parser.add_argument("--renewal-budget", type=float, default=None,
+                        help="§4.2.2 communication budget: renewals/second")
+    parser.add_argument("--renewal-window", type=float, default=60.0,
+                        help="sliding window for the renewal budget, "
+                             "seconds (default 60)")
+    parser.add_argument("--max-staleness", type=float, default=None,
+                        help="bound on per-holder staleness, seconds")
+
+
+def _load(path: str, strict: bool) -> List[TraceEvent]:
+    """Load a trace, enforcing or warning about the name contract."""
+    events = load_trace_events(path, strict=strict)
+    if not strict:
+        unknown = sorted({name for _t, name, _f in events
+                          if name not in EVENT_NAMES
+                          and name != TRACE_META})
+        if unknown:
+            print(f"warning: {path}: events outside the PROTOCOL.md §9 "
+                  f"contract: {', '.join(unknown)}", file=sys.stderr)
+    return events
+
+
+def _limits(args: argparse.Namespace) -> AuditLimits:
+    return AuditLimits(storage_budget=args.storage_budget,
+                       renewal_budget=args.renewal_budget,
+                       renewal_window=args.renewal_window,
+                       max_staleness=args.max_staleness)
 
 
 def _format_value(value: object) -> str:
@@ -65,6 +152,14 @@ def _summary_tables(summary: dict) -> str:
         [(span["count"], _format_value(span["first"]),
           _format_value(span["last"]))],
         title="Trace span"))
+    bus = summary.get("bus")
+    if bus is not None:
+        sections.append(format_table(
+            ("emitted", "retained", "dropped", "cleared"),
+            [(bus.get("emitted", "-"), bus.get("retained", "-"),
+              bus.get("dropped", "-"), bus.get("cleared", "-"))],
+            title="Trace bus (dropped = ring overflow, "
+                  "cleared = explicit clear())"))
     sections.append(format_table(
         ("event", "count"),
         sorted(summary["events"].items()),
@@ -92,7 +187,7 @@ def _emit(text: str, output: Optional[str]) -> None:
 
 
 def cmd_summarize(args: argparse.Namespace) -> int:
-    events = load_trace_events(args.trace)
+    events = _load(args.trace, args.strict)
     summary = summarize_events(events)
     if args.json:
         _emit(json.dumps(summary, sort_keys=True, indent=2), args.output)
@@ -102,7 +197,7 @@ def cmd_summarize(args: argparse.Namespace) -> int:
 
 
 def cmd_export(args: argparse.Namespace) -> int:
-    events = load_trace_events(args.trace)
+    events = _load(args.trace, args.strict)
     rows = [(f"{t!r}", name,
              " ".join(f"{key}={fields[key]}" for key in sorted(fields)))
             for t, name, fields in events]
@@ -112,8 +207,8 @@ def cmd_export(args: argparse.Namespace) -> int:
 
 
 def cmd_diff(args: argparse.Namespace) -> int:
-    summary_a = summarize_events(load_trace_events(args.trace_a))
-    summary_b = summarize_events(load_trace_events(args.trace_b))
+    summary_a = summarize_events(_load(args.trace_a, args.strict))
+    summary_b = summarize_events(_load(args.trace_b, args.strict))
     rows = [(key, _format_value(left), _format_value(right))
             for key, left, right in diff_summaries(summary_a, summary_b)]
     if not rows:
@@ -124,11 +219,87 @@ def cmd_diff(args: argparse.Namespace) -> int:
     return 1
 
 
+def _clip(rows: Sequence, limit: int) -> Sequence:
+    return rows if limit <= 0 else rows[:limit]
+
+
+def cmd_spans(args: argparse.Namespace) -> int:
+    events = _load(args.trace, args.strict)
+    spans = build_spans(events)
+    change_rows = [(span.seq, span.name or "-", span.rrtype or "-",
+                    _format_value(span.detected_t),
+                    _format_value(span.settled_t),
+                    _format_value(span.window()),
+                    len(span.acked_legs()), len(span.legs),
+                    sum(len(leg.retransmits) for leg in span.legs))
+                   for span in spans.changes]
+    print(format_table(
+        ("seq", "name", "type", "detected", "settled", "window",
+         "acked", "holders", "rexmits"),
+        _clip(change_rows, args.limit),
+        title=f"Change spans ({len(spans.changes)} total, "
+              f"{len(spans.untracked)} untracked legs)"))
+    print()
+    lease_rows = [(span.cache, span.name, span.rrtype,
+                   _format_value(span.granted_at),
+                   _format_value(span.length), len(span.renewals),
+                   span.end_kind or "open")
+                  for span in spans.leases]
+    print(format_table(
+        ("cache", "name", "type", "granted", "length", "renewals", "end"),
+        _clip(lease_rows, args.limit),
+        title=f"Lease spans ({len(spans.leases)} total, "
+              f"{sum(1 for s in spans.leases if s.open)} open)"))
+    if spans.orphans:
+        print()
+        print(format_table(
+            ("event index", "reason"), _clip(spans.orphans, args.limit),
+            title=f"Orphan events ({len(spans.orphans)})"))
+    return 0
+
+
+def _audit(args: argparse.Namespace) -> AuditReport:
+    events = _load(args.trace, args.strict)
+    capture = load_capture(args.capture) if args.capture else None
+    return audit_trace(events, capture=capture, limits=_limits(args))
+
+
+def cmd_audit(args: argparse.Namespace) -> int:
+    report = _audit(args)
+    if args.json:
+        _emit(json.dumps(report.as_dict(), indent=2), args.output)
+    else:
+        checked = sum(report.checks.values())
+        if report.ok:
+            _emit(f"OK: 0 violations across {checked} checks "
+                  f"({', '.join(sorted(report.checks)) or 'none run'})",
+                  args.output)
+        else:
+            rows = [(v.kind, v.seq or "-", _format_value(v.t),
+                     " ".join(str(i) for i in v.events), v.message)
+                    for v in report.violations]
+            _emit(format_table(
+                ("kind", "seq", "t", "events", "message"), rows,
+                title=f"{len(report.violations)} violation(s) across "
+                      f"{checked} checks"), args.output)
+    return 0 if report.ok else 1
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    events = _load(args.trace, args.strict)
+    capture = load_capture(args.capture) if args.capture else None
+    audit = audit_trace(events, capture=capture, limits=_limits(args))
+    _emit(render_report(events, capture=capture, title=args.title,
+                        audit=audit), args.output)
+    return 0 if audit.ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     handler = {"summarize": cmd_summarize, "export": cmd_export,
-               "diff": cmd_diff}[args.command]
+               "diff": cmd_diff, "spans": cmd_spans,
+               "audit": cmd_audit, "report": cmd_report}[args.command]
     return handler(args)
 
 

@@ -63,6 +63,7 @@ class TestDeterminism:
     "quickstart.py",
     "emergency_remap.py",
     "secure_push.py",
+    "audit_quickstart.py",
 ])
 class TestExampleSmoke:
     """The fastest examples must run clean end to end (bit-rot guard;

@@ -4,6 +4,7 @@ import io
 import json
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.core import DNScupConfig, DynamicLeasePolicy, attach_dnscup
 from repro.dnslib import make_query, RRType
@@ -68,7 +69,53 @@ class TestTraceBus:
         bus.clear()
         assert len(bus) == 0
         assert bus.emitted == 1
-        assert bus.dropped == 1
+        # Deliberate discards are `cleared`, never `dropped` — dropped
+        # is reserved for ring overflow (an incomplete trace).
+        assert bus.cleared == 1
+        assert bus.dropped == 0
+
+    def test_dropped_counts_overflow_only(self):
+        bus = TraceBus(capacity=2)
+        for i in range(3):
+            bus.emit("net.deliver", t=float(i))
+        assert bus.dropped == 1 and bus.cleared == 0
+        bus.clear()
+        assert bus.dropped == 1 and bus.cleared == 2
+        assert bus.stats() == {"capacity": 2, "emitted": 3, "retained": 0,
+                               "dropped": 1, "cleared": 2}
+
+    def test_export_meta_record_carries_stats(self):
+        bus = TraceBus(capacity=2)
+        for i in range(3):
+            bus.emit("net.deliver", t=float(i))
+        buf = io.StringIO()
+        assert bus.export_jsonl(buf, meta=True) == 3  # meta + 2 retained
+        buf.seek(0)
+        events = load_trace_events(buf, strict=True)
+        assert events[0][1] == "trace.meta"
+        assert events[0][2]["dropped"] == 1
+        summary = summarize_events(events)
+        assert summary["bus"]["dropped"] == 1
+        assert summary["bus"]["cleared"] == 0
+        # The meta record is bookkeeping, not an event of the run.
+        assert summary["span"]["count"] == 2
+        assert "trace.meta" not in summary["events"]
+
+    def test_default_export_has_no_meta_record(self):
+        bus = TraceBus()
+        bus.emit("net.deliver", t=0.0)
+        buf = io.StringIO()
+        assert bus.export_jsonl(buf) == 1
+        assert summarize_events(load_trace_events(
+            io.StringIO(buf.getvalue())))["bus"] is None
+
+    def test_strict_load_rejects_unknown_event_names(self):
+        good = '{"t":1.0,"event":"notify.send","seq":1}\n'
+        bad = good + '{"t":2.0,"event":"notify.sent"}\n'
+        assert len(load_trace_events(io.StringIO(bad))) == 2  # lax: loads
+        with pytest.raises(ValueError, match="line 2.*notify.sent"):
+            load_trace_events(io.StringIO(bad), strict=True)
+        assert len(load_trace_events(io.StringIO(good), strict=True)) == 1
 
     def test_jsonl_round_trip(self):
         bus = TraceBus()
@@ -140,6 +187,47 @@ class TestMetrics:
             Histogram("h", buckets=(2.0, 1.0))
         with pytest.raises(ValueError):
             Histogram("h", buckets=(1.0, 1.0))
+
+    def test_export_json_is_strict_json(self, tmp_path):
+        # Regression: the implicit +inf bucket bound (and any non-finite
+        # stat) used to serialize as the non-JSON `Infinity` token.
+        registry = Registry()
+        hist = registry.histogram("h", buckets=(1.0,))
+        hist.observe(0.5)
+        hist.observe(float("inf"))
+        path = tmp_path / "metrics.json"
+        registry.export_json(str(path))
+
+        def reject_constant(token):
+            raise AssertionError(f"non-JSON token in export: {token}")
+
+        snap = json.loads(path.read_text(), parse_constant=reject_constant)
+        assert snap["histograms"]["h"]["count"] == 2
+        assert snap["histograms"]["h"]["buckets"][-1][0] is None  # +inf bound
+        assert snap["histograms"]["h"]["sum"] is None  # inf sum -> null
+        assert snap["histograms"]["h"]["max"] is None
+        assert snap["histograms"]["h"]["min"] == 0.5
+
+    def test_bisect_observe_matches_linear_scan(self):
+        # The bisect fast path must land every value in the same bucket
+        # the old linear scan over inclusive upper bounds chose.
+        bounds = (0.001, 0.01, 0.1, 1.0)
+        hist = Histogram("h", buckets=bounds)
+        values = [0.0005, 0.001, 0.0011, 0.01, 0.05, 0.1, 0.5, 1.0, 2.0]
+        for value in values:
+            hist.observe(value)
+        linear = [0] * (len(bounds) + 1)
+        for value in values:
+            for i, bound in enumerate(bounds):
+                if value <= bound:
+                    linear[i] += 1
+                    break
+            else:
+                linear[-1] += 1
+        assert hist.counts == linear
+        # Snapshot shape unchanged by the bisect rewrite.
+        assert [count for _bound, count in hist.as_dict()["buckets"]] \
+            == linear
 
     def test_registry_idempotent_and_collision_checked(self):
         registry = Registry()
@@ -230,6 +318,16 @@ class TestAnalyze:
         assert summary["span"]["count"] == 0
         assert summary["notify"]["ack_rtt"]["mean"] is None
 
+    def test_single_event_summary(self):
+        summary = summarize_events([(2.5, "notify.ack",
+                                     {"seq": 1, "rtt": 0.25})])
+        assert summary["span"] == {"first": 2.5, "last": 2.5, "count": 1}
+        assert summary["notify"]["acks"] == 1
+        assert summary["notify"]["ack_rtt"]["sum"] == 0.25
+        assert summary["notify"]["ack_rtt"]["min"] == 0.25
+        # An ack with no detection event settles nothing.
+        assert summary["changes"]["consistency_window"]["count"] == 0
+
     def test_flatten_and_diff(self):
         a = summarize_events([(1.0, "net.drop", {})])
         b = summarize_events([(1.0, "net.deliver", {})])
@@ -240,6 +338,50 @@ class TestAnalyze:
                     for key, left, right in diff_summaries(a, b))
         assert diff["net.dropped"] == (1, 0)
         assert diff["net.delivered"] == (0, 1)
+
+    def test_diff_empty_against_single_event(self):
+        empty = summarize_events([])
+        assert diff_summaries(empty, empty) == []
+        single = summarize_events([(1.0, "net.drop", {})])
+        diff = dict((key, (left, right))
+                    for key, left, right in diff_summaries(empty, single))
+        assert diff["net.dropped"] == (0, 1)
+        assert diff["span.count"] == (0, 1)
+        assert diff["span.first"] == (None, 1.0)
+
+
+#: Arbitrary JSON-safe field values (finite floats: NaN never compares
+#: equal, and the loader should see exactly what was emitted).
+_json_values = st.recursive(
+    st.none() | st.booleans()
+    | st.integers(min_value=-2**53, max_value=2**53)
+    | st.floats(allow_nan=False, allow_infinity=False)
+    | st.text(max_size=12),
+    lambda children: st.lists(children, max_size=3)
+    | st.dictionaries(st.text(max_size=6), children, max_size=3),
+    max_leaves=8)
+
+_fields = st.dictionaries(
+    st.text(min_size=1, max_size=10).filter(lambda k: k not in ("t", "event")),
+    _json_values, max_size=4)
+
+_events = st.lists(st.tuples(
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.sampled_from(sorted(EVENT_NAMES)),
+    _fields), max_size=12)
+
+
+class TestTraceRoundTripProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(events=_events)
+    def test_export_load_round_trips_any_json_safe_fields(self, events):
+        bus = TraceBus()
+        for t, name, fields in events:
+            bus.emit(name, t=t, **fields)
+        buf = io.StringIO()
+        assert bus.export_jsonl(buf) == len(events)
+        buf.seek(0)
+        assert load_trace_events(buf, strict=True) == list(bus)
 
 
 class TestObservabilityWiring:
