@@ -1,0 +1,41 @@
+"""Static analysis: the ``repro-lint`` protocol-invariant rule pack.
+
+PR 3 gave the repo *runtime* auditing — span reconstruction and
+invariant checking over exported traces.  This package holds the same
+contracts *at rest*: a small AST-based linter whose rules encode the
+codebase's real invariants, so the fast paths and observability hooks
+cannot silently regress as the tree grows.
+
+* :mod:`repro.analysis.findings` — :class:`Finding` records with stable
+  ``DCUP###`` codes and byte-stable JSON/text rendering;
+* :mod:`repro.analysis.suppress` — ``repro-lint: disable=...`` comment
+  parsing (a reason string is mandatory);
+* :mod:`repro.analysis.linter` — the file walker, rule framework, and
+  the assembled default rule pack;
+* ``rules_*`` modules — one module per invariant family: determinism,
+  trace contract, zero-cost instrumentation, exact rounding, enum
+  exhaustiveness.
+
+The CLI lives in :mod:`repro.tools.lint_tool` (``repro-lint``); the
+rule catalogue is documented in DESIGN.md §9.
+"""
+
+from .findings import CODE_PATTERN, Finding, render_json, render_text
+from .linter import (
+    DEFAULT_RULES,
+    LintError,
+    ModuleInfo,
+    ProjectContext,
+    Rule,
+    iter_python_files,
+    lint_paths,
+    rule_catalogue,
+)
+from .suppress import Suppressions, parse_suppressions
+
+__all__ = [
+    "CODE_PATTERN", "Finding", "render_json", "render_text",
+    "DEFAULT_RULES", "LintError", "ModuleInfo", "ProjectContext", "Rule",
+    "iter_python_files", "lint_paths", "rule_catalogue",
+    "Suppressions", "parse_suppressions",
+]

@@ -1,0 +1,74 @@
+"""Finding records and their byte-stable renderings.
+
+Every rule reports :class:`Finding` objects carrying a stable ``DCUP###``
+code, a repo-relative path, and a 1-based line / 0-based column.  Output
+is deterministic by construction: findings sort on ``(path, line, col,
+code, message)`` and the JSON form is rendered with sorted keys and
+fixed separators, so identical trees lint to byte-identical reports —
+the same discipline the trace exporter follows.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import re
+from typing import Dict, List, Sequence, Tuple
+
+#: The shape every rule code must match (stable public contract).
+CODE_PATTERN = re.compile(r"^DCUP\d{3}$")
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    code: str        # stable rule code, e.g. "DCUP001"
+    rule: str        # short rule name, e.g. "determinism-wall-clock"
+    path: str        # display path of the offending file (posix separators)
+    line: int        # 1-based line number
+    col: int         # 0-based column offset
+    message: str     # human-oriented description of the violation
+
+    def sort_key(self) -> Tuple[str, int, int, str, str]:
+        """Deterministic ordering for reports."""
+        return (self.path, self.line, self.col, self.code, self.message)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready form (keys sorted at render time)."""
+        return {
+            "code": self.code,
+            "col": self.col,
+            "line": self.line,
+            "message": self.message,
+            "path": self.path,
+            "rule": self.rule,
+        }
+
+    def render(self) -> str:
+        """The classic compiler-style one-liner."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+def sort_findings(findings: Sequence[Finding]) -> List[Finding]:
+    """Findings in their canonical report order."""
+    return sorted(findings, key=Finding.sort_key)
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """Human output: one line per finding plus a count trailer."""
+    ordered = sort_findings(findings)
+    lines = [finding.render() for finding in ordered]
+    noun = "finding" if len(ordered) == 1 else "findings"
+    lines.append(f"repro-lint: {len(ordered)} {noun}")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """Byte-stable JSON: sorted findings, sorted keys, fixed separators."""
+    document = {
+        "count": len(findings),
+        "findings": [finding.as_dict() for finding in sort_findings(findings)],
+        "version": 1,
+    }
+    return json.dumps(document, sort_keys=True, separators=(",", ":"))

@@ -1,0 +1,129 @@
+"""Determinism rules: no wall clocks, no ambient randomness.
+
+The protocol engine, transport, replay, and observability layers
+(``core/``, ``net/``, ``sim/``, ``obs/``) are driven entirely by the
+simulator's virtual clock and by :class:`random.Random` instances
+threaded in as arguments with explicit seeds — that is what makes runs
+replayable and traces byte-stable.  A single ``time.time()`` or
+module-level ``random.random()`` breaks both properties silently, so
+these rules hold the door shut:
+
+* ``DCUP001`` — any wall-clock read (``time.time``, ``time.monotonic``,
+  ``datetime.now`` and friends);
+* ``DCUP002`` — the process-global PRNG (``random.random``,
+  ``random.randint``, ...), an *unseeded* ``random.Random()``,
+  ``random.SystemRandom``, or NumPy's global random state.
+
+``random.Random(seed)`` instances are fine anywhere — that is exactly
+the pattern :class:`repro.net.network.Network` uses.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .linter import (
+    DETERMINISM_SCOPE,
+    ModuleInfo,
+    ProjectContext,
+    Rule,
+    import_map,
+    resolve_dotted,
+)
+from .findings import Finding
+
+#: Wall-clock reads (call targets by absolute dotted name).
+_WALL_CLOCKS = frozenset({
+    "time.time", "time.time_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.process_time", "time.process_time_ns",
+    "time.clock_gettime", "time.clock_gettime_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+#: Module-level functions of the stdlib's process-global PRNG.
+_GLOBAL_RANDOM = frozenset({
+    "random.random", "random.randint", "random.randrange", "random.choice",
+    "random.choices", "random.shuffle", "random.sample", "random.uniform",
+    "random.triangular", "random.betavariate", "random.expovariate",
+    "random.gammavariate", "random.gauss", "random.lognormvariate",
+    "random.normalvariate", "random.vonmisesvariate", "random.paretovariate",
+    "random.weibullvariate", "random.getrandbits", "random.seed",
+})
+
+#: NumPy's process-global random state (legacy API).
+_NUMPY_GLOBAL = frozenset({
+    "numpy.random.rand", "numpy.random.randn", "numpy.random.randint",
+    "numpy.random.random", "numpy.random.random_sample",
+    "numpy.random.choice", "numpy.random.shuffle",
+    "numpy.random.permutation", "numpy.random.uniform",
+    "numpy.random.normal", "numpy.random.seed",
+})
+
+
+class WallClockRule(Rule):
+    """DCUP001: deterministic subsystems must not read the wall clock."""
+
+    code = "DCUP001"
+    name = "determinism-wall-clock"
+    summary = ("no wall-clock reads (time.time, datetime.now, ...) in "
+               "core/, net/, sim/, obs/ — time comes from the simulator")
+    scope = "repro/{core,net,sim,obs}"
+
+    def check(self, module: ModuleInfo,
+              ctx: ProjectContext) -> Iterator[Finding]:
+        if not module.in_subsystems(DETERMINISM_SCOPE):
+            return
+        imports = import_map(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = resolve_dotted(node.func, imports)
+            if dotted in _WALL_CLOCKS:
+                yield self.finding(
+                    module, node.lineno, node.col_offset,
+                    f"wall-clock read {dotted}() in a deterministic "
+                    f"subsystem: take the simulator's virtual time "
+                    f"(Simulator.now) as an argument instead")
+
+
+class UnseededRandomRule(Rule):
+    """DCUP002: randomness must be a seeded Random threaded explicitly."""
+
+    code = "DCUP002"
+    name = "determinism-unseeded-random"
+    summary = ("no process-global or unseeded PRNG in core/, net/, sim/, "
+               "obs/ — thread random.Random(seed) instances as arguments")
+    scope = "repro/{core,net,sim,obs}"
+
+    def check(self, module: ModuleInfo,
+              ctx: ProjectContext) -> Iterator[Finding]:
+        if not module.in_subsystems(DETERMINISM_SCOPE):
+            return
+        imports = import_map(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = resolve_dotted(node.func, imports)
+            if dotted is None:
+                continue
+            if dotted in _GLOBAL_RANDOM or dotted in _NUMPY_GLOBAL:
+                yield self.finding(
+                    module, node.lineno, node.col_offset,
+                    f"{dotted}() uses the process-global PRNG: construct "
+                    f"random.Random(seed) and thread it as an argument "
+                    f"(see repro.net.network.Network)")
+            elif dotted == "random.SystemRandom":
+                yield self.finding(
+                    module, node.lineno, node.col_offset,
+                    "random.SystemRandom is nondeterministic by design "
+                    "and cannot be replayed")
+            elif (dotted in ("random.Random", "numpy.random.default_rng")
+                  and not node.args and not node.keywords):
+                yield self.finding(
+                    module, node.lineno, node.col_offset,
+                    f"{dotted}() without a seed falls back to entropy: "
+                    f"pass an explicit seed argument")

@@ -1,0 +1,105 @@
+"""Enum-exhaustiveness rule: opcode/rcode dispatch covers every member.
+
+``dnslib/enums.py`` is the protocol's constant vocabulary; DNScup even
+extends it (the ``CACHE_UPDATE`` opcode).  When a new member lands, any
+``if/elif`` ladder that dispatches over the enum without a default
+silently ignores the new value — exactly how "unknown opcode" bugs ship.
+``DCUP007`` finds ``if/elif`` chains where every test compares one
+subject against :class:`~repro.dnslib.enums.Opcode` or
+:class:`~repro.dnslib.enums.Rcode` members and requires that the chain
+either covers **all** members or ends in an explicit ``else`` default.
+
+Single-member checks (``if message.opcode == Opcode.QUERY: ...``) are
+conditions, not dispatch, and are never flagged; a chain needs at least
+two distinct members to qualify.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Tuple
+
+from ..dnslib.enums import Opcode, Rcode
+from .findings import Finding
+from .linter import ModuleInfo, ProjectContext, Rule
+
+#: Enum class name -> its full member-name set.
+_ENUMS = {
+    "Opcode": frozenset(member.name for member in Opcode),
+    "Rcode": frozenset(member.name for member in Rcode),
+}
+
+
+def _member_test(test: ast.expr) -> Optional[Tuple[str, str, str]]:
+    """Decode ``subject == Enum.MEMBER`` (either side); None otherwise."""
+    if (not isinstance(test, ast.Compare) or len(test.ops) != 1
+            or not isinstance(test.ops[0], (ast.Eq, ast.Is))):
+        return None
+    left, right = test.left, test.comparators[0]
+    for subject, member in ((left, right), (right, left)):
+        if (isinstance(member, ast.Attribute)
+                and isinstance(member.value, ast.Name)
+                and member.value.id in _ENUMS
+                and member.attr in _ENUMS[member.value.id]):
+            return (member.value.id, member.attr, ast.unparse(subject))
+    return None
+
+
+class EnumDispatchRule(Rule):
+    """DCUP007: enum if/elif ladders need full coverage or an else."""
+
+    code = "DCUP007"
+    name = "enum-exhaustive-dispatch"
+    summary = ("if/elif dispatch over Opcode/Rcode must cover every "
+               "member or end in an explicit else default")
+
+    def check(self, module: ModuleInfo,
+              ctx: ProjectContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.If):
+                continue
+            parent = module.parents.get(node)
+            if (isinstance(parent, ast.If)
+                    and len(parent.orelse) == 1
+                    and parent.orelse[0] is node):
+                continue  # an elif link; only chain heads are inspected
+            finding = self._check_chain(module, node)
+            if finding is not None:
+                yield finding
+
+    def _check_chain(self, module: ModuleInfo,
+                     head: ast.If) -> Optional[Finding]:
+        enum_name: Optional[str] = None
+        subject: Optional[str] = None
+        members: List[str] = []
+        current: ast.stmt = head
+        while isinstance(current, ast.If):
+            decoded = _member_test(current.test)
+            if decoded is None:
+                return None  # not (purely) an enum dispatch
+            test_enum, member, test_subject = decoded
+            if enum_name is None:
+                enum_name, subject = test_enum, test_subject
+            elif test_enum != enum_name or test_subject != subject:
+                return None  # mixed subjects/enums: not one dispatch
+            members.append(member)
+            if len(current.orelse) == 1 and isinstance(current.orelse[0],
+                                                       ast.If):
+                current = current.orelse[0]
+                continue
+            if current.orelse:
+                return None  # explicit else default: exhaustive enough
+            break
+        distinct = set(members)
+        if len(distinct) < 2:
+            return None  # a condition, not a dispatch
+        missing = sorted(_ENUMS[enum_name or ""] - distinct)
+        if not missing:
+            return None
+        return self.finding(
+            module, head.lineno, head.col_offset,
+            f"if/elif dispatch on {subject} covers "
+            f"{len(distinct)}/{len(_ENUMS[enum_name or ''])} "
+            f"{enum_name} members without an else default "
+            f"(missing: {', '.join(missing)}): add the members or an "
+            f"explicit else branch")

@@ -1,0 +1,96 @@
+"""Suppression comments: silencing a finding requires saying why.
+
+Two forms, both parsed from real comment tokens (never from strings or
+docstrings):
+
+* line level, on the offending line::
+
+      something_flagged()  # repro-lint: disable=DCUP001 -- sim clock is threaded in by the caller
+
+* file level, anywhere in the file (conventionally at the top)::
+
+      # repro-lint: disable-file=DCUP003,DCUP004 -- fixture tree with a private event registry
+
+The ``-- reason`` clause is mandatory: a suppression without a reason
+(or with unparseable codes) is itself a finding (``DCUP008``) and
+suppresses nothing — a deliberately higher bar than ``# noqa``, because
+every suppression documents a judged false positive of a *protocol*
+invariant.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+import re
+import tokenize
+from typing import Dict, List, Set, Tuple
+
+from .findings import CODE_PATTERN
+
+#: Any comment claiming to be a repro-lint directive.
+_DIRECTIVE = re.compile(r"#\s*repro-lint\s*:")
+
+#: A well-formed directive: kind, comma-separated codes, mandatory reason.
+_WELL_FORMED = re.compile(
+    r"#\s*repro-lint\s*:\s*"
+    r"(?P<kind>disable(?:-file)?)\s*=\s*"
+    r"(?P<codes>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
+    r"\s+--\s*(?P<reason>\S.*?)\s*$")
+
+
+@dataclasses.dataclass
+class Suppressions:
+    """Parsed suppression state for one file."""
+
+    #: Line number -> codes disabled on exactly that line.
+    line_codes: Dict[int, Set[str]] = dataclasses.field(default_factory=dict)
+    #: Codes disabled for the whole file.
+    file_codes: Set[str] = dataclasses.field(default_factory=set)
+    #: Malformed directives: (line, col, problem description).
+    malformed: List[Tuple[int, int, str]] = dataclasses.field(
+        default_factory=list)
+
+    def hides(self, code: str, line: int) -> bool:
+        """True when a finding of ``code`` at ``line`` is suppressed."""
+        if code in self.file_codes:
+            return True
+        return code in self.line_codes.get(line, ())
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    """Extract every suppression directive from ``source``'s comments."""
+    result = Suppressions()
+    try:
+        tokens = list(tokenize.generate_tokens(
+            io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError):
+        # Unparseable files are reported by the walker; nothing to do.
+        return result
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        comment = token.string
+        if not _DIRECTIVE.search(comment):
+            continue
+        line, col = token.start
+        match = _WELL_FORMED.search(comment)
+        if match is None:
+            result.malformed.append((
+                line, col,
+                "malformed repro-lint directive: expected "
+                "'repro-lint: disable[-file]=CODE[,CODE...] -- reason'"))
+            continue
+        codes = {c.strip() for c in match.group("codes").split(",")}
+        bad = sorted(c for c in codes if not CODE_PATTERN.match(c))
+        if bad:
+            result.malformed.append((
+                line, col,
+                f"suppression names invalid code(s) {', '.join(bad)}: "
+                f"codes look like DCUP001"))
+            continue
+        if match.group("kind") == "disable-file":
+            result.file_codes.update(codes)
+        else:
+            result.line_codes.setdefault(line, set()).update(codes)
+    return result

@@ -33,7 +33,7 @@ orphans, which is the honest answer for an unauditable record.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from .capture import FATE_DELIVERED
 from .spans import NotificationLeg, SpanSet, build_spans
@@ -167,7 +167,7 @@ def audit_trace(events: Sequence[TraceEvent],
         capture_audited=len(capture) if capture is not None else None)
 
 
-def audit_observability(obs, limits: Optional[AuditLimits] = None
+def audit_observability(obs: Any, limits: Optional[AuditLimits] = None
                         ) -> AuditReport:
     """Audit a live :class:`repro.obs.Observability` bundle in place."""
     if obs.trace.dropped:

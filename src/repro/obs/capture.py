@@ -52,14 +52,14 @@ class WireCapture:
     then extras), so exports are byte-stable across identical runs.
     """
 
-    def __init__(self, capacity: Optional[int] = None):
+    def __init__(self, capacity: Optional[int] = None) -> None:
         self.records: List[Dict[str, object]] = []
         self.capacity = capacity
         #: Records discarded once ``capacity`` was reached.
         self.dropped = 0
 
-    def record(self, t: float, proto: str, src, dst, payload: bytes,
-               fate: str, **extra) -> None:
+    def record(self, t: float, proto: str, src: object, dst: object,
+               payload: bytes, fate: str, **extra: object) -> None:
         """Append one datagram-fate record."""
         if self.capacity is not None and len(self.records) >= self.capacity:
             self.dropped += 1

@@ -24,7 +24,7 @@ class Counter:
 
     __slots__ = ("name", "value")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0
 
@@ -40,7 +40,8 @@ class Gauge:
 
     __slots__ = ("name", "_value", "fn")
 
-    def __init__(self, name: str, fn: Optional[Callable[[], float]] = None):
+    def __init__(self, name: str,
+                 fn: Optional[Callable[[], float]] = None) -> None:
         self.name = name
         self._value = 0.0
         self.fn = fn
@@ -78,7 +79,8 @@ class Histogram:
 
     __slots__ = ("name", "bounds", "counts", "count", "sum", "min", "max")
 
-    def __init__(self, name: str, buckets: Sequence[float] = LATENCY_BUCKETS):
+    def __init__(self, name: str,
+                 buckets: Sequence[float] = LATENCY_BUCKETS) -> None:
         bounds = tuple(float(b) for b in buckets)
         if list(bounds) != sorted(set(bounds)):
             raise ValueError(f"histogram buckets must strictly increase: "
@@ -136,7 +138,7 @@ def _json_number(value: Optional[float]) -> Optional[float]:
 class Registry:
     """A flat namespace of instruments with one consistent snapshot."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}

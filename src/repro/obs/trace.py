@@ -102,7 +102,7 @@ class TraceBus:
     """
 
     def __init__(self, clock: Optional[Union[Clock, object]] = None,
-                 capacity: int = 1 << 20):
+                 capacity: int = 1 << 20) -> None:
         if clock is not None and not callable(clock):
             simulator = clock
             clock = lambda: simulator.now  # noqa: E731
@@ -113,7 +113,8 @@ class TraceBus:
         self.cleared = 0
         self._emitted = 0
 
-    def emit(self, event: str, t: Optional[float] = None, **fields) -> None:
+    def emit(self, event: str, t: Optional[float] = None,
+             **fields: object) -> None:
         """Record one event, stamped ``t`` or the bus clock's now."""
         if t is None:
             t = self._clock() if self._clock is not None else 0.0

@@ -18,7 +18,7 @@ per-server counters today.
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from .capture import WireCapture
 from .metrics import Registry
@@ -36,7 +36,7 @@ class Observability:
         default_factory=dict, repr=False)
 
     @classmethod
-    def for_simulator(cls, simulator, capture: bool = False,
+    def for_simulator(cls, simulator: Any, capture: bool = False,
                       trace_capacity: int = 1 << 20) -> "Observability":
         """Build a bundle clocked by ``simulator`` and instrument it."""
         obs = cls(trace=TraceBus(simulator, capacity=trace_capacity),
@@ -60,7 +60,7 @@ class Observability:
 
     # -- substrate attachment -------------------------------------------------
 
-    def observe_simulator(self, simulator) -> None:
+    def observe_simulator(self, simulator: Any) -> None:
         """Mirror the event loop's vitals and count fired events."""
         self.bind("sim.now", lambda: simulator.now)
         self.bind("sim.pending", lambda: simulator.pending)
@@ -69,7 +69,7 @@ class Observability:
         events = self.registry.counter("sim.events_observed")
         simulator.observer = lambda _time: events.inc()
 
-    def observe_network(self, network) -> None:
+    def observe_network(self, network: Any) -> None:
         """Attach trace + capture to ``network`` and mirror its counters."""
         network.trace = self.trace
         network.capture = self.capture

@@ -1,0 +1,112 @@
+"""``repro-lint``: the protocol-invariant linter's command line.
+
+Static counterpart to ``repro-obs audit`` — where the auditor checks an
+exported *trace* against the protocol's guarantees, this checks the
+*source tree* against the contracts those guarantees rest on
+(determinism, the trace-name schema, zero-cost instrumentation, exact
+rounding, enum exhaustiveness; DESIGN.md §9 has the catalogue):
+
+* ``check PATH...`` — lint files/directories; exits 1 when findings
+  remain after suppressions, 0 on a clean tree, 2 on usage errors.
+  ``--select DCUP001,DCUP005`` narrows the report to given codes;
+  ``--format json`` emits the byte-stable machine form.
+* ``rules`` — print the rule catalogue (code, name, scope, summary).
+
+Suppressions are in-source comments that *must* carry a reason; see
+:mod:`repro.analysis.suppress`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import List, Optional
+
+from ..analysis import (
+    LintError,
+    lint_paths,
+    render_json,
+    render_text,
+    rule_catalogue,
+)
+from ..report import format_table
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser for this tool."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Static protocol-invariant linter for the DNScup "
+                    "tree (rule catalogue in DESIGN.md §9).")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser("check", help="lint files or directories")
+    check.add_argument("paths", nargs="+",
+                       help="files or directories to lint")
+    check.add_argument("--select", default=None,
+                       help="comma-separated DCUP codes to report "
+                            "(default: all)")
+    check.add_argument("--format", choices=("text", "json"),
+                       default="text", dest="fmt",
+                       help="output format (default: text)")
+    check.add_argument("--output",
+                       help="write the report there instead of stdout")
+
+    rules = sub.add_parser("rules", help="print the rule catalogue")
+    rules.add_argument("--format", choices=("text", "json"),
+                       default="text", dest="fmt",
+                       help="output format (default: text)")
+    return parser
+
+
+def _emit(text: str, output: Optional[str]) -> None:
+    if output:
+        with open(output, "w") as stream:
+            stream.write(text + "\n")
+    else:
+        print(text)
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    select = None
+    if args.select:
+        select = [code.strip() for code in args.select.split(",")
+                  if code.strip()]
+    try:
+        findings = lint_paths([pathlib.Path(p) for p in args.paths],
+                              select=select)
+    except LintError as exc:
+        print(f"repro-lint: error: {exc}", file=sys.stderr)
+        return 2
+    if args.fmt == "json":
+        _emit(render_json(findings), args.output)
+    else:
+        _emit(render_text(findings), args.output)
+    return 1 if findings else 0
+
+
+def cmd_rules(args: argparse.Namespace) -> int:
+    entries = rule_catalogue()
+    if args.fmt == "json":
+        import json
+        print(json.dumps({"rules": entries}, sort_keys=True,
+                         separators=(",", ":")))
+        return 0
+    print(format_table(
+        ("code", "name", "scope", "summary"),
+        [(e["code"], e["name"], e["scope"], e["summary"])
+         for e in entries],
+        title=f"repro-lint rule pack ({len(entries)} rules)"))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handler = {"check": cmd_check, "rules": cmd_rules}[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

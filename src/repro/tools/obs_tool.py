@@ -28,7 +28,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Set
 
 from ..obs import (
     EVENT_NAMES,
@@ -115,13 +115,23 @@ def _audit_arguments(parser: argparse.ArgumentParser) -> None:
                         help="bound on per-holder staleness, seconds")
 
 
-def _load(path: str, strict: bool) -> List[TraceEvent]:
-    """Load a trace, enforcing or warning about the name contract."""
+def _load(path: str, strict: bool,
+          warned: Optional[Set[str]] = None) -> List[TraceEvent]:
+    """Load a trace, enforcing or warning about the name contract.
+
+    In lax mode each unknown event *name* is warned about exactly once
+    per invocation, however many records carry it and however many
+    traces mention it (``diff`` loads two) — ``warned`` carries the
+    already-reported names across calls.
+    """
     events = load_trace_events(path, strict=strict)
     if not strict:
         unknown = sorted({name for _t, name, _f in events
                           if name not in EVENT_NAMES
                           and name != TRACE_META})
+        if warned is not None:
+            unknown = [name for name in unknown if name not in warned]
+            warned.update(unknown)
         if unknown:
             print(f"warning: {path}: events outside the PROTOCOL.md §9 "
                   f"contract: {', '.join(unknown)}", file=sys.stderr)
@@ -187,7 +197,7 @@ def _emit(text: str, output: Optional[str]) -> None:
 
 
 def cmd_summarize(args: argparse.Namespace) -> int:
-    events = _load(args.trace, args.strict)
+    events = _load(args.trace, args.strict, args.warned)
     summary = summarize_events(events)
     if args.json:
         _emit(json.dumps(summary, sort_keys=True, indent=2), args.output)
@@ -197,7 +207,7 @@ def cmd_summarize(args: argparse.Namespace) -> int:
 
 
 def cmd_export(args: argparse.Namespace) -> int:
-    events = _load(args.trace, args.strict)
+    events = _load(args.trace, args.strict, args.warned)
     rows = [(f"{t!r}", name,
              " ".join(f"{key}={fields[key]}" for key in sorted(fields)))
             for t, name, fields in events]
@@ -207,8 +217,10 @@ def cmd_export(args: argparse.Namespace) -> int:
 
 
 def cmd_diff(args: argparse.Namespace) -> int:
-    summary_a = summarize_events(_load(args.trace_a, args.strict))
-    summary_b = summarize_events(_load(args.trace_b, args.strict))
+    summary_a = summarize_events(_load(args.trace_a, args.strict,
+                                       args.warned))
+    summary_b = summarize_events(_load(args.trace_b, args.strict,
+                                       args.warned))
     rows = [(key, _format_value(left), _format_value(right))
             for key, left, right in diff_summaries(summary_a, summary_b)]
     if not rows:
@@ -224,7 +236,7 @@ def _clip(rows: Sequence, limit: int) -> Sequence:
 
 
 def cmd_spans(args: argparse.Namespace) -> int:
-    events = _load(args.trace, args.strict)
+    events = _load(args.trace, args.strict, args.warned)
     spans = build_spans(events)
     change_rows = [(span.seq, span.name or "-", span.rrtype or "-",
                     _format_value(span.detected_t),
@@ -259,7 +271,7 @@ def cmd_spans(args: argparse.Namespace) -> int:
 
 
 def _audit(args: argparse.Namespace) -> AuditReport:
-    events = _load(args.trace, args.strict)
+    events = _load(args.trace, args.strict, args.warned)
     capture = load_capture(args.capture) if args.capture else None
     return audit_trace(events, capture=capture, limits=_limits(args))
 
@@ -286,7 +298,7 @@ def cmd_audit(args: argparse.Namespace) -> int:
 
 
 def cmd_report(args: argparse.Namespace) -> int:
-    events = _load(args.trace, args.strict)
+    events = _load(args.trace, args.strict, args.warned)
     capture = load_capture(args.capture) if args.capture else None
     audit = audit_trace(events, capture=capture, limits=_limits(args))
     _emit(render_report(events, capture=capture, title=args.title,
@@ -297,6 +309,8 @@ def cmd_report(args: argparse.Namespace) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    #: Unknown event names already warned about in this invocation.
+    args.warned = set()
     handler = {"summarize": cmd_summarize, "export": cmd_export,
                "diff": cmd_diff, "spans": cmd_spans,
                "audit": cmd_audit, "report": cmd_report}[args.command]

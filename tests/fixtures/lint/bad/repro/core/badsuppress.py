@@ -1,0 +1,11 @@
+"""Seeded DCUP008 violation: a suppression directive without a reason.
+
+Because the directive is malformed it suppresses nothing, so the
+wall-clock finding on the same line surfaces too.
+"""
+
+import time
+
+
+def stamp():
+    return time.time()  # repro-lint: disable=DCUP001

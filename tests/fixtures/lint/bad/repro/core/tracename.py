@@ -1,0 +1,13 @@
+"""Seeded DCUP003 violation: an event name outside the registry.
+
+The emit is guarded so only the name contract is violated here.
+"""
+
+
+class Module:
+    def __init__(self):
+        self.trace = None
+
+    def on_change(self, now):
+        if self.trace is not None:
+            self.trace.emit("lease.granted", t=now)

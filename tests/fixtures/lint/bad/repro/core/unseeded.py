@@ -1,0 +1,11 @@
+"""Seeded DCUP002 violations: ambient randomness in a core/ module."""
+
+import random
+
+
+def jitter(base):
+    return base + random.uniform(0.0, 0.5)
+
+
+def make_rng():
+    return random.Random()

@@ -1,0 +1,10 @@
+"""Seeded DCUP001 violation: wall-clock reads in a core/ module."""
+
+import time
+from datetime import datetime
+
+
+def stamp_change():
+    detected_at = time.time()
+    logged_at = datetime.now()
+    return detected_at, logged_at

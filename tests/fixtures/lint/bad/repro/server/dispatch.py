@@ -1,0 +1,12 @@
+"""Seeded DCUP007 violation: partial Opcode dispatch with no default."""
+
+from repro.dnslib.enums import Opcode
+
+
+def handle(message):
+    if message.opcode == Opcode.QUERY:
+        return "query"
+    elif message.opcode == Opcode.UPDATE:
+        return "update"
+    elif message.opcode == Opcode.NOTIFY:
+        return "notify"

@@ -1,0 +1,12 @@
+"""Seeded DCUP006 violations: bare float accumulation in fastreplay."""
+
+
+def lease_seconds(terms):
+    total = 0.0
+    for term in terms:
+        total += term
+    return total
+
+
+def sweep_total(per_point_terms):
+    return sum(per_point_terms)

@@ -1,0 +1,11 @@
+"""Clean counterpart to the DCUP008 fixture: a well-formed suppression.
+
+The wall-clock read is deliberate here and carries a reasoned
+suppression, so the file lints clean.
+"""
+
+import time
+
+
+def stamp():
+    return time.time()  # repro-lint: disable=DCUP001 -- fixture exercises suppression syntax

@@ -1,0 +1,10 @@
+"""Clean counterpart to the DCUP003 fixture: a registered event name."""
+
+
+class Module:
+    def __init__(self):
+        self.trace = None
+
+    def on_change(self, now):
+        if self.trace is not None:
+            self.trace.emit("lease.grant", t=now)

@@ -1,0 +1,11 @@
+"""Clean counterpart to the DCUP002 fixture: seeded RNG threaded through."""
+
+import random
+
+
+def jitter(base, rng):
+    return base + rng.uniform(0.0, 0.5)
+
+
+def make_rng(seed):
+    return random.Random(seed)

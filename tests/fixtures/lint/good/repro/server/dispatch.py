@@ -1,0 +1,12 @@
+"""Clean counterpart to the DCUP007 fixture: partial dispatch with default."""
+
+from repro.dnslib.enums import Opcode
+
+
+def handle(message):
+    if message.opcode == Opcode.QUERY:
+        return "query"
+    elif message.opcode == Opcode.UPDATE:
+        return "update"
+    else:
+        return "refused"

@@ -1,0 +1,11 @@
+"""Clean counterpart to the DCUP006 fixture: exactly-rounded accumulation."""
+
+import math
+
+
+def lease_seconds(terms):
+    return math.fsum(terms)
+
+
+def count_points(per_point_terms):
+    return sum(len(terms) for terms in per_point_terms)
