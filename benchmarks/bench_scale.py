@@ -1,0 +1,235 @@
+"""Scale: the columnar/sharded engine on a million-cache flash crowd.
+
+Generates a Figure 5-class flash-crowd scenario straight into CSR
+columns (no event objects), runs the full fixed + dynamic lease sweep
+through the sharded columnar engine, and holds the run to three
+commitments:
+
+* **throughput** — replayed events per second (trace events × sweep
+  points, the accounting ``BENCH_replay.json`` established) must clear
+  the committed ``min_events_per_sec`` floor;
+* **shard invariance** — the 4-shard run's metrics JSON must be
+  byte-identical to the 1-shard run (the exact-merge contract);
+* **oracle fidelity** — a downscaled replica of the same scenario is
+  replayed through the reference oracle and must match the columnar
+  results bit for bit.
+
+Any mismatch counts as an *audit violation*; the run fails unless there
+are zero.  The full-scale run (≥10^6 caches, ≥10^8 replayed events)
+writes ``BENCH_scale.json`` at the repo root; CI re-runs a scaled-down
+smoke (10^4 caches) through the same code path.
+
+Run full scale:     python benchmarks/bench_scale.py
+Run the CI smoke:   python benchmarks/bench_scale.py --caches 10000 \
+                        --json /tmp/smoke.json --min-events-per-sec 200000
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+import numpy as np
+
+from repro.sim import (
+    dynamic_lease_fn,
+    fixed_lease_fn,
+    flash_crowd_columnar,
+    logspace,
+    sharded_figure5_sweep,
+    simulate_lease_trace,
+)
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_scale.json"
+
+#: The full-scale acceptance floor this PR establishes (replayed
+#: events/second through the sweep); regressions must stay above it.
+MIN_EVENTS_PER_SEC = 1_000_000
+
+#: Full-scale scenario: every cache holds a lease conversation with the
+#: hot CDN records, plus a long tail of regular domains.  Padded ~1 %
+#: above 10^6 because a cache whose every Poisson draw lands on zero
+#: never appears in the trace (~e^-8 of them), and the committed record
+#: reports *observed* caches, which must stay above the million mark.
+CACHES = 1_010_000
+REGULAR_DOMAINS = 200_000
+DURATION = 86400.0
+FIXED_POINTS = 10
+DYNAMIC_POINTS = 9
+
+#: ~4 queries per hot pair per day (half in the flash window) keeps the
+#: trace at ~10 events per cache overall — dense enough that the sweep
+#: replays >=10^8 events, sparse enough to generate in seconds.
+BASE_RATE = 2.0 / DURATION
+FLASH_RATE = 2.0 / (0.25 * DURATION)
+
+#: The oracle-fidelity replica: same scenario shape, small enough that
+#: the per-event reference loop finishes in seconds.
+ORACLE_CACHES = 2_000
+
+QUANTILES = (0.1, 0.3, 0.5, 0.7, 0.9, 0.95, 0.99)
+
+
+def build_scenario(caches: int, regular_domains: int):
+    """The flash-crowd columns plus the sweep parameters."""
+    trace, max_lease = flash_crowd_columnar(
+        caches=caches, regular_domains=regular_domains, duration=DURATION,
+        hot_domains=2, base_rate=BASE_RATE, flash_rate=FLASH_RATE,
+        cache_fanout=1, seed=2006)
+    rates = trace.trained_rates(DURATION / 7.0)
+    fixed_lengths = logspace(10.0, 6 * 86400.0, FIXED_POINTS)
+    positive = np.sort(rates[rates > 0.0])
+    thresholds = ([0.0]
+                  + [float(positive[int(q * (len(positive) - 1))])
+                     for q in QUANTILES]
+                  + [float(positive[-1]) * 2.0])
+    return trace, max_lease, rates, fixed_lengths, thresholds
+
+
+def metrics_blob(fixed, dynamic, polling) -> bytes:
+    """Canonical bytes compared across shard counts."""
+    return json.dumps(
+        [dataclasses.asdict(result)
+         for result in list(fixed) + list(dynamic) + [polling]],
+        sort_keys=True).encode("utf-8")
+
+
+def audit_oracle_fidelity(fixed_lengths) -> int:
+    """Replay a downscaled replica through the reference oracle.
+
+    Returns the number of operating points where the columnar/sharded
+    engine and the oracle disagree (zero, or the engine is wrong).
+    """
+    trace, max_lease, rates, _lengths, thresholds = build_scenario(
+        ORACLE_CACHES, ORACLE_CACHES // 5)
+    fixed, dynamic, _polling = sharded_figure5_sweep(
+        trace, rates, max_lease, fixed_lengths, thresholds, DURATION, 4)
+    events = trace.to_events()
+    rate_map = {(trace.names[p], int(trace.nameservers[p])): float(rates[p])
+                for p in range(trace.pair_count)}
+    lease_map = {trace.names[p]: float(max_lease[p])
+                 for p in range(trace.pair_count)}
+    violations = 0
+    for length, result in zip(fixed_lengths, fixed):
+        oracle = simulate_lease_trace(
+            events, rate_map, lease_map.__getitem__, fixed_lease_fn(length),
+            DURATION, scheme="fixed", parameter=length)
+        if dataclasses.astuple(oracle) != dataclasses.astuple(result):
+            violations += 1
+    for threshold, result in zip(thresholds, dynamic):
+        oracle = simulate_lease_trace(
+            events, rate_map, lease_map.__getitem__,
+            dynamic_lease_fn(threshold), DURATION, scheme="dynamic",
+            parameter=threshold)
+        if dataclasses.astuple(oracle) != dataclasses.astuple(result):
+            violations += 1
+    return violations
+
+
+def run_scale_bench(caches: int, regular_domains: int,
+                    min_events_per_sec: float,
+                    json_path: Optional[Path] = None) -> dict:
+    """One full bench run: generate, sweep, audit, record."""
+    started = time.perf_counter()
+    trace, max_lease, rates, fixed_lengths, thresholds = build_scenario(
+        caches, regular_domains)
+    generation_seconds = time.perf_counter() - started
+
+    sweep_points = len(fixed_lengths) + len(thresholds) + 1
+    started = time.perf_counter()
+    fixed, dynamic, polling = sharded_figure5_sweep(
+        trace, rates, max_lease, fixed_lengths, thresholds, DURATION, 1)
+    sweep_seconds = time.perf_counter() - started
+    replayed_events = trace.total * sweep_points
+    events_per_sec = replayed_events / sweep_seconds
+
+    audit_violations = 0
+    sharded = sharded_figure5_sweep(trace, rates, max_lease, fixed_lengths,
+                                    thresholds, DURATION, 4)
+    if metrics_blob(*sharded) != metrics_blob(fixed, dynamic, polling):
+        audit_violations += 1
+    audit_violations += audit_oracle_fidelity(fixed_lengths)
+
+    record = {
+        "bench": "flash_crowd_scale_sweep",
+        "caches": trace.cache_count(),
+        "trace_events": trace.total,
+        "pairs": trace.pair_count,
+        "sweep_points": sweep_points,
+        "replayed_events": replayed_events,
+        "generation_seconds": round(generation_seconds, 3),
+        "sweep_seconds": round(sweep_seconds, 3),
+        "events_per_sec": round(events_per_sec),
+        "shards_checked": [1, 4],
+        "audit_violations": audit_violations,
+        "min_events_per_sec": min_events_per_sec,
+    }
+    if json_path is not None:
+        json_path.write_text(json.dumps(record, indent=2) + "\n")
+
+    print(f"\n== Flash-crowd scale sweep — {trace.cache_count():,} caches, "
+          f"{trace.total:,} events x {sweep_points} sweep points ==")
+    print(f"  generation      {generation_seconds:8.2f} s")
+    print(f"  sweep           {sweep_seconds:8.2f} s")
+    print(f"  throughput      {events_per_sec:12,.0f} replayed events/s "
+          f"(floor {min_events_per_sec:,.0f})")
+    print(f"  audit           {audit_violations} violations "
+          f"(shard invariance + oracle fidelity)")
+    if json_path is not None:
+        print(f"  record          {json_path}")
+    return record
+
+
+def check_record(record: dict) -> List[str]:
+    """The failure messages a run's record earns (empty = pass)."""
+    failures = []
+    if record["events_per_sec"] < record["min_events_per_sec"]:
+        failures.append(
+            f"throughput {record['events_per_sec']:,} events/s below the "
+            f"floor {record['min_events_per_sec']:,}")
+    if record["audit_violations"]:
+        failures.append(
+            f"{record['audit_violations']} audit violations (expected 0)")
+    return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Million-cache flash-crowd sweep benchmark.")
+    parser.add_argument("--caches", type=int, default=CACHES)
+    parser.add_argument("--regular-domains", type=int, default=None,
+                        help="default: caches / 5")
+    parser.add_argument("--min-events-per-sec", type=float,
+                        default=MIN_EVENTS_PER_SEC)
+    parser.add_argument("--json", type=Path, default=None,
+                        help="record path (default: BENCH_scale.json at "
+                             "the repo root for a full-scale run, none "
+                             "otherwise)")
+    args = parser.parse_args(argv)
+    regular = (args.regular_domains if args.regular_domains is not None
+               else args.caches // 5)
+    json_path = args.json
+    if json_path is None and args.caches >= CACHES:
+        json_path = BENCH_JSON
+    record = run_scale_bench(args.caches, regular, args.min_events_per_sec,
+                             json_path)
+    failures = check_record(record)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def test_scale_smoke():
+    """Pytest entry: the CI-sized smoke through the same code path."""
+    record = run_scale_bench(10_000, 2_000, min_events_per_sec=200_000)
+    assert check_record(record) == []
+    assert record["replayed_events"] >= 10_000 * 20
+
+
+if __name__ == "__main__":
+    sys.exit(main())

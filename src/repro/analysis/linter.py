@@ -26,7 +26,12 @@ _SKIP_DIRS = frozenset({"__pycache__", ".git", ".hypothesis"})
 #: Subsystems (single path component under ``repro/``) with scoped rules.
 DETERMINISM_SCOPE = ("core", "net", "sim", "obs")
 ZERO_COST_SCOPE = ("core", "net")
-EXACT_ROUNDING_FILES = (("sim", "fastreplay.py"),)
+EXACT_ROUNDING_FILES = (
+    ("sim", "fastreplay.py"),
+    ("sim", "columnar.py"),
+    ("sim", "shard.py"),
+    ("core", "leasearray.py"),
+)
 
 
 class LintError(RuntimeError):

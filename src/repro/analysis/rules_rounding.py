@@ -9,7 +9,13 @@ Shewchuk-partials :class:`repro.sim.fastreplay.ExactSum`.  A bare
 rounding error and silently breaks the oracle-equivalence property
 tests on the right (wrong) inputs.
 
-``DCUP006`` flags, inside ``sim/fastreplay.py``:
+The columnar engine, the sharded merge layer and the array-backed lease
+table (``sim/columnar.py``, ``sim/shard.py``, ``core/leasearray.py``)
+inherit the same contract — their sums feed the same bit-identity
+property tests — so the rule covers every module listed in
+:data:`~repro.analysis.linter.EXACT_ROUNDING_FILES`.
+
+``DCUP006`` flags, inside those modules:
 
 * calls to builtin ``sum(...)`` unless the summand is provably integral
   (a ``len(...)`` call or an integer literal — counting is exact);
@@ -62,9 +68,12 @@ class ExactRoundingRule(Rule):
 
     code = "DCUP006"
     name = "exact-rounding-bare-float-sum"
-    summary = ("sim/fastreplay.py must accumulate floats only through "
-               "math.fsum/ExactSum, never bare sum() or running +=")
-    scope = "repro/sim/fastreplay.py"
+    summary = ("oracle-equivalence modules (sim/fastreplay.py, "
+               "sim/columnar.py, sim/shard.py, core/leasearray.py) must "
+               "accumulate floats only through math.fsum/ExactSum, never "
+               "bare sum() or running +=")
+    scope = ("repro/sim/fastreplay.py, repro/sim/columnar.py, "
+             "repro/sim/shard.py, repro/core/leasearray.py")
 
     def check(self, module: ModuleInfo,
               ctx: ProjectContext) -> Iterator[Finding]:

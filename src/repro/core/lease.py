@@ -97,8 +97,8 @@ class LeaseTable:
             raise ValueError(f"lease length must be positive: {length}")
         owner = as_name(name)
         key = (owner, RRType(rrtype))
-        holders = self._by_record.setdefault(key, {})
-        existing = holders.get(cache)
+        holders = self._by_record.get(key)
+        existing = None if holders is None else holders.get(cache)
         if existing is not None and existing.is_valid(now):
             existing.granted_at = now
             existing.length = length
@@ -114,6 +114,8 @@ class LeaseTable:
         if existing is not None:
             # Present but expired: reclaim before counting capacity.
             del holders[cache]
+            if not holders:
+                del self._by_record[key]
             self._active -= 1
             self.stats.expirations += 1
             if self.trace is not None:
@@ -126,7 +128,11 @@ class LeaseTable:
             if self._active >= self.capacity:
                 return None
         lease = Lease(cache, owner, RRType(rrtype), now, length)
-        holders[cache] = lease
+        # The holders dict is (re-)resolved only now: an emergency sweep
+        # above may have deleted the record's (emptied) dict, and
+        # inserting into a stale reference would leak the lease out of
+        # the index while still counting it against capacity.
+        self._by_record.setdefault(key, {})[cache] = lease
         self._active += 1
         self.stats.grants += 1
         self.stats.peak_active = max(self.stats.peak_active, self._active)

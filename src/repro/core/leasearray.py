@@ -1,0 +1,320 @@
+"""Columnar, array-backed lease table (the million-cache track file).
+
+:class:`~repro.core.lease.LeaseTable` keeps one ``Lease`` dataclass and
+one dict entry per live lease.  At the scale the ROADMAP targets —
+millions of caches holding leases on the same authoritative server —
+object-per-lease storage dominates memory and every sweep walks a dict
+of dicts.  :class:`ArrayLeaseTable` stores the same five-field tuples
+(paper §5.2) in **parallel arrays** instead:
+
+* leases are interned to dense integer ids — record ids for
+  ``(owner, rrtype)`` keys, cache ids for endpoints — and a lease is a
+  *slot* across four columns (record id, cache id, granted-at, length);
+* freed slots (expiry, revocation) go on a **free list** and are reused
+  by later grants, so the columns never need compaction;
+* the only per-lease bookkeeping is one integer in the
+  ``(record, cache) -> slot`` index and one slot number in the
+  per-record / per-cache posting lists that serve :meth:`holders` and
+  :meth:`leases_of` (stale postings are dropped lazily on read).
+
+The class is a drop-in behind the existing lease API: every public
+method of :class:`~repro.core.lease.LeaseTable` is provided with the
+same semantics (grant/renew/expire transitions, capacity refusal after
+an emergency sweep, lazily swept queries, stats counters, trace and
+histogram hooks).  ``tests/test_core_leasearray.py`` holds the two
+implementations to observable equivalence on random operation
+sequences.  The one intentional difference: returned ``Lease`` objects
+are *snapshots* of the columns, not live views — renewing a lease
+updates the table, not previously returned objects.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..dnslib import Name, RRType, as_name
+from ..net import Endpoint
+from .lease import Lease, LeaseTableStats, RecordKey
+
+#: Slot tombstone: record ids are non-negative, so -1 marks a free slot.
+_FREE = -1
+
+#: Cache ids are packed into the low bits of the pair key.
+_CACHE_BITS = 32
+
+
+class ArrayLeaseTable:
+    """All live leases on one authoritative server, in parallel arrays.
+
+    Drop-in columnar replacement for
+    :class:`~repro.core.lease.LeaseTable`: same constructor, same
+    methods, same stats/trace/histogram hooks, same lazy-sweep
+    semantics.  ``capacity`` bounds live leases — the storage allowance
+    P_max of §4.2.1; :meth:`grant` refuses beyond it.
+    """
+
+    def __init__(self, capacity: Optional[int] = None):
+        self.capacity = capacity
+        self.stats = LeaseTableStats()
+        #: Observability hooks, attached by the DNScup middleware —
+        #: same contract as :class:`~repro.core.lease.LeaseTable`.
+        self.trace = None
+        self.length_hist = None
+        # -- interning tables ------------------------------------------------
+        self._record_ids: Dict[RecordKey, int] = {}
+        self._records: List[RecordKey] = []
+        self._cache_ids: Dict[Endpoint, int] = {}
+        self._caches: List[Endpoint] = []
+        # -- the columns (slot-indexed parallel arrays) ----------------------
+        self._rec = array("l")        # record id, or _FREE for a free slot
+        self._cch = array("l")        # cache id
+        self._granted = array("d")    # query time
+        self._length = array("d")     # lease length, seconds
+        # -- indexes ---------------------------------------------------------
+        self._free: List[int] = []                  # reusable slots
+        self._slot_of: Dict[int, int] = {}          # pair key -> slot
+        self._record_slots: Dict[int, List[int]] = {}   # record id -> slots
+        self._cache_slots: Dict[int, List[int]] = {}    # cache id -> slots
+        self._active = 0
+
+    # -- interning ----------------------------------------------------------
+
+    def _record_id(self, key: RecordKey) -> int:
+        rid = self._record_ids.get(key)
+        if rid is None:
+            rid = len(self._records)
+            self._record_ids[key] = rid
+            self._records.append(key)
+        return rid
+
+    def _cache_id(self, cache: Endpoint) -> int:
+        cid = self._cache_ids.get(cache)
+        if cid is None:
+            cid = len(self._caches)
+            if cid >= (1 << _CACHE_BITS):
+                raise OverflowError("cache id space exhausted")
+            self._cache_ids[cache] = cid
+            self._caches.append(cache)
+        return cid
+
+    @staticmethod
+    def _pair_key(rid: int, cid: int) -> int:
+        return (rid << _CACHE_BITS) | cid
+
+    # -- slot lifecycle ------------------------------------------------------
+
+    def _alloc(self, rid: int, cid: int, now: float, length: float) -> int:
+        if self._free:
+            slot = self._free.pop()
+            self._rec[slot] = rid
+            self._cch[slot] = cid
+            self._granted[slot] = now
+            self._length[slot] = length
+        else:
+            slot = len(self._rec)
+            self._rec.append(rid)
+            self._cch.append(cid)
+            self._granted.append(now)
+            self._length.append(length)
+        self._slot_of[self._pair_key(rid, cid)] = slot
+        self._record_slots.setdefault(rid, []).append(slot)
+        self._cache_slots.setdefault(cid, []).append(slot)
+        self._active += 1
+        return slot
+
+    def _release(self, slot: int) -> None:
+        """Free one slot; posting lists are cleaned lazily on read."""
+        rid = self._rec[slot]
+        cid = self._cch[slot]
+        del self._slot_of[self._pair_key(rid, cid)]
+        self._rec[slot] = _FREE
+        self._cch[slot] = _FREE
+        self._free.append(slot)
+        self._active -= 1
+
+    def _snapshot(self, slot: int) -> Lease:
+        """A ``Lease`` copy of one occupied slot's columns."""
+        name, rrtype = self._records[self._rec[slot]]
+        return Lease(self._caches[self._cch[slot]], name, rrtype,
+                     self._granted[slot], self._length[slot])
+
+    def _valid_at(self, slot: int, now: float) -> bool:
+        return now < self._granted[slot] + self._length[slot]
+
+    def _live_slots(self, postings: List[int], rid_or_cid: int,
+                    column: array) -> List[int]:
+        """Compact one posting list in place, dropping freed/reassigned
+        slots, and return the surviving slots in insertion order."""
+        alive = [slot for slot in postings if column[slot] == rid_or_cid]
+        if len(alive) != len(postings):
+            postings[:] = alive
+        return alive
+
+    # -- mutation ------------------------------------------------------------
+
+    def grant(self, cache: Endpoint, name, rrtype: RRType,
+              now: float, length: float) -> Optional[Lease]:
+        """Grant or renew a lease; None when the storage budget is full."""
+        if length <= 0:
+            raise ValueError(f"lease length must be positive: {length}")
+        owner = as_name(name)
+        rrtype = RRType(rrtype)
+        rid = self._record_id((owner, rrtype))
+        cid = self._cache_id(cache)
+        slot = self._slot_of.get(self._pair_key(rid, cid))
+        if slot is not None and self._valid_at(slot, now):
+            self._granted[slot] = now
+            self._length[slot] = length
+            self.stats.renewals += 1
+            if self.length_hist is not None:
+                self.length_hist.observe(length)
+            if self.trace is not None:
+                self.trace.emit("lease.renew", t=now,
+                                cache=f"{cache[0]}:{cache[1]}",
+                                name=owner.to_text(),
+                                rrtype=rrtype.name, length=length)
+            return self._snapshot(slot)
+        if slot is not None:
+            # Present but expired: reclaim before counting capacity.
+            self._release(slot)
+            self.stats.expirations += 1
+            if self.trace is not None:
+                self.trace.emit("lease.expire", t=now,
+                                cache=f"{cache[0]}:{cache[1]}",
+                                name=owner.to_text(),
+                                rrtype=rrtype.name)
+        if self.capacity is not None and self._active >= self.capacity:
+            self.sweep(now)
+            if self._active >= self.capacity:
+                return None
+        slot = self._alloc(rid, cid, now, length)
+        self.stats.grants += 1
+        self.stats.peak_active = max(self.stats.peak_active, self._active)
+        if self.length_hist is not None:
+            self.length_hist.observe(length)
+        if self.trace is not None:
+            self.trace.emit("lease.grant", t=now,
+                            cache=f"{cache[0]}:{cache[1]}",
+                            name=owner.to_text(),
+                            rrtype=rrtype.name, length=length)
+        return self._snapshot(slot)
+
+    def revoke(self, cache: Endpoint, name, rrtype: RRType) -> bool:
+        """Drop a lease early (the communication-constrained algorithm's
+        "deprivation" step, §4.2.2)."""
+        owner = as_name(name)
+        rrtype = RRType(rrtype)
+        rid = self._record_ids.get((owner, rrtype))
+        cid = self._cache_ids.get(cache)
+        if rid is None or cid is None:
+            return False
+        slot = self._slot_of.get(self._pair_key(rid, cid))
+        if slot is None:
+            return False
+        self._release(slot)
+        self.stats.revocations += 1
+        if self.trace is not None:
+            self.trace.emit("lease.revoke",
+                            cache=f"{cache[0]}:{cache[1]}",
+                            name=owner.to_text(), rrtype=rrtype.name)
+        return True
+
+    def sweep(self, now: float) -> int:
+        """Remove every expired lease; returns the number removed."""
+        removed = 0
+        rec = self._rec
+        granted = self._granted
+        length = self._length
+        for slot in range(len(rec)):
+            if rec[slot] == _FREE or now < granted[slot] + length[slot]:
+                continue
+            name, rrtype = self._records[rec[slot]]
+            cache = self._caches[self._cch[slot]]
+            self._release(slot)
+            removed += 1
+            if self.trace is not None:
+                self.trace.emit("lease.expire", t=now,
+                                cache=f"{cache[0]}:{cache[1]}",
+                                name=name.to_text(),
+                                rrtype=rrtype.name)
+        self.stats.expirations += removed
+        return removed
+
+    # -- queries ------------------------------------------------------------------
+
+    def holders(self, name, rrtype: RRType, now: float) -> List[Lease]:
+        """Valid leases on (name, rrtype) — the caches to notify."""
+        rid = self._record_ids.get((as_name(name), RRType(rrtype)))
+        if rid is None:
+            return []
+        postings = self._record_slots.get(rid)
+        if not postings:
+            return []
+        return [self._snapshot(slot)
+                for slot in self._live_slots(postings, rid, self._rec)
+                if self._valid_at(slot, now)]
+
+    def get(self, cache: Endpoint, name, rrtype: RRType) -> Optional[Lease]:
+        """Lookup by key; None when absent."""
+        rid = self._record_ids.get((as_name(name), RRType(rrtype)))
+        cid = self._cache_ids.get(cache)
+        if rid is None or cid is None:
+            return None
+        slot = self._slot_of.get(self._pair_key(rid, cid))
+        return None if slot is None else self._snapshot(slot)
+
+    def leases_of(self, cache: Endpoint, now: float) -> List[Lease]:
+        """Every valid lease held by one local nameserver."""
+        cid = self._cache_ids.get(cache)
+        if cid is None:
+            return []
+        postings = self._cache_slots.get(cid)
+        if not postings:
+            return []
+        return [self._snapshot(slot)
+                for slot in self._live_slots(postings, cid, self._cch)
+                if self._valid_at(slot, now)]
+
+    def active_count(self, now: Optional[float] = None) -> int:
+        """Live leases; pass ``now`` to exclude expired-but-unswept ones."""
+        if now is None:
+            return self._active
+        count = 0
+        for slot in range(len(self._rec)):
+            if self._rec[slot] != _FREE and self._valid_at(slot, now):
+                count += 1
+        return count
+
+    def tracked_records(self) -> List[RecordKey]:
+        """(name, type) pairs with at least one lease entry."""
+        result = []
+        for rid, postings in self._record_slots.items():
+            if self._live_slots(postings, rid, self._rec):
+                result.append(self._records[rid])
+        return result
+
+    def __iter__(self) -> Iterator[Lease]:
+        for slot in range(len(self._rec)):
+            if self._rec[slot] != _FREE:
+                yield self._snapshot(slot)
+
+    def __len__(self) -> int:
+        return self._active
+
+    def __repr__(self) -> str:
+        records = len(self.tracked_records())
+        return (f"ArrayLeaseTable(active={self._active}, "
+                f"records={records}, capacity={self.capacity})")
+
+    # -- columnar introspection ----------------------------------------------
+
+    def column_stats(self) -> Dict[str, int]:
+        """Slot-economy counters for benchmarks and capacity planning."""
+        return {
+            "slots": len(self._rec),
+            "free": len(self._free),
+            "active": self._active,
+            "records_interned": len(self._records),
+            "caches_interned": len(self._caches),
+        }

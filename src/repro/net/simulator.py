@@ -2,9 +2,25 @@
 
 Everything time-dependent in the reproduction — UDP delivery, lease
 expiry, TTL decay, retransmission timers, probing schedules — runs on one
-:class:`Simulator`.  Events fire in (time, insertion-order) order, so runs
+:class:`Simulator`.  Events fire in (time, schedule-order) order, so runs
 are exactly reproducible for a given seed; there is no wall-clock anywhere
 in the simulation path.
+
+Tie-breaking is an **explicit monotonic sequence number** stamped on
+every :class:`EventHandle` at schedule time (never object identity or
+hash, which vary across processes): equal-timestamp events fire in
+schedule order on any machine, in any process — the property the
+sharded simulation relies on for byte-stable merges.
+
+Two queue backends implement the same (time, seq) contract:
+
+* ``"wheel"`` (default) — the hierarchical timer wheel
+  (:class:`~repro.net.timerwheel.HierarchicalTimerWheel`): O(1)
+  schedule *and* cancel, no tombstone accumulation under the
+  schedule/cancel churn of per-lease renewal timers;
+* ``"heap"`` — the classic binary heap, kept as the reference backend
+  (``tests/test_timerwheel.py`` holds the two to identical fire
+  sequences by property test).
 """
 
 from __future__ import annotations
@@ -13,6 +29,8 @@ import heapq
 import itertools
 from typing import Callable, List, Optional, Tuple
 
+from .timerwheel import HierarchicalTimerWheel
+
 
 class EventHandle:
     """A cancellable reference to a scheduled event.
@@ -20,13 +38,18 @@ class EventHandle:
     *Daemon* events (periodic timers, housekeeping) never keep the
     simulation alive: :meth:`Simulator.run` stops once only daemon
     events remain, the way daemon threads don't block process exit.
+
+    ``seq`` is the schedule-time monotonic sequence number; the queue
+    backends order events by ``(time, seq)`` and nothing else.
     """
 
-    __slots__ = ("time", "daemon", "_callback", "_cancelled", "_simulator")
+    __slots__ = ("time", "seq", "daemon", "_callback", "_cancelled",
+                 "_simulator")
 
-    def __init__(self, time: float, callback: Callable[[], None],
+    def __init__(self, time: float, seq: int, callback: Callable[[], None],
                  simulator: "Simulator", daemon: bool = False):
         self.time = time
+        self.seq = seq
         self.daemon = daemon
         self._callback = callback
         self._cancelled = False
@@ -58,12 +81,44 @@ class SimulationError(RuntimeError):
     """Raised on simulator misuse (scheduling into the past, etc.)."""
 
 
-class Simulator:
-    """Priority-queue event loop with virtual time in seconds."""
+class _HeapQueue:
+    """The reference event queue: a binary heap of (time, seq, handle).
 
-    def __init__(self, start_time: float = 0.0):
-        self._now = float(start_time)
+    Cancelled events stay in the heap as tombstones until popped past.
+    """
+
+    __slots__ = ("_queue",)
+
+    def __init__(self, start_time: float):
         self._queue: List[Tuple[float, int, EventHandle]] = []
+
+    def push(self, handle: EventHandle) -> None:
+        heapq.heappush(self._queue, (handle.time, handle.seq, handle))
+
+    def pop(self) -> Optional[EventHandle]:
+        while self._queue:
+            _time, _seq, handle = heapq.heappop(self._queue)
+            if not handle.cancelled:
+                return handle
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        while self._queue and self._queue[0][2].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0][0] if self._queue else None
+
+
+class Simulator:
+    """Event loop with virtual time in seconds and a pluggable queue."""
+
+    def __init__(self, start_time: float = 0.0, queue: str = "wheel"):
+        self._now = float(start_time)
+        if queue == "wheel":
+            self._queue: object = HierarchicalTimerWheel(self._now)
+        elif queue == "heap":
+            self._queue = _HeapQueue(self._now)
+        else:
+            raise ValueError(f"unknown queue backend: {queue!r}")
         self._sequence = itertools.count()
         self.events_processed = 0
         self._nondaemon_pending = 0
@@ -85,11 +140,12 @@ class Simulator:
         """Schedule ``callback`` at absolute time ``time``."""
         if time < self._now:
             raise SimulationError(f"cannot schedule at {time} < now {self._now}")
-        handle = EventHandle(time, callback, self, daemon=daemon)
+        handle = EventHandle(time, next(self._sequence), callback, self,
+                             daemon=daemon)
         self._live_pending += 1
         if not daemon:
             self._nondaemon_pending += 1
-        heapq.heappush(self._queue, (time, next(self._sequence), handle))
+        self._queue.push(handle)
         return handle
 
     def schedule(self, delay: float, callback: Callable[[], None],
@@ -107,20 +163,18 @@ class Simulator:
 
     def step(self) -> bool:
         """Fire the next event; returns False when the queue is empty."""
-        while self._queue:
-            time, _seq, handle = heapq.heappop(self._queue)
-            if handle.cancelled:
-                continue
-            self._now = time
-            self.events_processed += 1
-            self._live_pending -= 1
-            if not handle.daemon:
-                self._nondaemon_pending -= 1
-            handle._fire()
-            if self.observer is not None:
-                self.observer(time)
-            return True
-        return False
+        handle = self._queue.pop()
+        if handle is None:
+            return False
+        self._now = handle.time
+        self.events_processed += 1
+        self._live_pending -= 1
+        if not handle.daemon:
+            self._nondaemon_pending -= 1
+        handle._fire()
+        if self.observer is not None:
+            self.observer(handle.time)
+        return True
 
     def run(self, max_events: Optional[int] = None) -> int:
         """Run until no *non-daemon* work remains (or ``max_events``).
@@ -142,8 +196,8 @@ class Simulator:
         if time < self._now:
             raise SimulationError(f"cannot run backwards to {time}")
         fired = 0
-        while self._queue:
-            next_time = self._peek_time()
+        while True:
+            next_time = self._queue.peek_time()
             if next_time is None or next_time > time:
                 break
             if self.step():
@@ -156,17 +210,15 @@ class Simulator:
         return self.run_until(self._now + duration)
 
     def _peek_time(self) -> Optional[float]:
-        while self._queue and self._queue[0][2].cancelled:
-            heapq.heappop(self._queue)
-        return self._queue[0][0] if self._queue else None
+        return self._queue.peek_time()
 
     @property
     def pending(self) -> int:
         """Scheduled events that have not fired or been cancelled.
 
         O(1): a live-event counter maintained on schedule/cancel/fire,
-        not a scan of the heap (cancelled entries linger there until
-        popped).
+        not a scan of the queue (cancelled entries may linger there
+        until popped past).
         """
         return self._live_pending
 

@@ -1,0 +1,162 @@
+"""A hierarchical timer wheel for the discrete-event simulator.
+
+The binary-heap event queue costs O(log n) per schedule and leaves a
+tombstone behind on every cancel.  Protocol timers make that expensive
+at scale: every lease carries renewal and expiry timers that are
+*almost always cancelled* (the renewal fires first and reschedules), so
+a million-cache run churns millions of schedule/cancel pairs through
+the heap and the tombstones pile up ahead of the live events.
+
+:class:`HierarchicalTimerWheel` is the classic alternative (Varghese &
+Lauck; the Kafka-purgatory formulation): timers hash into **buckets**
+by expiry time — level 0 buckets span one ``resolution`` tick, level
+*l* buckets span ``resolution * wheel_size**l`` — so *schedule and
+cancel are O(1)*.  Expiry order comes from a small heap of *buckets*
+(not timers): buckets are pushed when first occupied, and popping the
+earliest bucket either **cascades** its timers down a level (coarse
+buckets re-hash into finer ones as their interval approaches) or, at
+level 0, drains into the *current* run, sorted by ``(time, seq)``.
+
+Because buckets are keyed in a dict rather than a fixed ring, there is
+no horizon: arbitrarily distant timers simply land in high-level
+buckets.  And because a level-0 bucket is sorted before any of it
+fires — and bucket intervals partition the time axis — the fire order
+is **exactly** the heap backend's ``(time, seq)`` order, including
+events scheduled *while* the current bucket drains (they join the
+current run's heap when they fall inside its interval).
+``tests/test_timerwheel.py`` holds the two backends to identical
+fire/cancel sequences by property test.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .simulator import EventHandle
+
+#: A queued timer: (absolute time, schedule sequence, handle).
+_Entry = Tuple[float, int, "EventHandle"]
+
+
+class HierarchicalTimerWheel:
+    """O(1)-schedule/cancel timer queue with exact (time, seq) ordering.
+
+    ``resolution`` is the level-0 bucket width in seconds and
+    ``wheel_size`` the fan-out between levels: level *l* buckets span
+    ``resolution * wheel_size**l`` seconds.  The defaults (1/64 s, 64)
+    put sub-second network timers in level 0–1 and day-scale lease
+    expiries around level 3 — a timer cascades at most once per level
+    on its way down.
+    """
+
+    __slots__ = ("resolution", "wheel_size", "_spans", "_buckets",
+                 "_bucket_heap", "_current", "_cur_end")
+
+    def __init__(self, start_time: float = 0.0, resolution: float = 1.0 / 64,
+                 wheel_size: int = 64, levels: int = 8):
+        if resolution <= 0:
+            raise ValueError(f"resolution must be positive: {resolution}")
+        if wheel_size < 2:
+            raise ValueError(f"wheel_size must be at least 2: {wheel_size}")
+        self.resolution = resolution
+        self.wheel_size = wheel_size
+        #: Bucket widths per level; the top level catches everything
+        #: beyond the second-to-last level's horizon (no overflow list).
+        self._spans = [resolution * wheel_size ** level
+                       for level in range(levels)]
+        #: (level, slot) -> timers whose time falls in that bucket.
+        self._buckets: Dict[Tuple[int, int], List[_Entry]] = {}
+        #: Min-heap of occupied buckets as (start, -level, slot): ties on
+        #: start cascade the *coarser* bucket first, so its timers are
+        #: re-hashed into the finer bucket before that one drains.
+        self._bucket_heap: List[Tuple[float, int, int]] = []
+        #: The drained level-0 run, a (time, seq, handle) heap covering
+        #: times strictly below ``_cur_end``.
+        self._current: List[_Entry] = []
+        self._cur_end = start_time
+
+    # -- scheduling ----------------------------------------------------------
+
+    def push(self, handle: "EventHandle") -> None:
+        """File one timer; O(1) plus a bucket-heap push on first touch."""
+        time = handle.time
+        if time < self._cur_end:
+            # Inside (or before) the interval currently draining: the
+            # run is a heap, so late joiners still fire in time order.
+            heapq.heappush(self._current, (time, handle.seq, handle))
+            return
+        self._insert(time, handle, self._cur_end)
+
+    def _insert(self, time: float, handle: "EventHandle",
+                frontier: float) -> None:
+        """Hash one timer into the finest level whose horizon reaches it."""
+        spans = self._spans
+        delta = time - frontier
+        level = 0
+        top = len(spans) - 1
+        while level < top and delta >= spans[level] * self.wheel_size:
+            level += 1
+        span = spans[level]
+        slot = int(time // span)
+        key = (level, slot)
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            self._buckets[key] = [(time, handle.seq, handle)]
+            heapq.heappush(self._bucket_heap, (slot * span, -level, slot))
+        else:
+            bucket.append((time, handle.seq, handle))
+
+    # -- draining ------------------------------------------------------------
+
+    def _advance(self) -> bool:
+        """Cascade/drain buckets until the current run has an entry.
+
+        Returns False when the wheel is completely empty.
+        """
+        while not self._current:
+            if not self._bucket_heap:
+                return False
+            start, neg_level, slot = heapq.heappop(self._bucket_heap)
+            level = -neg_level
+            entries = self._buckets.pop((level, slot), None)
+            if not entries:
+                continue
+            live = [entry for entry in entries if not entry[2].cancelled]
+            if level == 0:
+                self._cur_end = start + self.resolution
+                self._current = live
+                heapq.heapify(self._current)
+            else:
+                # Cascade: re-hash each timer against this bucket's own
+                # start — every child bucket then starts at or after it.
+                for entry in live:
+                    self._insert(entry[0], entry[2], start)
+        return True
+
+    def pop(self) -> Optional["EventHandle"]:
+        """The next live timer in (time, seq) order; None when empty."""
+        while True:
+            while self._current:
+                _time, _seq, handle = heapq.heappop(self._current)
+                if not handle.cancelled:
+                    return handle
+            if not self._advance():
+                return None
+
+    def peek_time(self) -> Optional[float]:
+        """The next live timer's absolute time, without popping it."""
+        while True:
+            while self._current:
+                if not self._current[0][2].cancelled:
+                    return self._current[0][0]
+                heapq.heappop(self._current)
+            if not self._advance():
+                return None
+
+    def __repr__(self) -> str:
+        return (f"HierarchicalTimerWheel(buckets={len(self._buckets)}, "
+                f"current={len(self._current)}, "
+                f"resolution={self.resolution}, "
+                f"wheel_size={self.wheel_size})")

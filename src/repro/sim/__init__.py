@@ -12,12 +12,29 @@ from .driver import (
     simulate_lease_trace,
     train_pair_rates,
 )
+from .columnar import (
+    ColumnarTrace,
+    columnar_dynamic_sweep,
+    columnar_lease_replay,
+    columnar_polling,
+    columnar_scan,
+    flash_crowd_columnar,
+)
 from .fastreplay import (
     ExactSum,
     PairIndex,
     fast_dynamic_sweep,
     fast_lease_replay,
     fast_polling,
+)
+from .shard import (
+    ShardSweep,
+    gather_subtrace,
+    merge_shard_sweeps,
+    shard_of_name,
+    shard_pair_ids,
+    sharded_figure5_sweep,
+    sharded_lease_replay,
 )
 from .metrics import (
     ConsistencyReport,
@@ -36,6 +53,10 @@ __all__ = [
     "TraceSimConfig",
     "PairIndex", "ExactSum", "fast_lease_replay", "fast_dynamic_sweep",
     "fast_polling",
+    "ColumnarTrace", "columnar_scan", "columnar_lease_replay",
+    "columnar_dynamic_sweep", "columnar_polling", "flash_crowd_columnar",
+    "ShardSweep", "shard_of_name", "shard_pair_ids", "gather_subtrace",
+    "merge_shard_sweeps", "sharded_figure5_sweep", "sharded_lease_replay",
     "LeaseSimResult", "ConsistencyReport", "StalenessSample",
     "interpolate_at_storage", "interpolate_at_query_rate",
     "ProtocolScenario", "ScenarioConfig",

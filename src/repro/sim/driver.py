@@ -185,13 +185,31 @@ def figure5_curves(events: Sequence[QueryEvent],
     ``engine="fast"`` (the default) groups the trace once into the
     pair index and evaluates every sweep point from it —
     O(trace + sweep × pairs) instead of the reference engine's
-    O(sweep × trace) — producing bit-identical results; pass
-    ``engine="reference"`` to run the per-point oracle instead.
+    O(sweep × trace) — producing bit-identical results;
+    ``engine="columnar"`` goes further and replays each sweep point as
+    vectorized column sweeps over a CSR trace (the million-cache
+    engine of :mod:`repro.sim.columnar`, same bit-identity contract);
+    pass ``engine="reference"`` to run the per-point oracle instead.
     """
     events = sorted(events, key=lambda e: e.time)
     rates = train_pair_rates(events, duration * training_fraction)
     max_lease_of = default_max_lease_of(domains)
-    if engine == "fast":
+    if engine == "columnar":
+        from .columnar import (
+            ColumnarTrace, columnar_dynamic_sweep, columnar_lease_replay,
+            columnar_polling)
+        ctrace = ColumnarTrace.from_events(events)
+        rate_column = ctrace.rate_column(rates)
+        lease_column = ctrace.max_lease_column(max_lease_of)
+        fixed = [
+            columnar_lease_replay(ctrace, rate_column, lease_column,
+                                  fixed_lease_fn(length), duration,
+                                  scheme="fixed", parameter=length)
+            for length in fixed_lengths]
+        dynamic = columnar_dynamic_sweep(ctrace, rate_column, lease_column,
+                                         rate_thresholds, duration)
+        polling = columnar_polling(ctrace, duration)
+    elif engine == "fast":
         from .fastreplay import (
             PairIndex, fast_dynamic_sweep, fast_lease_replay, fast_polling)
         index = PairIndex(events)

@@ -94,6 +94,17 @@ class ExactSum:
         """The correctly-rounded float value of the exact sum."""
         return math.fsum(self._partials)
 
+    def partials(self) -> List[float]:
+        """A copy of the non-overlapping partials.
+
+        Their mathematical sum *is* the accumulated sum, exactly —
+        feeding them to another accumulator (:meth:`add_all`) merges
+        two sums with no rounding at all, which is how the sharded
+        engine (:mod:`repro.sim.shard`) combines per-shard
+        ``lease_seconds`` bit-identically to a single-shard run.
+        """
+        return list(self._partials)
+
 
 class PairIndex:
     """A query trace grouped once into per-(domain, nameserver) arrays.

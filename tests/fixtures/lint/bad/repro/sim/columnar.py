@@ -1,0 +1,12 @@
+"""Seeded DCUP006 violations: bare float accumulation in columnar."""
+
+
+def merge_partials(chunks):
+    folded = 0.0
+    for chunk in chunks:
+        folded += chunk
+    return folded
+
+
+def sweep_lease_seconds(term_columns):
+    return sum(term_columns)

@@ -1,0 +1,5 @@
+"""Seeded DCUP006 violation: bare float merge across shard rows."""
+
+
+def merge_lease_seconds(shard_rows):
+    return sum(row.lease_seconds for row in shard_rows)

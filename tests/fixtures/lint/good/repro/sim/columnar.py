@@ -1,0 +1,11 @@
+"""Clean counterpart to the columnar DCUP006 fixture."""
+
+import math
+
+
+def merge_partials(chunks):
+    return math.fsum(chunks)
+
+
+def count_terms(term_columns):
+    return sum(len(column) for column in term_columns)

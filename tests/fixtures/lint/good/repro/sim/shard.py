@@ -1,0 +1,10 @@
+"""Clean counterpart to the shard DCUP006 fixture: partial folding."""
+
+import math
+
+
+def merge_lease_seconds(shard_partial_lists):
+    folded = []
+    for partials in shard_partial_lists:
+        folded.extend(partials)
+    return math.fsum(folded)

@@ -93,6 +93,19 @@ class TestCapacity:
         table.grant(CACHE_A, "a.x.com", RRType.A, 0.0, 100.0)
         assert table.grant(CACHE_A, "a.x.com", RRType.A, 1.0, 100.0)
 
+    def test_emergency_sweep_does_not_orphan_new_record(self):
+        # Regression: granting a *new* record at capacity triggers an
+        # emergency sweep, which used to delete the freshly created
+        # (empty) holders dict out from under the grant — the lease then
+        # counted against capacity but was invisible to holders().
+        table = LeaseTable(capacity=1)
+        table.grant(CACHE_A, "a.x.com", RRType.A, 0.0, 10.0)
+        lease = table.grant(CACHE_A, "b.x.com", RRType.A, 20.0, 10.0)
+        assert lease is not None
+        holders = table.holders("b.x.com", RRType.A, now=21.0)
+        assert [h.cache for h in holders] == [CACHE_A]
+        assert table.active_count(21.0) == 1 == len(table)
+
 
 class TestSweepAndCounts:
     def test_sweep_removes_expired(self, table):

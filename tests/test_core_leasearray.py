@@ -1,0 +1,217 @@
+"""The columnar lease table against the dict-backed reference.
+
+:class:`repro.core.ArrayLeaseTable` is a drop-in behind the
+:class:`repro.core.LeaseTable` API; these tests hold the two
+implementations to *observable equivalence* — same grant/renew/expire
+transitions, same capacity refusals, same stats, same query results —
+on both hand-written scenarios and Hypothesis-generated operation
+sequences.  The one declared difference (returned leases are snapshots,
+not live views) gets its own regression test.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ArrayLeaseTable, LeaseTable, save_track_file
+from repro.core.middleware import DNScupConfig
+from repro.dnslib import Name, RRType
+
+CACHE_A = ("10.2.0.1", 53)
+CACHE_B = ("10.2.0.2", 53)
+CACHES = [(f"10.2.0.{i}", 53) for i in range(1, 5)]
+NAMES = ["w.x.com", "y.x.com", "z.x.com"]
+
+
+@pytest.fixture
+def table():
+    return ArrayLeaseTable()
+
+
+class TestDropInBehaviour:
+    """The LeaseTable unit contract, replayed on the array table."""
+
+    def test_grant_and_holders(self, table):
+        table.grant(CACHE_A, "w.x.com", RRType.A, now=0.0, length=100.0)
+        holders = table.holders("w.x.com", RRType.A, now=50.0)
+        assert [h.cache for h in holders] == [CACHE_A]
+
+    def test_expired_not_in_holders(self, table):
+        table.grant(CACHE_A, "w.x.com", RRType.A, now=0.0, length=100.0)
+        assert table.holders("w.x.com", RRType.A, now=100.0) == []
+
+    def test_renewal_updates_in_place(self, table):
+        table.grant(CACHE_A, "w.x.com", RRType.A, now=0.0, length=100.0)
+        table.grant(CACHE_A, "w.x.com", RRType.A, now=50.0, length=100.0)
+        assert len(table) == 1
+        assert table.stats.renewals == 1
+        assert table.get(CACHE_A, "w.x.com", RRType.A).expires_at == 150.0
+        assert table.column_stats()["slots"] == 1
+
+    def test_regrant_after_expiry_counts_as_grant(self, table):
+        table.grant(CACHE_A, "w.x.com", RRType.A, now=0.0, length=10.0)
+        table.grant(CACHE_A, "w.x.com", RRType.A, now=20.0, length=10.0)
+        assert table.stats.grants == 2
+        assert table.stats.renewals == 0
+        assert table.stats.expirations == 1
+        assert len(table) == 1
+
+    def test_revoke_and_free_list_reuse(self, table):
+        table.grant(CACHE_A, "w.x.com", RRType.A, now=0.0, length=100.0)
+        table.grant(CACHE_B, "y.x.com", RRType.A, now=0.0, length=100.0)
+        assert table.revoke(CACHE_A, "w.x.com", RRType.A)
+        assert not table.revoke(CACHE_A, "w.x.com", RRType.A)
+        assert table.column_stats()["free"] == 1
+        # The freed slot is reused: the columns do not grow.
+        table.grant(CACHE_A, "z.x.com", RRType.A, now=1.0, length=50.0)
+        assert table.column_stats() == {
+            "slots": 2, "free": 0, "active": 2,
+            "records_interned": 3, "caches_interned": 2}
+
+    def test_capacity_refusal_after_sweep(self):
+        table = ArrayLeaseTable(capacity=1)
+        assert table.grant(CACHE_A, "w.x.com", RRType.A, 0.0, 10.0)
+        # Full, and the incumbent is still valid: refused.
+        assert table.grant(CACHE_B, "w.x.com", RRType.A, 5.0, 10.0) is None
+        # Once the incumbent expires, the emergency sweep frees the slot.
+        assert table.grant(CACHE_B, "w.x.com", RRType.A, 10.0, 10.0)
+        assert len(table) == 1
+
+    def test_leases_of_and_tracked_records(self, table):
+        table.grant(CACHE_A, "w.x.com", RRType.A, now=0.0, length=100.0)
+        table.grant(CACHE_A, "y.x.com", RRType.A, now=0.0, length=10.0)
+        table.grant(CACHE_B, "w.x.com", RRType.A, now=0.0, length=100.0)
+        held = table.leases_of(CACHE_A, now=50.0)
+        assert [lease.name for lease in held] == [Name.from_text("w.x.com")]
+        assert set(table.tracked_records()) == {
+            (Name.from_text("w.x.com"), RRType.A),
+            (Name.from_text("y.x.com"), RRType.A)}
+        assert table.active_count(now=50.0) == 2
+        assert table.active_count() == 3
+
+    def test_sweep_removes_expired(self, table):
+        table.grant(CACHE_A, "w.x.com", RRType.A, now=0.0, length=10.0)
+        table.grant(CACHE_B, "w.x.com", RRType.A, now=0.0, length=100.0)
+        assert table.sweep(now=50.0) == 1
+        assert len(table) == 1
+        assert table.stats.expirations == 1
+
+    def test_snapshot_not_live_view(self, table):
+        first = table.grant(CACHE_A, "w.x.com", RRType.A, 0.0, 10.0)
+        table.grant(CACHE_A, "w.x.com", RRType.A, 5.0, 10.0)
+        # The earlier snapshot keeps its original stamps; the table moved.
+        assert first.granted_at == 0.0
+        assert table.get(CACHE_A, "w.x.com", RRType.A).granted_at == 5.0
+
+    def test_track_file_round_trip(self, table, tmp_path):
+        table.grant(CACHE_A, "w.x.com", RRType.A, now=3.0, length=7.0)
+        table.grant(CACHE_B, "y.x.com", RRType.A, now=4.0, length=8.0)
+        path = tmp_path / "track"
+        assert save_track_file(table, str(path)) == 2
+        text = path.read_text()
+        assert "10.2.0.1 53 w.x.com. A 3.0 7.0" in text
+
+    def test_rejects_nonpositive_length(self, table):
+        with pytest.raises(ValueError):
+            table.grant(CACHE_A, "w.x.com", RRType.A, 0.0, 0.0)
+
+class TestMiddlewareBackendKnob:
+    """The config knob swaps the live track file to the columnar table."""
+
+    def test_array_backend_serves_live_leases(self, make_host, simulator):
+        from repro.core import DynamicLeasePolicy, attach_dnscup
+        from repro.dnslib import Rcode
+        from repro.server import (
+            AuthoritativeServer, RecursiveResolver, ResolverCache)
+        from repro.zone import load_zone
+        from tests.conftest import EXAMPLE_ZONE_TEXT
+        from tests.test_core_middleware import ROOT_TEXT
+
+        AuthoritativeServer(make_host("198.41.0.4"),
+                            [load_zone(ROOT_TEXT, origin=Name.root())])
+        auth = AuthoritativeServer(make_host("10.1.0.1"),
+                                   [load_zone(EXAMPLE_ZONE_TEXT)])
+        middleware = attach_dnscup(
+            auth, policy=DynamicLeasePolicy(0.0),
+            config=DNScupConfig(lease_table_backend="array"))
+        assert isinstance(middleware.table, ArrayLeaseTable)
+        resolver = RecursiveResolver(make_host("10.2.0.1"),
+                                     [("198.41.0.4", 53)],
+                                     cache=ResolverCache(),
+                                     dnscup_enabled=True)
+        results = []
+        resolver.resolve("www.example.com", RRType.A,
+                         lambda recs, rc: results.append(rc))
+        simulator.run()
+        assert results == [Rcode.NOERROR]
+        assert len(middleware.table) == 1
+        assert middleware.summary()["active_leases"] == 1.0
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            DNScupConfig(lease_table_backend="bogus")
+
+
+# -- observable equivalence on random operation sequences ----------------------
+
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("grant"),
+                  st.integers(0, len(CACHES) - 1),
+                  st.integers(0, len(NAMES) - 1),
+                  st.floats(min_value=0.5, max_value=60.0)),
+        st.tuples(st.just("revoke"),
+                  st.integers(0, len(CACHES) - 1),
+                  st.integers(0, len(NAMES) - 1)),
+        st.tuples(st.just("sweep")),
+    ),
+    min_size=0, max_size=40)
+
+
+@settings(max_examples=150, deadline=None)
+@given(ops=operations, capacity=st.one_of(st.none(), st.integers(1, 4)),
+       step=st.floats(min_value=0.0, max_value=30.0))
+def test_equivalent_to_dict_table(ops, capacity, step):
+    """Same operation sequence -> same observable state, both backends."""
+    reference = LeaseTable(capacity=capacity)
+    columnar = ArrayLeaseTable(capacity=capacity)
+    now = 0.0
+    for op in ops:
+        now += step
+        if op[0] == "grant":
+            _, cache_i, name_i, length = op
+            ref = reference.grant(CACHES[cache_i], NAMES[name_i], RRType.A,
+                                  now, length)
+            col = columnar.grant(CACHES[cache_i], NAMES[name_i], RRType.A,
+                                 now, length)
+            assert (ref is None) == (col is None)
+            if ref is not None:
+                assert dataclasses.astuple(ref) == dataclasses.astuple(col)
+        elif op[0] == "revoke":
+            _, cache_i, name_i = op
+            assert (reference.revoke(CACHES[cache_i], NAMES[name_i], RRType.A)
+                    == columnar.revoke(CACHES[cache_i], NAMES[name_i],
+                                       RRType.A))
+        else:
+            assert reference.sweep(now) == columnar.sweep(now)
+        # -- observable state must agree after every operation ------------
+        assert len(reference) == len(columnar)
+        assert reference.active_count(now) == columnar.active_count(now)
+        assert dataclasses.astuple(reference.stats) \
+            == dataclasses.astuple(columnar.stats)
+        assert set(reference.tracked_records()) \
+            == set(columnar.tracked_records())
+        for name in NAMES:
+            ref_holders = {h.cache for h in
+                           reference.holders(name, RRType.A, now)}
+            col_holders = {h.cache for h in
+                           columnar.holders(name, RRType.A, now)}
+            assert ref_holders == col_holders
+        for cache in CACHES:
+            ref_held = {lease.name for lease in
+                        reference.leases_of(cache, now)}
+            col_held = {lease.name for lease in
+                        columnar.leases_of(cache, now)}
+            assert ref_held == col_held

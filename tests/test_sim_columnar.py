@@ -1,0 +1,256 @@
+"""The columnar replay engine against the reference oracle.
+
+Same contract :mod:`tests.test_fastreplay` established for the pair-
+indexed engine: for any trace, any trained rates and any scheme,
+:mod:`repro.sim.columnar` must return the exact
+:class:`~repro.sim.metrics.LeaseSimResult` (every field, including the
+float ``lease_seconds``) that
+:func:`~repro.sim.driver.simulate_lease_trace` produces by brute-force
+replay.  Wide-trace cases push past the vectorized scanner's scalar
+cutoff so the lockstep column sweep — not just the straggler path — is
+held to bit identity.
+"""
+
+import dataclasses
+import random
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.dnslib import Name
+from repro.sim import (
+    ColumnarTrace,
+    columnar_dynamic_sweep,
+    columnar_lease_replay,
+    columnar_polling,
+    dynamic_lease_fn,
+    figure5_curves,
+    fixed_lease_fn,
+    no_lease_fn,
+    simulate_lease_trace,
+)
+from repro.sim.columnar import _SCALAR_CUTOFF
+from repro.traces import DomainSpec, StableProcess
+from repro.traces.workload import QueryEvent, measured_rates
+
+NAMES = [Name.from_text(f"host{i}.example.com") for i in range(6)]
+#: Enough (name, nameserver) combinations to keep the vectorized
+#: lockstep sweep busy well past the scalar cutoff.
+WIDE_NAMES = [Name.from_text(f"wide{i}.example.com") for i in range(40)]
+
+DURATION = 1000.0
+
+
+def _assert_identical(reference, columnar):
+    """Field-for-field comparison with a readable diff on failure."""
+    assert dataclasses.astuple(reference) == dataclasses.astuple(columnar), \
+        f"\nreference: {reference}\ncolumnar:  {columnar}"
+
+
+def make_max_lease_of(spread):
+    """A deterministic per-name max lease with some variety."""
+    def max_lease_of(name):
+        return spread * (1 + len(name.labels[0]) % 3)
+    return max_lease_of
+
+
+def trained(events):
+    return measured_rates(events, DURATION, by="name-nameserver") \
+        if events else {}
+
+
+def columns_for(events, max_lease_of):
+    trace = ColumnarTrace.from_events(events)
+    rates = trained(events)
+    return (trace, rates, trace.rate_column(rates),
+            trace.max_lease_column(max_lease_of))
+
+
+# -- strategies ----------------------------------------------------------------
+
+events_strategy = st.lists(
+    st.builds(
+        QueryEvent,
+        time=st.floats(min_value=0.0, max_value=DURATION * 1.2,
+                       allow_nan=False, allow_infinity=False),
+        client=st.integers(0, 4),
+        name=st.sampled_from(NAMES),
+        nameserver=st.integers(0, 2)),
+    min_size=0, max_size=200)
+
+wide_times_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=DURATION * 1.2,
+              allow_nan=False, allow_infinity=False),
+    min_size=400, max_size=900)
+
+
+def wide_events(times):
+    """Spread drawn times over 320 distinct pairs, round-robin, so the
+    lockstep sweep always has a batch far above the scalar cutoff."""
+    return [QueryEvent(t, 0, WIDE_NAMES[i % len(WIDE_NAMES)],
+                       (i // len(WIDE_NAMES)) % 8)
+            for i, t in enumerate(times)]
+
+lengths_strategy = st.floats(min_value=0.001, max_value=DURATION * 2,
+                             allow_nan=False, allow_infinity=False)
+
+
+# -- the property: bit-identical to the oracle ---------------------------------
+
+
+class TestColumnarEquivalence:
+    @settings(max_examples=100, deadline=None)
+    @given(events=events_strategy, length=lengths_strategy,
+           spread=st.floats(min_value=0.5, max_value=500.0))
+    def test_fixed_scheme_identical(self, events, length, spread):
+        events = sorted(events, key=lambda e: e.time)
+        max_lease_of = make_max_lease_of(spread)
+        trace, rates, rate_col, lease_col = columns_for(events, max_lease_of)
+        reference = simulate_lease_trace(
+            events, rates, max_lease_of, fixed_lease_fn(length), DURATION,
+            scheme="fixed", parameter=length)
+        columnar = columnar_lease_replay(
+            trace, rate_col, lease_col, fixed_lease_fn(length), DURATION,
+            scheme="fixed", parameter=length)
+        _assert_identical(reference, columnar)
+
+    @settings(max_examples=60, deadline=None)
+    @given(events=events_strategy, spread=st.floats(min_value=0.5,
+                                                    max_value=500.0),
+           thresholds=st.lists(st.floats(min_value=0.0, max_value=1.0),
+                               min_size=1, max_size=8))
+    def test_dynamic_sweep_identical(self, events, spread, thresholds):
+        events = sorted(events, key=lambda e: e.time)
+        max_lease_of = make_max_lease_of(spread)
+        trace, rates, rate_col, lease_col = columns_for(events, max_lease_of)
+        reference = [
+            simulate_lease_trace(events, rates, max_lease_of,
+                                 dynamic_lease_fn(threshold), DURATION,
+                                 scheme="dynamic", parameter=threshold)
+            for threshold in thresholds]
+        columnar = columnar_dynamic_sweep(trace, rate_col, lease_col,
+                                          thresholds, DURATION)
+        assert len(reference) == len(columnar)
+        for ref, col in zip(reference, columnar):
+            _assert_identical(ref, col)
+
+    @settings(max_examples=40, deadline=None)
+    @given(events=events_strategy)
+    def test_polling_identical(self, events):
+        rates = trained(events)
+        trace = ColumnarTrace.from_events(events)
+        reference = simulate_lease_trace(
+            events, rates, lambda name: 100.0, no_lease_fn(), DURATION,
+            scheme="none")
+        _assert_identical(reference, columnar_polling(trace, DURATION))
+
+    @settings(max_examples=25, deadline=None)
+    @given(times=wide_times_strategy, length=lengths_strategy,
+           spread=st.floats(min_value=0.5, max_value=500.0))
+    def test_wide_trace_exercises_vectorized_sweep(self, times, length,
+                                                   spread):
+        """Hundreds of active pairs: the lockstep column sweep (not the
+        scalar straggler path) must match the oracle bit for bit."""
+        events = sorted(wide_events(times), key=lambda e: e.time)
+        max_lease_of = make_max_lease_of(spread)
+        trace, rates, rate_col, lease_col = columns_for(events, max_lease_of)
+        assert trace.pair_count >= _SCALAR_CUTOFF
+        reference = simulate_lease_trace(
+            events, rates, max_lease_of, fixed_lease_fn(length), DURATION,
+            scheme="fixed", parameter=length)
+        columnar = columnar_lease_replay(
+            trace, rate_col, lease_col, fixed_lease_fn(length), DURATION,
+            scheme="fixed", parameter=length)
+        _assert_identical(reference, columnar)
+
+    @settings(max_examples=40, deadline=None)
+    @given(events=events_strategy, length=lengths_strategy,
+           seed=st.integers(0, 2**16))
+    def test_unsorted_trace_identical(self, events, length, seed):
+        """The oracle replays events in *input* order; the columnar
+        engine's unsorted-segment fallback must preserve that."""
+        random.Random(seed).shuffle(events)
+        max_lease_of = make_max_lease_of(10.0)
+        trace, rates, rate_col, lease_col = columns_for(events, max_lease_of)
+        reference = simulate_lease_trace(
+            events, rates, max_lease_of, fixed_lease_fn(length), DURATION,
+            scheme="fixed", parameter=length)
+        columnar = columnar_lease_replay(
+            trace, rate_col, lease_col, fixed_lease_fn(length), DURATION,
+            scheme="fixed", parameter=length)
+        _assert_identical(reference, columnar)
+
+
+# -- the trace container -------------------------------------------------------
+
+
+class TestColumnarTrace:
+    def test_sorted_mask_detection(self):
+        """Only decreases *inside* a segment mark it unsorted; a drop
+        across the segment boundary must not."""
+        times = np.asarray([5.0, 9.0, 1.0, 4.0, 3.0], dtype=np.float64)
+        starts = np.asarray([0, 2, 5], dtype=np.int64)
+        trace = ColumnarTrace(times, starts,
+                              [NAMES[0], NAMES[1]],
+                              np.asarray([0, 0], dtype=np.int64))
+        assert trace.sorted_mask.tolist() == [True, False]
+
+    def test_trained_rates_match_oracle_training(self):
+        rng = random.Random(11)
+        events = sorted(
+            (QueryEvent(rng.uniform(0, DURATION), 0, rng.choice(NAMES),
+                        rng.randrange(3))
+             for _ in range(300)),
+            key=lambda e: e.time)
+        window = DURATION / 7.0
+        trace = ColumnarTrace.from_events(events)
+        oracle = measured_rates([e for e in events if e.time < window],
+                                window, by="name-nameserver")
+        column = trace.trained_rates(window)
+        for index in range(trace.pair_count):
+            pair = (trace.names[index], int(trace.nameservers[index]))
+            assert column[index] == oracle.get(pair, 0.0)
+
+    def test_empty_trace(self):
+        trace = ColumnarTrace.from_events([])
+        result = columnar_lease_replay(
+            trace, np.empty(0), np.empty(0), fixed_lease_fn(1.0), DURATION)
+        reference = simulate_lease_trace(
+            [], {}, lambda n: 1.0, fixed_lease_fn(1.0), DURATION)
+        _assert_identical(reference, result)
+
+    def test_lease_truncated_at_duration(self):
+        events = [QueryEvent(995.0, 0, NAMES[0], 0)]
+        trace, rates, rate_col, lease_col = columns_for(
+            events, lambda name: 1e9)
+        result = columnar_lease_replay(
+            trace, rate_col, lease_col, fixed_lease_fn(50.0), DURATION,
+            scheme="fixed", parameter=50.0)
+        assert result.grants == 1
+        assert result.lease_seconds == 5.0
+
+    def test_figure5_columnar_engine_agrees(self):
+        """The public Figure 5 entry point: columnar and reference
+        engines return identical curves."""
+        rng = random.Random(5)
+        domains = [DomainSpec(name, category, 3600.0, 1.0,
+                              StableProcess(["10.0.0.1"]))
+                   for name, category in zip(
+                       NAMES, ("regular", "cdn", "dyn", "regular", "cdn",
+                               "dyn"))]
+        events = sorted(
+            (QueryEvent(rng.uniform(0, DURATION), rng.randrange(6),
+                        rng.choice(NAMES), rng.randrange(3))
+             for _ in range(800)),
+            key=lambda e: e.time)
+        kwargs = dict(duration=DURATION, fixed_lengths=[5.0, 50.0, 500.0],
+                      rate_thresholds=[0.0, 0.01, 0.1, 10.0])
+        columnar = figure5_curves(events, domains, engine="columnar",
+                                  **kwargs)
+        reference = figure5_curves(events, domains, engine="reference",
+                                   **kwargs)
+        for ref, col in zip(reference.fixed + reference.dynamic
+                            + [reference.polling],
+                            columnar.fixed + columnar.dynamic
+                            + [columnar.polling]):
+            _assert_identical(ref, col)

@@ -1,0 +1,191 @@
+"""Shard-count invariance: partitioning must not change a single byte.
+
+The sharded engine (:mod:`repro.sim.shard`) partitions a trace by
+domain, replays each shard independently — optionally in separate
+processes — and merges the per-shard tables with exact arithmetic
+(integer sums plus Shewchuk-partial folding).  The property under test:
+the metrics JSON a 1-shard run produces is *byte-identical* to the
+2-shard and 8-shard runs, and all of them match the reference oracle.
+"""
+
+import dataclasses
+import json
+import random
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.dnslib import Name
+from repro.sim import (
+    ColumnarTrace,
+    dynamic_lease_fn,
+    fixed_lease_fn,
+    gather_subtrace,
+    shard_of_name,
+    shard_pair_ids,
+    sharded_figure5_sweep,
+    sharded_lease_replay,
+    simulate_lease_trace,
+)
+from repro.traces.workload import QueryEvent, measured_rates
+
+NAMES = [Name.from_text(f"host{i}.example.com") for i in range(24)]
+
+DURATION = 1000.0
+
+FIXED_LENGTHS = (3.0, 47.0, 600.0)
+THRESHOLDS = (0.0, 0.002, 0.02, 0.2)
+
+
+def make_max_lease_of(spread):
+    def max_lease_of(name):
+        return spread * (1 + len(name.labels[0]) % 3)
+    return max_lease_of
+
+
+def metrics_json(fixed, dynamic, polling):
+    """The canonical byte representation compared across shard counts."""
+    return json.dumps(
+        [dataclasses.asdict(result)
+         for result in list(fixed) + list(dynamic) + [polling]],
+        sort_keys=True).encode("utf-8")
+
+
+def columns_for(events, max_lease_of):
+    trace = ColumnarTrace.from_events(events)
+    rates = measured_rates(events, DURATION, by="name-nameserver") \
+        if events else {}
+    return (trace, rates, trace.rate_column(rates),
+            trace.max_lease_column(max_lease_of))
+
+
+events_strategy = st.lists(
+    st.builds(
+        QueryEvent,
+        time=st.floats(min_value=0.0, max_value=DURATION * 1.2,
+                       allow_nan=False, allow_infinity=False),
+        client=st.integers(0, 4),
+        name=st.sampled_from(NAMES),
+        nameserver=st.integers(0, 5)),
+    min_size=0, max_size=400)
+
+
+class TestShardInvariance:
+    @settings(max_examples=40, deadline=None)
+    @given(events=events_strategy,
+           spread=st.floats(min_value=0.5, max_value=500.0))
+    def test_1_2_8_shards_byte_identical(self, events, spread):
+        events = sorted(events, key=lambda e: e.time)
+        trace, _rates, rate_col, lease_col = columns_for(
+            events, make_max_lease_of(spread))
+        baseline = None
+        for nshards in (1, 2, 8):
+            fixed, dynamic, polling = sharded_figure5_sweep(
+                trace, rate_col, lease_col, FIXED_LENGTHS, THRESHOLDS,
+                DURATION, nshards)
+            blob = metrics_json(fixed, dynamic, polling)
+            if baseline is None:
+                baseline = blob
+            else:
+                assert blob == baseline, \
+                    f"{nshards}-shard metrics differ from 1-shard run"
+
+    @settings(max_examples=15, deadline=None)
+    @given(events=events_strategy,
+           spread=st.floats(min_value=0.5, max_value=500.0))
+    def test_sharded_matches_reference_oracle(self, events, spread):
+        events = sorted(events, key=lambda e: e.time)
+        max_lease_of = make_max_lease_of(spread)
+        trace, rates, rate_col, lease_col = columns_for(events, max_lease_of)
+        fixed, dynamic, _polling = sharded_figure5_sweep(
+            trace, rate_col, lease_col, FIXED_LENGTHS, THRESHOLDS,
+            DURATION, 4)
+        for length, result in zip(FIXED_LENGTHS, fixed):
+            reference = simulate_lease_trace(
+                events, rates, max_lease_of, fixed_lease_fn(length),
+                DURATION, scheme="fixed", parameter=length)
+            assert dataclasses.astuple(reference) \
+                == dataclasses.astuple(result)
+        for threshold, result in zip(THRESHOLDS, dynamic):
+            reference = simulate_lease_trace(
+                events, rates, max_lease_of, dynamic_lease_fn(threshold),
+                DURATION, scheme="dynamic", parameter=threshold)
+            assert dataclasses.astuple(reference) \
+                == dataclasses.astuple(result)
+
+    def test_pool_matches_serial(self):
+        """The multiprocessing path returns the serial path's bytes."""
+        rng = random.Random(3)
+        events = sorted(
+            (QueryEvent(rng.uniform(0, DURATION), 0, rng.choice(NAMES),
+                        rng.randrange(6))
+             for _ in range(1500)),
+            key=lambda e: e.time)
+        trace, _rates, rate_col, lease_col = columns_for(
+            events, make_max_lease_of(120.0))
+        serial = sharded_figure5_sweep(trace, rate_col, lease_col,
+                                       FIXED_LENGTHS, THRESHOLDS, DURATION,
+                                       4)
+        pooled = sharded_figure5_sweep(trace, rate_col, lease_col,
+                                       FIXED_LENGTHS, THRESHOLDS, DURATION,
+                                       4, processes=2)
+        assert metrics_json(*serial) == metrics_json(*pooled)
+
+    def test_single_replay_shard_invariant(self):
+        rng = random.Random(9)
+        events = sorted(
+            (QueryEvent(rng.uniform(0, DURATION), 0, rng.choice(NAMES),
+                        rng.randrange(6))
+             for _ in range(900)),
+            key=lambda e: e.time)
+        trace, _rates, _rate_col, lease_col = columns_for(
+            events, make_max_lease_of(80.0))
+        lengths = np.minimum(47.0, lease_col)
+        results = [sharded_lease_replay(trace, lengths, DURATION, nshards,
+                                        scheme="fixed", parameter=47.0)
+                   for nshards in (1, 2, 8)]
+        assert len({dataclasses.astuple(result)
+                    for result in results}) == 1
+
+
+class TestShardMechanics:
+    def test_shard_of_name_is_stable_and_case_insensitive(self):
+        """The shard layout must not depend on process hash salting or
+        on the case the name arrived in."""
+        lower = Name.from_text("cache.example.com")
+        upper = Name.from_text("CACHE.Example.COM")
+        for nshards in (1, 2, 7, 8):
+            shard = shard_of_name(lower, nshards)
+            assert 0 <= shard < nshards
+            assert shard == shard_of_name(upper, nshards)
+
+    def test_shard_pair_ids_partition_all_pairs(self):
+        rng = random.Random(1)
+        events = [QueryEvent(rng.uniform(0, DURATION), 0, rng.choice(NAMES),
+                             rng.randrange(6)) for _ in range(400)]
+        trace = ColumnarTrace.from_events(events)
+        for nshards in (1, 3, 8):
+            shards = shard_pair_ids(trace, nshards)
+            merged = np.concatenate(shards)
+            assert sorted(merged.tolist()) == list(range(trace.pair_count))
+            # All pairs of one domain land on one shard.
+            for shard, pair_ids in enumerate(shards):
+                for pair_id in pair_ids.tolist():
+                    assert shard_of_name(trace.names[pair_id],
+                                         nshards) == shard
+
+    def test_gather_subtrace_preserves_segments(self):
+        rng = random.Random(2)
+        events = [QueryEvent(rng.uniform(0, DURATION), 0, rng.choice(NAMES),
+                             rng.randrange(6)) for _ in range(300)]
+        trace = ColumnarTrace.from_events(events)
+        pair_ids = shard_pair_ids(trace, 3)[0]
+        times, starts, sorted_mask = gather_subtrace(trace, pair_ids)
+        assert int(starts[-1]) == len(times)
+        for local, pair_id in enumerate(pair_ids.tolist()):
+            original = trace.times[trace.starts[pair_id]:
+                                   trace.starts[pair_id + 1]]
+            gathered = times[starts[local]:starts[local + 1]]
+            assert gathered.tolist() == original.tolist()
+            assert bool(sorted_mask[local]) == bool(
+                trace.sorted_mask[pair_id])

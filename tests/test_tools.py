@@ -100,6 +100,35 @@ class TestLeasesimTool:
                                    "--dynamic-points", "4"]) == 0
         assert open(fast_csv).read() == open(reference_csv).read()
 
+    def test_columnar_engine_and_shards_byte_stable(self, tmp_path):
+        """--engine columnar matches the fast engine byte for byte, and
+        --shards N cannot change a single output byte."""
+        trace_path = str(tmp_path / "trace.txt")
+        trace_tool.main([trace_path, "--days", "0.05", "--rate", "3.0",
+                         "--regular-per-tld", "6", "--cdn", "6",
+                         "--dyn", "6"])
+        outputs = {}
+        for tag, argv in (
+                ("fast", ["--engine", "fast"]),
+                ("columnar", ["--engine", "columnar"]),
+                ("shard4", ["--engine", "columnar", "--shards", "4"])):
+            csv_path = str(tmp_path / f"{tag}.csv")
+            json_path = str(tmp_path / f"{tag}.json")
+            assert leasesim_tool.main(
+                [trace_path, "--output", csv_path, "--json", json_path,
+                 "--fixed-points", "4", "--dynamic-points", "4"]
+                + argv) == 0
+            outputs[tag] = (open(csv_path).read(), open(json_path).read())
+        assert outputs["fast"][0] == outputs["columnar"][0]
+        assert outputs["columnar"] == outputs["shard4"]
+
+    def test_shards_require_columnar_engine(self, tmp_path):
+        trace_path = str(tmp_path / "trace.txt")
+        trace_tool.main([trace_path, "--days", "0.02"])
+        assert leasesim_tool.main([trace_path, "--shards", "2"]) == 1
+        assert leasesim_tool.main([trace_path, "--shards", "0",
+                                   "--engine", "columnar"]) == 1
+
 
 class TestLeasesimJson:
     def test_json_matches_csv_numbers(self, tmp_path):
