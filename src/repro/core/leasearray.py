@@ -145,8 +145,21 @@ class ArrayLeaseTable:
     def _live_slots(self, postings: List[int], rid_or_cid: int,
                     column: array) -> List[int]:
         """Compact one posting list in place, dropping freed/reassigned
-        slots, and return the surviving slots in insertion order."""
-        alive = [slot for slot in postings if column[slot] == rid_or_cid]
+        slots, and return the surviving slots in insertion order.
+
+        A slot freed by :meth:`_release` stays in the posting lists, so
+        re-allocating it to the *same* id appends it a second time; only
+        the last occurrence reflects the live lease.  Keeping the last
+        occurrence also matches the dict backend, where re-granting a
+        deleted key re-inserts it at the end.
+        """
+        seen = set()
+        alive: List[int] = []
+        for slot in reversed(postings):
+            if column[slot] == rid_or_cid and slot not in seen:
+                seen.add(slot)
+                alive.append(slot)
+        alive.reverse()
         if len(alive) != len(postings):
             postings[:] = alive
         return alive

@@ -31,6 +31,7 @@ fire/cancel sequences by property test.
 from __future__ import annotations
 
 import heapq
+import math
 from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
@@ -49,6 +50,14 @@ class HierarchicalTimerWheel:
     put sub-second network timers in level 0–1 and day-scale lease
     expiries around level 3 — a timer cascades at most once per level
     on its way down.
+
+    ``resolution`` should be an exact binary fraction (a power of two
+    times an integer, like the 1/64 default) so every bucket boundary
+    ``slot * span`` is computed exactly.  Other values still order
+    correctly — bucket slots use a true floor and a drained bucket's
+    start is clamped to its earliest timer — but boundaries then carry
+    float rounding and bucket placement may differ between runs built
+    with different span arithmetic.
     """
 
     __slots__ = ("resolution", "wheel_size", "_spans", "_buckets",
@@ -99,7 +108,7 @@ class HierarchicalTimerWheel:
         while level < top and delta >= spans[level] * self.wheel_size:
             level += 1
         span = spans[level]
-        slot = int(time // span)
+        slot = math.floor(time / span)
         key = (level, slot)
         bucket = self._buckets.get(key)
         if bucket is None:
@@ -125,6 +134,11 @@ class HierarchicalTimerWheel:
                 continue
             live = [entry for entry in entries if not entry[2].cancelled]
             if level == 0:
+                # Clamp: with a non-binary resolution, float rounding in
+                # slot * span can put the computed start past a timer in
+                # the bucket; never advance _cur_end beyond a live entry.
+                if live:
+                    start = min(start, min(entry[0] for entry in live))
                 self._cur_end = start + self.resolution
                 self._current = live
                 heapq.heapify(self._current)

@@ -90,6 +90,24 @@ class TestDropInBehaviour:
         assert table.active_count(now=50.0) == 2
         assert table.active_count() == 3
 
+    def test_no_duplicate_postings_after_slot_reuse(self, table):
+        """A slot swept and re-granted to the same key must appear once.
+
+        _release leaves the slot in the posting lists; re-allocating it
+        to the same (record, cache) pair appends it again, and both
+        entries pass the occupancy check.  holders()/leases_of() must
+        still report the lease exactly once (regression: duplicate
+        CACHE-UPDATE notifications from the array backend).
+        """
+        table.grant(CACHE_A, "w.x.com", RRType.A, now=0.0, length=10.0)
+        assert table.sweep(now=20.0) == 1
+        table.grant(CACHE_A, "w.x.com", RRType.A, now=20.0, length=10.0)
+        holders = table.holders("w.x.com", RRType.A, now=25.0)
+        assert [h.cache for h in holders] == [CACHE_A]
+        held = table.leases_of(CACHE_A, now=25.0)
+        assert [lease.name for lease in held] == [Name.from_text("w.x.com")]
+        assert table.column_stats()["slots"] == 1
+
     def test_sweep_removes_expired(self, table):
         table.grant(CACHE_A, "w.x.com", RRType.A, now=0.0, length=10.0)
         table.grant(CACHE_B, "w.x.com", RRType.A, now=0.0, length=100.0)
@@ -203,15 +221,17 @@ def test_equivalent_to_dict_table(ops, capacity, step):
             == dataclasses.astuple(columnar.stats)
         assert set(reference.tracked_records()) \
             == set(columnar.tracked_records())
+        # Sorted multisets, not sets: set comparison would collapse the
+        # duplicate snapshots a stale posting-list entry produces.
         for name in NAMES:
-            ref_holders = {h.cache for h in
-                           reference.holders(name, RRType.A, now)}
-            col_holders = {h.cache for h in
-                           columnar.holders(name, RRType.A, now)}
+            ref_holders = sorted((h.cache, h.name, h.granted_at) for h in
+                                 reference.holders(name, RRType.A, now))
+            col_holders = sorted((h.cache, h.name, h.granted_at) for h in
+                                 columnar.holders(name, RRType.A, now))
             assert ref_holders == col_holders
         for cache in CACHES:
-            ref_held = {lease.name for lease in
-                        reference.leases_of(cache, now)}
-            col_held = {lease.name for lease in
-                        columnar.leases_of(cache, now)}
+            ref_held = sorted((l.cache, l.name, l.granted_at) for l in
+                              reference.leases_of(cache, now))
+            col_held = sorted((l.cache, l.name, l.granted_at) for l in
+                              columnar.leases_of(cache, now))
             assert ref_held == col_held

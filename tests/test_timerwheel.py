@@ -138,6 +138,22 @@ class TestCascadeBoundaries:
             popped.append(head.time)
         assert popped == sorted(h.time for h in handles)
 
+    def test_non_binary_resolution_fires_in_order(self):
+        # resolution=0.1 is not an exact binary fraction, so slot * span
+        # arithmetic carries float rounding; the true floor and the
+        # clamped bucket start must still preserve (time, seq) order.
+        wheel = HierarchicalTimerWheel(0.0, resolution=0.1, wheel_size=4,
+                                       levels=4)
+        sim = Simulator(queue="heap")  # donor for handles
+        times = [k * 0.1 for k in range(1, 40)]
+        times += [k * 0.1 + 1e-12 for k in range(1, 40, 3)]
+        times += [0.1 * 4 ** level for level in range(1, 4)]
+        handles = [sim.schedule_at(t, lambda: None) for t in times]
+        for handle in handles:
+            wheel.push(handle)
+        popped = [(h.time, h.seq) for h in iter(wheel.pop, None)]
+        assert popped == sorted((h.time, h.seq) for h in handles)
+
     def test_cancelled_timer_in_cascaded_bucket(self):
         def program(sim, log):
             span1 = self.RESOLUTION * self.WHEEL
