@@ -19,7 +19,7 @@ import dataclasses
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..dnslib import Name, RRSet, RRType
-from ..net import PeriodicTimer, Simulator
+from ..net import ClockLike, PeriodicTimer
 from ..zone import Zone, ZoneChange, diff_snapshots
 
 
@@ -65,7 +65,7 @@ ChangeSink = Callable[[RecordChange], None]
 class DetectionModule:
     """Watches zones and fans record changes out to sinks."""
 
-    def __init__(self, simulator: Simulator):
+    def __init__(self, simulator: ClockLike):
         self.simulator = simulator
         self._sinks: List[ChangeSink] = []
         self._watched: Dict[Name, Zone] = {}

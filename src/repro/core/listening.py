@@ -24,7 +24,7 @@ import dataclasses
 from typing import Callable, Optional, Tuple
 
 from ..dnslib import Message, Name, Rcode, RRType
-from ..net import DNS_PORT, Endpoint, Simulator
+from ..net import ClockLike, DNS_PORT, Endpoint
 from ..server.rates import WindowedRate, rrc_to_rate
 from .lease import LeaseTable
 from .policy import GrantDecision, LeasePolicy, MaxLeaseFn, MAX_LEASE_REGULAR
@@ -45,7 +45,7 @@ class ListeningStats:
 class ListeningModule:
     """Per-query lease negotiation on the authoritative side."""
 
-    def __init__(self, simulator: Simulator, table: LeaseTable,
+    def __init__(self, simulator: ClockLike, table: LeaseTable,
                  policy: LeasePolicy,
                  max_lease_fn: Optional[MaxLeaseFn] = None,
                  rate_window: float = 3600.0,

@@ -229,7 +229,7 @@ class NotificationModule:
                             cache=f"{cache[0]}:{cache[1]}",
                             name=name.to_text(), rrtype=rrtype.name,
                             rtt=rtt)
-        self._settle(seq, acked=True)
+        self._settle(seq, acked=True, at=now)
 
     def _record_failure(self, cache: Endpoint, name: Name, rrtype: RRType,
                         seq: int, reason: str) -> None:
@@ -243,13 +243,21 @@ class NotificationModule:
                             reason=reason)
         self._settle(seq, acked=False)
 
-    def _settle(self, seq: int, acked: bool) -> None:
+    def _settle(self, seq: int, acked: bool,
+                at: Optional[float] = None) -> None:
         """Progress one change's fan-out; on the last resolution, measure
-        the consistency window (detection -> last holder acknowledged)."""
+        the consistency window (detection -> last holder acknowledged).
+
+        ``at`` is the clock reading already stamped on the triggering
+        ``notify.ack`` event: reusing the same float (instead of reading
+        the clock again) keeps ``last_ack`` exactly equal to the recorded
+        ack time, so the audit's window recomputation holds bit-for-bit
+        on wall clocks too, where two reads are never the same instant.
+        """
         progress = self._progress.get(seq) if seq else None
         if progress is None:
             return
-        now = self.simulator.now
+        now = at if at is not None else self.simulator.now
         progress.outstanding -= 1
         if acked:
             progress.acked += 1

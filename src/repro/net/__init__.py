@@ -1,5 +1,8 @@
-"""Simulated network substrate: event loop, UDP, hosts, timers."""
+"""Network substrate: event loop, UDP, hosts, timers — simulated and live."""
 
+from .aio import AioNetwork, StreamConnectionPool, ephemeral_port, \
+    loopback_available
+from .clock import ClockLike, LiveClock, LiveEventHandle
 from .host import Host, ResponseHandler, Socket
 from .network import (
     DNS_PORT,
@@ -23,4 +26,7 @@ __all__ = [
     "DNS_PORT",
     "Host", "Socket", "ResponseHandler",
     "RetryPolicy", "PeriodicTimer",
+    "ClockLike", "LiveClock", "LiveEventHandle",
+    "AioNetwork", "StreamConnectionPool",
+    "ephemeral_port", "loopback_available",
 ]

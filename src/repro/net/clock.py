@@ -1,0 +1,262 @@
+"""Wall-clock scheduling behind the :class:`Simulator` surface.
+
+Every component in the reproduction tells time through one object: the
+thing reachable as ``host.simulator`` / ``socket.simulator``.  In
+simulation that is the discrete-event :class:`~repro.net.simulator.Simulator`;
+this module provides the *live* counterpart, :class:`LiveClock`, which
+implements the identical scheduling surface (``now``, ``schedule``,
+``schedule_at``, ``call_soon``, ``pending``, ``events_processed``,
+``observer``, ``run``) on top of a real :mod:`asyncio` event loop.
+
+Because the surface is identical, the protocol stack — servers,
+resolvers, DNScup middleware, retry timers, trace bus — runs unmodified
+on real wall-clock time: swap the substrate at construction and nothing
+above the :class:`~repro.net.host.Host` abstraction changes.
+
+:class:`ClockLike` documents the contract both implementations satisfy;
+components that only need time and timers should annotate against it
+rather than the concrete :class:`Simulator`.
+
+Time base: ``LiveClock.now`` is ``loop.time()`` minus the clock's epoch
+(captured at construction), so live traces start near zero like
+simulated ones and stay monotonic — ``loop.time()`` is a monotonic
+clock, never subject to NTP steps.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import Any, Awaitable, Callable, List, Optional, Protocol
+
+from .simulator import SimulationError
+
+
+class ClockLike(Protocol):
+    """What components may assume about ``host.simulator``.
+
+    Satisfied by both the discrete-event
+    :class:`~repro.net.simulator.Simulator` (virtual time) and
+    :class:`LiveClock` (wall-clock time on an asyncio loop).
+    """
+
+    @property
+    def now(self) -> float:
+        """Current time in seconds (virtual or wall-clock-relative)."""
+        ...
+
+    def schedule(self, delay: float, callback: Callable[[], None],
+                 daemon: bool = False) -> Any:
+        """Run ``callback`` after ``delay`` seconds; returns a handle
+        with ``cancel()`` and ``cancelled``."""
+        ...
+
+    def schedule_at(self, time: float, callback: Callable[[], None],
+                    daemon: bool = False) -> Any:
+        """Run ``callback`` at absolute clock time ``time``."""
+        ...
+
+    def call_soon(self, callback: Callable[[], None]) -> Any:
+        """Run ``callback`` as soon as possible, preserving order."""
+        ...
+
+
+class LiveEventHandle:
+    """A cancellable reference to one scheduled live timer.
+
+    Mirrors :class:`~repro.net.simulator.EventHandle`: ``time`` is the
+    absolute clock time the timer targets, ``seq`` the schedule-order
+    sequence number, ``daemon`` timers never hold off quiescence.
+    """
+
+    __slots__ = ("time", "seq", "daemon", "_callback", "_cancelled",
+                 "_fired", "_clock", "_timer")
+
+    def __init__(self, time: float, seq: int, callback: Callable[[], None],
+                 clock: "LiveClock", daemon: bool = False):
+        self.time = time
+        self.seq = seq
+        self.daemon = daemon
+        self._callback = callback
+        self._cancelled = False
+        self._fired = False
+        self._clock = clock
+        self._timer: Optional[asyncio.TimerHandle] = None
+
+    def cancel(self) -> None:
+        """Prevent the timer from firing; cancelling twice is harmless."""
+        if self._cancelled or self._fired:
+            return
+        self._cancelled = True
+        if self._timer is not None:
+            self._timer.cancel()
+        self._clock._live_pending -= 1
+        if not self.daemon:
+            self._clock._nondaemon_pending -= 1
+
+    @property
+    def cancelled(self) -> bool:
+        """True once cancelled."""
+        return self._cancelled
+
+    def _fire(self) -> None:
+        if self._cancelled:
+            return
+        self._fired = True
+        self._clock._live_pending -= 1
+        if not self.daemon:
+            self._clock._nondaemon_pending -= 1
+        self._clock.events_processed += 1
+        self._callback()
+        if self._clock.observer is not None:
+            self._clock.observer(self._clock.now)
+
+
+class LiveClock:
+    """Wall-clock timers on an asyncio loop, behind the Simulator surface.
+
+    The clock does not own traffic — transports (e.g.
+    :class:`~repro.net.aio.AioNetwork`) register *service hooks* so that
+    :meth:`wait_quiescent` can account for work that is not a timer:
+
+    * ``prepare`` — awaited once at the start of every drain (finish
+      deferred async setup such as stream-server creation);
+    * ``busy``   — a zero-arg probe; quiescence requires every probe
+      to report False (e.g. in-flight stream writes);
+    * ``error``  — a zero-arg probe returning a pending exception or
+      None; the first exception found aborts the drain.  Transports use
+      this to surface handler errors that asyncio would otherwise only
+      log.
+    """
+
+    def __init__(self, loop: Optional[asyncio.AbstractEventLoop] = None):
+        self._loop = loop if loop is not None else asyncio.new_event_loop()
+        self._epoch = self._loop.time()
+        self._sequence = itertools.count()
+        self.events_processed = 0
+        self._live_pending = 0
+        self._nondaemon_pending = 0
+        #: Observability hook, same contract as Simulator.observer.
+        self.observer: Optional[Callable[[float], None]] = None
+        self._prepare_hooks: List[Callable[[], Awaitable[None]]] = []
+        self._busy_probes: List[Callable[[], bool]] = []
+        self._error_probes: List[Callable[[], Optional[BaseException]]] = []
+
+    # -- the Simulator surface -------------------------------------------------
+
+    @property
+    def loop(self) -> asyncio.AbstractEventLoop:
+        """The asyncio event loop driving this clock."""
+        return self._loop
+
+    @property
+    def now(self) -> float:
+        """Seconds since this clock's epoch (monotonic wall clock)."""
+        return self._loop.time() - self._epoch
+
+    def schedule(self, delay: float, callback: Callable[[], None],
+                 daemon: bool = False) -> LiveEventHandle:
+        """Schedule ``callback`` after ``delay`` wall-clock seconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        handle = LiveEventHandle(self.now + delay, next(self._sequence),
+                                 callback, self, daemon=daemon)
+        self._live_pending += 1
+        if not daemon:
+            self._nondaemon_pending += 1
+        handle._timer = self._loop.call_later(delay, handle._fire)
+        return handle
+
+    def schedule_at(self, time: float, callback: Callable[[], None],
+                    daemon: bool = False) -> LiveEventHandle:
+        """Schedule ``callback`` at absolute clock time ``time``."""
+        delay = time - self.now
+        if delay < 0:
+            raise SimulationError(f"cannot schedule at {time} < now")
+        return self.schedule(delay, callback, daemon=daemon)
+
+    def call_soon(self, callback: Callable[[], None]) -> LiveEventHandle:
+        """Run ``callback`` on the next loop pass."""
+        return self.schedule(0.0, callback)
+
+    @property
+    def pending(self) -> int:
+        """Scheduled timers that have not fired or been cancelled."""
+        return self._live_pending
+
+    # -- transport service hooks ----------------------------------------------
+
+    def add_service(self, prepare: Optional[Callable[[], Awaitable[None]]] = None,
+                    busy: Optional[Callable[[], bool]] = None,
+                    error: Optional[Callable[[], Optional[BaseException]]] = None
+                    ) -> None:
+        """Register a transport's drain hooks (see class docstring)."""
+        if prepare is not None:
+            self._prepare_hooks.append(prepare)
+        if busy is not None:
+            self._busy_probes.append(busy)
+        if error is not None:
+            self._error_probes.append(error)
+
+    # -- draining --------------------------------------------------------------
+
+    def _raise_pending_errors(self) -> None:
+        for probe in self._error_probes:
+            exc = probe()
+            if exc is not None:
+                raise exc
+
+    async def wait_quiescent(self, poll: float = 0.005, grace: float = 0.02,
+                             checks: int = 2, timeout: float = 120.0) -> None:
+        """Wait until no non-daemon work remains (the live ``run()``).
+
+        Quiescence means: no non-daemon timer pending, every registered
+        busy probe False, and this state observed ``checks`` times in a
+        row ``grace`` seconds apart — the grace re-checks absorb
+        datagrams still in flight on loopback that are not covered by a
+        peer's timer.  Raises the first pending transport error, or
+        :class:`TimeoutError` after ``timeout`` seconds.
+        """
+        for hook in self._prepare_hooks:
+            await hook()
+        deadline = self._loop.time() + timeout
+        quiet = 0
+        while quiet < checks:
+            self._raise_pending_errors()
+            if self._loop.time() > deadline:
+                raise TimeoutError(
+                    f"live run not quiescent after {timeout}s: "
+                    f"{self._nondaemon_pending} non-daemon timers pending")
+            if self._nondaemon_pending > 0 or \
+                    any(probe() for probe in self._busy_probes):
+                quiet = 0
+                await asyncio.sleep(poll)
+                continue
+            quiet += 1
+            if quiet < checks:
+                await asyncio.sleep(grace)
+        self._raise_pending_errors()
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Drive the loop until quiescent; returns timers fired.
+
+        The live counterpart of :meth:`Simulator.run`: callers that
+        drain a simulation with ``simulator.run()`` drain a live run the
+        same way.  Must be called from synchronous code (not from inside
+        the loop).  ``max_events`` is accepted for signature parity and
+        ignored — wall-clock work cannot be replayed one event at a
+        time.
+        """
+        before = self.events_processed
+        self._loop.run_until_complete(self.wait_quiescent())
+        return self.events_processed - before
+
+    def run_for(self, duration: float) -> int:
+        """Run the loop for ``duration`` wall-clock seconds."""
+        before = self.events_processed
+        self._loop.run_until_complete(asyncio.sleep(duration))
+        self._raise_pending_errors()
+        return self.events_processed - before
+
+    def __repr__(self) -> str:
+        return f"LiveClock(now={self.now:.3f}, pending={self.pending})"

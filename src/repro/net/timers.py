@@ -5,7 +5,8 @@ from __future__ import annotations
 import dataclasses
 from typing import Callable, Optional
 
-from .simulator import EventHandle, Simulator
+from .clock import ClockLike
+from .simulator import EventHandle
 
 
 @dataclasses.dataclass(frozen=True)
@@ -48,7 +49,7 @@ class PeriodicTimer:
     and the DNScup listening module's rate-window rollover.
     """
 
-    def __init__(self, simulator: Simulator, interval: float,
+    def __init__(self, simulator: ClockLike, interval: float,
                  callback: Callable[[], None],
                  start_delay: Optional[float] = None,
                  daemon: bool = True):

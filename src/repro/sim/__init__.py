@@ -44,7 +44,8 @@ from .metrics import (
     interpolate_at_storage,
 )
 from .scenario import ProtocolScenario, ScenarioConfig
-from .testbed import Testbed, TestbedConfig
+from .testbed import Testbed, TestbedConfig, run_figure7_scenario
+from .livetestbed import LiveTestbed, make_live_testbed
 
 __all__ = [
     "simulate_lease_trace", "figure5_curves", "Figure5Curves",
@@ -60,5 +61,6 @@ __all__ = [
     "LeaseSimResult", "ConsistencyReport", "StalenessSample",
     "interpolate_at_storage", "interpolate_at_query_rate",
     "ProtocolScenario", "ScenarioConfig",
-    "Testbed", "TestbedConfig",
+    "Testbed", "TestbedConfig", "run_figure7_scenario",
+    "LiveTestbed", "make_live_testbed",
 ]

@@ -1,0 +1,77 @@
+"""The Figure 7 testbed over real loopback sockets.
+
+:class:`LiveTestbed` is :class:`~repro.sim.testbed.Testbed` with the
+substrate swapped: a :class:`~repro.net.clock.LiveClock` (wall-clock
+timers on an asyncio loop) instead of the discrete-event
+:class:`~repro.net.simulator.Simulator`, and an
+:class:`~repro.net.aio.AioNetwork` (real UDP/TCP sockets on
+``127.0.0.1``) instead of the simulated :class:`~repro.net.network.Network`.
+
+Everything else — the master/slaves/root/caches/clients topology, the
+zones, the DNScup middleware, the exercises, the observability wiring,
+the audit — is inherited *unmodified*, which is the point: the servers
+and resolvers in ``src/repro/server`` only ever touch the ClockLike and
+Network surfaces, so the same code that ran in simulation serves real
+datagrams.  The run is held to the identical protocol invariants: drive
+it with :func:`~repro.sim.testbed.run_figure7_scenario` and check
+:meth:`~repro.sim.testbed.Testbed.audit` comes back clean.
+
+Differences forced by reality:
+
+* the LAN :class:`~repro.net.network.LinkProfile` is ignored — loopback
+  latency is whatever the kernel gives us, and there is no injected
+  loss (retransmit timers still arm exactly as in simulation; they are
+  simply cancelled by the prompt real acks);
+* timestamps are wall-clock seconds since the clock's epoch, so traces
+  still start near zero but deltas are real elapsed time.
+
+Always :meth:`close` a live testbed (or use it as a context manager) to
+release its sockets.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..net import AioNetwork, LinkProfile, LiveClock, loopback_available
+from ..traces.domains import DomainSpec
+from .testbed import Testbed, TestbedConfig
+
+__all__ = ["LiveTestbed", "make_live_testbed", "loopback_available"]
+
+
+class LiveTestbed(Testbed):
+    """The assembled Figure 7 topology on real loopback sockets."""
+
+    __test__ = False
+
+    def _create_simulator(self) -> LiveClock:
+        return LiveClock()
+
+    def _create_network(self, profile: LinkProfile) -> AioNetwork:
+        # The link profile is meaningless on a real network: loopback
+        # provides its own (tiny) latency and no configurable loss.
+        return AioNetwork(self.simulator)
+
+    def close(self) -> None:
+        """Close every real socket, acceptor, and pooled connection."""
+        self.network.close()
+        loop = self.simulator.loop
+        if not loop.is_closed():
+            loop.close()
+
+    def __enter__(self) -> "LiveTestbed":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def make_live_testbed(config: Optional[TestbedConfig] = None,
+                      domains: Optional[Sequence[DomainSpec]] = None
+                      ) -> LiveTestbed:
+    """Build a :class:`LiveTestbed`; raises if loopback is unavailable."""
+    if not loopback_available():
+        raise RuntimeError("loopback UDP unavailable on this platform; "
+                           "cannot build a live testbed")
+    return LiveTestbed(config, domains)

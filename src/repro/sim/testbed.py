@@ -22,7 +22,8 @@ import dataclasses
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core import DNScup, DNScupConfig, DynamicLeasePolicy, attach_dnscup
-from ..dnslib import A, Name, NS, RRType, RRSet, SOA, Rcode, make_update
+from ..dnslib import A, MAX_UDP_PAYLOAD, Name, NS, RRType, RRSet, SOA, \
+    Rcode, make_update
 from ..net import Host, LinkProfile, LatencyModel, Network, Simulator
 from ..obs import AuditLimits, AuditReport, Observability, audit_observability
 from ..server import AuthoritativeServer, RecursiveResolver, ResolverCache, StubResolver
@@ -65,11 +66,10 @@ class Testbed:
     def __init__(self, config: Optional[TestbedConfig] = None,
                  domains: Optional[Sequence[DomainSpec]] = None):
         self.config = config or TestbedConfig()
-        self.simulator = Simulator()
+        self.simulator = self._create_simulator()
         profile = dataclasses.replace(LAN_PROFILE,
                                       loss_rate=self.config.loss_rate)
-        self.network = Network(self.simulator, seed=self.config.network_seed,
-                               default_profile=profile)
+        self.network = self._create_network(profile)
         self.observability: Optional[Observability] = None
         if self.config.observability:
             self.observability = Observability.for_simulator(
@@ -78,6 +78,24 @@ class Testbed:
         self.domains = list(domains) if domains is not None \
             else self._select_domains()
         self._build()
+
+    # -- substrate factories (the backend seam) --------------------------------
+    #
+    # Subclasses swap the time/transport substrate by overriding these
+    # two hooks; everything else — topology construction, the exercises,
+    # auditing — is substrate-agnostic because components only touch the
+    # ClockLike/Network *surfaces*.  ``sim.livetestbed.LiveTestbed``
+    # overrides them with a LiveClock + AioNetwork to run the identical
+    # scenario over real loopback sockets.
+
+    def _create_simulator(self):
+        """The clock driving the run (discrete-event by default)."""
+        return Simulator()
+
+    def _create_network(self, profile: LinkProfile):
+        """The transport connecting the hosts (simulated by default)."""
+        return Network(self.simulator, seed=self.config.network_seed,
+                       default_profile=profile)
 
     def _select_domains(self) -> List[DomainSpec]:
         """The top domains of a synthetic IRCache log, as in §5.2."""
@@ -261,6 +279,9 @@ class Testbed:
         """Drain all pending (non-daemon) work."""
         self.simulator.run()
 
+    def close(self) -> None:
+        """Release substrate resources (real sockets on live backends)."""
+
     def audit(self, limits: Optional[AuditLimits] = None) -> AuditReport:
         """Check the run's trace (and capture) against the protocol
         invariants; see :func:`repro.obs.audit_trace`.
@@ -272,3 +293,44 @@ class Testbed:
             raise ValueError("testbed built without observability=True; "
                              "no trace to audit")
         return audit_observability(self.observability, limits=limits)
+
+
+def run_figure7_scenario(testbed: Testbed, updates: int = 5) -> Dict[str, object]:
+    """Drive the §5.2 validation scenario on an assembled testbed.
+
+    The same exercise on any substrate — the fig7 bench runs it on the
+    simulated testbed, the live bench and ``repro-live`` on a
+    :class:`~repro.sim.livetestbed.LiveTestbed` — so the simulated and
+    real-socket runs are held to the identical checks: every domain
+    resolves from both clients, ``updates`` dynamic updates land with
+    NOERROR, replication and CACHE-UPDATE leave every copy consistent,
+    and no datagram exceeds the RFC 1035 bound.  Returns the headline
+    numbers; raises :class:`AssertionError` on any failed check.
+    """
+    answers = testbed.lookup_all(0)
+    testbed.lookup_all(1)
+    assert all(addrs for addrs in answers.values()), \
+        "unresolved domains in lookup_all"
+    applied = 0
+    for domain in testbed.domains[:updates]:
+        rcode = testbed.dynamic_update(domain.name, f"172.20.0.{applied + 1}")
+        assert rcode == Rcode.NOERROR, f"dynamic update failed: {rcode}"
+        applied += 1
+    testbed.run()
+    assert testbed.slaves_consistent(), "slave replicas diverged"
+    summary: Dict[str, object] = {
+        "zones": len(testbed.zones),
+        "domains": len(testbed.domains),
+        "updates_applied": applied,
+        "max_message_size": testbed.max_message_size(),
+    }
+    if testbed.dnscup is not None:
+        stats = testbed.dnscup.notification.stats
+        assert stats.notifications_sent > 0, "no CACHE-UPDATEs sent"
+        assert stats.acks_received == stats.notifications_sent, \
+            (stats.acks_received, stats.notifications_sent)
+        summary["notifications_sent"] = stats.notifications_sent
+        summary["acks_received"] = stats.acks_received
+    assert testbed.max_message_size() <= MAX_UDP_PAYLOAD, \
+        f"datagram over the RFC 1035 bound: {testbed.max_message_size()}"
+    return summary

@@ -8,6 +8,7 @@ exposes ``main(argv)`` for programmatic use and testing.
 
 from . import (
     leasesim_tool,
+    live_tool,
     obs_tool,
     probe_tool,
     report_tool,
@@ -15,5 +16,5 @@ from . import (
     trace_tool,
 )
 
-__all__ = ["trace_tool", "leasesim_tool", "obs_tool", "probe_tool",
-           "report_tool", "testbed_tool"]
+__all__ = ["trace_tool", "leasesim_tool", "live_tool", "obs_tool",
+           "probe_tool", "report_tool", "testbed_tool"]

@@ -1,0 +1,297 @@
+"""The live transport backend: LiveClock + AioNetwork on real sockets.
+
+Everything here runs over actual loopback UDP/TCP — the suite skips as
+a whole on platforms where that is unavailable (the CI live job probes
+the same predicate).  The tests mirror the simulated-network suite
+where the contract is shared, and add the live-only concerns: real
+ephemeral ports, the asyncio reader path, connection pooling, and the
+quiescence-based ``run()``.
+"""
+
+from __future__ import annotations
+
+import socket as socket_module
+
+import pytest
+
+from repro.dnslib import A, RRSet, RRType
+from repro.net import (
+    AioNetwork,
+    Host,
+    LiveClock,
+    NetworkError,
+    RetryPolicy,
+    SimulationError,
+    ephemeral_port,
+    loopback_available,
+)
+from repro.server.push import PushService, PushSubscriber
+from repro.zone import load_zone
+from tests.conftest import EXAMPLE_ZONE_TEXT
+
+pytestmark = pytest.mark.skipif(
+    not loopback_available(),
+    reason="loopback UDP unavailable on this platform")
+
+
+@pytest.fixture
+def clock():
+    return LiveClock()
+
+
+@pytest.fixture
+def net(clock):
+    network = AioNetwork(clock)
+    yield network
+    network.close()
+    clock.loop.close()
+
+
+def _echo_socket(host, port=53):
+    """A socket answering every query with the QR bit flipped on."""
+    sock = host.socket(port)
+
+    def handler(payload, src, dst):
+        response = bytearray(payload)
+        response[2] |= 0x80
+        sock.send(bytes(response), src)
+
+    sock.on_receive(handler)
+    return sock
+
+
+# -- LiveClock scheduling ------------------------------------------------------
+
+
+class TestLiveClock:
+    def test_now_starts_near_zero_and_is_monotonic(self, clock):
+        first = clock.now
+        assert 0.0 <= first < 1.0
+        assert clock.now >= first
+
+    def test_timers_fire_in_order(self, clock):
+        fired = []
+        clock.schedule(0.02, lambda: fired.append("late"))
+        clock.schedule(0.0, lambda: fired.append("early"))
+        assert clock.pending == 2
+        clock.run()
+        assert fired == ["early", "late"]
+        assert clock.pending == 0
+        assert clock.events_processed == 2
+
+    def test_cancel_prevents_firing(self, clock):
+        fired = []
+        handle = clock.schedule(0.01, lambda: fired.append("cancelled"))
+        clock.schedule(0.02, lambda: fired.append("kept"))
+        handle.cancel()
+        assert handle.cancelled
+        handle.cancel()  # cancelling twice is harmless
+        clock.run()
+        assert fired == ["kept"]
+
+    def test_daemon_timers_never_hold_off_quiescence(self, clock):
+        fired = []
+        clock.schedule(30.0, lambda: fired.append("daemon"), daemon=True)
+        clock.schedule(0.01, lambda: fired.append("work"))
+        clock.run()  # returns promptly: only the daemon timer remains
+        assert fired == ["work"]
+        assert clock.pending == 1
+
+    def test_negative_delay_rejected(self, clock):
+        with pytest.raises(SimulationError):
+            clock.schedule(-0.5, lambda: None)
+        with pytest.raises(SimulationError):
+            clock.schedule_at(clock.now - 1.0, lambda: None)
+
+    def test_run_for_advances_wall_time(self, clock):
+        fired = []
+        clock.schedule(0.01, lambda: fired.append(1))
+        before = clock.now
+        clock.run_for(0.05)
+        assert fired == [1]
+        assert clock.now - before >= 0.05
+
+    def test_observer_called_per_event(self, clock):
+        seen = []
+        clock.observer = seen.append
+        clock.schedule(0.0, lambda: None)
+        clock.run()
+        assert len(seen) == 1
+
+
+# -- ephemeral port helper -----------------------------------------------------
+
+
+def test_ephemeral_port_is_free_and_distinct():
+    udp = ephemeral_port("udp")
+    tcp = ephemeral_port("tcp")
+    assert 0 < udp <= 65535 and 0 < tcp <= 65535
+    # The returned UDP port is actually bindable right now.
+    probe = socket_module.socket(socket_module.AF_INET,
+                                 socket_module.SOCK_DGRAM)
+    try:
+        probe.bind(("127.0.0.1", udp))
+    finally:
+        probe.close()
+
+
+# -- datagram service ----------------------------------------------------------
+
+
+class TestLiveDatagrams:
+    def test_request_response_roundtrip(self, clock, net):
+        server = Host(net, "192.168.1.10")
+        client = Host(net, "10.0.0.1")
+        _echo_socket(server)
+        got = []
+        client.socket().request(
+            bytes([0x12, 0x34, 0x00, 0x00]) + b"q", ("192.168.1.10", 53),
+            0x1234, lambda payload, src: got.append((payload, src)),
+            retry=RetryPolicy(initial_timeout=1.0, max_attempts=2))
+        clock.run()
+        assert got and got[0][0][2] & 0x80
+        assert got[0][1] == ("192.168.1.10", 53)
+        assert net.stats.datagrams_sent == 2
+        assert net.stats.datagrams_delivered == 2
+
+    def test_logical_endpoints_survive_real_port_mapping(self, clock, net):
+        """Sources are translated back to logical (addr, port) pairs."""
+        receiver = Host(net, "192.0.2.1")
+        sender = Host(net, "192.0.2.2")
+        seen = []
+        rsock = receiver.socket(5353)
+        rsock.on_receive(lambda payload, src, dst: seen.append((src, dst)))
+        sender.socket(7000).send(b"\x00\x01\x00\x00", ("192.0.2.1", 5353))
+        clock.run()
+        assert seen == [(("192.0.2.2", 7000), ("192.0.2.1", 5353))]
+
+    def test_timeout_delivers_none_none(self, clock, net):
+        client = Host(net, "10.0.0.1")
+        got = []
+        client.socket().request(
+            b"\x00\x07\x00\x00", ("203.0.113.9", 53), 7,
+            lambda payload, src: got.append((payload, src)),
+            retry=RetryPolicy(initial_timeout=0.02, max_attempts=3))
+        clock.run()
+        assert got == [(None, None)]
+        # Every attempt hit an unbound endpoint and was accounted.
+        assert net.stats.datagrams_unreachable == 3
+
+    def test_retransmissions_counted_via_on_attempt(self, clock, net):
+        client = Host(net, "10.0.0.1")
+        attempts = []
+        client.socket().request(
+            b"\x00\x08\x00\x00", ("203.0.113.9", 53), 8,
+            lambda payload, src: None,
+            retry=RetryPolicy(initial_timeout=0.02, max_attempts=2),
+            on_attempt=attempts.append)
+        clock.run()
+        assert attempts == [1, 2]
+
+    def test_oversize_datagram_rejected(self, clock, net):
+        host = Host(net, "10.0.0.1")
+        sock = host.socket(4000)
+        with pytest.raises(NetworkError):
+            sock.send(b"x" * 600, ("10.0.0.2", 53))
+
+    def test_double_bind_rejected(self, clock, net):
+        host = Host(net, "10.0.0.1")
+        host.socket(4001)
+        with pytest.raises(NetworkError):
+            net.bind(("10.0.0.1", 4001), lambda *a: None)
+
+    def test_link_shaping_refused(self, clock, net):
+        with pytest.raises(NetworkError):
+            net.set_link_profile("10.0.0.1", "10.0.0.2", None)
+
+    def test_handler_errors_surface_from_run(self, clock, net):
+        server = Host(net, "10.0.0.1")
+        sock = server.socket(4002)
+
+        def exploding(payload, src, dst):
+            raise RuntimeError("handler blew up")
+
+        sock.on_receive(exploding)
+        Host(net, "10.0.0.2").socket(4003).send(b"\x00\x01\x00\x00",
+                                                ("10.0.0.1", 4002))
+        with pytest.raises(RuntimeError, match="handler blew up"):
+            clock.run()
+
+
+# -- reliable streams and the connection pool ---------------------------------
+
+
+class TestLiveStreams:
+    def test_stream_roundtrip_and_pool_reuse(self, clock, net):
+        server = Host(net, "192.168.1.10")
+        client = Host(net, "10.0.0.1")
+        ssock = server.socket(53)
+
+        def stream_echo(payload, src, dst):
+            response = bytearray(payload)
+            response[2] |= 0x80
+            ssock.send_stream(bytes(response), src)
+
+        ssock.on_receive_stream(stream_echo)
+        csock = client.socket()
+        got = []
+        for request_id in (0x0101, 0x0102, 0x0103):
+            csock.request_stream(
+                request_id.to_bytes(2, "big") + b"\x00\x00",
+                ("192.168.1.10", 53), request_id,
+                lambda payload, src: got.append(payload), timeout=5.0)
+            clock.run()
+        assert len(got) == 3 and all(p is not None for p in got)
+        # One connection per direction, reused for messages 2 and 3.
+        assert net.pool.opened == 2
+        assert net.pool.reused == 4
+        assert net.stats.stream_messages == 6
+
+    def test_stream_to_unbound_endpoint_is_dropped(self, clock, net):
+        client = Host(net, "10.0.0.1")
+        got = []
+        client.socket().request_stream(
+            b"\x00\x09\x00\x00", ("203.0.113.9", 53), 9,
+            lambda payload, src: got.append((payload, src)), timeout=0.05)
+        clock.run()
+        assert got == [(None, None)]
+
+    def test_push_service_over_live_tcp(self, clock, net):
+        """RFC 8765-style push runs unmodified over pooled live TCP."""
+        zone = load_zone(EXAMPLE_ZONE_TEXT)
+        server_host = Host(net, "192.168.1.10")
+        cache_host = Host(net, "192.168.1.21")
+        service = PushService(server_host.socket(53), [zone],
+                              keepalive_interval=None)
+        applied = []
+        subscriber = PushSubscriber(
+            cache_host.socket(5353),
+            lambda name, rrtype, rrsets: applied.append((name, rrsets)))
+        service.subscribe(subscriber.endpoint, "www.example.com.", RRType.A)
+        zone.put_rrset(RRSet("www.example.com.", RRType.A, 300,
+                             [A("172.16.0.1")]))
+        clock.run()
+        assert service.stats.pushes_sent == 1
+        assert subscriber.stats.pushes_received == 1
+        assert applied and applied[0][1][0].rdatas == (A("172.16.0.1"),)
+
+
+# -- lifecycle -----------------------------------------------------------------
+
+
+class TestLiveLifecycle:
+    def test_unbind_releases_real_socket(self, clock, net):
+        host = Host(net, "10.0.0.1")
+        sock = host.socket(4100)
+        assert net.is_bound(("10.0.0.1", 4100))
+        sock.close()
+        assert not net.is_bound(("10.0.0.1", 4100))
+        # A fresh bind of the same logical endpoint works immediately.
+        host.socket(4100)
+
+    def test_close_is_idempotent(self, clock):
+        network = AioNetwork(clock)
+        Host(network, "10.0.0.1").socket(4200)
+        network.close()
+        network.close()
+        clock.loop.close()

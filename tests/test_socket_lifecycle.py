@@ -1,0 +1,144 @@
+"""Socket lifecycle contract, held on both substrates.
+
+The guarantees under test:
+
+* :meth:`Socket.close` cancels every pending request — no response
+  handler and no timeout callback ever fires afterwards;
+* a request whose retry budget is exhausted delivers exactly one
+  ``(None, None)`` to its handler;
+* a response arriving after ``close()`` is not delivered.
+
+Each test runs twice, once on the simulated substrate
+(:class:`Simulator` + :class:`Network`) and once on the live one
+(:class:`LiveClock` + :class:`AioNetwork`, real loopback sockets) — the
+whole point of the backend seam is that this file cannot tell which is
+which.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.net import (
+    AioNetwork,
+    Host,
+    LiveClock,
+    Network,
+    RetryPolicy,
+    Simulator,
+    loopback_available,
+)
+
+
+@dataclasses.dataclass
+class Substrate:
+    """One clock+network pair plus its teardown."""
+    clock: object
+    network: object
+
+    def run(self) -> None:
+        self.clock.run()
+
+    def close(self) -> None:
+        if isinstance(self.network, AioNetwork):
+            self.network.close()
+            self.clock.loop.close()
+
+
+def _sim_substrate() -> Substrate:
+    simulator = Simulator()
+    return Substrate(simulator, Network(simulator, seed=7))
+
+
+def _live_substrate() -> Substrate:
+    clock = LiveClock()
+    return Substrate(clock, AioNetwork(clock))
+
+
+@pytest.fixture(params=[
+    pytest.param("sim", id="simulated"),
+    pytest.param("live", id="live", marks=pytest.mark.skipif(
+        not loopback_available(),
+        reason="loopback UDP unavailable on this platform")),
+])
+def substrate(request):
+    sub = _sim_substrate() if request.param == "sim" else _live_substrate()
+    yield sub
+    sub.close()
+
+
+FAST_RETRY = RetryPolicy(initial_timeout=0.02, max_attempts=2)
+
+
+def test_close_cancels_pending_requests(substrate):
+    client = Host(substrate.network, "10.0.0.1")
+    sock = client.socket()
+    calls = []
+    sock.request(b"\x00\x01\x00\x00", ("203.0.113.9", 53), 1,
+                 lambda payload, src: calls.append((payload, src)),
+                 retry=FAST_RETRY)
+    sock.close()
+    substrate.run()
+    # Neither a response nor the timeout (None, None) may fire: the
+    # request died with the socket.
+    assert calls == []
+    assert substrate.clock.pending == 0
+
+
+def test_timeout_path_delivers_single_none_none(substrate):
+    client = Host(substrate.network, "10.0.0.1")
+    sock = client.socket()
+    calls = []
+    attempts = []
+    sock.request(b"\x00\x02\x00\x00", ("203.0.113.9", 53), 2,
+                 lambda payload, src: calls.append((payload, src)),
+                 retry=FAST_RETRY, on_attempt=attempts.append)
+    substrate.run()
+    assert calls == [(None, None)]
+    assert attempts == [1, 2]
+    # The pending entry is forgotten: the same key is reusable.
+    sock.request(b"\x00\x02\x00\x00", ("203.0.113.9", 53), 2,
+                 lambda payload, src: calls.append((payload, src)),
+                 retry=FAST_RETRY)
+    substrate.run()
+    assert calls == [(None, None), (None, None)]
+
+
+def test_late_response_after_close_not_delivered(substrate):
+    server = Host(substrate.network, "192.0.2.1")
+    client = Host(substrate.network, "10.0.0.1")
+    ssock = server.socket(53)
+    queries = []
+    ssock.on_receive(lambda payload, src, dst: queries.append((payload, src)))
+
+    csock = client.socket()
+    calls = []
+    csock.request(b"\x00\x03\x00\x00", ("192.0.2.1", 53), 3,
+                  lambda payload, src: calls.append((payload, src)),
+                  retry=RetryPolicy(initial_timeout=0.5, max_attempts=1))
+    # Let the query reach the server, then close the client socket
+    # before the server answers.
+    substrate.clock.run_for(0.05)
+    assert queries
+    client_endpoint = queries[0][1]
+    csock.close()
+    response = bytearray(queries[0][0])
+    response[2] |= 0x80
+    ssock.send(bytes(response), client_endpoint)
+    substrate.run()
+    assert calls == []
+
+
+def test_timeout_and_close_leave_no_timers(substrate):
+    client = Host(substrate.network, "10.0.0.1")
+    first = client.socket()
+    second = client.socket()
+    first.request(b"\x00\x04\x00\x00", ("203.0.113.9", 53), 4,
+                  lambda payload, src: None, retry=FAST_RETRY)
+    second.request(b"\x00\x05\x00\x00", ("203.0.113.9", 53), 5,
+                   lambda payload, src: None, retry=FAST_RETRY)
+    first.close()
+    substrate.run()
+    assert substrate.clock.pending == 0
