@@ -117,6 +117,7 @@ def run_flash_crowd(dnscup_enabled):
         "origin_relief_delay": last_origin_hit - REDIRECT_AT,
         "notifications_sent": stats.notifications_sent if stats else 0,
         "wire_encodes": stats.wire_encodes if stats else 0,
+        "observability": obs,
     }
 
 

@@ -12,7 +12,11 @@ commitments:
   byte-identical to the 1-shard run (the exact-merge contract);
 * **oracle fidelity** — a downscaled replica of the same scenario is
   replayed through the reference oracle and must match the columnar
-  results bit for bit.
+  results bit for bit;
+* **telemetry invariance** — the metrics-enabled replay
+  (``sharded_scan_metrics``: full Registry reduction with exact
+  histogram sums) must export byte-identical snapshots at 1, 2, and 8
+  shards while itself clearing the same throughput floor.
 
 Any mismatch counts as an *audit violation*; the run fails unless there
 are zero.  The full-scale run (≥10^6 caches, ≥10^8 replayed events)
@@ -28,6 +32,7 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import io
 import json
 import sys
 import time
@@ -42,6 +47,7 @@ from repro.sim import (
     flash_crowd_columnar,
     logspace,
     sharded_figure5_sweep,
+    sharded_scan_metrics,
     simulate_lease_trace,
 )
 
@@ -97,6 +103,14 @@ def metrics_blob(fixed, dynamic, polling) -> bytes:
         [dataclasses.asdict(result)
          for result in list(fixed) + list(dynamic) + [polling]],
         sort_keys=True).encode("utf-8")
+
+
+def registry_blob(trace, max_lease, nshards: int) -> str:
+    """One sharded telemetry scan's exported registry JSON."""
+    registry = sharded_scan_metrics(trace, max_lease, DURATION, nshards)
+    buffer = io.StringIO()
+    registry.export_json(buffer)
+    return buffer.getvalue()
 
 
 def audit_oracle_fidelity(fixed_lengths) -> int:
@@ -155,6 +169,19 @@ def run_scale_bench(caches: int, regular_domains: int,
         audit_violations += 1
     audit_violations += audit_oracle_fidelity(fixed_lengths)
 
+    # Telemetry: replay the max-lease column with the full Registry
+    # reduction enabled, at three shard counts; the merged snapshots
+    # must be byte-identical and the metrics-enabled replay must still
+    # clear the same throughput floor.
+    started = time.perf_counter()
+    telemetry_exports = {n: registry_blob(trace, max_lease, n)
+                         for n in (1, 2, 8)}
+    telemetry_seconds = time.perf_counter() - started
+    if len(set(telemetry_exports.values())) != 1:
+        audit_violations += 1
+    # Three scans (one per shard count), each replaying the whole trace.
+    telemetry_events_per_sec = 3 * trace.total / telemetry_seconds
+
     record = {
         "bench": "flash_crowd_scale_sweep",
         "caches": trace.cache_count(),
@@ -166,6 +193,9 @@ def run_scale_bench(caches: int, regular_domains: int,
         "sweep_seconds": round(sweep_seconds, 3),
         "events_per_sec": round(events_per_sec),
         "shards_checked": [1, 4],
+        "telemetry_shards_checked": [1, 2, 8],
+        "telemetry_seconds": round(telemetry_seconds, 3),
+        "telemetry_events_per_sec": round(telemetry_events_per_sec),
         "audit_violations": audit_violations,
         "min_events_per_sec": min_events_per_sec,
     }
@@ -178,8 +208,10 @@ def run_scale_bench(caches: int, regular_domains: int,
     print(f"  sweep           {sweep_seconds:8.2f} s")
     print(f"  throughput      {events_per_sec:12,.0f} replayed events/s "
           f"(floor {min_events_per_sec:,.0f})")
+    print(f"  telemetry       {telemetry_events_per_sec:12,.0f} replayed "
+          f"events/s with Registry reduction (1/2/8 shards)")
     print(f"  audit           {audit_violations} violations "
-          f"(shard invariance + oracle fidelity)")
+          f"(shard invariance + oracle fidelity + telemetry)")
     if json_path is not None:
         print(f"  record          {json_path}")
     return record
@@ -191,6 +223,11 @@ def check_record(record: dict) -> List[str]:
     if record["events_per_sec"] < record["min_events_per_sec"]:
         failures.append(
             f"throughput {record['events_per_sec']:,} events/s below the "
+            f"floor {record['min_events_per_sec']:,}")
+    if record["telemetry_events_per_sec"] < record["min_events_per_sec"]:
+        failures.append(
+            f"metrics-enabled throughput "
+            f"{record['telemetry_events_per_sec']:,} events/s below the "
             f"floor {record['min_events_per_sec']:,}")
     if record["audit_violations"]:
         failures.append(

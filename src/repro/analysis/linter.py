@@ -26,6 +26,15 @@ _SKIP_DIRS = frozenset({"__pycache__", ".git", ".hypothesis"})
 #: Subsystems (single path component under ``repro/``) with scoped rules.
 DETERMINISM_SCOPE = ("core", "net", "sim", "obs")
 ZERO_COST_SCOPE = ("core", "net")
+#: Files outside ZERO_COST_SCOPE's subsystems that still carry the
+#: zero-cost contract: the streaming auditor's optional window
+#: histogram and the live telemetry plane's instrument touches must be
+#: guarded exactly like the protocol engine's (the ``net`` entry is
+#: already covered by the subsystem scope; it is listed for the record).
+ZERO_COST_FILES = (
+    ("obs", "streaming.py"),
+    ("net", "telemetry.py"),
+)
 EXACT_ROUNDING_FILES = (
     ("sim", "fastreplay.py"),
     ("sim", "columnar.py"),

@@ -8,7 +8,9 @@ built unless a bus is attached.  An unguarded
 (``None.emit``) or — worse, when the attribute defaults to a live bus —
 taxes every benchmark.  ``DCUP005`` statically requires the guard for
 every instrument call in the protocol engine and transport
-(``core/``, ``net/``):
+(``core/``, ``net/``) plus the named streaming files
+(:data:`~repro.analysis.linter.ZERO_COST_FILES` — the incremental
+auditor's optional window histogram and the live telemetry plane):
 
 * ``*.trace.emit(...)`` / ``*bus.emit(...)``  — trace events,
 * ``*capture.record(...)``                    — wire capture,
@@ -30,6 +32,7 @@ from .linter import (
     ModuleInfo,
     ProjectContext,
     Rule,
+    ZERO_COST_FILES,
     ZERO_COST_SCOPE,
     guarding_tests,
     terminal_name,
@@ -63,13 +66,15 @@ class ZeroCostRule(Rule):
 
     code = "DCUP005"
     name = "zero-cost-unguarded-instrumentation"
-    summary = ("every trace/metrics/capture call in core/ and net/ must "
-               "sit under an 'if <receiver> is not None' guard")
-    scope = "repro/{core,net}"
+    summary = ("every trace/metrics/capture call in core/, net/ and the "
+               "streaming telemetry files must sit under an "
+               "'if <receiver> is not None' guard")
+    scope = "repro/{core,net} + obs/streaming.py"
 
     def check(self, module: ModuleInfo,
               ctx: ProjectContext) -> Iterator[Finding]:
-        if not module.in_subsystems(ZERO_COST_SCOPE):
+        if not (module.in_subsystems(ZERO_COST_SCOPE)
+                or module.is_file(ZERO_COST_FILES)):
             return
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.Call):

@@ -1,8 +1,9 @@
 """Network substrate: event loop, UDP, hosts, timers — simulated and live."""
 
-from .aio import AioNetwork, StreamConnectionPool, ephemeral_port, \
-    loopback_available
-from .clock import ClockLike, LiveClock, LiveEventHandle
+from .aio import AioNetwork, StreamConnectionPool, TextExpositionPort, \
+    ephemeral_port, loopback_available
+from .clock import ClockLike, LiveClock, LiveEventHandle, \
+    LiveRepeatingHandle
 from .host import Host, ResponseHandler, Socket
 from .network import (
     DNS_PORT,
@@ -17,6 +18,13 @@ from .network import (
     NetworkStats,
 )
 from .simulator import EventHandle, SimulationError, Simulator
+from .telemetry import (
+    TelemetryError,
+    TelemetryPlane,
+    parse_exposition,
+    render_exposition,
+    sanitize_metric_name,
+)
 from .timers import PeriodicTimer, RetryPolicy
 
 __all__ = [
@@ -26,7 +34,9 @@ __all__ = [
     "DNS_PORT",
     "Host", "Socket", "ResponseHandler",
     "RetryPolicy", "PeriodicTimer",
-    "ClockLike", "LiveClock", "LiveEventHandle",
-    "AioNetwork", "StreamConnectionPool",
+    "ClockLike", "LiveClock", "LiveEventHandle", "LiveRepeatingHandle",
+    "AioNetwork", "StreamConnectionPool", "TextExpositionPort",
     "ephemeral_port", "loopback_available",
+    "TelemetryPlane", "TelemetryError",
+    "render_exposition", "parse_exposition", "sanitize_metric_name",
 ]

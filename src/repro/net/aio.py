@@ -40,7 +40,7 @@ from __future__ import annotations
 
 import asyncio
 import socket
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from .clock import LiveClock
 from .network import (
@@ -321,6 +321,98 @@ class _StreamPort:
             task.cancel()
 
 
+#: Content type served by :class:`TextExpositionPort` — the Prometheus
+#: text exposition format version.
+EXPOSITION_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class TextExpositionPort:
+    """A loopback HTTP endpoint serving one text document per request.
+
+    The live telemetry plane (:mod:`repro.net.telemetry`) exposes the
+    metrics registry through this: every GET answers with whatever the
+    ``render`` callable returns, as ``HTTP/1.0 200`` with the
+    Prometheus text-exposition content type, one response per
+    connection (``Connection: close`` — the scrape pattern).  Binds
+    port 0 like every other live socket; read :attr:`address` for the
+    real ``(host, port)``.  A ``render`` exception answers 500 *and*
+    surfaces through the clock's error probes, so a broken exposition
+    fails the run instead of hiding in scrape noise.
+    """
+
+    __slots__ = ("network", "render", "sock", "address", "server",
+                 "_conn_tasks")
+
+    def __init__(self, network: "AioNetwork", render: Callable[[], str]):
+        self.network = network
+        self.render = render
+        self.sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self.sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self.sock.setblocking(False)
+        self.sock.bind((network.interface, 0))
+        self.sock.listen(16)
+        self.address: Tuple[str, int] = self.sock.getsockname()
+        self.server: Optional[asyncio.AbstractServer] = None
+        self._conn_tasks: Set["asyncio.Task[None]"] = set()
+        network._defer(self._start())
+
+    async def _start(self) -> None:
+        if self.server is None and self.sock.fileno() != -1:
+            self.server = await asyncio.start_server(self._on_connection,
+                                                     sock=self.sock)
+
+    async def _on_connection(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+        try:
+            # Drain the request head (request line + headers); the
+            # response is the same document whatever the path asked.
+            while True:
+                line = await reader.readline()
+                if not line or line in (b"\r\n", b"\n"):
+                    break
+            try:
+                body = self.render().encode("utf-8")
+                status = "200 OK"
+            except Exception as exc:
+                self.network._errors.append(exc)
+                body = f"exposition render failed: {exc}\n".encode("utf-8")
+                status = "500 Internal Server Error"
+            head = (f"HTTP/1.0 {status}\r\n"
+                    f"Content-Type: {EXPOSITION_CONTENT_TYPE}\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    f"Connection: close\r\n\r\n")
+            writer.write(head.encode("ascii") + body)
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass  # scraper went away mid-response: its loss
+        finally:
+            writer.close()
+
+    async def aclose(self) -> None:
+        if self.server is not None:
+            self.server.close()
+            await self.server.wait_closed()
+            self.server = None
+        else:
+            self.sock.close()
+        for task in list(self._conn_tasks):
+            task.cancel()
+
+    def close_sync(self) -> None:
+        """Best-effort teardown when the loop is not running."""
+        if self.server is not None:
+            self.server.close()
+            self.server = None
+        else:
+            self.sock.close()
+        for task in list(self._conn_tasks):
+            task.cancel()
+
+
 class AioNetwork:
     """Real loopback sockets behind the :class:`Network` surface.
 
@@ -352,6 +444,7 @@ class AioNetwork:
         self.pool = StreamConnectionPool()
         self._udp: Dict[Endpoint, _UdpPort] = {}
         self._streams: Dict[Endpoint, _StreamPort] = {}
+        self._expositions: List[TextExpositionPort] = []
         #: real UDP (addr, port) -> logical endpoint, for source mapping.
         self._logical_by_real: Dict[Tuple[str, int], Endpoint] = {}
         self._deferred: List["asyncio.Future[None]"] = []
@@ -427,6 +520,17 @@ class AioNetwork:
             self._defer(port.aclose())
         else:
             port.close_sync()
+
+    def expose_text(self, render: Callable[[], str]) -> TextExpositionPort:
+        """Open a loopback HTTP endpoint serving ``render()`` per GET.
+
+        The port is owned by the network: :meth:`aclose` tears it down
+        with the rest of the sockets.  Returns the port; its
+        ``address`` is the OS-assigned ``(host, port)`` to scrape.
+        """
+        port = TextExpositionPort(self, render)
+        self._expositions.append(port)
+        return port
 
     def set_link_profile(self, src_addr: str, dst_addr: str,
                          profile: object) -> None:
@@ -550,6 +654,9 @@ class AioNetwork:
         streams, self._streams = list(self._streams.values()), {}
         for port in streams:
             await port.aclose()
+        expositions, self._expositions = self._expositions, []
+        for exposition in expositions:
+            await exposition.aclose()
         for task in list(self._send_tasks):
             task.cancel()
         self._send_tasks.clear()

@@ -112,6 +112,52 @@ class LiveEventHandle:
             self._clock.observer(self._clock.now)
 
 
+class LiveRepeatingHandle:
+    """A cancellable periodic tick built on :meth:`LiveClock.schedule`.
+
+    Each firing runs the callback and re-arms the next tick, so the
+    cadence is *fire-to-fire* (interval measured from the end of one
+    callback to the start of the next — a slow callback delays the
+    train rather than stacking ticks).  ``fired`` counts completed
+    ticks; ``cancel()`` stops the train permanently.
+    """
+
+    __slots__ = ("interval", "daemon", "fired", "_clock", "_callback",
+                 "_cancelled", "_inner")
+
+    def __init__(self, clock: "LiveClock", interval: float,
+                 callback: Callable[[], None], daemon: bool):
+        self.interval = interval
+        self.daemon = daemon
+        self.fired = 0
+        self._clock = clock
+        self._callback = callback
+        self._cancelled = False
+        self._inner: Optional[LiveEventHandle] = None
+
+    def cancel(self) -> None:
+        """Stop the tick train; cancelling twice is harmless."""
+        if self._cancelled:
+            return
+        self._cancelled = True
+        if self._inner is not None:
+            self._inner.cancel()
+
+    @property
+    def cancelled(self) -> bool:
+        """True once cancelled."""
+        return self._cancelled
+
+    def _fire(self) -> None:
+        if self._cancelled:
+            return
+        self.fired += 1
+        self._callback()
+        if not self._cancelled:
+            self._inner = self._clock.schedule(self.interval, self._fire,
+                                               daemon=self.daemon)
+
+
 class LiveClock:
     """Wall-clock timers on an asyncio loop, behind the Simulator surface.
 
@@ -178,6 +224,22 @@ class LiveClock:
     def call_soon(self, callback: Callable[[], None]) -> LiveEventHandle:
         """Run ``callback`` on the next loop pass."""
         return self.schedule(0.0, callback)
+
+    def schedule_repeating(self, interval: float,
+                           callback: Callable[[], None],
+                           daemon: bool = True
+                           ) -> LiveRepeatingHandle:
+        """Run ``callback`` every ``interval`` seconds until cancelled.
+
+        Defaults to ``daemon=True`` — a periodic background task (e.g.
+        the telemetry snapshot tick) must not hold off
+        :meth:`wait_quiescent`, or the run would never drain.
+        """
+        if interval <= 0:
+            raise SimulationError(f"non-positive repeat interval: {interval}")
+        handle = LiveRepeatingHandle(self, interval, callback, daemon)
+        handle._inner = self.schedule(interval, handle._fire, daemon=daemon)
+        return handle
 
     @property
     def pending(self) -> int:

@@ -77,6 +77,10 @@ from .spans import (
     SpanSet,
     build_spans,
 )
+from .streaming import (
+    IncrementalAuditor,
+    StreamReport,
+)
 from .trace import (
     CHANGE_DETECTED,
     CHANGE_SETTLED,
@@ -126,6 +130,7 @@ __all__ = [
     "ChangeSpan", "LeaseSpan", "NotificationLeg", "SpanSet", "build_spans",
     "AuditLimits", "AuditReport", "Violation", "VIOLATION_KINDS",
     "audit_trace", "audit_observability",
+    "IncrementalAuditor", "StreamReport",
     "COMPLETENESS", "TERMINATION", "CAUSALITY",
     "BUDGET_STORAGE", "BUDGET_RENEWAL", "STALENESS", "WIRE",
     "histogram_percentile", "percentiles", "REPORT_QUANTILES",

@@ -134,6 +134,168 @@ class AuditReport:
         }
 
 
+# -- violation constructors ---------------------------------------------------
+#
+# Both auditors — batch :func:`audit_trace` below and the streaming
+# :class:`repro.obs.streaming.IncrementalAuditor` — build their
+# violations through these constructors, so the two paths emit
+# bit-identical messages and evidence tuples by construction.
+
+
+def orphan_violation(index: int, reason: str) -> Violation:
+    return Violation(kind=CAUSALITY, message=f"orphan event: {reason}",
+                     events=(index,))
+
+
+def unnotified_holder_violation(seq: int, detected_t: Optional[float],
+                                detected_index: int, grant_index: int,
+                                cache: str, name: object,
+                                rrtype: object) -> Violation:
+    return Violation(
+        kind=COMPLETENESS, seq=seq, t=detected_t,
+        events=(detected_index, grant_index),
+        message=(f"lease holder {cache} on {name}/{rrtype} never "
+                 f"notified for seq={seq}"))
+
+
+def unresolved_leg_violation(seq: int, cache: str, send_t: float,
+                             send_index: int) -> Violation:
+    return Violation(
+        kind=TERMINATION, seq=seq, t=send_t, events=(send_index,),
+        message=(f"notify.send to {cache} never resolved "
+                 f"to ack or timeout (seq={seq})"))
+
+
+def resolved_after_settled_violation(seq: int, cache: str,
+                                     settled_t: Optional[float],
+                                     resolution_index: int,
+                                     settled_index: int) -> Violation:
+    return Violation(
+        kind=TERMINATION, seq=seq, t=settled_t,
+        events=(resolution_index, settled_index),
+        message=(f"leg to {cache} resolved after "
+                 f"change.settled (seq={seq})"))
+
+
+def never_settled_violation(seq: int, detected_t: Optional[float],
+                            leg_count: int,
+                            send_indices: Tuple[int, ...]) -> Violation:
+    return Violation(
+        kind=TERMINATION, seq=seq, t=detected_t, events=send_indices,
+        message=(f"change seq={seq} fanned out to "
+                 f"{leg_count} holders but never settled"))
+
+
+def retransmit_early_violation(seq: int, cache: str, t: float,
+                               send_index: int, index: int) -> Violation:
+    return Violation(
+        kind=CAUSALITY, seq=seq, t=t, events=(send_index, index),
+        message=f"retransmit before its send (seq={seq} cache={cache})")
+
+
+def retransmit_attempt_violation(seq: int, cache: str, t: float,
+                                 send_index: int, index: int,
+                                 attempt: int) -> Violation:
+    return Violation(
+        kind=CAUSALITY, seq=seq, t=t, events=(send_index, index),
+        message=(f"retransmit with attempt={attempt} < 2 "
+                 f"(seq={seq} cache={cache})"))
+
+
+def ack_before_send_violation(seq: int, cache: str, ack_t: float,
+                              send_index: int, ack_index: int) -> Violation:
+    return Violation(
+        kind=CAUSALITY, seq=seq, t=ack_t, events=(send_index, ack_index),
+        message=f"ack timestamped before its send (seq={seq} cache={cache})")
+
+
+def ack_missing_rtt_violation(seq: int, cache: str, ack_t: float,
+                              ack_index: int) -> Violation:
+    return Violation(
+        kind=CAUSALITY, seq=seq, t=ack_t, events=(ack_index,),
+        message=f"ack carries no rtt field (seq={seq} cache={cache})")
+
+
+def rtt_mismatch_violation(seq: int, cache: str, send_t: float,
+                           ack_t: float, send_index: int, ack_index: int,
+                           rtt: float) -> Violation:
+    return Violation(
+        kind=CAUSALITY, seq=seq, t=ack_t, events=(send_index, ack_index),
+        message=(f"rtt={rtt!r} but ack-send timestamps give "
+                 f"{ack_t - send_t!r} (seq={seq} cache={cache})"))
+
+
+def stale_holder_violation(seq: int, cache: str, ack_t: float,
+                           send_index: int, ack_index: int,
+                           staleness: float, bound: float) -> Violation:
+    return Violation(
+        kind=STALENESS, seq=seq, t=ack_t, events=(send_index, ack_index),
+        message=(f"holder stale {staleness:.6g}s > bound "
+                 f"{bound:.6g}s (seq={seq} cache={cache})"))
+
+
+def timeout_before_send_violation(seq: int, cache: str, timeout_t: float,
+                                  send_index: int,
+                                  timeout_index: int) -> Violation:
+    return Violation(
+        kind=CAUSALITY, seq=seq, t=timeout_t,
+        events=(send_index, timeout_index),
+        message=(f"timeout timestamped before its send "
+                 f"(seq={seq} cache={cache})"))
+
+
+def settled_acked_violation(seq: int, settled_t: Optional[float],
+                            settled_index: int, claimed: int,
+                            actual: int) -> Violation:
+    return Violation(
+        kind=TERMINATION, seq=seq, t=settled_t, events=(settled_index,),
+        message=(f"change.settled claims acked={claimed} "
+                 f"but the trace shows {actual} (seq={seq})"))
+
+
+def settled_failed_violation(seq: int, settled_t: Optional[float],
+                             settled_index: int, claimed: int,
+                             actual: int) -> Violation:
+    return Violation(
+        kind=TERMINATION, seq=seq, t=settled_t, events=(settled_index,),
+        message=(f"change.settled claims failed={claimed} "
+                 f"but the trace shows {actual} (seq={seq})"))
+
+
+def settled_window_violation(seq: int, settled_t: Optional[float],
+                             settled_index: int,
+                             recorded: Optional[float],
+                             window: Optional[float]) -> Violation:
+    return Violation(
+        kind=STALENESS, seq=seq, t=settled_t, events=(settled_index,),
+        message=(f"settled window={recorded!r} but last-ack "
+                 f"recomputation gives {window!r} (seq={seq})"))
+
+
+def untracked_unresolved_violation(cache: str, send_t: float,
+                                   send_index: int) -> Violation:
+    return Violation(
+        kind=TERMINATION, t=send_t, events=(send_index,),
+        message=(f"untracked notify.send to {cache} never "
+                 f"resolved to ack or timeout"))
+
+
+def storage_budget_violation(t: float, index: int, active: int,
+                             budget: int) -> Violation:
+    return Violation(
+        kind=BUDGET_STORAGE, t=t, events=(index,),
+        message=(f"lease occupancy {active} exceeds the "
+                 f"storage budget {budget}"))
+
+
+def renewal_budget_violation(t: float, index: int, in_window: int,
+                             window: float, budget: float) -> Violation:
+    return Violation(
+        kind=BUDGET_RENEWAL, t=t, events=(index,),
+        message=(f"{in_window} renewals in {window:.6g}s exceeds the "
+                 f"communication budget of {budget:.6g}/s"))
+
+
 def audit_trace(events: Sequence[TraceEvent],
                 capture: Optional[Sequence[Dict[str, object]]] = None,
                 limits: Optional[AuditLimits] = None) -> AuditReport:
@@ -184,9 +346,7 @@ def audit_observability(obs: Any, limits: Optional[AuditLimits] = None
 
 def _audit_orphans(spans: SpanSet, violations: List[Violation]) -> None:
     for index, reason in spans.orphans:
-        violations.append(Violation(
-            kind=CAUSALITY, message=f"orphan event: {reason}",
-            events=(index,)))
+        violations.append(orphan_violation(index, reason))
 
 
 def _audit_leg(leg: NotificationLeg, detected_t: Optional[float],
@@ -194,51 +354,38 @@ def _audit_leg(leg: NotificationLeg, detected_t: Optional[float],
                check) -> None:
     """Per-leg causality (+ optional staleness bound)."""
     check(CAUSALITY)
-    where = f"seq={leg.seq} cache={leg.cache}"
     for index, t, attempt in leg.retransmits:
         if t < leg.send_t:
-            violations.append(Violation(
-                kind=CAUSALITY, seq=leg.seq, t=t,
-                events=(leg.send_index, index),
-                message=f"retransmit before its send ({where})"))
+            violations.append(retransmit_early_violation(
+                leg.seq, leg.cache, t, leg.send_index, index))
         if attempt < 2:
-            violations.append(Violation(
-                kind=CAUSALITY, seq=leg.seq, t=t,
-                events=(leg.send_index, index),
-                message=f"retransmit with attempt={attempt} < 2 ({where})"))
+            violations.append(retransmit_attempt_violation(
+                leg.seq, leg.cache, t, leg.send_index, index, attempt))
     if leg.ack_index is not None:
         assert leg.ack_t is not None
         if leg.ack_t < leg.send_t:
-            violations.append(Violation(
-                kind=CAUSALITY, seq=leg.seq, t=leg.ack_t,
-                events=(leg.send_index, leg.ack_index),
-                message=f"ack timestamped before its send ({where})"))
+            violations.append(ack_before_send_violation(
+                leg.seq, leg.cache, leg.ack_t, leg.send_index,
+                leg.ack_index))
         if leg.rtt is None:
-            violations.append(Violation(
-                kind=CAUSALITY, seq=leg.seq, t=leg.ack_t,
-                events=(leg.ack_index,),
-                message=f"ack carries no rtt field ({where})"))
+            violations.append(ack_missing_rtt_violation(
+                leg.seq, leg.cache, leg.ack_t, leg.ack_index))
         elif abs((leg.ack_t - leg.send_t) - leg.rtt) > FLOAT_SLACK:
-            violations.append(Violation(
-                kind=CAUSALITY, seq=leg.seq, t=leg.ack_t,
-                events=(leg.send_index, leg.ack_index),
-                message=(f"rtt={leg.rtt!r} but ack-send timestamps give "
-                         f"{leg.ack_t - leg.send_t!r} ({where})")))
+            violations.append(rtt_mismatch_violation(
+                leg.seq, leg.cache, leg.send_t, leg.ack_t,
+                leg.send_index, leg.ack_index, leg.rtt))
         if limits.max_staleness is not None and detected_t is not None:
             check(STALENESS)
             staleness = leg.ack_t - detected_t
             if staleness > limits.max_staleness + FLOAT_SLACK:
-                violations.append(Violation(
-                    kind=STALENESS, seq=leg.seq, t=leg.ack_t,
-                    events=(leg.send_index, leg.ack_index),
-                    message=(f"holder stale {staleness:.6g}s > bound "
-                             f"{limits.max_staleness:.6g}s ({where})")))
+                violations.append(stale_holder_violation(
+                    leg.seq, leg.cache, leg.ack_t, leg.send_index,
+                    leg.ack_index, staleness, limits.max_staleness))
     if leg.timeout_index is not None and leg.timeout_t is not None \
             and leg.timeout_t < leg.send_t:
-        violations.append(Violation(
-            kind=CAUSALITY, seq=leg.seq, t=leg.timeout_t,
-            events=(leg.send_index, leg.timeout_index),
-            message=f"timeout timestamped before its send ({where})"))
+        violations.append(timeout_before_send_violation(
+            leg.seq, leg.cache, leg.timeout_t, leg.send_index,
+            leg.timeout_index))
 
 
 def _audit_changes(spans: SpanSet, limits: AuditLimits,
@@ -253,36 +400,27 @@ def _audit_changes(spans: SpanSet, limits: AuditLimits,
             check(COMPLETENESS, max(len(holders), 1))
             for holder in holders:
                 if holder.cache not in notified:
-                    violations.append(Violation(
-                        kind=COMPLETENESS, seq=span.seq, t=span.detected_t,
-                        events=(span.detected_index, holder.grant_index),
-                        message=(f"lease holder {holder.cache} on "
-                                 f"{span.name}/{span.rrtype} never "
-                                 f"notified for seq={span.seq}")))
+                    violations.append(unnotified_holder_violation(
+                        span.seq, span.detected_t, span.detected_index,
+                        holder.grant_index, holder.cache, span.name,
+                        span.rrtype))
         # Termination: every leg resolves, and before the settle event.
         for leg in span.legs:
             check(TERMINATION)
             if not leg.resolved:
-                violations.append(Violation(
-                    kind=TERMINATION, seq=span.seq, t=leg.send_t,
-                    events=(leg.send_index,),
-                    message=(f"notify.send to {leg.cache} never resolved "
-                             f"to ack or timeout (seq={span.seq})")))
+                violations.append(unresolved_leg_violation(
+                    span.seq, leg.cache, leg.send_t, leg.send_index))
             elif span.settled_index is not None \
                     and leg.resolution_index > span.settled_index:
-                violations.append(Violation(
-                    kind=TERMINATION, seq=span.seq, t=span.settled_t,
-                    events=(leg.resolution_index, span.settled_index),
-                    message=(f"leg to {leg.cache} resolved after "
-                             f"change.settled (seq={span.seq})")))
+                violations.append(resolved_after_settled_violation(
+                    span.seq, leg.cache, span.settled_t,
+                    leg.resolution_index, span.settled_index))
             _audit_leg(leg, span.detected_t, limits, violations, check)
         if span.legs and span.settled_index is None:
             check(TERMINATION)
-            violations.append(Violation(
-                kind=TERMINATION, seq=span.seq, t=span.detected_t,
-                events=tuple(leg.send_index for leg in span.legs),
-                message=(f"change seq={span.seq} fanned out to "
-                         f"{len(span.legs)} holders but never settled")))
+            violations.append(never_settled_violation(
+                span.seq, span.detected_t, len(span.legs),
+                tuple(leg.send_index for leg in span.legs)))
         if span.settled_index is not None:
             _audit_settlement(span, violations, check)
 
@@ -294,27 +432,21 @@ def _audit_settlement(span, violations: List[Violation], check) -> None:
     failed = sum(1 for leg in span.legs
                  if leg.resolved and not leg.acked)
     if span.settled_acked is not None and span.settled_acked != acked:
-        violations.append(Violation(
-            kind=TERMINATION, seq=span.seq, t=span.settled_t,
-            events=(span.settled_index,),
-            message=(f"change.settled claims acked={span.settled_acked} "
-                     f"but the trace shows {acked} (seq={span.seq})")))
+        violations.append(settled_acked_violation(
+            span.seq, span.settled_t, span.settled_index,
+            span.settled_acked, acked))
     if span.settled_failed is not None and span.settled_failed != failed:
-        violations.append(Violation(
-            kind=TERMINATION, seq=span.seq, t=span.settled_t,
-            events=(span.settled_index,),
-            message=(f"change.settled claims failed={span.settled_failed} "
-                     f"but the trace shows {failed} (seq={span.seq})")))
+        violations.append(settled_failed_violation(
+            span.seq, span.settled_t, span.settled_index,
+            span.settled_failed, failed))
     window = span.window()
     recorded = span.settled_window
     if (window is None) != (recorded is None) or (
             window is not None and recorded is not None
             and abs(window - recorded) > FLOAT_SLACK):
-        violations.append(Violation(
-            kind=STALENESS, seq=span.seq, t=span.settled_t,
-            events=(span.settled_index,),
-            message=(f"settled window={recorded!r} but last-ack "
-                     f"recomputation gives {window!r} (seq={span.seq})")))
+        violations.append(settled_window_violation(
+            span.seq, span.settled_t, span.settled_index,
+            recorded, window))
 
 
 def _audit_untracked(untracked: Sequence[NotificationLeg],
@@ -323,10 +455,8 @@ def _audit_untracked(untracked: Sequence[NotificationLeg],
     for leg in untracked:
         check(TERMINATION)
         if not leg.resolved:
-            violations.append(Violation(
-                kind=TERMINATION, t=leg.send_t, events=(leg.send_index,),
-                message=(f"untracked notify.send to {leg.cache} never "
-                         f"resolved to ack or timeout")))
+            violations.append(untracked_unresolved_violation(
+                leg.cache, leg.send_t, leg.send_index))
         _audit_leg(leg, None, AuditLimits(), violations, check)
 
 
@@ -346,11 +476,8 @@ def _audit_budgets(events: Sequence[TraceEvent], limits: AuditLimits,
             if limits.storage_budget is not None:
                 check(BUDGET_STORAGE)
                 if active > limits.storage_budget:
-                    violations.append(Violation(
-                        kind=BUDGET_STORAGE, t=t, events=(index,),
-                        message=(f"lease occupancy {active} exceeds the "
-                                 f"storage budget "
-                                 f"{limits.storage_budget}")))
+                    violations.append(storage_budget_violation(
+                        t, index, active, limits.storage_budget))
         elif event in (LEASE_EXPIRE, LEASE_REVOKE):
             active = max(0, active - 1)
         elif event == LEASE_RENEW and limits.renewal_budget is not None:
@@ -361,12 +488,9 @@ def _audit_budgets(events: Sequence[TraceEvent], limits: AuditLimits,
             in_window = len(renew_times) - window_start
             allowed = limits.renewal_budget * limits.renewal_window
             if in_window > allowed + FLOAT_SLACK:
-                violations.append(Violation(
-                    kind=BUDGET_RENEWAL, t=t, events=(index,),
-                    message=(f"{in_window} renewals in "
-                             f"{limits.renewal_window:.6g}s exceeds the "
-                             f"communication budget of "
-                             f"{limits.renewal_budget:.6g}/s")))
+                violations.append(renewal_budget_violation(
+                    t, index, in_window, limits.renewal_window,
+                    limits.renewal_budget))
 
 
 # -- trace/wire cross-check ---------------------------------------------------

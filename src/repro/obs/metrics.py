@@ -68,6 +68,30 @@ LEASE_BUCKETS = (60.0, 200.0, 600.0, 3600.0, 6000.0, 21600.0,
                  86400.0, 259200.0, 518400.0)
 
 
+def _fold_exact(partials: List[float], value: float) -> None:
+    """Fold ``value`` into a Shewchuk non-overlapping partials list.
+
+    After the fold the partials still represent the true sum exactly,
+    so ``math.fsum(partials)`` is the correctly rounded total no matter
+    how many folds happened or in what grouping — the property that
+    makes shard-merged histogram sums byte-identical at any shard
+    count.  (Same algorithm as ``repro.sim.fastreplay.ExactSum``;
+    re-implemented here because ``obs`` must not import ``sim``.)
+    """
+    x = value
+    i = 0
+    for y in partials:
+        if abs(x) < abs(y):
+            x, y = y, x
+        hi = x + y
+        lo = y - (hi - x)
+        if lo:
+            partials[i] = lo
+            i += 1
+        x = hi
+    partials[i:] = [x]
+
+
 class Histogram:
     """Fixed-bucket histogram with exact sum/count/min/max.
 
@@ -75,9 +99,18 @@ class Histogram:
     catches the overflow.  The mean is exact (running float sum in
     observation order), which is what lets trace-derived recomputations
     match live measurements bit for bit.
+
+    Two populations exist: histograms filled one :meth:`observe` at a
+    time keep the running-float ``sum`` above (order-dependent, bit-
+    compatible with the trace-side recomputations); histograms filled
+    in bulk via :meth:`add_exact` carry Shewchuk partials so
+    :meth:`merge` stays exact and grouping-independent.  Merging an
+    observe-filled histogram degrades the target to running-float
+    addition (the honest answer — the inputs were already rounded).
     """
 
-    __slots__ = ("name", "bounds", "counts", "count", "sum", "min", "max")
+    __slots__ = ("name", "bounds", "counts", "count", "sum", "min", "max",
+                 "_partials")
 
     def __init__(self, name: str,
                  buckets: Sequence[float] = LATENCY_BUCKETS) -> None:
@@ -92,6 +125,11 @@ class Histogram:
         self.sum = 0.0
         self.min = math.inf
         self.max = -math.inf
+        #: Non-overlapping partials representing ``sum`` exactly while
+        #: the histogram has only ever been filled through
+        #: :meth:`add_exact`/:meth:`merge`; None once :meth:`observe`
+        #: put it on the running-float path.
+        self._partials: Optional[List[float]] = []
 
     def observe(self, value: float) -> None:
         """Record one observation."""
@@ -101,10 +139,72 @@ class Histogram:
         self.counts[index] += 1
         self.count += 1
         self.sum += value
+        self._partials = None
         if value < self.min:
             self.min = value
         if value > self.max:
             self.max = value
+
+    def add_exact(self, bucket_counts: Sequence[int],
+                  partials: Sequence[float],
+                  minimum: Optional[float] = None,
+                  maximum: Optional[float] = None) -> None:
+        """Bulk-load pre-bucketed observations with an exact sum.
+
+        ``bucket_counts`` must cover every bucket including the +inf
+        overflow; ``partials`` is a Shewchuk partials list representing
+        the exact sum of the underlying values (e.g. from
+        ``repro.sim.columnar.scan_partials``).  The histogram's sum
+        stays the *correctly rounded* total as long as every load goes
+        through this path, which makes shard-merged snapshots
+        byte-identical regardless of shard count.
+        """
+        if len(bucket_counts) != len(self.counts):
+            raise ValueError(
+                f"bucket_counts has {len(bucket_counts)} entries, "
+                f"histogram {self.name} has {len(self.counts)} buckets")
+        added = 0
+        for index, amount in enumerate(bucket_counts):
+            self.counts[index] += amount
+            added += amount
+        self.count += added
+        if self._partials is not None:
+            for part in partials:
+                _fold_exact(self._partials, part)
+            self.sum = math.fsum(self._partials)
+        else:
+            self.sum += math.fsum(partials)
+        if minimum is not None and minimum < self.min:
+            self.min = minimum
+        if maximum is not None and maximum > self.max:
+            self.max = maximum
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold ``other`` into this histogram (bounds must agree).
+
+        Counts and min/max merge losslessly.  Sums merge exactly —
+        independent of merge order and grouping — when both sides are
+        still on the exact path (built via :meth:`add_exact`); any
+        observe-filled side degrades the result to float addition.
+        """
+        if self.bounds != other.bounds:
+            raise ValueError(
+                f"cannot merge histogram {other.name} into {self.name}: "
+                f"bucket bounds differ")
+        for index, amount in enumerate(other.counts):
+            self.counts[index] += amount
+        self.count += other.count
+        if self._partials is not None and other._partials is not None:
+            for part in other._partials:
+                _fold_exact(self._partials, part)
+            self.sum = math.fsum(self._partials)
+        else:
+            self._partials = None
+            self.sum += other.sum
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
 
     @property
     def mean(self) -> Optional[float]:
@@ -173,6 +273,32 @@ class Registry:
                 raise ValueError(f"metric name already used with a "
                                  f"different type: {name}")
 
+    # -- merging -------------------------------------------------------------
+
+    def merge(self, other: "Registry") -> "Registry":
+        """Fold every instrument of ``other`` into this registry.
+
+        Counters add their integer values; histograms bucket-add (and
+        keep exactly rounded sums while both sides are on the
+        :meth:`Histogram.add_exact` path); gauges sum their readings.
+        Instruments missing on this side are created.  Merging is the
+        shard-combination primitive: merging per-shard registries in
+        any grouping yields byte-identical :meth:`export_json` output
+        as long as the histograms were bulk-loaded exactly.  Returns
+        ``self`` for chaining.
+        """
+        for name, counter in other._counters.items():
+            self.counter(name).inc(counter.value)
+        for name, gauge in other._gauges.items():
+            target = self.gauge(name)
+            if target.fn is not None:
+                raise ValueError(
+                    f"cannot merge into callable-backed gauge {name}")
+            target.set(target.value + gauge.value)
+        for name, histogram in other._histograms.items():
+            self.histogram(name, histogram.bounds).merge(histogram)
+        return self
+
     # -- reading -------------------------------------------------------------
 
     def names(self) -> List[str]:
@@ -200,12 +326,16 @@ class Registry:
         ``allow_nan=False`` turns any non-finite value that slipped
         past the snapshot (e.g. a callable gauge reading inf) into a
         loud :class:`ValueError` instead of silently emitting the
-        non-JSON ``Infinity`` token.
+        non-JSON ``Infinity`` token.  ``sort_keys=True`` makes the
+        bytes independent of dict insertion order end to end — two
+        registries with the same instrument values export identically
+        no matter what order registration or merging happened in.
         """
         own = isinstance(target, str)
         stream: TextIO = open(target, "w") if own else target  # type: ignore[arg-type]
         try:
-            json.dump(self.snapshot(), stream, indent=2, allow_nan=False)
+            json.dump(self.snapshot(), stream, indent=2, allow_nan=False,
+                      sort_keys=True)
             stream.write("\n")
         finally:
             if own:

@@ -112,6 +112,12 @@ class TraceBus:
         #: Events discarded by an explicit :meth:`clear` (deliberate).
         self.cleared = 0
         self._emitted = 0
+        #: Streaming hook: called with each record tuple right after it
+        #: is appended (clock already stamped).  The live telemetry
+        #: plane (:mod:`repro.net.telemetry`) wires the incremental
+        #: auditor here; ``None`` (the default) costs one pointer check
+        #: per emit and nothing else.
+        self.tap: Optional[Callable[[TraceEvent], None]] = None
 
     def emit(self, event: str, t: Optional[float] = None,
              **fields: object) -> None:
@@ -119,7 +125,10 @@ class TraceBus:
         if t is None:
             t = self._clock() if self._clock is not None else 0.0
         self._emitted += 1
-        self.events.append((t, event, fields))
+        record: TraceEvent = (t, event, fields)
+        self.events.append(record)
+        if self.tap is not None:
+            self.tap(record)
 
     def __len__(self) -> int:
         return len(self.events)

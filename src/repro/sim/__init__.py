@@ -19,6 +19,7 @@ from .columnar import (
     columnar_polling,
     columnar_scan,
     flash_crowd_columnar,
+    scan_metric_table,
 )
 from .fastreplay import (
     ExactSum,
@@ -30,11 +31,14 @@ from .fastreplay import (
 from .shard import (
     ShardSweep,
     gather_subtrace,
+    merge_metric_tables,
     merge_shard_sweeps,
+    metric_table_registry,
     shard_of_name,
     shard_pair_ids,
     sharded_figure5_sweep,
     sharded_lease_replay,
+    sharded_scan_metrics,
 )
 from .metrics import (
     ConsistencyReport,
@@ -56,8 +60,10 @@ __all__ = [
     "fast_polling",
     "ColumnarTrace", "columnar_scan", "columnar_lease_replay",
     "columnar_dynamic_sweep", "columnar_polling", "flash_crowd_columnar",
+    "scan_metric_table",
     "ShardSweep", "shard_of_name", "shard_pair_ids", "gather_subtrace",
     "merge_shard_sweeps", "sharded_figure5_sweep", "sharded_lease_replay",
+    "metric_table_registry", "merge_metric_tables", "sharded_scan_metrics",
     "LeaseSimResult", "ConsistencyReport", "StalenessSample",
     "interpolate_at_storage", "interpolate_at_query_rate",
     "ProtocolScenario", "ScenarioConfig",

@@ -43,6 +43,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..dnslib import Name
+from ..obs.metrics import LEASE_BUCKETS
 from ..traces.workload import QueryEvent
 from .fastreplay import ExactSum
 from .metrics import LeaseSimResult
@@ -439,6 +440,113 @@ def replay_table(times: np.ndarray, starts: np.ndarray,
                                                lengths, duration)
     return (int(np.sum(upstream)), int(np.sum(upstream[lengths > 0.0])),
             scan_partials(terms))
+
+
+#: Bucket bounds for the per-pair renewal-count histogram
+#: (``scale.renewals_per_pair``): how many grants one (cache, domain)
+#: pair consumed over the run.
+RENEWAL_COUNT_BUCKETS = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0,
+                         200.0, 500.0, 1000.0)
+
+#: A picklable bundle of per-shard metric rows: integer counters plus
+#: histogram rows of ``(name, bounds, bucket counts, min, max, sum
+#: partials)``.  :func:`repro.sim.shard.metric_table_registry` lifts a
+#: table into a :class:`repro.obs.Registry`; merging shard registries
+#: reproduces the unsharded registry byte for byte.
+MetricTable = Dict[str, object]
+
+#: (name, bounds, bucket counts incl. +inf overflow, min, max, partials)
+MetricHistogramRow = Tuple[str, Tuple[float, ...], List[int],
+                           Optional[float], Optional[float], List[float]]
+
+
+def _metric_histogram_row(name: str, bounds: Sequence[float],
+                          values: np.ndarray) -> MetricHistogramRow:
+    """One histogram's merge-ready row from a value column.
+
+    ``np.searchsorted(bounds, v, side="left")`` lands each value in
+    the same inclusive-upper-bound bucket ``bisect.bisect_left`` picks
+    in :meth:`repro.obs.Histogram.observe`, and the sum ships as
+    Shewchuk partials, so shard-merged histograms carry the correctly
+    rounded total no matter how the pairs were grouped.
+    """
+    bound_col = np.asarray(bounds, dtype=np.float64)
+    counts = np.bincount(
+        np.searchsorted(bound_col, values, side="left"),
+        minlength=len(bound_col) + 1).tolist()
+    if len(values):
+        minimum: Optional[float] = float(values.min())
+        maximum: Optional[float] = float(values.max())
+    else:
+        minimum = maximum = None
+    return (name, tuple(float(b) for b in bound_col), counts,
+            minimum, maximum, scan_partials(values))
+
+
+def metric_table(upstream: np.ndarray, terms: np.ndarray,
+                 term_pairs: np.ndarray, lengths: np.ndarray,
+                 duration: float, total_queries: int) -> MetricTable:
+    """Vectorized lease/renewal/staleness metrics from one scan.
+
+    Pure post-processing of :func:`scan_arrays` output — the scan
+    itself stays metric-free (zero cost when metrics are off).  Emits:
+
+    * ``scale.lease_term`` — every grant's term length, seconds;
+    * ``scale.renewals_per_pair`` — grants consumed per leased pair
+      that was granted at least once;
+    * ``scale.staleness_exposure`` — per granted pair, the seconds of
+      the run *not* covered by one of its lease terms (while a lease
+      runs the holder is strongly consistent; exposure is the
+      complement DNScup trades against TTL polling);
+    * counters for queries, upstream messages, grants, and pair
+      populations.
+
+    Per-pair float reductions happen in each pair's own term order
+    (``np.bincount`` accumulates element-sequentially), which the
+    shard gather preserves — so every row merges byte-identically at
+    any shard count.
+    """
+    lengths = np.asarray(lengths, dtype=np.float64)
+    pair_count = len(lengths)
+    leased = lengths > 0.0
+    grants_per_pair = np.asarray(upstream)[leased]
+    granted = grants_per_pair[grants_per_pair > 0]
+    coverage = np.bincount(term_pairs, weights=terms,
+                           minlength=pair_count)
+    covered_pairs = np.bincount(term_pairs, minlength=pair_count) > 0
+    exposure = duration - coverage[covered_pairs]
+    counters: List[Tuple[str, int]] = [
+        ("scale.queries", int(total_queries)),
+        ("scale.upstream_messages", int(np.sum(upstream))),
+        ("scale.lease_grants", int(np.sum(grants_per_pair))),
+        ("scale.pairs", int(pair_count)),
+        ("scale.leased_pairs", int(np.count_nonzero(leased))),
+        ("scale.granted_pairs", int(np.count_nonzero(covered_pairs))),
+    ]
+    histograms: List[MetricHistogramRow] = [
+        _metric_histogram_row("scale.lease_term", LEASE_BUCKETS, terms),
+        _metric_histogram_row("scale.renewals_per_pair",
+                              RENEWAL_COUNT_BUCKETS,
+                              granted.astype(np.float64)),
+        _metric_histogram_row("scale.staleness_exposure",
+                              LEASE_BUCKETS, exposure),
+    ]
+    return {"counters": counters, "histograms": histograms}
+
+
+def scan_metric_table(times: np.ndarray, starts: np.ndarray,
+                      sorted_mask: np.ndarray, lengths: np.ndarray,
+                      duration: float) -> MetricTable:
+    """Replay one lease column and reduce it to its metric table.
+
+    The shard workers call this on their gathered sub-arrays; the rows
+    come back picklable and merge exactly (see :func:`metric_table`).
+    """
+    lengths = np.asarray(lengths, dtype=np.float64)
+    upstream, terms, term_pairs = scan_arrays(times, starts, sorted_mask,
+                                              lengths, duration)
+    return metric_table(upstream, terms, term_pairs, lengths, duration,
+                        int(len(times)))
 
 
 def dynamic_sweep_table(times: np.ndarray, starts: np.ndarray,

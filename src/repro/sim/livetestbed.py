@@ -33,7 +33,9 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from ..net import AioNetwork, LinkProfile, LiveClock, loopback_available
+from ..net import (AioNetwork, LinkProfile, LiveClock, TelemetryPlane,
+                   loopback_available)
+from ..obs import AuditLimits
 from ..traces.domains import DomainSpec
 from .testbed import Testbed, TestbedConfig
 
@@ -45,6 +47,9 @@ class LiveTestbed(Testbed):
 
     __test__ = False
 
+    #: The live telemetry plane, once :meth:`enable_telemetry` ran.
+    telemetry: Optional[TelemetryPlane] = None
+
     def _create_simulator(self) -> LiveClock:
         return LiveClock()
 
@@ -53,8 +58,31 @@ class LiveTestbed(Testbed):
         # provides its own (tiny) latency and no configurable loss.
         return AioNetwork(self.simulator)
 
+    def enable_telemetry(self, interval: float = 0.25,
+                         limits: Optional[AuditLimits] = None,
+                         fail_fast: bool = True) -> TelemetryPlane:
+        """Attach and start a :class:`~repro.net.telemetry.TelemetryPlane`.
+
+        Requires ``observability=True`` (the plane audits the trace
+        stream and exposes the metrics registry).  Call before driving
+        traffic so the incremental audit sees the whole run; the plane
+        stops automatically in :meth:`close`.
+        """
+        if self.observability is None:
+            raise ValueError("testbed built without observability=True; "
+                             "nothing to stream")
+        if self.telemetry is not None:
+            return self.telemetry
+        self.telemetry = TelemetryPlane(
+            self.simulator, self.network, self.observability,
+            interval=interval, limits=limits, fail_fast=fail_fast)
+        self.telemetry.start()
+        return self.telemetry
+
     def close(self) -> None:
         """Close every real socket, acceptor, and pooled connection."""
+        if self.telemetry is not None:
+            self.telemetry.stop()
         self.network.close()
         loop = self.simulator.loop
         if not loop.is_closed():

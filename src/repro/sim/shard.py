@@ -38,7 +38,9 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..dnslib import Name
-from .columnar import ColumnarTrace, dynamic_sweep_table, replay_table
+from ..obs.metrics import Registry
+from .columnar import (ColumnarTrace, MetricTable, dynamic_sweep_table,
+                       replay_table, scan_metric_table)
 from .fastreplay import ExactSum
 from .metrics import LeaseSimResult
 
@@ -270,6 +272,76 @@ def _replay_shard(task: Tuple[np.ndarray, np.ndarray, np.ndarray,
     """Worker: one shard's single-scheme replay table."""
     times, starts, sorted_mask, lengths, duration = task
     return replay_table(times, starts, sorted_mask, lengths, duration)
+
+
+def metric_table_registry(table: MetricTable,
+                          registry: Optional[Registry] = None) -> Registry:
+    """Lift a :data:`~repro.sim.columnar.MetricTable` into a registry.
+
+    Counters load with :meth:`~repro.obs.metrics.Counter.inc`;
+    histogram rows load through
+    :meth:`~repro.obs.metrics.Histogram.add_exact`, so the registry
+    stays on the exact-sum path and :meth:`Registry.merge` combines
+    shard registries byte-identically in any grouping.
+    """
+    if registry is None:
+        registry = Registry()
+    counters = table["counters"]
+    histograms = table["histograms"]
+    assert isinstance(counters, list) and isinstance(histograms, list)
+    for name, value in counters:
+        registry.counter(name).inc(value)
+    for name, bounds, counts, minimum, maximum, partials in histograms:
+        registry.histogram(name, bounds).add_exact(
+            counts, partials, minimum=minimum, maximum=maximum)
+    return registry
+
+
+def merge_metric_tables(tables: Sequence[MetricTable]) -> Registry:
+    """Fold per-shard metric tables into one merged registry.
+
+    Tables fold in the given order for a stable audit trail, but every
+    row is exact (integer counts, Shewchuk sum partials), so any order
+    — and any shard count — yields byte-identical
+    :meth:`~repro.obs.metrics.Registry.export_json` output.
+    """
+    merged = Registry()
+    for table in tables:
+        merged.merge(metric_table_registry(table))
+    return merged
+
+
+def _metric_shard(task: Tuple[np.ndarray, np.ndarray, np.ndarray,
+                              np.ndarray, float]) -> MetricTable:
+    """Worker: one shard's scan reduced to its metric table."""
+    times, starts, sorted_mask, lengths, duration = task
+    return scan_metric_table(times, starts, sorted_mask, lengths, duration)
+
+
+def sharded_scan_metrics(trace: ColumnarTrace, lengths: np.ndarray,
+                         duration: float, nshards: int,
+                         processes: Optional[int] = None) -> Registry:
+    """Scale-run telemetry from a domain-partitioned columnar scan.
+
+    Replays one lease column per shard (serially or on a pool — same
+    contract as :func:`run_shard_sweeps`), reduces each shard to a
+    :data:`~repro.sim.columnar.MetricTable`, and merges the tables into
+    a single :class:`~repro.obs.metrics.Registry` whose exported JSON
+    is byte-identical at any shard count.
+    """
+    lengths = np.asarray(lengths, dtype=np.float64)
+    tasks = []
+    for pair_ids in shard_pair_ids(trace, nshards):
+        times, starts, sorted_mask = gather_subtrace(trace, pair_ids)
+        tasks.append((times, starts, sorted_mask, lengths[pair_ids],
+                      duration))
+    if processes is None or processes <= 1 or len(tasks) <= 1:
+        tables = [_metric_shard(task) for task in tasks]
+    else:
+        with multiprocessing.get_context().Pool(
+                processes=min(processes, len(tasks))) as pool:
+            tables = pool.map(_metric_shard, tasks)
+    return merge_metric_tables(tables)
 
 
 def run_shard_replays(trace: ColumnarTrace, lengths: np.ndarray,

@@ -25,6 +25,8 @@ import os
 import sys
 from typing import List, Optional, Sequence
 
+from ..net.telemetry import parse_exposition
+from ..obs import audit_trace
 from ..sim import TestbedConfig, run_figure7_scenario
 from ..sim.livetestbed import LiveTestbed, loopback_available
 
@@ -44,6 +46,14 @@ def build_parser() -> argparse.ArgumentParser:
                              "live_metrics.json under DIR")
     parser.add_argument("--json", action="store_true",
                         help="print the run summary as JSON")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="stream the run: incremental audit on the "
+                             "trace tap, periodic registry snapshots, and "
+                             "a live /metrics endpoint scraped mid-run; "
+                             "fails fast on the first violation")
+    parser.add_argument("--telemetry-interval", type=float, default=0.05,
+                        metavar="SECONDS",
+                        help="snapshot tick interval (default 0.05)")
     parser.add_argument("--skip-unavailable", action="store_true",
                         help="exit 0 (not 1) when loopback UDP is "
                              "unavailable on this platform")
@@ -59,7 +69,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0 if args.skip_unavailable else 1
     testbed = LiveTestbed(TestbedConfig(observability=True,
                                         zone_count=args.zones))
+    telemetry_ok = True
     try:
+        scrape: dict = {}
+        if args.telemetry:
+            plane = testbed.enable_telemetry(
+                interval=args.telemetry_interval)
+            _arm_midrun_scrape(testbed, plane, scrape)
         summary = dict(run_figure7_scenario(testbed, updates=args.updates))
         report = testbed.audit()
         obs = testbed.observability
@@ -67,6 +83,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         summary["captured_datagrams"] = len(obs.capture)
         summary["audit_ok"] = report.ok
         summary["violations"] = [v.as_dict() for v in report.violations]
+        if args.telemetry:
+            summary["telemetry"] = _finish_telemetry(testbed, plane, scrape)
+            telemetry_ok = bool(summary["telemetry"]["ok"])
         if args.export:
             os.makedirs(args.export, exist_ok=True)
             obs.trace.export_jsonl(
@@ -81,7 +100,78 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(json.dumps(summary, indent=2, sort_keys=True))
     else:
         _print_summary(summary)
-    return 0 if report.ok else 1
+    return 0 if report.ok and telemetry_ok else 1
+
+
+def _arm_midrun_scrape(testbed: LiveTestbed, plane, scrape: dict) -> None:
+    """Schedule one real HTTP scrape of the endpoint while traffic runs.
+
+    A daemon timer (never holds off quiescence) launches the scrape as
+    a loop task; if the run finishes before the timer fires,
+    :func:`_finish_telemetry` falls back to a post-run scrape.
+    """
+    async def _do() -> None:
+        try:
+            scrape["body"] = await plane.ascrape()
+            scrape["midrun"] = True
+        except Exception as exc:
+            scrape["error"] = exc
+
+    def _launch() -> None:
+        testbed.simulator.loop.create_task(_do())
+
+    testbed.simulator.schedule(0.05, _launch, daemon=True)
+
+
+def _finish_telemetry(testbed: LiveTestbed, plane, scrape: dict) -> dict:
+    """Close out the streaming plane and build its summary block.
+
+    The final incremental verdict must agree with the post-hoc batch
+    audit of the same trace — identical violation multiset and check
+    counts — and the endpoint must have served a parseable exposition;
+    either failure turns ``ok`` False (and the exit code nonzero).
+    """
+    plane.stop()
+    if "body" not in scrape:
+        try:
+            scrape["body"] = plane.scrape()
+            scrape["midrun"] = False
+        except Exception as exc:
+            scrape.setdefault("error", exc)
+    samples = 0
+    scrape_error = scrape.get("error")
+    if "body" in scrape:
+        try:
+            samples = len(parse_exposition(scrape["body"]))
+        except ValueError as exc:
+            scrape_error = exc
+    stream = plane.auditor.report()
+    batch = audit_trace(list(testbed.observability.trace.events))
+
+    def _key(violation) -> tuple:
+        return (violation.kind, violation.message, tuple(violation.events))
+
+    verdict_match = (
+        sorted(_key(v) for v in stream.violations)
+        == sorted(_key(v) for v in batch.violations)
+        and stream.checks == batch.checks)
+    host, port = plane.endpoint
+    ok = (scrape_error is None and samples > 0 and verdict_match
+          and stream.ok == batch.ok)
+    return {
+        "endpoint": f"{host}:{port}",
+        "ticks": plane.ticks,
+        "scrape_midrun": bool(scrape.get("midrun", False)),
+        "scrape_error": (None if scrape_error is None
+                         else str(scrape_error)),
+        "scrape_samples": samples,
+        "incremental_ok": stream.ok,
+        "incremental_events": stream.events_audited,
+        "incremental_violations": len(stream.violations),
+        "peak_tracked_spans": stream.peak_tracked_spans,
+        "verdict_match": verdict_match,
+        "ok": ok,
+    }
 
 
 def _print_summary(summary: dict) -> None:
@@ -99,6 +189,22 @@ def _print_summary(summary: dict) -> None:
     ]
     for violation in summary["violations"]:
         lines.append(f"    {violation['kind']}: {violation['message']}")
+    telemetry = summary.get("telemetry")
+    if telemetry:
+        lines.extend([
+            f"  telemetry endpoint     {telemetry['endpoint']} "
+            f"({telemetry['ticks']} ticks)",
+            f"  scrape                 "
+            f"{telemetry['scrape_samples']} samples"
+            f"{' (mid-run)' if telemetry['scrape_midrun'] else ''}"
+            + (f" ERROR: {telemetry['scrape_error']}"
+               if telemetry['scrape_error'] else ""),
+            f"  incremental audit      "
+            f"{'ok' if telemetry['incremental_ok'] else 'VIOLATIONS'} "
+            f"({telemetry['incremental_events']} events, peak "
+            f"{telemetry['peak_tracked_spans']} tracked spans, "
+            f"verdict {'matches' if telemetry['verdict_match'] else 'DIVERGES from'} batch audit)",
+        ])
     print("\n".join(lines))
 
 

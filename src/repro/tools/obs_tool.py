@@ -17,7 +17,12 @@ cross-check, captures from :meth:`repro.obs.WireCapture.export_jsonl`):
   termination, causality, budgets, staleness, trace/wire agreement);
   exits 1 when any :class:`repro.obs.Violation` is found;
 * ``report`` — render the full markdown run report (overview,
-  bucket-interpolated percentiles, per-domain timelines, audit).
+  bucket-interpolated percentiles, per-domain timelines, audit);
+* ``tail`` — follow a *growing* trace file and audit it incrementally
+  (:class:`repro.obs.IncrementalAuditor`): each poll feeds only the
+  newly appended complete lines, prints a rolling verdict plus p50/p95
+  consistency-window percentiles, and holds memory bounded no matter
+  how long the run — the live companion to post-hoc ``audit``.
 
 Every subcommand warns on stderr about event names outside the
 PROTOCOL.md §9 contract; ``--strict`` turns the warning into an error.
@@ -28,16 +33,22 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from typing import List, Optional, Sequence, Set
 
 from ..obs import (
     EVENT_NAMES,
+    LATENCY_BUCKETS,
     TRACE_META,
     AuditLimits,
     AuditReport,
+    Histogram,
+    IncrementalAuditor,
+    Violation,
     audit_trace,
     build_spans,
     diff_summaries,
+    histogram_percentile,
     load_capture,
     load_trace_events,
     render_report,
@@ -89,6 +100,24 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--output",
                        help="write the report there instead of stdout")
 
+    tail = sub.add_parser(
+        "tail", help="follow a growing trace and audit it incrementally")
+    tail.add_argument("trace", help="JSONL trace file (may still be "
+                                    "growing; may not exist yet)")
+    _limit_arguments(tail)
+    tail.add_argument("--interval", type=float, default=0.2,
+                      metavar="SECONDS",
+                      help="poll interval while idle (default 0.2)")
+    tail.add_argument("--once", action="store_true",
+                      help="read to the current end of file, print the "
+                           "verdict, and exit (no following)")
+    tail.add_argument("--idle-exit", type=float, default=None,
+                      metavar="SECONDS",
+                      help="exit once the file has not grown for this "
+                           "long (default: follow forever)")
+    tail.add_argument("--json", action="store_true",
+                      help="emit each rolling verdict as a JSON line")
+
     report = sub.add_parser(
         "report", help="render the full markdown run report")
     report.add_argument("trace", help="JSONL trace file")
@@ -104,6 +133,10 @@ def _audit_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--capture",
                         help="wire-capture JSONL for the trace/wire "
                              "cross-check")
+    _limit_arguments(parser)
+
+
+def _limit_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--storage-budget", type=int, default=None,
                         help="§4.2.1 storage budget: max live leases")
     parser.add_argument("--renewal-budget", type=float, default=None,
@@ -297,6 +330,135 @@ def cmd_audit(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+class TraceFollower:
+    """Incremental reader of a (possibly still growing) JSONL trace.
+
+    Each :meth:`poll` reads whatever appeared since the last one and
+    parses only *complete* lines; a trailing partial line — a writer
+    caught mid-record — is buffered until its newline arrives, so a
+    torn record is never parsed and nothing is ever re-read.  State is
+    one file offset plus at most one pending line, whatever the file
+    size: the memory bound ``tail`` advertises.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self._offset = 0
+        self._partial = ""
+
+    def poll(self) -> List[TraceEvent]:
+        """Complete events appended since the last poll (may be [])."""
+        with open(self.path, "r") as stream:
+            stream.seek(self._offset)
+            chunk = stream.read()
+            self._offset = stream.tell()
+        if not chunk:
+            return []
+        lines = (self._partial + chunk).split("\n")
+        self._partial = lines.pop()
+        events: List[TraceEvent] = []
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            t = float(record.pop("t"))
+            name = str(record.pop("event"))
+            events.append((t, name, record))
+        return events
+
+
+def _tail_status(auditor: IncrementalAuditor, window_hist: Histogram,
+                 fresh: Sequence[Violation], final: bool) -> dict:
+    """One rolling-verdict record for ``tail``'s output."""
+    report = auditor.report() if final else None
+    violations = (len(report.violations) if report is not None
+                  else len(auditor.permanent_violations))
+    p50 = histogram_percentile(window_hist, 50.0)
+    p95 = histogram_percentile(window_hist, 95.0)
+    status = {
+        "events": auditor.events_audited,
+        "tracked_spans": auditor.tracked_spans,
+        "peak_tracked_spans": auditor.peak_tracked_spans,
+        "violations": violations,
+        "new_violations": [v.as_dict() for v in fresh],
+        "window_p50": p50,
+        "window_p95": p95,
+    }
+    if final:
+        assert report is not None
+        status["final"] = True
+        status["ok"] = report.ok
+        status["checks"] = dict(report.checks)
+    return status
+
+
+def _print_tail_status(status: dict, as_json: bool) -> None:
+    if as_json:
+        print(json.dumps(status, sort_keys=True), flush=True)
+        return
+    fmt = lambda v: "-" if v is None else f"{v:.6g}"  # noqa: E731
+    label = "FINAL " if status.get("final") else ""
+    verdict = ""
+    if "ok" in status:
+        verdict = " ok" if status["ok"] else " VIOLATIONS"
+    print(f"{label}events={status['events']} "
+          f"tracked={status['tracked_spans']} "
+          f"peak={status['peak_tracked_spans']} "
+          f"violations={status['violations']} "
+          f"window p50={fmt(status['window_p50'])} "
+          f"p95={fmt(status['window_p95'])}{verdict}", flush=True)
+    for violation in status["new_violations"]:
+        print(f"  VIOLATION {violation['kind']}: {violation['message']}",
+              flush=True)
+
+
+def cmd_tail(args: argparse.Namespace) -> int:
+    window_hist = Histogram("notify.consistency_window", LATENCY_BUCKETS)
+    auditor = IncrementalAuditor(limits=_limits(args),
+                                 window_hist=window_hist)
+    follower = TraceFollower(args.trace)
+    idle = 0.0
+    while True:
+        try:
+            batch = follower.poll()
+        except FileNotFoundError:
+            batch = []
+        if batch:
+            idle = 0.0
+            unknown = sorted({name for _t, name, _f in batch
+                              if name not in EVENT_NAMES
+                              and name != TRACE_META
+                              and name not in args.warned})
+            if unknown:
+                args.warned.update(unknown)
+                message = (f"{args.trace}: events outside the "
+                           f"PROTOCOL.md §9 contract: "
+                           f"{', '.join(unknown)}")
+                if args.strict:
+                    print(f"error: {message}", file=sys.stderr)
+                    return 2
+                print(f"warning: {message}", file=sys.stderr)
+            fresh: List[Violation] = []
+            for event in batch:
+                fresh.extend(auditor.feed(event))
+            _print_tail_status(
+                _tail_status(auditor, window_hist, fresh, final=False),
+                args.json)
+        else:
+            idle += args.interval
+        if args.once:
+            break
+        if args.idle_exit is not None and idle >= args.idle_exit:
+            break
+        if not batch:
+            time.sleep(args.interval)
+    report = auditor.report()
+    _print_tail_status(_tail_status(auditor, window_hist, [], final=True),
+                       args.json)
+    return 0 if report.ok else 1
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     events = _load(args.trace, args.strict, args.warned)
     capture = load_capture(args.capture) if args.capture else None
@@ -313,7 +475,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args.warned = set()
     handler = {"summarize": cmd_summarize, "export": cmd_export,
                "diff": cmd_diff, "spans": cmd_spans,
-               "audit": cmd_audit, "report": cmd_report}[args.command]
+               "audit": cmd_audit, "report": cmd_report,
+               "tail": cmd_tail}[args.command]
     return handler(args)
 
 

@@ -1,0 +1,11 @@
+"""Seeded DCUP005: the streaming files carry the zero-cost contract."""
+
+
+class StreamingAuditor:
+    def __init__(self):
+        self.window_hist = None
+        self.trace = None
+
+    def retire(self, window):
+        self.window_hist.observe(window)
+        self.trace.emit("change.settled", window=window)

@@ -1,0 +1,13 @@
+"""Clean counterpart: the streaming plane guards every instrument."""
+
+
+class StreamingAuditor:
+    def __init__(self):
+        self.window_hist = None
+        self.trace = None
+
+    def retire(self, window):
+        if self.window_hist is not None:
+            self.window_hist.observe(window)
+        if self.trace is not None:
+            self.trace.emit("change.settled", window=window)

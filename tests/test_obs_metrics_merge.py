@@ -1,0 +1,162 @@
+"""Registry/Histogram merging: exact, grouping-independent, byte-stable.
+
+The shard-merged metrics contract (DESIGN.md §12): histograms loaded
+through :meth:`Histogram.add_exact` carry Shewchuk partials, so merging
+per-shard registries in *any* grouping exports byte-identical JSON —
+the property ``sharded_scan_metrics`` leans on.  Plus the snapshot
+insertion-order regression: two registries holding the same instrument
+values must export the same bytes no matter the registration order.
+"""
+
+from __future__ import annotations
+
+import bisect
+import io
+import math
+import random
+
+import pytest
+
+from repro.obs import Histogram, LATENCY_BUCKETS, LEASE_BUCKETS, Registry
+
+
+def awkward_values(count=500, seed=2006):
+    """Floats spanning 20 orders of magnitude: the worst case for
+    naive float summation, the no-op case for exact summation."""
+    rng = random.Random(seed)
+    values = []
+    for _ in range(count):
+        values.append(rng.uniform(0.0, 10.0) * 10.0 ** rng.randint(-9, 9))
+    return values
+
+
+def exact_row(values, bounds):
+    """(bucket_counts, partials, min, max) for one add_exact load."""
+    counts = [0] * (len(bounds) + 1)
+    for value in values:
+        counts[bisect.bisect_left(bounds, value)] += 1
+    partials = []
+    for value in values:
+        _fold(partials, value)
+    return (counts, partials,
+            min(values) if values else None,
+            max(values) if values else None)
+
+
+def _fold(partials, value):
+    x = value
+    i = 0
+    for y in partials:
+        if abs(x) < abs(y):
+            x, y = y, x
+        hi = x + y
+        lo = y - (hi - x)
+        if lo:
+            partials[i] = lo
+            i += 1
+        x = hi
+    partials[i:] = [x]
+
+
+def export_bytes(registry):
+    buffer = io.StringIO()
+    registry.export_json(buffer)
+    return buffer.getvalue()
+
+
+def chunk(values, pieces):
+    size = max(1, math.ceil(len(values) / pieces))
+    return [values[i:i + size] for i in range(0, len(values), size)]
+
+
+def registry_for(groups):
+    """One registry per grouping: every group loaded via add_exact,
+    all merged into the first."""
+    merged = Registry()
+    for group in groups:
+        part = Registry()
+        part.counter("scale.queries").inc(len(group))
+        counts, partials, minimum, maximum = exact_row(group, LEASE_BUCKETS)
+        part.histogram("scale.lease_term", LEASE_BUCKETS).add_exact(
+            counts, partials, minimum=minimum, maximum=maximum)
+        merged.merge(part)
+    return merged
+
+
+class TestExactMerge:
+    def test_any_grouping_exports_identical_bytes(self):
+        values = awkward_values()
+        exports = {pieces: export_bytes(registry_for(chunk(values, pieces)))
+                   for pieces in (1, 2, 8)}
+        assert exports[1] == exports[2] == exports[8]
+
+    def test_merged_sum_is_correctly_rounded(self):
+        values = awkward_values()
+        merged = registry_for(chunk(values, 8))
+        hist = merged.histogram("scale.lease_term", LEASE_BUCKETS)
+        assert hist.sum == math.fsum(values)
+        assert hist.count == len(values)
+
+    def test_observe_path_degrades_merge_to_float_sum(self):
+        left = Histogram("h", LATENCY_BUCKETS)
+        left.observe(0.1)
+        right = Histogram("h", LATENCY_BUCKETS)
+        right.observe(0.2)
+        left.merge(right)
+        assert left.count == 2
+        assert left.sum == 0.1 + 0.2
+        assert left._partials is None
+
+    def test_bounds_mismatch_refused(self):
+        left = Histogram("h", LATENCY_BUCKETS)
+        right = Histogram("h", LEASE_BUCKETS)
+        with pytest.raises(ValueError, match="bucket bounds differ"):
+            left.merge(right)
+
+    def test_add_exact_requires_full_bucket_row(self):
+        hist = Histogram("h", LATENCY_BUCKETS)
+        with pytest.raises(ValueError, match="buckets"):
+            hist.add_exact([1, 2], [3.0])
+
+
+class TestRegistryMerge:
+    def test_counters_and_gauges_sum(self):
+        left = Registry()
+        left.counter("c").inc(3)
+        left.gauge("g").set(1.5)
+        right = Registry()
+        right.counter("c").inc(4)
+        right.counter("only_right").inc(2)
+        right.gauge("g").set(2.5)
+        assert left.merge(right) is left
+        snap = left.snapshot()
+        assert snap["counters"] == {"c": 7, "only_right": 2}
+        assert snap["gauges"] == {"g": 4.0}
+
+    def test_callable_backed_gauge_refuses_merge(self):
+        left = Registry()
+        left.gauge("g", fn=lambda: 1.0)
+        right = Registry()
+        right.gauge("g").set(2.0)
+        with pytest.raises(ValueError, match="callable-backed"):
+            left.merge(right)
+
+
+class TestSnapshotOrdering:
+    def test_export_independent_of_registration_order(self):
+        # The regression: identical instrument values registered in
+        # opposite orders must serialize to byte-identical JSON.
+        forward = Registry()
+        backward = Registry()
+        names = ["zz.last", "aa.first", "mm.middle"]
+        for name in names:
+            forward.counter(name).inc(1)
+            forward.gauge(name + ".g").set(2.0)
+            forward.histogram(name + ".h").observe(0.01)
+        for name in reversed(names):
+            backward.counter(name).inc(1)
+            backward.gauge(name + ".g").set(2.0)
+            backward.histogram(name + ".h").observe(0.01)
+        assert export_bytes(forward) == export_bytes(backward)
+        assert forward.snapshot() == backward.snapshot()
+        assert list(forward.snapshot()["counters"]) == sorted(names)

@@ -9,7 +9,9 @@ the metrics JSON a 1-shard run produces is *byte-identical* to the
 """
 
 import dataclasses
+import io
 import json
+import math
 import random
 
 import numpy as np
@@ -20,11 +22,14 @@ from repro.sim import (
     ColumnarTrace,
     dynamic_lease_fn,
     fixed_lease_fn,
+    flash_crowd_columnar,
     gather_subtrace,
+    scan_metric_table,
     shard_of_name,
     shard_pair_ids,
     sharded_figure5_sweep,
     sharded_lease_replay,
+    sharded_scan_metrics,
     simulate_lease_trace,
 )
 from repro.traces.workload import QueryEvent, measured_rates
@@ -189,3 +194,52 @@ class TestShardMechanics:
             assert gathered.tolist() == original.tolist()
             assert bool(sorted_mask[local]) == bool(
                 trace.sorted_mask[pair_id])
+
+
+class TestShardMetrics:
+    """Registry-level telemetry from the sharded scan is shard-count
+    invariant: ``sharded_scan_metrics`` exports byte-identical JSON at
+    1/2/8 shards, on the pool as on the serial path."""
+
+    def _smoke_inputs(self):
+        trace, lease_col = flash_crowd_columnar(
+            caches=120, regular_domains=30, duration=86400.0, seed=7)
+        return trace, lease_col, 86400.0
+
+    def _export(self, registry):
+        buffer = io.StringIO()
+        registry.export_json(buffer)
+        return buffer.getvalue()
+
+    def test_1_2_8_shards_byte_identical(self):
+        trace, lease_col, duration = self._smoke_inputs()
+        exports = {}
+        for nshards in (1, 2, 8):
+            registry = sharded_scan_metrics(trace, lease_col, duration,
+                                            nshards)
+            exports[nshards] = self._export(registry)
+        assert exports[1] == exports[2] == exports[8]
+        snapshot = json.loads(exports[1])
+        assert snapshot["counters"]["scale.pairs"] == trace.pair_count
+        assert snapshot["counters"]["scale.queries"] == len(trace.times)
+        assert "scale.lease_term" in snapshot["histograms"]
+        assert "scale.renewals_per_pair" in snapshot["histograms"]
+        assert "scale.staleness_exposure" in snapshot["histograms"]
+
+    def test_pool_matches_serial(self):
+        trace, lease_col, duration = self._smoke_inputs()
+        serial = sharded_scan_metrics(trace, lease_col, duration, 4)
+        pooled = sharded_scan_metrics(trace, lease_col, duration, 4,
+                                      processes=2)
+        assert self._export(serial) == self._export(pooled)
+
+    def test_histogram_sums_are_exact(self):
+        trace, lease_col, duration = self._smoke_inputs()
+        registry = sharded_scan_metrics(trace, lease_col, duration, 8)
+        table = scan_metric_table(trace.times, trace.starts,
+                                  trace.sorted_mask, lease_col, duration)
+        by_name = {row[0]: row for row in table["histograms"]}
+        for name, row in by_name.items():
+            hist = registry.histogram(name, row[1])
+            assert hist.sum == math.fsum(row[5]), name
+            assert hist.counts == row[2], name

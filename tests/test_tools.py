@@ -223,6 +223,105 @@ class TestObsTool:
         assert "notify.ack_rtt.mean" in output
 
 
+class TestObsTail:
+    """``repro-obs tail``: incremental verdicts over a growing trace."""
+
+    EVENTS = [
+        {"t": 0.0, "event": "lease.grant", "cache": "10.0.0.2:53",
+         "name": "www.example.com.", "rrtype": "A", "length": 600.0},
+        {"t": 10.0, "event": "change.detected", "seq": 1,
+         "zone": "example.com.", "name": "www.example.com.",
+         "rrtype": "A", "kind": "update"},
+        {"t": 10.0, "event": "notify.send", "seq": 1,
+         "cache": "10.0.0.2:53", "name": "www.example.com.",
+         "rrtype": "A", "id": 101},
+        {"t": 10.2, "event": "notify.ack", "seq": 1,
+         "cache": "10.0.0.2:53", "name": "www.example.com.",
+         "rrtype": "A", "rtt": 0.2},
+        {"t": 10.2, "event": "change.settled", "seq": 1, "window": 0.2,
+         "acked": 1, "failed": 0},
+        {"t": 20.0, "event": "lease.expire", "cache": "10.0.0.2:53",
+         "name": "www.example.com.", "rrtype": "A"},
+    ]
+
+    def write_trace(self, tmp_path, records=None, name="tail.jsonl"):
+        path = tmp_path / name
+        lines = "".join(json.dumps(r) + "\n"
+                        for r in (self.EVENTS if records is None
+                                  else records))
+        path.write_text(lines)
+        return str(path)
+
+    def test_follower_never_parses_torn_records(self, tmp_path):
+        path = tmp_path / "growing.jsonl"
+        whole = [json.dumps(r) + "\n" for r in self.EVENTS]
+        follower = obs_tool.TraceFollower(str(path))
+        # Two complete records plus the first half of a third.
+        path.write_text(whole[0] + whole[1] + whole[2][:20])
+        assert [name for _t, name, _f in follower.poll()] \
+            == ["lease.grant", "change.detected"]
+        # Nothing new: the torn record stays buffered, nothing re-read.
+        assert follower.poll() == []
+        # Completing the torn line plus one more record yields exactly
+        # the two unseen events.
+        with open(path, "a") as stream:
+            stream.write(whole[2][20:] + whole[3])
+        assert [name for _t, name, _f in follower.poll()] \
+            == ["notify.send", "notify.ack"]
+
+    def test_once_on_clean_trace_exits_zero(self, tmp_path, capsys):
+        path = self.write_trace(tmp_path)
+        assert obs_tool.main(["tail", path, "--once"]) == 0
+        output = capsys.readouterr().out
+        assert "events=6" in output
+        assert "violations=0" in output
+        assert "ok" in output
+
+    def test_json_stream_parses_and_carries_verdict(self, tmp_path,
+                                                    capsys):
+        path = self.write_trace(tmp_path)
+        assert obs_tool.main(["tail", path, "--once", "--json"]) == 0
+        lines = [json.loads(line) for line
+                 in capsys.readouterr().out.splitlines()]
+        assert lines[0]["events"] == 6
+        assert lines[0]["window_p95"] is not None
+        final = lines[-1]
+        assert final["ok"] is True
+        assert final["peak_tracked_spans"] >= final["tracked_spans"]
+
+    def test_violation_trace_exits_one(self, tmp_path, capsys):
+        records = [dict(self.EVENTS[3], t=1.0)]  # orphan ack
+        path = self.write_trace(tmp_path, records)
+        assert obs_tool.main(["tail", path, "--once"]) == 1
+        assert "causality" in capsys.readouterr().out
+
+    def test_growing_file_accumulates_across_polls(self, tmp_path,
+                                                   capsys):
+        # Regression for the restart-free follow path: feed the same
+        # trace in two chunks through one auditor via --idle-exit.
+        path = tmp_path / "grow.jsonl"
+        whole = [json.dumps(r) + "\n" for r in self.EVENTS]
+        path.write_text("".join(whole[:3]))
+        follower = obs_tool.TraceFollower(str(path))
+        first = follower.poll()
+        with open(path, "a") as stream:
+            stream.write("".join(whole[3:]))
+        second = follower.poll()
+        assert len(first) + len(second) == len(self.EVENTS)
+        from repro.obs import IncrementalAuditor
+        auditor = IncrementalAuditor()
+        auditor.feed_many(first)
+        assert not auditor.report().ok  # change still open mid-stream
+        auditor.feed_many(second)
+        assert auditor.report().ok
+
+    def test_strict_rejects_unknown_events(self, tmp_path, capsys):
+        records = [{"t": 0.0, "event": "bogus.event"}]
+        path = self.write_trace(tmp_path, records)
+        assert obs_tool.main(["--strict", "tail", path, "--once"]) == 2
+        assert "bogus.event" in capsys.readouterr().err
+
+
 class TestProbeTool:
     def test_prints_summary_and_writes_csv(self, tmp_path, capsys):
         out = str(tmp_path / "probe.csv")
