@@ -28,11 +28,13 @@ DETERMINISM_SCOPE = ("core", "net", "sim", "obs")
 ZERO_COST_SCOPE = ("core", "net")
 #: Files outside ZERO_COST_SCOPE's subsystems that still carry the
 #: zero-cost contract: the streaming auditor's optional window
-#: histogram and the live telemetry plane's instrument touches must be
-#: guarded exactly like the protocol engine's (the ``net`` entry is
-#: already covered by the subsystem scope; it is listed for the record).
+#: histogram, the load ledger's optional trace hooks, and the live
+#: telemetry plane's instrument touches must be guarded exactly like
+#: the protocol engine's (the ``net`` entry is already covered by the
+#: subsystem scope; it is listed for the record).
 ZERO_COST_FILES = (
     ("obs", "streaming.py"),
+    ("obs", "load.py"),
     ("net", "telemetry.py"),
 )
 EXACT_ROUNDING_FILES = (

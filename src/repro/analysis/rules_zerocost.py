@@ -15,7 +15,8 @@ auditor's optional window histogram and the live telemetry plane):
 * ``*.trace.emit(...)`` / ``*bus.emit(...)``  — trace events,
 * ``*capture.record(...)``                    — wire capture,
 * ``*hist.observe(...)``                      — histograms,
-* ``*counter.inc(...)``                       — counters.
+* ``*counter.inc(...)``                       — counters,
+* ``*ledger.record(...)``                     — load attribution.
 
 A call is guarded when an enclosing ``if``/conditional-expression test
 contains ``<receiver> is not None`` for the exact receiver expression
@@ -53,7 +54,8 @@ def _instrument_receiver(call: ast.Call) -> Optional[str]:
         (attr == "emit" and (norm in ("trace", "bus")
                              or norm.endswith("trace")
                              or norm.endswith("bus")))
-        or (attr == "record" and norm.endswith("capture"))
+        or (attr == "record" and (norm.endswith("capture")
+                                  or norm.endswith("ledger")))
         or (attr == "observe" and (norm.endswith("hist")
                                    or norm.endswith("histogram")))
         or (attr == "inc" and norm.endswith("counter"))
@@ -69,7 +71,7 @@ class ZeroCostRule(Rule):
     summary = ("every trace/metrics/capture call in core/, net/ and the "
                "streaming telemetry files must sit under an "
                "'if <receiver> is not None' guard")
-    scope = "repro/{core,net} + obs/streaming.py"
+    scope = "repro/{core,net} + obs/{streaming,load}.py"
 
     def check(self, module: ModuleInfo,
               ctx: ProjectContext) -> Iterator[Finding]:

@@ -87,6 +87,10 @@ class LeaseTable:
         #: lengths.  None by default — the guarded emits cost nothing.
         self.trace = None
         self.length_hist = None
+        #: Load-attribution hook: a per-server
+        #: :class:`repro.obs.load.LoadRecorder` facet.  Grants are
+        #: query-class load, renewals renewal-class (PROTOCOL §9.5).
+        self.load_ledger = None
 
     # -- mutation ------------------------------------------------------------
 
@@ -105,6 +109,8 @@ class LeaseTable:
             self.stats.renewals += 1
             if self.length_hist is not None:
                 self.length_hist.observe(length)
+            if self.load_ledger is not None:
+                self.load_ledger.record(owner.to_text(), "renewal", now)
             if self.trace is not None:
                 self.trace.emit("lease.renew", t=now,
                                 cache=f"{cache[0]}:{cache[1]}",
@@ -138,6 +144,8 @@ class LeaseTable:
         self.stats.peak_active = max(self.stats.peak_active, self._active)
         if self.length_hist is not None:
             self.length_hist.observe(length)
+        if self.load_ledger is not None:
+            self.load_ledger.record(owner.to_text(), "query", now)
         if self.trace is not None:
             self.trace.emit("lease.grant", t=now,
                             cache=f"{cache[0]}:{cache[1]}",

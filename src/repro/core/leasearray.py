@@ -61,6 +61,7 @@ class ArrayLeaseTable:
         #: same contract as :class:`~repro.core.lease.LeaseTable`.
         self.trace = None
         self.length_hist = None
+        self.load_ledger = None
         # -- interning tables ------------------------------------------------
         self._record_ids: Dict[RecordKey, int] = {}
         self._records: List[RecordKey] = []
@@ -182,6 +183,8 @@ class ArrayLeaseTable:
             self.stats.renewals += 1
             if self.length_hist is not None:
                 self.length_hist.observe(length)
+            if self.load_ledger is not None:
+                self.load_ledger.record(owner.to_text(), "renewal", now)
             if self.trace is not None:
                 self.trace.emit("lease.renew", t=now,
                                 cache=f"{cache[0]}:{cache[1]}",
@@ -206,6 +209,8 @@ class ArrayLeaseTable:
         self.stats.peak_active = max(self.stats.peak_active, self._active)
         if self.length_hist is not None:
             self.length_hist.observe(length)
+        if self.load_ledger is not None:
+            self.load_ledger.record(owner.to_text(), "query", now)
         if self.trace is not None:
             self.trace.emit("lease.grant", t=now,
                             cache=f"{cache[0]}:{cache[1]}",

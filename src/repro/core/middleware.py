@@ -148,6 +148,14 @@ class DNScup:
                                                         LEASE_BUCKETS)
         self.detection.trace = obs.trace
         self.notification.trace = obs.trace
+        if obs.load is not None:
+            # Per-server load attribution: the lease table and the
+            # notification fan-out record against this server's
+            # identity through one bound recorder facet.
+            recorder = obs.load.recorder(
+                f"{self.server.host.address}:{self.server.socket.port}")
+            self.table.load_ledger = recorder
+            self.notification.load_ledger = recorder
         self.notification.ack_rtt_hist = obs.registry.histogram(
             "notify.ack_rtt")
         self.notification.window_hist = obs.registry.histogram(

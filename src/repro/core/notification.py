@@ -104,6 +104,11 @@ class NotificationModule:
         self.trace = None
         self.ack_rtt_hist = None
         self.window_hist = None
+        #: Load-attribution hook (a per-server
+        #: :class:`repro.obs.load.LoadRecorder`): first transmissions
+        #: are notify-class load with the in-flight depth sampled,
+        #: retransmissions retransmit-class (PROTOCOL §9.5).
+        self.load_ledger = None
         #: Per-change fan-out progress, keyed by the detection seq; used
         #: to measure the consistency window (change detected -> last
         #: lease holder acknowledged).  Untracked changes (seq 0) skip it.
@@ -166,6 +171,9 @@ class NotificationModule:
         self.stats.notifications_sent += 1
         self.stats.caches_notified += 1
         self.stats.in_flight += 1
+        if self.load_ledger is not None:
+            self.load_ledger.record(name.to_text(), "notify", sent_at,
+                                    depth=self.stats.in_flight)
         if self.trace is not None:
             self.trace.emit("notify.send", t=sent_at, seq=seq,
                             cache=f"{cache[0]}:{cache[1]}",
@@ -189,6 +197,10 @@ class NotificationModule:
         if attempt <= 1:
             return
         self.stats.retransmissions += 1
+        if self.load_ledger is not None:
+            self.load_ledger.record(name.to_text(), "retransmit",
+                                    self.simulator.now,
+                                    depth=self.stats.in_flight)
         if self.trace is not None:
             self.trace.emit("notify.retransmit", seq=seq,
                             cache=f"{cache[0]}:{cache[1]}",

@@ -61,6 +61,12 @@ class RenegotiationAgent:
         #: Optional :class:`repro.obs.TraceBus` receiving ``renego.*``
         #: events; costs nothing while None.
         self.trace = trace
+        #: Load-attribution hook: the full
+        #: :class:`repro.obs.load.LoadLedger` (not a per-server facet —
+        #: the agent targets whichever server granted each lease), so
+        #: renegotiations count as renewal-class load on the *granting*
+        #: server's ledger row.
+        self.load_ledger = None
         self._timer = PeriodicTimer(resolver.host.simulator, interval,
                                     self.run_once)
 
@@ -103,6 +109,10 @@ class RenegotiationAgent:
         query = make_query(key[0], key[1], recursion_desired=False,
                            rrc=rate_to_rrc(current_rate))
         self.stats.renegotiations_sent += 1
+        if self.load_ledger is not None:
+            self.load_ledger.record(f"{info.origin[0]}:{info.origin[1]}",
+                                    key[0].to_text(), "renewal",
+                                    resolver.now)
         if self.trace is not None:
             self.trace.emit("renego.send", name=key[0].to_text(),
                             rrtype=key[1].name, rate=current_rate,

@@ -158,6 +158,10 @@ class Network:
         #: :meth:`repro.obs.Observability.observe_network`.
         self.trace = None
         self.capture = None
+        #: Load-attribution hook: a :class:`repro.obs.load.LoadLedger`
+        #: attributing delivered datagrams to their destination
+        #: endpoint (deliver-class transport load, PROTOCOL §9.5).
+        self.load_ledger = None
 
     # -- topology ------------------------------------------------------------
 
@@ -238,6 +242,9 @@ class Network:
         self.stats.datagrams_delivered += 1
         self.stats.bytes_delivered += len(payload)
         self._profile_for(src, dst).stats.delivered += 1
+        if self.load_ledger is not None:
+            self.load_ledger.record(_ep(dst), "-", "deliver",
+                                    self.simulator.now)
         if self.trace is not None:
             self.trace.emit("net.deliver", src=_ep(src), dst=_ep(dst),
                             size=len(payload))

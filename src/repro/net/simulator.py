@@ -127,6 +127,12 @@ class Simulator:
         #: fired event.  None (the default) costs one comparison per
         #: step; set by :meth:`repro.obs.Observability.observe_simulator`.
         self.observer: Optional[Callable[[float], None]] = None
+        #: Load-attribution hook: a :class:`repro.obs.load.LoadLedger`
+        #: sampling event-loop pressure — each fired event is
+        #: tick-class load with the live pending count as the depth
+        #: sample (PROTOCOL §9.5).  None by default, one pointer check
+        #: per step when off.
+        self.load_ledger = None
 
     @property
     def now(self) -> float:
@@ -172,6 +178,9 @@ class Simulator:
         if not handle.daemon:
             self._nondaemon_pending -= 1
         handle._fire()
+        if self.load_ledger is not None:
+            self.load_ledger.record("simulator", "-", "tick", handle.time,
+                                    depth=self._live_pending)
         if self.observer is not None:
             self.observer(handle.time)
         return True

@@ -221,14 +221,16 @@ class TelemetryPlane:
     # -- lifecycle -------------------------------------------------------------
 
     def start(self) -> None:
-        """Tap the trace, open the endpoint, arm the tick; idempotent."""
+        """Tap the trace, open the endpoint, arm the tick; idempotent.
+
+        Subscribes via :meth:`~repro.obs.trace.TraceBus.add_tap`, so
+        the plane coexists with other tap consumers (e.g. a
+        :class:`repro.obs.load.LoadLedger` fed from the same bus).
+        """
         if self._started:
             return
         self._started = True
-        trace = self.observability.trace
-        if trace.tap is not None:
-            raise RuntimeError("trace bus already has a tap installed")
-        trace.tap = self._on_event
+        self.observability.trace.add_tap(self._on_event)
         self.clock.add_service(error=self._pop_error)
         self.document = render_exposition(self.registry.snapshot(),
                                           prefix=self.prefix)
@@ -243,7 +245,7 @@ class TelemetryPlane:
         if not self._started:
             return
         self._started = False
-        self.observability.trace.tap = None
+        self.observability.trace.remove_tap(self._on_event)
         if self._tick_handle is not None:
             self._tick_handle.cancel()
         self.document = render_exposition(self.registry.snapshot(),

@@ -55,6 +55,15 @@ from .capture import (
     load_capture,
     sniff_header,
 )
+from .load import (
+    DecayedRate,
+    LoadLedger,
+    LoadRecorder,
+    P2Quantile,
+    QuantileSketch,
+    StormDetector,
+    StormEpisode,
+)
 from .metrics import (
     Counter,
     Gauge,
@@ -62,6 +71,7 @@ from .metrics import (
     LATENCY_BUCKETS,
     LEASE_BUCKETS,
     Registry,
+    bucket_quantile,
 )
 from .report import (
     REPORT_QUANTILES,
@@ -85,6 +95,8 @@ from .trace import (
     CHANGE_DETECTED,
     CHANGE_SETTLED,
     EVENT_NAMES,
+    LOAD_STORM_END,
+    LOAD_STORM_START,
     TRACE_META,
     LEASE_EXPIRE,
     LEASE_GRANT,
@@ -120,8 +132,11 @@ __all__ = [
     "NET_DELIVER", "NET_DROP", "NET_DUPLICATE", "NET_UNREACHABLE",
     "RENEGO_SEND", "RENEGO_REFRESH", "RENEGO_LOST", "RENEGO_FAIL",
     "PUSH_SEND", "PUSH_KEEPALIVE",
-    "Counter", "Gauge", "Histogram", "Registry",
+    "LOAD_STORM_START", "LOAD_STORM_END",
+    "Counter", "Gauge", "Histogram", "Registry", "bucket_quantile",
     "LATENCY_BUCKETS", "LEASE_BUCKETS",
+    "LoadLedger", "LoadRecorder", "StormDetector", "StormEpisode",
+    "DecayedRate", "P2Quantile", "QuantileSketch",
     "WireCapture", "load_capture", "sniff_header",
     "FATE_DELIVERED", "FATE_DROPPED", "FATE_UNREACHABLE",
     "summarize_events", "consistency_windows", "flatten_summary",

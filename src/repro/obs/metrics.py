@@ -16,7 +16,8 @@ from __future__ import annotations
 import bisect
 import json
 import math
-from typing import Callable, Dict, List, Optional, Sequence, TextIO, Union
+from typing import (Callable, Dict, List, Optional, Sequence, TextIO, Tuple,
+                    Union)
 
 
 class Counter:
@@ -211,6 +212,23 @@ class Histogram:
         """Exact mean of all observations, or None when empty."""
         return self.sum / self.count if self.count else None
 
+    def quantile(self, quantile: float) -> Optional[float]:
+        """Bucket-interpolated quantile estimate, or None when empty.
+
+        ``quantile`` is in percent (50.0 = median).  The estimate walks
+        the cumulative bucket counts to the target rank and
+        interpolates linearly within the bucket it lands in, clamped to
+        the observed ``[min, max]`` — the first bucket's lower edge is
+        the observed minimum and the +inf overflow bucket is pinned to
+        the observed maximum, so estimates never stray outside real
+        data.  This is the one shared implementation behind
+        ``repro.obs.report`` and the ``repro-obs tail`` follower.
+        """
+        buckets = list(zip((*self.bounds, math.inf), self.counts))
+        low = self.min if self.count else None
+        high = self.max if self.count else None
+        return bucket_quantile(self.count, buckets, low, high, quantile)
+
     def as_dict(self) -> Dict[str, object]:
         """Snapshot form: summary stats plus per-bucket counts.
 
@@ -228,6 +246,51 @@ class Histogram:
             "buckets": [[_json_number(bound), count] for bound, count
                         in zip((*self.bounds, math.inf), self.counts)],
         }
+
+
+def bucket_quantile(count: int, buckets: Sequence[Tuple[float, int]],
+                    low: Optional[float], high: Optional[float],
+                    quantile: float) -> Optional[float]:
+    """The shared fixed-bucket quantile estimator (percent scale).
+
+    ``buckets`` is ``[(inclusive upper bound, count)]`` ending with the
+    +inf overflow bucket; ``low``/``high`` are the observed min/max (or
+    None when unknown).  Walks cumulative counts to the target rank,
+    interpolates linearly inside the landing bucket, and clamps to the
+    observed range: the first bucket's lower edge is the observed
+    minimum (0 would bias small latencies) and the overflow bucket is
+    pinned to the observed maximum.  None when empty.  Both
+    :meth:`Histogram.quantile` and the snapshot-dict path in
+    :func:`repro.obs.report.histogram_percentile` delegate here, so
+    live and exported histograms estimate bucket-identically.
+    """
+    if not 0.0 <= quantile <= 100.0:
+        raise ValueError(f"quantile out of range: {quantile}")
+    if not count:
+        return None
+    target = quantile / 100.0 * count
+    cumulative = 0
+    estimate = high
+    previous_bound = low if low is not None else 0.0
+    for bound, bucket_count in buckets:
+        upper = bound
+        if math.isinf(upper):
+            upper = high if high is not None else previous_bound
+        if bucket_count and cumulative + bucket_count >= target:
+            lower = min(previous_bound, upper)
+            fraction = max(0.0, target - cumulative) / bucket_count
+            estimate = lower + (upper - lower) * fraction
+            break
+        cumulative += bucket_count
+        previous_bound = max(previous_bound, bound if not math.isinf(bound)
+                             else previous_bound)
+    if estimate is None:
+        return None
+    if low is not None:
+        estimate = max(estimate, low)
+    if high is not None:
+        estimate = min(estimate, high)
+    return estimate
 
 
 def _json_number(value: Optional[float]) -> Optional[float]:
@@ -280,12 +343,18 @@ class Registry:
 
         Counters add their integer values; histograms bucket-add (and
         keep exactly rounded sums while both sides are on the
-        :meth:`Histogram.add_exact` path); gauges sum their readings.
-        Instruments missing on this side are created.  Merging is the
-        shard-combination primitive: merging per-shard registries in
-        any grouping yields byte-identical :meth:`export_json` output
-        as long as the histograms were bulk-loaded exactly.  Returns
-        ``self`` for chaining.
+        :meth:`Histogram.add_exact` path); gauges are *last-write-wins*
+        — the incoming reading replaces this side's value, so folding
+        per-shard registries in shard order leaves each gauge at the
+        last shard's reading (a gauge is a point-in-time level, not a
+        flow; summing levels across shards double-counts).  A gauge
+        that must aggregate across shards belongs in a counter or
+        histogram instead.  Instruments missing on this side are
+        created.  Merging is the shard-combination primitive: merging
+        per-shard registries in any grouping yields byte-identical
+        :meth:`export_json` output as long as the histograms were
+        bulk-loaded exactly and gauges agree or only the final shard's
+        level matters.  Returns ``self`` for chaining.
         """
         for name, counter in other._counters.items():
             self.counter(name).inc(counter.value)
@@ -294,7 +363,7 @@ class Registry:
             if target.fn is not None:
                 raise ValueError(
                     f"cannot merge into callable-backed gauge {name}")
-            target.set(target.value + gauge.value)
+            target.set(gauge.value)
         for name, histogram in other._histograms.items():
             self.histogram(name, histogram.bounds).merge(histogram)
         return self

@@ -20,7 +20,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from .analyze import summarize_events
 from .audit import AuditLimits, AuditReport, audit_trace
-from .metrics import Histogram, LATENCY_BUCKETS
+from .metrics import Histogram, LATENCY_BUCKETS, bucket_quantile
 from .spans import ChangeSpan, SpanSet, build_spans
 from .trace import TraceEvent
 
@@ -53,41 +53,19 @@ def histogram_percentile(hist: HistogramLike, quantile: float
                          ) -> Optional[float]:
     """The ``quantile``-th percentile, linearly interpolated per bucket.
 
-    The estimator is the standard fixed-bucket one: walk the cumulative
-    counts to the bucket containing the target rank, then interpolate
-    linearly inside it.  The first bucket's lower edge is the observed
-    minimum (0 would bias small latencies), and the overflow bucket is
-    clamped to the observed maximum — so estimates never leave the
-    observed range.  None when the histogram is empty.
+    The estimator is the standard fixed-bucket one, shared with every
+    other call site through :func:`repro.obs.metrics.bucket_quantile`
+    (live histograms short-circuit to :meth:`Histogram.quantile`): walk
+    the cumulative counts to the bucket containing the target rank,
+    then interpolate linearly inside it.  The first bucket's lower edge
+    is the observed minimum (0 would bias small latencies), and the
+    overflow bucket is clamped to the observed maximum — so estimates
+    never leave the observed range.  None when the histogram is empty.
     """
-    if not 0.0 <= quantile <= 100.0:
-        raise ValueError(f"quantile out of range: {quantile}")
+    if isinstance(hist, Histogram):
+        return hist.quantile(quantile)
     count, buckets, low, high = _histogram_parts(hist)
-    if not count:
-        return None
-    target = quantile / 100.0 * count
-    cumulative = 0
-    estimate = high
-    previous_bound = low if low is not None else 0.0
-    for bound, bucket_count in buckets:
-        upper = bound
-        if math.isinf(upper):
-            upper = high if high is not None else previous_bound
-        if bucket_count and cumulative + bucket_count >= target:
-            lower = min(previous_bound, upper)
-            fraction = max(0.0, target - cumulative) / bucket_count
-            estimate = lower + (upper - lower) * fraction
-            break
-        cumulative += bucket_count
-        previous_bound = max(previous_bound, bound if not math.isinf(bound)
-                             else previous_bound)
-    if estimate is None:
-        return None
-    if low is not None:
-        estimate = max(estimate, low)
-    if high is not None:
-        estimate = min(estimate, high)
-    return estimate
+    return bucket_quantile(count, buckets, low, high, quantile)
 
 
 def percentiles(hist: HistogramLike,

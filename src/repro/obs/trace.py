@@ -68,6 +68,12 @@ RENEGO_FAIL = "renego.fail"
 PUSH_SEND = "push.send"
 PUSH_KEEPALIVE = "push.keepalive"
 
+#: Load-attribution plane (emitted by
+#: :class:`repro.obs.load.StormDetector`): a renewal-synchronization
+#: episode opened / closed against the decayed baseline (PROTOCOL §9.5).
+LOAD_STORM_START = "load.storm.start"
+LOAD_STORM_END = "load.storm.end"
+
 #: Every event name the instrumentation can emit, for validation.
 EVENT_NAMES = frozenset({
     LEASE_GRANT, LEASE_RENEW, LEASE_EXPIRE, LEASE_REVOKE,
@@ -76,6 +82,7 @@ EVENT_NAMES = frozenset({
     NET_DELIVER, NET_DROP, NET_DUPLICATE, NET_UNREACHABLE,
     RENEGO_SEND, RENEGO_REFRESH, RENEGO_LOST, RENEGO_FAIL,
     PUSH_SEND, PUSH_KEEPALIVE,
+    LOAD_STORM_START, LOAD_STORM_END,
 })
 
 #: Synthetic record written by ``export_jsonl(..., meta=True)`` carrying
@@ -114,10 +121,52 @@ class TraceBus:
         self._emitted = 0
         #: Streaming hook: called with each record tuple right after it
         #: is appended (clock already stamped).  The live telemetry
-        #: plane (:mod:`repro.net.telemetry`) wires the incremental
-        #: auditor here; ``None`` (the default) costs one pointer check
-        #: per emit and nothing else.
+        #: plane (:mod:`repro.net.telemetry`) and the load ledger
+        #: (:mod:`repro.obs.load`) wire themselves here via
+        #: :meth:`add_tap`; ``None`` (the default) costs one pointer
+        #: check per emit and nothing else.  With one subscriber ``tap``
+        #: is that callable itself; with several it is a fan-out shim —
+        #: ``emit`` never pays more than the single pointer check to
+        #: find out.
         self.tap: Optional[Callable[[TraceEvent], None]] = None
+        self._taps: List[Callable[[TraceEvent], None]] = []
+
+    def add_tap(self, fn: Callable[[TraceEvent], None]) -> None:
+        """Subscribe ``fn`` to every future emission.
+
+        Taps fire in installation order, after the record is appended
+        to the ring.  A tap installed by legacy direct assignment to
+        :attr:`tap` is adopted as the first subscriber.  Installing the
+        same callable twice raises :class:`ValueError`.
+        """
+        if self.tap is not None and not self._taps:
+            self._taps.append(self.tap)  # adopt a legacy direct assignment
+        if fn in self._taps:
+            raise ValueError("tap already installed on this trace bus")
+        self._taps.append(fn)
+        self._rebind()
+
+    def remove_tap(self, fn: Callable[[TraceEvent], None]) -> None:
+        """Unsubscribe ``fn``; raises :class:`ValueError` if absent."""
+        if self.tap is not None and not self._taps:
+            self._taps.append(self.tap)
+        self._taps.remove(fn)
+        self._rebind()
+
+    def _rebind(self) -> None:
+        """Point :attr:`tap` at None / the lone tap / a fan-out shim."""
+        if not self._taps:
+            self.tap = None
+        elif len(self._taps) == 1:
+            self.tap = self._taps[0]
+        else:
+            taps = tuple(self._taps)
+
+            def fan_out(record: TraceEvent) -> None:
+                for tap in taps:
+                    tap(record)
+
+            self.tap = fan_out
 
     def emit(self, event: str, t: Optional[float] = None,
              **fields: object) -> None:

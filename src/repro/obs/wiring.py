@@ -21,17 +21,25 @@ import dataclasses
 from typing import Any, Callable, Dict, List, Optional
 
 from .capture import WireCapture
+from .load import LoadLedger, StormDetector
 from .metrics import Registry
 from .trace import TraceBus
 
 
 @dataclasses.dataclass
 class Observability:
-    """One run's trace bus + metrics registry (+ optional wire capture)."""
+    """One run's trace bus + metrics registry (+ optional wire capture).
+
+    ``load`` is the optional load-attribution ledger
+    (:mod:`repro.obs.load`): None by default, created by
+    :meth:`enable_load`, and wired into the protocol modules'
+    ``load_ledger`` hooks by the DNScup middleware when present.
+    """
 
     trace: TraceBus
     registry: Registry
     capture: Optional[WireCapture] = None
+    load: Optional[LoadLedger] = None
     _bound: Dict[str, List[Callable[[], float]]] = dataclasses.field(
         default_factory=dict, repr=False)
 
@@ -44,6 +52,25 @@ class Observability:
                   capture=WireCapture() if capture else None)
         obs.observe_simulator(simulator)
         return obs
+
+    def enable_load(self, window: float = 10.0, baseline: float = 600.0,
+                    detector: Optional[StormDetector] = None,
+                    domain_cap: int = 4096) -> LoadLedger:
+        """Create (or return) the bundle's :class:`LoadLedger`.
+
+        The ledger shares the bundle's trace bus (storm episodes show
+        up as ``load.storm.*`` events) and registers its ``load.*``
+        gauges in the registry, so any telemetry exposition of this
+        bundle carries the rolling load series automatically.
+        """
+        if self.load is None:
+            if detector is not None and detector.trace is None:
+                detector.trace = self.trace
+            self.load = LoadLedger(window=window, baseline=baseline,
+                                   detector=detector, trace=self.trace,
+                                   domain_cap=domain_cap)
+            self.load.bind_registry(self.registry)
+        return self.load
 
     # -- aggregating gauges ---------------------------------------------------
 

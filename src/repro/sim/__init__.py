@@ -14,12 +14,14 @@ from .driver import (
 )
 from .columnar import (
     ColumnarTrace,
+    GAP_BUCKETS,
     columnar_dynamic_sweep,
     columnar_lease_replay,
     columnar_polling,
     columnar_scan,
-    flash_crowd_columnar,
+    load_metric_table,
     scan_metric_table,
+    flash_crowd_columnar,
 )
 from .fastreplay import (
     ExactSum,
@@ -38,6 +40,7 @@ from .shard import (
     shard_pair_ids,
     sharded_figure5_sweep,
     sharded_lease_replay,
+    sharded_load_metrics,
     sharded_scan_metrics,
 )
 from .metrics import (
@@ -60,10 +63,11 @@ __all__ = [
     "fast_polling",
     "ColumnarTrace", "columnar_scan", "columnar_lease_replay",
     "columnar_dynamic_sweep", "columnar_polling", "flash_crowd_columnar",
-    "scan_metric_table",
+    "scan_metric_table", "load_metric_table", "GAP_BUCKETS",
     "ShardSweep", "shard_of_name", "shard_pair_ids", "gather_subtrace",
     "merge_shard_sweeps", "sharded_figure5_sweep", "sharded_lease_replay",
     "metric_table_registry", "merge_metric_tables", "sharded_scan_metrics",
+    "sharded_load_metrics",
     "LeaseSimResult", "ConsistencyReport", "StalenessSample",
     "interpolate_at_storage", "interpolate_at_query_rate",
     "ProtocolScenario", "ScenarioConfig",

@@ -549,6 +549,70 @@ def scan_metric_table(times: np.ndarray, starts: np.ndarray,
                         int(len(times)))
 
 
+#: Inter-arrival-gap buckets, seconds — log-spaced from sub-second
+#: renewal bursts out to the one-day horizon of the scale scenarios.
+GAP_BUCKETS = (0.001, 0.01, 0.1, 1.0, 10.0, 60.0, 300.0, 1800.0,
+               3600.0, 21600.0, 86400.0)
+
+
+def load_metric_table(times: np.ndarray, starts: np.ndarray,
+                      sorted_mask: np.ndarray) -> MetricTable:
+    """The load-attribution plane's reduction of one (sub)trace.
+
+    The streaming :class:`repro.obs.load.LoadLedger` sees live runs;
+    this is its columnar counterpart for replayed traces — pure
+    post-processing of the CSR columns, merge-ready per shard:
+
+    * ``load.queries`` / ``load.pairs`` / ``load.active_pairs`` —
+      arrival and population counters;
+    * ``load.renewals`` — arrivals beyond each active pair's first
+      (the lease-conversation view: first contact is query-class,
+      the rest renew it);
+    * ``load.interarrival_gap`` — within-pair gaps between successive
+      arrivals (time-sorted segments only; the rare unsorted segments
+      are tallied in ``load.unsorted_pairs`` rather than silently
+      skewing the sketch with negative gaps);
+    * ``load.arrivals_per_pair`` — the burst-fanout histogram.
+
+    Every row follows the exact-merge discipline of
+    :func:`metric_table`: integer bucket adds plus Shewchuk sum
+    partials, so shard-merged registries export byte-identically at
+    any shard count (pairs never straddle shards).
+    """
+    times = np.asarray(times, dtype=np.float64)
+    starts = np.asarray(starts, dtype=np.int64)
+    seg_lengths = np.diff(starts)
+    pair_count = len(seg_lengths)
+    active = seg_lengths > 0
+    arrivals = seg_lengths[active].astype(np.float64)
+    if len(times) > 1:
+        pair_of = np.repeat(np.arange(pair_count), seg_lengths)
+        gaps = np.diff(times)
+        within = np.ones(len(gaps), dtype=bool)
+        boundaries = starts[1:-1]
+        within[boundaries[(boundaries > 0)
+                          & (boundaries < len(times))] - 1] = False
+        within &= np.asarray(sorted_mask, dtype=bool)[pair_of[:-1]]
+        gaps = gaps[within]
+    else:
+        gaps = np.empty(0, dtype=np.float64)
+    counters: List[Tuple[str, int]] = [
+        ("load.queries", int(len(times))),
+        ("load.pairs", int(pair_count)),
+        ("load.active_pairs", int(np.count_nonzero(active))),
+        ("load.renewals", int(len(times)) - int(np.count_nonzero(active))),
+        ("load.unsorted_pairs",
+         int(np.count_nonzero(~np.asarray(sorted_mask, dtype=bool)
+                              & active))),
+    ]
+    histograms: List[MetricHistogramRow] = [
+        _metric_histogram_row("load.interarrival_gap", GAP_BUCKETS, gaps),
+        _metric_histogram_row("load.arrivals_per_pair",
+                              RENEWAL_COUNT_BUCKETS, arrivals),
+    ]
+    return {"counters": counters, "histograms": histograms}
+
+
 def dynamic_sweep_table(times: np.ndarray, starts: np.ndarray,
                         sorted_mask: np.ndarray,
                         pair_rates: np.ndarray, max_lease: np.ndarray,

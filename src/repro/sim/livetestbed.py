@@ -50,6 +50,9 @@ class LiveTestbed(Testbed):
     #: The live telemetry plane, once :meth:`enable_telemetry` ran.
     telemetry: Optional[TelemetryPlane] = None
 
+    #: The load ledger's installed trace tap (removed in :meth:`close`).
+    _load_tap = None
+
     def _create_simulator(self) -> LiveClock:
         return LiveClock()
 
@@ -67,12 +70,21 @@ class LiveTestbed(Testbed):
         stream and exposes the metrics registry).  Call before driving
         traffic so the incremental audit sees the whole run; the plane
         stops automatically in :meth:`close`.
+
+        Also arms the load-attribution plane: the bundle's
+        :class:`~repro.obs.load.LoadLedger` is created (registering the
+        ``load.*`` gauges the exposition renders) and installed as a
+        *second* trace tap next to the plane's streaming auditor, so a
+        mid-run scrape shows rolling load and active-storm gauges.
         """
         if self.observability is None:
             raise ValueError("testbed built without observability=True; "
                              "nothing to stream")
         if self.telemetry is not None:
             return self.telemetry
+        ledger = self.observability.enable_load()
+        self.observability.trace.add_tap(ledger.on_event)
+        self._load_tap = ledger.on_event
         self.telemetry = TelemetryPlane(
             self.simulator, self.network, self.observability,
             interval=interval, limits=limits, fail_fast=fail_fast)
@@ -83,6 +95,9 @@ class LiveTestbed(Testbed):
         """Close every real socket, acceptor, and pooled connection."""
         if self.telemetry is not None:
             self.telemetry.stop()
+        if self._load_tap is not None and self.observability is not None:
+            self.observability.trace.remove_tap(self._load_tap)
+            self._load_tap = None
         self.network.close()
         loop = self.simulator.loop
         if not loop.is_closed():

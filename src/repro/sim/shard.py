@@ -40,7 +40,7 @@ import numpy as np
 from ..dnslib import Name
 from ..obs.metrics import Registry
 from .columnar import (ColumnarTrace, MetricTable, dynamic_sweep_table,
-                       replay_table, scan_metric_table)
+                       load_metric_table, replay_table, scan_metric_table)
 from .fastreplay import ExactSum
 from .metrics import LeaseSimResult
 
@@ -341,6 +341,38 @@ def sharded_scan_metrics(trace: ColumnarTrace, lengths: np.ndarray,
         with multiprocessing.get_context().Pool(
                 processes=min(processes, len(tasks))) as pool:
             tables = pool.map(_metric_shard, tasks)
+    return merge_metric_tables(tables)
+
+
+def _load_shard(task: Tuple[np.ndarray, np.ndarray, np.ndarray]
+                ) -> MetricTable:
+    """Worker: one shard's columns reduced to its load metric table."""
+    times, starts, sorted_mask = task
+    return load_metric_table(times, starts, sorted_mask)
+
+
+def sharded_load_metrics(trace: ColumnarTrace, nshards: int,
+                         processes: Optional[int] = None) -> Registry:
+    """Load-attribution telemetry from a domain-partitioned reduction.
+
+    The columnar counterpart of the live
+    :class:`repro.obs.load.LoadLedger`: each shard reduces its gathered
+    sub-columns with :func:`~repro.sim.columnar.load_metric_table`
+    (serially or on a pool — same contract as
+    :func:`sharded_scan_metrics`), and the merged
+    :class:`~repro.obs.metrics.Registry` exports byte-identically at
+    any shard count because every row is integer bucket counts plus
+    Shewchuk sum partials and pairs never straddle shards.
+    """
+    tasks = []
+    for pair_ids in shard_pair_ids(trace, nshards):
+        tasks.append(gather_subtrace(trace, pair_ids))
+    if processes is None or processes <= 1 or len(tasks) <= 1:
+        tables = [_load_shard(task) for task in tasks]
+    else:
+        with multiprocessing.get_context().Pool(
+                processes=min(processes, len(tasks))) as pool:
+            tables = pool.map(_load_shard, tasks)
     return merge_metric_tables(tables)
 
 

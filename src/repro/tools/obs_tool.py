@@ -22,7 +22,11 @@ cross-check, captures from :meth:`repro.obs.WireCapture.export_jsonl`):
   (:class:`repro.obs.IncrementalAuditor`): each poll feeds only the
   newly appended complete lines, prints a rolling verdict plus p50/p95
   consistency-window percentiles, and holds memory bounded no matter
-  how long the run — the live companion to post-hoc ``audit``.
+  how long the run — the live companion to post-hoc ``audit``;
+* ``load`` — replay the trace through a
+  :class:`repro.obs.LoadLedger`: per-server message-class totals and
+  decayed rates, the hottest (server, domain, class) keys, and any
+  renewal-storm episodes the :class:`repro.obs.StormDetector` flags.
 
 Every subcommand warns on stderr about event names outside the
 PROTOCOL.md §9 contract; ``--strict`` turns the warning into an error.
@@ -44,11 +48,12 @@ from ..obs import (
     AuditReport,
     Histogram,
     IncrementalAuditor,
+    LoadLedger,
+    StormDetector,
     Violation,
     audit_trace,
     build_spans,
     diff_summaries,
-    histogram_percentile,
     load_capture,
     load_trace_events,
     render_report,
@@ -117,6 +122,25 @@ def build_parser() -> argparse.ArgumentParser:
                            "long (default: follow forever)")
     tail.add_argument("--json", action="store_true",
                       help="emit each rolling verdict as a JSON line")
+
+    load = sub.add_parser(
+        "load", help="attribute per-server/per-domain load and detect "
+                     "renewal storms")
+    load.add_argument("trace", help="JSONL trace file")
+    load.add_argument("--top", type=int, default=10, metavar="N",
+                      help="hottest (server, domain, class) keys to show "
+                           "(default 10)")
+    load.add_argument("--window", type=float, default=10.0,
+                      metavar="SECONDS",
+                      help="fast decay window for rates (default 10)")
+    load.add_argument("--baseline", type=float, default=600.0,
+                      metavar="SECONDS",
+                      help="slow decay window for the storm baseline "
+                           "(default 600)")
+    load.add_argument("--json", action="store_true",
+                      help="emit the ledger snapshot as JSON")
+    load.add_argument("--output",
+                      help="write the output there instead of stdout")
 
     report = sub.add_parser(
         "report", help="render the full markdown run report")
@@ -374,8 +398,8 @@ def _tail_status(auditor: IncrementalAuditor, window_hist: Histogram,
     report = auditor.report() if final else None
     violations = (len(report.violations) if report is not None
                   else len(auditor.permanent_violations))
-    p50 = histogram_percentile(window_hist, 50.0)
-    p95 = histogram_percentile(window_hist, 95.0)
+    p50 = window_hist.quantile(50.0)
+    p95 = window_hist.quantile(95.0)
     status = {
         "events": auditor.events_audited,
         "tracked_spans": auditor.tracked_spans,
@@ -459,6 +483,68 @@ def cmd_tail(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _load_tables(snapshot: dict, top: List[dict]) -> str:
+    """Human-oriented rendering of a load-ledger snapshot."""
+    fmt = _format_value
+    sections: List[str] = []
+    sections.append(format_table(
+        ("events", "servers", "keys", "domains", "rate (ev/s)",
+         "peak rate"),
+        [(snapshot["total"], len(snapshot["servers"]), snapshot["keys"],
+          snapshot["domains"], fmt(snapshot["rate"]),
+          fmt(snapshot["peak_rate"]))],
+        title="Load totals"))
+    server_rows = []
+    for name, load in snapshot["servers"].items():
+        server_rows.append((
+            name, load["count"], fmt(load["rate"]), fmt(load["baseline"]),
+            fmt(load["peak_rate"]), fmt(load["rate_quantiles"]["p99"]),
+            fmt(load["gap"]["p50"]), fmt(load["depth"]["p99"])))
+    if server_rows:
+        sections.append(format_table(
+            ("server", "events", "rate", "baseline", "peak", "rate p99",
+             "gap p50", "depth p99"), server_rows,
+            title="Per-server load (decayed rates, P² sketch quantiles)"))
+    if top:
+        sections.append(format_table(
+            ("server", "domain", "class", "count", "rate"),
+            [(row["server"], row["domain"], row["class"], row["count"],
+              fmt(row["rate"])) for row in top],
+            title="Hottest keys"))
+    storms = snapshot["storms"]
+    episode_rows = [
+        (episode["server"], fmt(episode["start"]),
+         fmt(episode.get("end")), fmt(episode["peak_rate"]),
+         fmt(episode["baseline"]), episode["events"])
+        for episode in storms["episodes"]]
+    sections.append(format_table(
+        ("server", "start", "end", "peak rate", "baseline", "events"),
+        episode_rows,
+        title=f"Storm episodes (active: {storms['active']})"))
+    return "\n\n".join(sections)
+
+
+def cmd_load(args: argparse.Namespace) -> int:
+    events = _load(args.trace, args.strict, args.warned)
+    ledger = LoadLedger(window=args.window, baseline=args.baseline,
+                        detector=StormDetector())
+    # Replay in timestamp order (stable for ties) so decayed rates and
+    # storm hysteresis see the same sequence the run produced, even if
+    # the file interleaves merged traces.
+    for event in sorted(events, key=lambda item: item[0]):
+        ledger.on_event(event)
+    snapshot = ledger.snapshot()
+    snapshot["rate"] = ledger.rate()
+    snapshot["peak_rate"] = ledger.peak_rate()
+    top = ledger.top(args.top)
+    if args.json:
+        snapshot["top"] = top
+        _emit(json.dumps(snapshot, sort_keys=True, indent=2), args.output)
+    else:
+        _emit(_load_tables(snapshot, top), args.output)
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     events = _load(args.trace, args.strict, args.warned)
     capture = load_capture(args.capture) if args.capture else None
@@ -476,7 +562,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handler = {"summarize": cmd_summarize, "export": cmd_export,
                "diff": cmd_diff, "spans": cmd_spans,
                "audit": cmd_audit, "report": cmd_report,
-               "tail": cmd_tail}[args.command]
+               "tail": cmd_tail, "load": cmd_load}[args.command]
     return handler(args)
 
 

@@ -28,6 +28,7 @@ EXPECTED_BAD = {
     "repro/core/wallclock.py": [("DCUP001", 8), ("DCUP001", 9)],
     "repro/net/unguarded.py": [("DCUP005", 11), ("DCUP005", 12),
                                ("DCUP005", 13)],
+    "repro/obs/load.py": [("DCUP005", 10), ("DCUP005", 11)],
     "repro/obs/streaming.py": [("DCUP005", 10), ("DCUP005", 11)],
     "repro/server/dispatch.py": [("DCUP007", 7)],
     "repro/sim/fastreplay.py": [("DCUP006", 7), ("DCUP006", 12)],

@@ -1,0 +1,378 @@
+"""Tests for the load-attribution plane (obs/load.py) and its wiring:
+multi-tap trace bus, shared bucket quantiles, ledger attribution,
+storm detection, and the registry exposure."""
+
+import math
+import random
+
+import pytest
+
+from repro.obs import (
+    LATENCY_BUCKETS,
+    Histogram,
+    LOAD_STORM_END,
+    LOAD_STORM_START,
+    LoadLedger,
+    Registry,
+    StormDetector,
+    TraceBus,
+    histogram_percentile,
+)
+from repro.obs.load import (
+    CLASS_DELIVER,
+    CLASS_NOTIFY,
+    CLASS_QUERY,
+    CLASS_RENEWAL,
+    CLASS_RETRANSMIT,
+    DecayedRate,
+    OVERFLOW_DOMAIN,
+    P2Quantile,
+    QuantileSketch,
+)
+
+
+class TestDecayedRate:
+    def test_mass_decays_exponentially(self):
+        rate = DecayedRate(10.0)
+        rate.add(0.0)
+        assert rate.rate(0.0) == pytest.approx(0.1)
+        # One event, ten seconds later: mass e^-1, rate e^-1 / 10.
+        assert rate.rate(10.0) == pytest.approx(math.exp(-1.0) / 10.0)
+
+    def test_rate_tracks_stationary_stream(self):
+        # 50 events/s held long past the window converges to ~50/s.
+        rate = DecayedRate(10.0)
+        last = 0.0
+        for i in range(5000):
+            last = i * 0.02
+            rate.add(last)
+        assert rate.rate(last) == pytest.approx(50.0, rel=0.02)
+
+    def test_out_of_order_observation_does_not_decay_backwards(self):
+        rate = DecayedRate(10.0)
+        rate.add(100.0)
+        before = rate.mass
+        rate.add(50.0)  # stale timestamp: mass grows, never rewinds
+        assert rate.mass == pytest.approx(before + 1.0)
+
+    def test_rejects_nonpositive_window(self):
+        with pytest.raises(ValueError):
+            DecayedRate(0.0)
+
+
+class TestP2Quantile:
+    def test_small_streams_interpolate_sorted_buffer(self):
+        sketch = P2Quantile(0.5)
+        for v in (3.0, 1.0, 2.0):
+            sketch.observe(v)
+        assert sketch.value() == pytest.approx(2.0)
+
+    def test_tracks_numpy_percentile_on_uniform_stream(self):
+        rng = random.Random(2006)
+        values = [rng.random() for _ in range(20000)]
+        for p in (0.5, 0.95, 0.99):
+            sketch = P2Quantile(p)
+            for v in values:
+                sketch.observe(v)
+            # Uniform[0, 1): the true quantile is p itself.
+            assert sketch.value() == pytest.approx(p, abs=0.02)
+
+    def test_deterministic_for_same_stream(self):
+        values = [math.sin(i) ** 2 for i in range(1000)]
+        a, b = P2Quantile(0.9), P2Quantile(0.9)
+        for v in values:
+            a.observe(v)
+            b.observe(v)
+        assert a.value() == b.value()
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            P2Quantile(1.0)
+
+
+class TestQuantileSketch:
+    def test_as_dict_shape(self):
+        sketch = QuantileSketch()
+        assert sketch.as_dict()["count"] == 0.0
+        assert sketch.as_dict()["min"] is None
+        for v in (1.0, 2.0, 3.0):
+            sketch.observe(v)
+        summary = sketch.as_dict()
+        assert summary["count"] == 3.0
+        assert summary["min"] == 1.0
+        assert summary["max"] == 3.0
+        assert set(summary) == {"count", "min", "max", "p50", "p95", "p99"}
+
+
+class TestStormDetector:
+    def test_opens_on_burst_and_closes_with_hysteresis(self):
+        detector = StormDetector(burst_ratio=8.0, exit_ratio=2.0,
+                                 min_rate=50.0)
+        detector.observe("srv", 0.0, fast_rate=40.0, slow_rate=1.0)
+        assert detector.active_count == 0  # below the absolute floor
+        detector.observe("srv", 1.0, fast_rate=80.0, slow_rate=1.0)
+        assert detector.active_count == 1
+        # Still above the exit ratio: the episode stays open.
+        detector.observe("srv", 2.0, fast_rate=30.0, slow_rate=1.0)
+        assert detector.active_count == 1
+        detector.observe("srv", 3.0, fast_rate=1.5, slow_rate=1.0)
+        assert detector.active_count == 0
+        (episode,) = detector.episodes
+        assert episode.start == 1.0 and episode.end == 3.0
+        assert episode.peak_rate == 80.0
+        assert episode.events == 3
+
+    def test_quiet_server_never_storms(self):
+        # Doubling from 0.1/s to 0.4/s clears the ratio but not the
+        # absolute floor.
+        detector = StormDetector()
+        detector.observe("srv", 0.0, fast_rate=0.4, slow_rate=0.05)
+        assert detector.active_count == 0 and not detector.episodes
+
+    def test_close_open_flushes_and_traces(self):
+        bus = TraceBus()
+        detector = StormDetector(trace=bus)
+        detector.observe("a", 1.0, fast_rate=500.0, slow_rate=1.0)
+        detector.observe("b", 2.0, fast_rate=500.0, slow_rate=1.0)
+        detector.close_open(10.0)
+        assert detector.active_count == 0
+        assert [e.end for e in detector.episodes] == [10.0, 10.0]
+        names = [name for _t, name, _f in bus.events]
+        assert names == [LOAD_STORM_START, LOAD_STORM_START,
+                         LOAD_STORM_END, LOAD_STORM_END]
+
+    def test_rejects_inverted_hysteresis(self):
+        with pytest.raises(ValueError):
+            StormDetector(burst_ratio=2.0, exit_ratio=4.0)
+
+
+class TestLoadLedger:
+    def test_attributes_by_server_domain_class(self):
+        ledger = LoadLedger()
+        ledger.record("s1", "a.com", CLASS_QUERY, 0.0)
+        ledger.record("s1", "a.com", CLASS_RENEWAL, 1.0)
+        ledger.record("s2", "b.com", CLASS_NOTIFY, 1.0)
+        assert ledger.total == 3
+        assert set(ledger.keys) == {("s1", "a.com", CLASS_QUERY),
+                                    ("s1", "a.com", CLASS_RENEWAL),
+                                    ("s2", "b.com", CLASS_NOTIFY)}
+        assert ledger.servers["s1"].classes == {CLASS_QUERY: 1,
+                                                CLASS_RENEWAL: 1}
+
+    def test_domain_cap_folds_overflow(self):
+        ledger = LoadLedger(domain_cap=2)
+        for i in range(5):
+            ledger.record("s", f"d{i}.com", CLASS_QUERY, float(i))
+        domains = {domain for _s, domain, _c in ledger.keys}
+        assert domains == {"d0.com", "d1.com", OVERFLOW_DOMAIN}
+
+    def test_recorder_facet_binds_server(self):
+        ledger = LoadLedger()
+        recorder = ledger.recorder("auth:53")
+        recorder.record("a.com", CLASS_NOTIFY, 1.0, depth=7.0)
+        assert ("auth:53", "a.com", CLASS_NOTIFY) in ledger.keys
+        assert ledger.servers["auth:53"].depth_sketch.max == 7.0
+
+    def test_top_ranks_by_count_then_key(self):
+        ledger = LoadLedger()
+        for _ in range(3):
+            ledger.record("s", "hot.com", CLASS_QUERY, 1.0)
+        ledger.record("s", "cold.com", CLASS_QUERY, 1.0)
+        top = ledger.top(1)
+        assert [row["domain"] for row in top] == ["hot.com"]
+        assert top[0]["count"] == 3
+
+    def test_tap_feed_maps_protocol_events(self):
+        ledger = LoadLedger(default_server="auth")
+        ledger.on_event((0.0, "lease.grant", {"name": "a.com."}))
+        ledger.on_event((1.0, "lease.renew", {"name": "a.com."}))
+        ledger.on_event((2.0, "renego.send", {"name": "a.com."}))
+        ledger.on_event((3.0, "notify.send", {"name": "a.com."}))
+        ledger.on_event((4.0, "notify.retransmit", {"name": "a.com."}))
+        ledger.on_event((5.0, "net.deliver", {"src": "a:1", "dst": "b:53"}))
+        ledger.on_event((6.0, "notify.ack", {"name": "a.com."}))  # ignored
+        assert ledger.total == 6
+        assert ledger.servers["auth"].classes == {
+            CLASS_QUERY: 1, CLASS_RENEWAL: 2, CLASS_NOTIFY: 1,
+            CLASS_RETRANSMIT: 1}
+        assert ledger.servers["b:53"].classes == {CLASS_DELIVER: 1}
+
+    def test_rates_and_snapshot_shape(self):
+        ledger = LoadLedger(window=10.0)
+        for i in range(100):
+            ledger.record("s", "a.com", CLASS_QUERY, i * 0.01)
+        assert ledger.rate() > 0.0
+        assert ledger.peak_rate() >= ledger.rate()
+        assert ledger.server_quantile("s", 99.0, "rate") > 0.0
+        assert ledger.server_quantile("missing", 50.0) is None
+        snapshot = ledger.snapshot()
+        assert snapshot["total"] == 100
+        assert snapshot["servers"]["s"]["count"] == 100
+        assert snapshot["storms"] == {"active": 0, "episodes": []}
+
+    def test_storms_mirrored_to_trace(self):
+        bus = TraceBus()
+        ledger = LoadLedger(window=10.0, baseline=600.0, trace=bus)
+        assert ledger.detector.trace is bus
+        for _ in range(2000):
+            ledger.record("s", "a.com", CLASS_RENEWAL, 100.0)
+        assert ledger.detector.active_count == 1
+        assert bus.counts()[LOAD_STORM_START] == 1
+
+    def test_rejects_baseline_not_exceeding_window(self):
+        with pytest.raises(ValueError):
+            LoadLedger(window=10.0, baseline=10.0)
+
+    def test_bind_registry_exposes_gauges(self):
+        ledger = LoadLedger()
+        registry = Registry()
+        ledger.bind_registry(registry)
+        ledger.record("s", "a.com", CLASS_QUERY, 0.0, depth=3.0)
+        ledger.record("s", "a.com", CLASS_QUERY, 0.5, depth=4.0)
+        gauges = registry.snapshot()["gauges"]
+        for name in ("load.events", "load.keys", "load.servers",
+                     "load.rate", "load.peak_rate", "load.rate_p99",
+                     "load.gap_p50", "load.gap_p99", "load.depth_p99",
+                     "load.storm.active", "load.storm.episodes"):
+            assert name in gauges
+        assert gauges["load.events"] == 2.0
+        # Two depth samples (3.0, 4.0): the small-stream linear
+        # interpolation puts p99 at 3.0 + 0.99 * (4.0 - 3.0).
+        assert gauges["load.depth_p99"] == pytest.approx(3.99)
+        assert gauges["load.storm.active"] == 0.0
+
+
+class TestMultiTapTraceBus:
+    def test_two_taps_see_events_in_install_order(self):
+        bus = TraceBus()
+        seen = []
+        first = lambda record: seen.append(("first", record[1]))  # noqa: E731
+        second = lambda record: seen.append(("second", record[1]))  # noqa: E731
+        bus.add_tap(first)
+        bus.add_tap(second)
+        bus.emit("lease.grant", name="a.com.")
+        assert seen == [("first", "lease.grant"), ("second", "lease.grant")]
+
+    def test_single_tap_keeps_pointer_fast_path(self):
+        bus = TraceBus()
+        fn = lambda record: None  # noqa: E731
+        bus.add_tap(fn)
+        # One tap: no fan-out wrapper, the emit check stays one pointer.
+        assert bus.tap is fn
+        bus.remove_tap(fn)
+        assert bus.tap is None
+
+    def test_remove_leaves_other_tap_installed(self):
+        bus = TraceBus()
+        seen = []
+        keep = lambda record: seen.append(record[1])  # noqa: E731
+        drop = lambda record: seen.append("dropped")  # noqa: E731
+        bus.add_tap(keep)
+        bus.add_tap(drop)
+        bus.remove_tap(drop)
+        assert bus.tap is keep
+        bus.emit("lease.renew", name="a.com.")
+        assert seen == ["lease.renew"]
+
+    def test_telemetry_and_ledger_coexist(self):
+        # The live wiring: an auditing tap and a load ledger side by
+        # side on one bus, both fed by a single emit.
+        bus = TraceBus()
+        audited = []
+        ledger = LoadLedger(default_server="auth")
+        bus.add_tap(lambda record: audited.append(record[1]))
+        bus.add_tap(ledger.on_event)
+        bus.emit("lease.grant", name="a.com.")
+        bus.emit("notify.send", name="a.com.")
+        assert audited == ["lease.grant", "notify.send"]
+        assert ledger.total == 2
+
+    def test_legacy_direct_assignment_is_adopted(self):
+        bus = TraceBus()
+        seen = []
+        legacy = lambda record: seen.append("legacy")  # noqa: E731
+        bus.tap = legacy
+        bus.add_tap(lambda record: seen.append("added"))
+        bus.emit("lease.grant", name="a.com.")
+        assert seen == ["legacy", "added"]
+        bus.remove_tap(legacy)
+        bus.emit("lease.grant", name="a.com.")
+        assert seen == ["legacy", "added", "added"]
+
+    def test_duplicate_tap_rejected(self):
+        bus = TraceBus()
+        fn = lambda record: None  # noqa: E731
+        bus.add_tap(fn)
+        with pytest.raises(ValueError):
+            bus.add_tap(fn)
+
+    def test_remove_unknown_tap_raises(self):
+        bus = TraceBus()
+        with pytest.raises(ValueError):
+            bus.remove_tap(lambda record: None)
+
+
+def _legacy_histogram_percentile(hist, quantile):
+    """The pre-refactor report.py walk, kept verbatim as the oracle."""
+    if not 0.0 <= quantile <= 100.0:
+        raise ValueError(f"quantile out of range: {quantile}")
+    count = hist.count
+    buckets = list(zip((*hist.bounds, math.inf), hist.counts))
+    low = hist.min if count else None
+    high = hist.max if count else None
+    if not count:
+        return None
+    target = quantile / 100.0 * count
+    cumulative = 0
+    estimate = high
+    previous_bound = low if low is not None else 0.0
+    for bound, bucket_count in buckets:
+        upper = bound
+        if math.isinf(upper):
+            upper = high if high is not None else previous_bound
+        if bucket_count and cumulative + bucket_count >= target:
+            lower = min(previous_bound, upper)
+            fraction = max(0.0, target - cumulative) / bucket_count
+            estimate = lower + (upper - lower) * fraction
+            break
+        cumulative += bucket_count
+        previous_bound = max(previous_bound, bound if not math.isinf(bound)
+                             else previous_bound)
+    if estimate is None:
+        return None
+    if low is not None:
+        estimate = max(estimate, low)
+    if high is not None:
+        estimate = min(estimate, high)
+    return estimate
+
+
+class TestSharedBucketQuantile:
+    def test_histogram_quantile_matches_legacy_walk(self):
+        rng = random.Random(7)
+        for _case in range(50):
+            hist = Histogram("h", LATENCY_BUCKETS)
+            for _ in range(rng.randrange(1, 200)):
+                hist.observe(rng.expovariate(10.0))
+            for quantile in (0.0, 10.0, 50.0, 95.0, 99.0, 100.0):
+                assert hist.quantile(quantile) == \
+                    _legacy_histogram_percentile(hist, quantile)
+
+    def test_empty_histogram_is_none(self):
+        hist = Histogram("h", LATENCY_BUCKETS)
+        assert hist.quantile(50.0) is None
+        assert histogram_percentile(hist, 50.0) is None
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", LATENCY_BUCKETS).quantile(101.0)
+
+    def test_snapshot_dict_path_matches_live_histogram(self):
+        hist = Histogram("h", LATENCY_BUCKETS)
+        rng = random.Random(11)
+        for _ in range(300):
+            hist.observe(rng.expovariate(3.0))
+        snapshot = hist.as_dict()
+        for quantile in (50.0, 95.0, 99.0):
+            assert histogram_percentile(snapshot, quantile) == \
+                pytest.approx(histogram_percentile(hist, quantile))

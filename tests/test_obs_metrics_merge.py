@@ -120,7 +120,7 @@ class TestExactMerge:
 
 
 class TestRegistryMerge:
-    def test_counters_and_gauges_sum(self):
+    def test_counters_sum_gauges_last_write_wins(self):
         left = Registry()
         left.counter("c").inc(3)
         left.gauge("g").set(1.5)
@@ -131,7 +131,24 @@ class TestRegistryMerge:
         assert left.merge(right) is left
         snap = left.snapshot()
         assert snap["counters"] == {"c": 7, "only_right": 2}
-        assert snap["gauges"] == {"g": 4.0}
+        # Gauges are point-in-time levels, not flows: merging shard
+        # registries in shard order keeps the *last* shard's reading
+        # rather than summing unrelated instantaneous values.
+        assert snap["gauges"] == {"g": 2.5}
+
+    def test_gauge_merge_order_decides_winner(self):
+        shards = []
+        for value in (10.0, -3.0, 7.5):
+            reg = Registry()
+            reg.gauge("level").set(value)
+            shards.append(reg)
+        merged = Registry()
+        for reg in shards:
+            merged.merge(reg)
+        assert merged.snapshot()["gauges"] == {"level": 7.5}
+        # A shard that never registered the gauge leaves the value alone.
+        merged.merge(Registry())
+        assert merged.snapshot()["gauges"] == {"level": 7.5}
 
     def test_callable_backed_gauge_refuses_merge(self):
         left = Registry()

@@ -24,11 +24,13 @@ from repro.sim import (
     fixed_lease_fn,
     flash_crowd_columnar,
     gather_subtrace,
+    load_metric_table,
     scan_metric_table,
     shard_of_name,
     shard_pair_ids,
     sharded_figure5_sweep,
     sharded_lease_replay,
+    sharded_load_metrics,
     sharded_scan_metrics,
     simulate_lease_trace,
 )
@@ -243,3 +245,49 @@ class TestShardMetrics:
             hist = registry.histogram(name, row[1])
             assert hist.sum == math.fsum(row[5]), name
             assert hist.counts == row[2], name
+
+
+class TestLoadMetrics:
+    """The load-attribution reduction is shard-count invariant too:
+    ``sharded_load_metrics`` exports byte-identical JSON at 1/2/8
+    shards, on the pool as on the serial path, and matches the
+    unsharded ``load_metric_table`` reduction exactly."""
+
+    def _smoke_trace(self):
+        trace, _lease_col = flash_crowd_columnar(
+            caches=120, regular_domains=30, duration=86400.0, seed=13)
+        return trace
+
+    def _export(self, registry):
+        buffer = io.StringIO()
+        registry.export_json(buffer)
+        return buffer.getvalue()
+
+    def test_1_2_8_shards_byte_identical(self):
+        trace = self._smoke_trace()
+        exports = {nshards: self._export(sharded_load_metrics(trace, nshards))
+                   for nshards in (1, 2, 8)}
+        assert exports[1] == exports[2] == exports[8]
+        snapshot = json.loads(exports[1])
+        assert snapshot["counters"]["load.pairs"] == trace.pair_count
+        assert snapshot["counters"]["load.queries"] == len(trace.times)
+        assert "load.interarrival_gap" in snapshot["histograms"]
+        assert "load.arrivals_per_pair" in snapshot["histograms"]
+
+    def test_pool_matches_serial(self):
+        trace = self._smoke_trace()
+        serial = sharded_load_metrics(trace, 4)
+        pooled = sharded_load_metrics(trace, 4, processes=2)
+        assert self._export(serial) == self._export(pooled)
+
+    def test_matches_unsharded_reduction(self):
+        trace = self._smoke_trace()
+        registry = sharded_load_metrics(trace, 8)
+        table = load_metric_table(trace.times, trace.starts,
+                                  trace.sorted_mask)
+        for name, value in table["counters"]:
+            assert registry.counter(name).value == value, name
+        for row in table["histograms"]:
+            hist = registry.histogram(row[0], row[1])
+            assert hist.counts == row[2], row[0]
+            assert hist.sum == math.fsum(row[5]), row[0]
