@@ -14,7 +14,11 @@ cannot silently regress as the tree grows.
   the assembled default rule pack;
 * ``rules_*`` modules — one module per invariant family: determinism,
   trace contract, zero-cost instrumentation, exact rounding, enum
-  exhaustiveness.
+  exhaustiveness, async correctness (over the await graph built by
+  :mod:`repro.analysis.asyncgraph`), lease-FSM reachability;
+* :mod:`repro.analysis.sanitizer` — the TSan-style *runtime*
+  counterpart, armed via ``LiveClock(sanitize=True)`` /
+  ``repro-live --sanitize``.
 
 The CLI lives in :mod:`repro.tools.lint_tool` (``repro-lint``); the
 rule catalogue is documented in DESIGN.md §9.
@@ -29,13 +33,21 @@ from .linter import (
     Rule,
     iter_python_files,
     lint_paths,
+    parse_select,
     rule_catalogue,
 )
-from .suppress import Suppressions, parse_suppressions
+
+# After .linter: the await graph is built over the linter's ModuleInfo,
+# and the linter's own bottom imports pull in rules_async → asyncgraph.
+from .asyncgraph import AwaitGraph, await_graph  # noqa: E402
+from .sanitizer import Sanitizer  # noqa: E402
+from .suppress import Suppressions, parse_suppressions  # noqa: E402
 
 __all__ = [
+    "AwaitGraph", "await_graph",
     "CODE_PATTERN", "Finding", "render_json", "render_text",
     "DEFAULT_RULES", "LintError", "ModuleInfo", "ProjectContext", "Rule",
-    "iter_python_files", "lint_paths", "rule_catalogue",
+    "iter_python_files", "lint_paths", "parse_select", "rule_catalogue",
+    "Sanitizer",
     "Suppressions", "parse_suppressions",
 ]

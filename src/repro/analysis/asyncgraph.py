@@ -1,0 +1,165 @@
+"""The await graph: per-module function table for the async rules.
+
+The DCUP009–012 family (:mod:`repro.analysis.rules_async`) reasons
+about *execution context*: is this call inside a coroutine, does this
+expression produce a coroutine object nobody consumes, does this
+statement run on the owning event loop at all?  All of that reduces to
+one per-module structure built here:
+
+* every function definition, async or not, with its qualified name;
+* the set of names that are *unambiguously* coroutine functions (an
+  ``async def`` whose name no plain ``def`` in the module shares — a
+  shared name cannot be attributed at a call site, so it is dropped
+  rather than risk a false positive);
+* the set of function names referenced as **off-loop entry points**:
+  ``threading.Thread(target=...)`` targets and callables handed to
+  ``run_in_executor`` run on a worker thread, never on the event loop,
+  so loop-owned structures must not be mutated from their bodies.
+
+The graph is lazy and cached per :class:`~repro.analysis.linter.ModuleInfo`
+(four rules share it), keyed weakly so a scan holds no extra memory
+once its modules are released.
+"""
+
+from __future__ import annotations
+
+import ast
+import weakref
+from typing import Dict, List, Optional, Set, Union
+
+from .linter import ModuleInfo, terminal_name
+
+__all__ = ["CORO_SINKS", "AwaitGraph", "FunctionInfo", "await_graph"]
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Call targets (by terminal name) that legitimately *consume* a
+#: coroutine or future: passing a coroutine to one of these is the
+#: sanctioned alternative to awaiting it.  ``spawn`` is
+#: :meth:`repro.net.clock.LiveClock.spawn`; ``_defer``/``defer`` is
+#: :meth:`repro.net.aio.AioNetwork._defer`.
+CORO_SINKS = frozenset({
+    "create_task", "ensure_future", "gather", "wait", "wait_for",
+    "shield", "run", "run_until_complete", "run_coroutine_threadsafe",
+    "as_completed", "spawn", "_defer", "defer",
+})
+
+
+class FunctionInfo:
+    """One function definition and its await-graph attributes."""
+
+    __slots__ = ("node", "name", "qualname", "is_async", "off_loop")
+
+    def __init__(self, node: FunctionNode, qualname: str):
+        self.node = node
+        self.name = node.name
+        self.qualname = qualname
+        self.is_async = isinstance(node, ast.AsyncFunctionDef)
+        #: True when this function is referenced as a thread target or
+        #: executor callable somewhere in the module.
+        self.off_loop = False
+
+
+def _thread_target_names(tree: ast.Module) -> Set[str]:
+    """Terminal names of callables handed to threads or executors."""
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func_name = terminal_name(node.func)
+        if func_name == "Thread":
+            for keyword in node.keywords:
+                if keyword.arg == "target":
+                    target = terminal_name(keyword.value)
+                    if target is not None:
+                        names.add(target)
+        elif func_name == "run_in_executor" and len(node.args) >= 2:
+            target = terminal_name(node.args[1])
+            if target is not None:
+                names.add(target)
+    return names
+
+
+class AwaitGraph:
+    """Function table + call-context resolution for one module."""
+
+    def __init__(self, module: ModuleInfo):
+        self.module = module
+        self.functions: List[FunctionInfo] = []
+        self._by_node: Dict[ast.AST, FunctionInfo] = {}
+        async_names: Set[str] = set()
+        sync_names: Set[str] = set()
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            info = FunctionInfo(node, self._qualname(node))
+            self.functions.append(info)
+            self._by_node[node] = info
+            if info.is_async:
+                async_names.add(info.name)
+            else:
+                sync_names.add(info.name)
+        #: Names that always denote a coroutine function in this module.
+        self.async_names = frozenset(async_names - sync_names)
+        off_loop = _thread_target_names(module.tree)
+        for info in self.functions:
+            if info.name in off_loop and not info.is_async:
+                info.off_loop = True
+
+    def _qualname(self, node: FunctionNode) -> str:
+        parts: List[str] = [node.name]
+        current: ast.AST = node
+        parents = self.module.parents
+        while current in parents:
+            current = parents[current]
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                    ast.ClassDef)):
+                parts.append(current.name)
+        return ".".join(reversed(parts))
+
+    def function_of(self, node: ast.AST) -> Optional[FunctionInfo]:
+        """The innermost function enclosing ``node`` (None: module level)."""
+        current: ast.AST = node
+        parents = self.module.parents
+        while current in parents:
+            current = parents[current]
+            info = self._by_node.get(current)
+            if info is not None:
+                return info
+        return None
+
+    def in_coroutine(self, node: ast.AST) -> bool:
+        """True when ``node`` executes inside an ``async def`` body."""
+        info = self.function_of(node)
+        return info is not None and info.is_async
+
+    def off_loop_context(self, node: ast.AST) -> Optional[str]:
+        """Why ``node`` runs off the owning event loop, or None.
+
+        Three contexts never run as loop callbacks: module level
+        (import time), ``__del__`` (the collector's schedule), and the
+        body of a function referenced as a thread target or executor
+        callable.
+        """
+        info = self.function_of(node)
+        if info is None:
+            return "at module import time"
+        if info.name == "__del__":
+            return f"inside {info.qualname} (runs on the gc's schedule)"
+        if info.off_loop:
+            return (f"inside {info.qualname} (a thread-target/executor "
+                    f"callable)")
+        return None
+
+
+_CACHE: "weakref.WeakKeyDictionary[ModuleInfo, AwaitGraph]" = (
+    weakref.WeakKeyDictionary())
+
+
+def await_graph(module: ModuleInfo) -> AwaitGraph:
+    """The module's :class:`AwaitGraph`, built once and cached."""
+    graph = _CACHE.get(module)
+    if graph is None:
+        graph = AwaitGraph(module)
+        _CACHE[module] = graph
+    return graph

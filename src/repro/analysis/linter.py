@@ -15,9 +15,10 @@ from __future__ import annotations
 
 import ast
 import pathlib
+import re
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Type
 
-from .findings import Finding, sort_findings
+from .findings import CODE_PATTERN, Finding, sort_findings
 from .suppress import Suppressions, parse_suppressions
 
 #: Directory names never descended into by the walker.
@@ -43,6 +44,15 @@ EXACT_ROUNDING_FILES = (
     ("sim", "shard.py"),
     ("core", "leasearray.py"),
 )
+#: DCUP009 scope: the asyncio transport plus the live testbed shim —
+#: the only places where code runs *inside* coroutines on the loop.
+ASYNC_BLOCKING_SCOPE = ("net",)
+ASYNC_BLOCKING_FILES = (("sim", "livetestbed.py"),)
+#: DCUP010/DCUP012 scope: everywhere coroutines and task handles are
+#: created (the transport, the live testbed, and the CLI drivers).
+ASYNC_TASK_SCOPE = ("net", "sim", "tools")
+#: DCUP011 scope: the subsystems holding loop-owned registries.
+ASYNC_AFFINITY_SCOPE = ("net", "sim")
 
 
 class LintError(RuntimeError):
@@ -102,6 +112,12 @@ class ProjectContext:
         #: was part of the scan — linting one file never claims the
         #: whole contract is unemitted.
         self.registry_sites: List[Tuple[str, int]] = []
+        #: Lease-FSM declarations found in the scan (rules_fsm): per
+        #: declaring file, the (transition, event, row line) triples.
+        self.fsm_tables: List[Tuple[str, List[Tuple[str, str, int]]]] = []
+        #: lease.*/renego.* event -> (display, line) emit sites seen in
+        #: ``repro/core`` modules (the FSM dispatch surface).
+        self.fsm_dispatch: Dict[str, List[Tuple[str, int]]] = {}
 
     def record_emit(self, name: str, display: str, line: int) -> None:
         """Note that ``name`` is emitted at ``display:line``."""
@@ -320,6 +336,42 @@ def lint_paths(paths: Sequence[pathlib.Path],
     return sort_findings(visible)
 
 
+#: ``--select`` range syntax: two codes joined by a dash, inclusive.
+_SELECT_RANGE = re.compile(r"^(DCUP\d{3})-(DCUP\d{3})$")
+
+
+def parse_select(text: str) -> List[str]:
+    """Expand a ``--select`` expression into concrete DCUP codes.
+
+    Accepts comma-separated single codes (``DCUP005``) and inclusive
+    ranges (``DCUP009-DCUP013``).  Malformed tokens, inverted ranges,
+    and empty expressions raise :class:`LintError` — the CLI maps that
+    to exit code 2 (usage error), distinct from exit 1 (findings).
+    """
+    codes: List[str] = []
+    for raw in text.split(","):
+        token = raw.strip()
+        if not token:
+            continue
+        match = _SELECT_RANGE.match(token)
+        if match is not None:
+            low = int(match.group(1)[4:])
+            high = int(match.group(2)[4:])
+            if low > high:
+                raise LintError(f"inverted --select range: {token}")
+            codes.extend(f"DCUP{number:03d}"
+                         for number in range(low, high + 1))
+        elif CODE_PATTERN.match(token):
+            codes.append(token)
+        else:
+            raise LintError(
+                f"bad --select token {token!r}: expected DCUP### or "
+                f"DCUP###-DCUP###")
+    if not codes:
+        raise LintError("empty --select expression")
+    return codes
+
+
 def rule_catalogue(rules: Optional[Sequence[Type[Rule]]] = None
                    ) -> List[Dict[str, str]]:
     """The rule pack as (code, name, scope, summary) records."""
@@ -331,8 +383,15 @@ def rule_catalogue(rules: Optional[Sequence[Type[Rule]]] = None
 
 # The default pack is assembled at the bottom so the rule modules can
 # import the framework above without a cycle.
+from .rules_async import (  # noqa: E402
+    AsyncBlockingCallRule,
+    LoopAffinityRule,
+    TaskResourceLeakRule,
+    UnawaitedCoroutineRule,
+)
 from .rules_determinism import UnseededRandomRule, WallClockRule  # noqa: E402
 from .rules_enums import EnumDispatchRule  # noqa: E402
+from .rules_fsm import LeaseFsmRule  # noqa: E402
 from .rules_rounding import ExactRoundingRule  # noqa: E402
 from .rules_trace import RegistryCoverageRule, TraceEmitNameRule  # noqa: E402
 from .rules_zerocost import ZeroCostRule  # noqa: E402
@@ -347,4 +406,9 @@ DEFAULT_RULES: Tuple[Type[Rule], ...] = (
     ExactRoundingRule,
     EnumDispatchRule,
     SuppressionHygieneRule,
+    AsyncBlockingCallRule,
+    UnawaitedCoroutineRule,
+    LoopAffinityRule,
+    TaskResourceLeakRule,
+    LeaseFsmRule,
 )

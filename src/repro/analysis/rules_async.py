@@ -1,0 +1,297 @@
+"""Async-safety rules over the await graph (DCUP009–012).
+
+The live transport (PR 7) put an asyncio event loop under the protocol
+stack; these rules hold the concurrency contracts that the determinism
+rules cannot see:
+
+* ``DCUP009`` — no blocking call inside a coroutine.  One
+  ``time.sleep`` or ``subprocess.run`` inside an ``async def`` on the
+  transport path stalls *every* timer and socket on the loop, which
+  shows up as phantom consistency-window violations in the live audit.
+  Re-entering the loop (``run_until_complete`` from a coroutine) is the
+  same family: it deadlocks outright.
+* ``DCUP010`` — no coroutine dropped on the floor.  Calling a known
+  ``async def`` as a bare expression statement builds a coroutine
+  object nobody awaits: the body never runs and CPython only tells you
+  in a destructor warning.  Awaiting, returning, or passing it to a
+  sink (:data:`~repro.analysis.asyncgraph.CORO_SINKS`) all count as
+  consumption.
+* ``DCUP011`` — loop-affinity for shared mutable registries.  TraceBus
+  taps, clock service hooks, and the stream pool are owned by the
+  event loop's thread; mutating them at import time, from ``__del__``,
+  or from a thread-target/executor callable races the loop.
+* ``DCUP012`` — tasks and sockets must not leak.  A
+  ``create_task``/``ensure_future`` result that is not retained can be
+  garbage-collected mid-flight (asyncio only holds a weak reference);
+  a socket whose post-creation setup (``bind``/``listen``/``connect``)
+  is not wrapped in a try that closes it on the exception edge leaks
+  the file descriptor when the OS says no.
+
+The runtime counterparts of the same codes are produced by
+:mod:`repro.analysis.sanitizer` under ``LiveClock(sanitize=True)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .asyncgraph import await_graph
+from .findings import Finding
+from .linter import (
+    ASYNC_AFFINITY_SCOPE,
+    ASYNC_BLOCKING_FILES,
+    ASYNC_BLOCKING_SCOPE,
+    ASYNC_TASK_SCOPE,
+    ModuleInfo,
+    ProjectContext,
+    Rule,
+    import_map,
+    resolve_dotted,
+    terminal_name,
+)
+
+#: Known-blocking call targets, by absolute dotted name.
+_BLOCKING_CALLS = frozenset({
+    "time.sleep",
+    "subprocess.run", "subprocess.call", "subprocess.check_call",
+    "subprocess.check_output", "subprocess.Popen",
+    "os.system", "os.popen", "os.wait", "os.waitpid",
+    "socket.create_connection", "socket.getaddrinfo",
+    "socket.gethostbyname", "socket.gethostbyaddr",
+    "urllib.request.urlopen",
+    "requests.get", "requests.post", "requests.put", "requests.delete",
+    "requests.head", "requests.request",
+})
+
+#: Builtins that block on I/O when called as bare names.
+_BLOCKING_BUILTINS = frozenset({"open", "input"})
+
+#: Loop re-entry methods: calling these from inside a coroutine on the
+#: same loop deadlocks (the loop is already running this frame).
+_LOOP_REENTRY = frozenset({"run_until_complete", "run_forever"})
+
+#: Task/future factories whose result must be retained (asyncio keeps
+#: only a weak reference to running tasks).
+_TASK_FACTORIES = frozenset({"create_task", "ensure_future",
+                             "run_coroutine_threadsafe"})
+
+#: Socket methods that raise on the unhappy path after creation.
+_SOCKET_RISKY = frozenset({"bind", "listen", "connect", "accept"})
+
+#: Methods that mutate loop-owned shared registries (TraceBus taps,
+#: LiveClock service hooks); receivers are not discriminated — any
+#: spelling of these mutators is loop-affine in net//sim/.
+_GUARDED_MUTATORS = frozenset({"add_tap", "remove_tap", "add_service"})
+
+
+class AsyncBlockingCallRule(Rule):
+    """DCUP009: no blocking call inside a coroutine."""
+
+    code = "DCUP009"
+    name = "async-blocking-call"
+    summary = ("no blocking call (time.sleep, subprocess, blocking "
+               "socket/file I/O, loop re-entry) inside an async def on "
+               "the live transport path")
+    scope = "repro/net + sim/livetestbed.py"
+
+    def check(self, module: ModuleInfo,
+              ctx: ProjectContext) -> Iterator[Finding]:
+        if not (module.in_subsystems(ASYNC_BLOCKING_SCOPE)
+                or module.is_file(ASYNC_BLOCKING_FILES)):
+            return
+        imports = import_map(module.tree)
+        graph = await_graph(module)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not graph.in_coroutine(node):
+                continue
+            dotted = resolve_dotted(node.func, imports)
+            if dotted in _BLOCKING_CALLS:
+                yield self.finding(
+                    module, node.lineno, node.col_offset,
+                    f"blocking call {dotted}() inside a coroutine stalls "
+                    f"every timer and socket on the event loop: use the "
+                    f"asyncio equivalent (await asyncio.sleep, "
+                    f"run_in_executor, asyncio.open_connection)")
+            elif (isinstance(node.func, ast.Name)
+                  and node.func.id in _BLOCKING_BUILTINS
+                  and node.func.id not in imports):
+                yield self.finding(
+                    module, node.lineno, node.col_offset,
+                    f"blocking builtin {node.func.id}() inside a "
+                    f"coroutine: move the I/O off the loop "
+                    f"(run_in_executor) or out of the coroutine")
+            elif (isinstance(node.func, ast.Attribute)
+                  and node.func.attr in _LOOP_REENTRY):
+                yield self.finding(
+                    module, node.lineno, node.col_offset,
+                    f"loop re-entry {node.func.attr}() inside a "
+                    f"coroutine deadlocks the already-running loop: "
+                    f"await the coroutine instead")
+
+
+class UnawaitedCoroutineRule(Rule):
+    """DCUP010: coroutine results must be consumed, not dropped."""
+
+    code = "DCUP010"
+    name = "async-unawaited-coroutine"
+    summary = ("a call to a known async def must be awaited, returned, "
+               "or passed to a task sink — a bare expression statement "
+               "builds a coroutine that never runs")
+    scope = "repro/{net,sim,tools}"
+
+    def check(self, module: ModuleInfo,
+              ctx: ProjectContext) -> Iterator[Finding]:
+        if not module.in_subsystems(ASYNC_TASK_SCOPE):
+            return
+        graph = await_graph(module)
+        if not graph.async_names:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Expr):
+                continue
+            call = node.value
+            if not isinstance(call, ast.Call):
+                continue
+            name = terminal_name(call.func)
+            if name in graph.async_names:
+                yield self.finding(
+                    module, call.lineno, call.col_offset,
+                    f"call to coroutine function {name!r} is neither "
+                    f"awaited nor passed to create_task/gather/spawn: "
+                    f"the coroutine object is built and silently "
+                    f"discarded, its body never runs")
+
+
+class LoopAffinityRule(Rule):
+    """DCUP011: loop-owned registries mutate only in loop contexts."""
+
+    code = "DCUP011"
+    name = "async-loop-affinity"
+    summary = ("TraceBus taps and clock service hooks are owned by the "
+               "event loop: no add_tap/remove_tap/add_service at module "
+               "level, in __del__, or in thread-target callables")
+    scope = "repro/{net,sim}"
+
+    def check(self, module: ModuleInfo,
+              ctx: ProjectContext) -> Iterator[Finding]:
+        if not module.in_subsystems(ASYNC_AFFINITY_SCOPE):
+            return
+        graph = await_graph(module)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr not in _GUARDED_MUTATORS:
+                continue
+            context = graph.off_loop_context(node)
+            if context is None:
+                continue
+            receiver = ast.unparse(func.value)
+            yield self.finding(
+                module, node.lineno, node.col_offset,
+                f"{receiver}.{func.attr}(...) {context} races the "
+                f"owning event loop: mutate loop-owned registries from "
+                f"loop callbacks/coroutines (or synchronous setup on "
+                f"the owner thread) only")
+
+
+def _protected_by_closer(module: ModuleInfo, node: ast.AST) -> bool:
+    """True when ``node`` sits in a try whose handlers/finally close."""
+    current: ast.AST = node
+    parents = module.parents
+    while current in parents:
+        parent = parents[current]
+        if isinstance(parent, ast.Try) and any(
+                current is stmt for stmt in parent.body):
+            cleanup: List[ast.stmt] = list(parent.finalbody)
+            for handler in parent.handlers:
+                cleanup.extend(handler.body)
+            for stmt in cleanup:
+                for sub in ast.walk(stmt):
+                    if (isinstance(sub, ast.Call)
+                            and isinstance(sub.func, ast.Attribute)
+                            and sub.func.attr == "close"):
+                        return True
+        current = parent
+    return False
+
+
+class TaskResourceLeakRule(Rule):
+    """DCUP012: retain task handles; close sockets on exception edges."""
+
+    code = "DCUP012"
+    name = "async-task-resource-leak"
+    summary = ("create_task/ensure_future results must be retained "
+               "(asyncio holds only a weak reference), and a socket's "
+               "post-creation setup must close it on the exception edge")
+    scope = "repro/{net,sim,tools}"
+
+    def check(self, module: ModuleInfo,
+              ctx: ProjectContext) -> Iterator[Finding]:
+        if not module.in_subsystems(ASYNC_TASK_SCOPE):
+            return
+        imports = import_map(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Expr):
+                continue
+            call = node.value
+            if not isinstance(call, ast.Call):
+                continue
+            name = terminal_name(call.func)
+            if name in _TASK_FACTORIES:
+                yield self.finding(
+                    module, call.lineno, call.col_offset,
+                    f"{name}(...) result dropped on the floor: asyncio "
+                    f"keeps only a weak reference to running tasks, so "
+                    f"an unretained task can be garbage-collected "
+                    f"mid-flight — retain the handle (and surface its "
+                    f"exception) or use LiveClock.spawn")
+        graph = await_graph(module)
+        for info in graph.functions:
+            for finding in self._socket_leaks(module, imports, info.node):
+                yield finding
+
+    def _socket_leaks(self, module: ModuleInfo, imports: Dict[str, str],
+                      func: ast.AST) -> Iterator[Finding]:
+        sockets: List[Tuple[str, int]] = []
+        for node in ast.walk(func):
+            if (isinstance(node, ast.Assign) and len(node.targets) == 1
+                    and isinstance(node.value, ast.Call)
+                    and resolve_dotted(node.value.func,
+                                       imports) == "socket.socket"):
+                target = terminal_name(node.targets[0])
+                if target is not None:
+                    sockets.append((target, node.lineno))
+        for target, created_line in sockets:
+            exposure = self._first_unprotected(module, func, target,
+                                               created_line)
+            if exposure is not None:
+                attr, line, col = exposure
+                yield self.finding(
+                    module, line, col,
+                    f"socket {target!r} (created at line {created_line}) "
+                    f"leaks its descriptor if .{attr}() raises: wrap the "
+                    f"post-creation setup in try/except that closes the "
+                    f"socket and re-raises")
+
+    def _first_unprotected(self, module: ModuleInfo, func: ast.AST,
+                           target: str, created_line: int
+                           ) -> Optional[Tuple[str, int, int]]:
+        risky: List[Tuple[int, int, str, ast.Call]] = []
+        for node in ast.walk(func):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _SOCKET_RISKY
+                    and terminal_name(node.func.value) == target
+                    and node.lineno > created_line):
+                risky.append((node.lineno, node.col_offset,
+                              node.func.attr, node))
+        for line, col, attr, node in sorted(risky, key=lambda r: r[:2]):
+            if not _protected_by_closer(module, node):
+                return (attr, line, col)
+        return None

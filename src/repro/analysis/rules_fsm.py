@@ -1,0 +1,236 @@
+"""Lease-FSM reachability: the declared machine matches the code.
+
+``DCUP013`` closes the loop between :mod:`repro.core.fsm` — the
+normative ``LEASE_STATES`` / ``LEASE_INITIAL`` / ``LEASE_TRANSITIONS``
+declaration (PROTOCOL.md §10) — and the dispatch sites that actually
+drive the machine: the ``lease.*`` / ``renego.*`` trace emits in
+``repro/core``.  Checked per declaring module:
+
+* the table itself must be well-formed (4-string rows, known states,
+  unique transition names) and every state reachable from the initial
+  state — an unreachable state is dead protocol surface;
+
+and across the scan (mirroring ``DCUP004``'s discipline — coverage is
+only claimed when the scan actually contained the evidence):
+
+* every declared transition's event must have at least one dispatch
+  site in the scanned ``core/`` tree (checked only when the scan saw
+  *some* dispatch site, so linting the declaration file alone makes no
+  coverage claims);
+* every dispatched ``lease.*`` / ``renego.*`` event that is a registry
+  member must be a declared transition — an undeclared dispatch is a
+  lifecycle edge the normative table does not admit.  (Names *outside*
+  the trace registry are DCUP003's jurisdiction, not duplicated here.)
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..obs.trace import EVENT_NAMES
+from .findings import Finding
+from .linter import ModuleInfo, ProjectContext, Rule
+from .rules_trace import _event_argument, _is_bus_emit, _resolve_event_name
+
+#: Event-name prefixes that belong to the lease lifecycle machine.
+_FSM_PREFIXES = ("lease.", "renego.")
+
+#: The module-level names that make up a declaration.
+_DECL_NAMES = ("LEASE_STATES", "LEASE_INITIAL", "LEASE_TRANSITIONS")
+
+
+def _assigned_name(node: ast.stmt) -> Optional[str]:
+    if (isinstance(node, ast.Assign) and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)):
+        return node.targets[0].id
+    return None
+
+
+def _string_tuple(node: ast.expr) -> Optional[Tuple[str, ...]]:
+    """The value of a literal tuple/list of strings, else None."""
+    if not isinstance(node, (ast.Tuple, ast.List)):
+        return None
+    values: List[str] = []
+    for element in node.elts:
+        if not (isinstance(element, ast.Constant)
+                and isinstance(element.value, str)):
+            return None
+        values.append(element.value)
+    return tuple(values)
+
+
+class _Declaration:
+    """One module's parsed LEASE_* table plus source coordinates."""
+
+    def __init__(self) -> None:
+        self.states: Optional[Tuple[str, ...]] = None
+        self.states_line = 0
+        self.initial: Optional[str] = None
+        self.initial_line = 0
+        #: ``(transition, src, dst, event, line)`` for well-formed rows.
+        self.rows: List[Tuple[str, str, str, str, int]] = []
+        self.transitions_line = 0
+        self.has_transitions = False
+
+
+class LeaseFsmRule(Rule):
+    """DCUP013: declared lease-FSM transitions match dispatch sites."""
+
+    code = "DCUP013"
+    name = "lease-fsm-reachability"
+    summary = ("the declared lease lifecycle table (LEASE_TRANSITIONS) "
+               "must be well-formed and reachable, every declared "
+               "transition dispatched, and every core lease/renego "
+               "emit declared")
+    scope = "repro/core; dispatch coverage is cross-file"
+
+    def check(self, module: ModuleInfo,
+              ctx: ProjectContext) -> Iterator[Finding]:
+        if not module.in_subsystems(("core",)):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call) and _is_bus_emit(node):
+                arg = _event_argument(node)
+                resolved = (_resolve_event_name(arg)
+                            if arg is not None else None)
+                if resolved is not None and resolved.startswith(_FSM_PREFIXES):
+                    ctx.fsm_dispatch.setdefault(resolved, []).append(
+                        (module.display, node.lineno))
+        declaration = _Declaration()
+        for finding in self._parse(module, declaration):
+            yield finding
+        if not declaration.has_transitions:
+            return
+        for finding in self._check_structure(module, declaration):
+            yield finding
+        ctx.fsm_tables.append(
+            (module.display,
+             [(name, event, line)
+              for name, _src, _dst, event, line in declaration.rows]))
+
+    # -- declaration parsing ---------------------------------------------------
+
+    def _parse(self, module: ModuleInfo,
+               declaration: _Declaration) -> Iterator[Finding]:
+        for stmt in module.tree.body:
+            name = _assigned_name(stmt)
+            if name not in _DECL_NAMES:
+                continue
+            assert isinstance(stmt, ast.Assign)
+            value = stmt.value
+            if name == "LEASE_STATES":
+                declaration.states = _string_tuple(value)
+                declaration.states_line = stmt.lineno
+                if declaration.states is None:
+                    yield self.finding(
+                        module, stmt.lineno, stmt.col_offset,
+                        "LEASE_STATES must be a literal tuple of state-"
+                        "name strings")
+            elif name == "LEASE_INITIAL":
+                declaration.initial_line = stmt.lineno
+                if (isinstance(value, ast.Constant)
+                        and isinstance(value.value, str)):
+                    declaration.initial = value.value
+                else:
+                    yield self.finding(
+                        module, stmt.lineno, stmt.col_offset,
+                        "LEASE_INITIAL must be a literal state-name "
+                        "string")
+            else:
+                declaration.has_transitions = True
+                declaration.transitions_line = stmt.lineno
+                if not isinstance(value, (ast.Tuple, ast.List)):
+                    yield self.finding(
+                        module, stmt.lineno, stmt.col_offset,
+                        "LEASE_TRANSITIONS must be a literal tuple of "
+                        "(transition, src, dst, event) rows")
+                    continue
+                for element in value.elts:
+                    row = _string_tuple(element)
+                    if row is None or len(row) != 4:
+                        yield self.finding(
+                            module, element.lineno, element.col_offset,
+                            "malformed LEASE_TRANSITIONS row: expected "
+                            "4 literal strings (transition, src, dst, "
+                            "event)")
+                        continue
+                    declaration.rows.append(
+                        (row[0], row[1], row[2], row[3], element.lineno))
+
+    # -- per-module structure checks -------------------------------------------
+
+    def _check_structure(self, module: ModuleInfo,
+                         declaration: _Declaration) -> Iterator[Finding]:
+        states = declaration.states or ()
+        seen: Set[str] = set()
+        for name, src, dst, _event, line in declaration.rows:
+            if name in seen:
+                yield self.finding(
+                    module, line, 0,
+                    f"duplicate transition name {name!r} in "
+                    f"LEASE_TRANSITIONS")
+            seen.add(name)
+            if declaration.states is not None:
+                for role, state in (("source", src), ("destination", dst)):
+                    if state not in states:
+                        yield self.finding(
+                            module, line, 0,
+                            f"transition {name!r} names unknown {role} "
+                            f"state {state!r} (not in LEASE_STATES)")
+        if declaration.states is None or declaration.initial is None:
+            return
+        if declaration.initial not in states:
+            yield self.finding(
+                module, declaration.initial_line, 0,
+                f"LEASE_INITIAL {declaration.initial!r} is not a member "
+                f"of LEASE_STATES")
+            return
+        edges: Dict[str, Set[str]] = {}
+        for _name, src, dst, _event, _line in declaration.rows:
+            edges.setdefault(src, set()).add(dst)
+        reached: Set[str] = set()
+        frontier: List[str] = [declaration.initial]
+        while frontier:
+            state = frontier.pop()
+            if state in reached:
+                continue
+            reached.add(state)
+            frontier.extend(edges.get(state, ()))
+        for state in states:
+            if state not in reached:
+                yield self.finding(
+                    module, declaration.states_line, 0,
+                    f"state {state!r} is unreachable from "
+                    f"LEASE_INITIAL {declaration.initial!r}: dead "
+                    f"protocol surface or a missing transition")
+
+    # -- cross-file coverage ---------------------------------------------------
+
+    def finalize(self, ctx: ProjectContext) -> Iterator[Finding]:
+        if not ctx.fsm_tables:
+            return
+        declared: Set[str] = set()
+        for _display, rows in ctx.fsm_tables:
+            for _name, event, _line in rows:
+                declared.add(event)
+        if ctx.fsm_dispatch:
+            for display, rows in ctx.fsm_tables:
+                for name, event, line in rows:
+                    if event not in ctx.fsm_dispatch:
+                        yield self.finding(
+                            display, line, 0,
+                            f"declared transition {name!r} (event "
+                            f"{event!r}) has no dispatch site in the "
+                            f"scanned core/ tree: unreachable "
+                            f"transition — remove the row or restore "
+                            f"its dispatcher")
+        for event in sorted(ctx.fsm_dispatch):
+            if event in declared or event not in EVENT_NAMES:
+                continue
+            for display, line in ctx.fsm_dispatch[event]:
+                yield self.finding(
+                    display, line, 0,
+                    f"emit of {event!r} is not a declared lease-FSM "
+                    f"transition (PROTOCOL.md §10): add the transition "
+                    f"row or stop dispatching the event")

@@ -1,0 +1,272 @@
+"""TSan-style runtime concurrency sanitizer for the live transport.
+
+The static rules (:mod:`repro.analysis.rules_async`) catch what an AST
+can see; this harness catches the rest *while the live run executes*.
+Armed via ``LiveClock(sanitize=True)`` (and from the CLI as
+``repro-live --sanitize``), it watches four failure classes and reports
+each through the same :class:`~repro.analysis.findings.Finding`
+machinery — the runtime counterparts of the static codes:
+
+* **DCUP009 — blocking slice**: every timer callback is timed; a slice
+  that holds the loop longer than ``block_threshold`` seconds is a
+  blocking call by observation, whatever its spelling.
+* **DCUP010 — never-awaited coroutine**: CPython announces a collected
+  un-awaited coroutine as a ``RuntimeWarning``; the sanitizer captures
+  those (with ``sys.set_coroutine_origin_tracking_depth`` armed so the
+  origin traceback exists) instead of letting them scroll past.
+* **DCUP011 — wrong-context mutation**: loop-owned structures
+  (TraceBus taps, the stream connection pool) get their mutators
+  wrapped; a call from a foreign event loop or a foreign thread is
+  recorded with the caller's source location.  Synchronous calls on
+  the owner thread (setup/teardown before the loop runs) are legal.
+* **DCUP012 — task leak at quiescence**: when the clock drains, every
+  task still alive on the loop must be either the drain itself or an
+  *adopted* task (server-side connection handlers parked on idle
+  pooled connections, ``LiveClock.spawn`` children).  Anything else is
+  work nobody owns.
+
+The sanitizer is built only when asked for — the zero-cost-when-off
+discipline of the observability layer applies: an unsanitized
+``LiveClock`` carries a single ``None`` attribute and no wrapper ever
+exists.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import gc
+import sys
+import threading
+import time
+import warnings
+import weakref
+from typing import Any, Callable, List, Optional, Sequence, Set, TextIO, Tuple
+
+from .findings import Finding, sort_findings
+
+__all__ = ["Sanitizer"]
+
+#: Default blocking-slice threshold (seconds).  Generous on purpose:
+#: the CI gate runs the full Figure 7 scenario on shared runners, and a
+#: scheduling hiccup must not read as a protocol bug.  Tests pin a tiny
+#: explicit threshold instead.
+DEFAULT_BLOCK_THRESHOLD = 0.5
+
+#: Coroutine origin-tracking frames captured while armed.
+DEFAULT_ORIGIN_DEPTH = 8
+
+
+def _callable_site(fn: Callable[..., object]) -> Tuple[str, int, str]:
+    """(path, line, label) describing where ``fn`` was defined."""
+    probe: object = fn
+    if isinstance(probe, functools.partial):
+        probe = probe.func
+    probe = getattr(probe, "__func__", probe)
+    code = getattr(probe, "__code__", None)
+    label = getattr(probe, "__qualname__", None) or repr(fn)
+    if code is None:
+        return ("<callable>", 0, label)
+    return (code.co_filename, code.co_firstlineno, label)
+
+
+class Sanitizer:
+    """Runtime watchdog for one live event loop.
+
+    Construct with the loop it owns (ownership also pins the current
+    thread), then :meth:`start` to arm the global hooks and
+    :meth:`stop` to restore them.  :meth:`report` returns the findings
+    accumulated so far in canonical order; a clean run reports none.
+    """
+
+    def __init__(self, loop: asyncio.AbstractEventLoop,
+                 block_threshold: float = DEFAULT_BLOCK_THRESHOLD,
+                 origin_depth: int = DEFAULT_ORIGIN_DEPTH):
+        self._loop = loop
+        self._owner_thread = threading.current_thread()
+        self.block_threshold = block_threshold
+        self.origin_depth = origin_depth
+        self._findings: List[Finding] = []
+        self._adopted: "weakref.WeakSet[asyncio.Task[Any]]" = (
+            weakref.WeakSet())
+        self._reported_tasks: Set[int] = set()
+        self._guards: List[Tuple[object, str]] = []
+        self._started = False
+        self._prev_depth = 0
+        self._prev_show: Optional[Callable[..., Any]] = None
+        self._catcher: Optional["warnings.catch_warnings"] = None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> None:
+        """Arm the global hooks (warning capture, origin tracking)."""
+        if self._started:
+            return
+        self._started = True
+        self._prev_depth = sys.get_coroutine_origin_tracking_depth()
+        sys.set_coroutine_origin_tracking_depth(self.origin_depth)
+        self._catcher = warnings.catch_warnings()
+        self._catcher.__enter__()
+        warnings.simplefilter("always", RuntimeWarning)
+        self._prev_show = warnings.showwarning
+        warnings.showwarning = self._on_warning  # type: ignore[assignment]
+
+    def stop(self) -> None:
+        """Restore every hook and unwrap every guard; idempotent.
+
+        Guards are unwrapped even when :meth:`start` never ran — they
+        are installed independently via :meth:`guard`.
+        """
+        for obj, attr in reversed(self._guards):
+            try:
+                delattr(obj, attr)
+            except AttributeError:  # pragma: no cover - already unwrapped
+                pass
+        self._guards.clear()
+        if not self._started:
+            return
+        self._started = False
+        if self._prev_show is not None:
+            warnings.showwarning = self._prev_show  # type: ignore[assignment]
+            self._prev_show = None
+        if self._catcher is not None:
+            self._catcher.__exit__(None, None, None)
+            self._catcher = None
+        sys.set_coroutine_origin_tracking_depth(self._prev_depth)
+
+    # -- reporting -------------------------------------------------------------
+
+    def _add(self, code: str, rule: str, path: str, line: int,
+             message: str) -> None:
+        self._findings.append(Finding(code=code, rule=rule, path=path,
+                                      line=line, col=0, message=message))
+
+    def report(self) -> List[Finding]:
+        """Findings accumulated so far, canonically sorted."""
+        return sort_findings(self._findings)
+
+    @property
+    def ok(self) -> bool:
+        """True while no finding has been recorded."""
+        return not self._findings
+
+    # -- DCUP009: blocking slices ----------------------------------------------
+
+    def run_slice(self, fn: Callable[[], None]) -> None:
+        """Run a loop callback, timing the slice it holds the loop."""
+        started = time.perf_counter()
+        try:
+            fn()
+        finally:
+            elapsed = time.perf_counter() - started
+            if elapsed >= self.block_threshold:
+                path, line, label = _callable_site(fn)
+                self._add(
+                    "DCUP009", "sanitizer-blocking-slice", path, line,
+                    f"callback {label} held the event loop for "
+                    f"{elapsed:.3f}s (threshold "
+                    f"{self.block_threshold:.3f}s): every timer and "
+                    f"socket on the loop stalled for that slice")
+
+    # -- DCUP010: never-awaited coroutines -------------------------------------
+
+    def _on_warning(self, message: Any, category: type, filename: str,
+                    lineno: int, file: Optional[TextIO] = None,
+                    line: Optional[str] = None) -> None:
+        text = str(message)
+        if (issubclass(category, RuntimeWarning)
+                and "was never awaited" in text):
+            first = text.splitlines()[0]
+            self._add(
+                "DCUP010", "sanitizer-unawaited-coroutine", filename,
+                lineno,
+                f"{first}: the coroutine object was built and "
+                f"collected without running")
+        elif self._prev_show is not None:  # pragma: no cover - passthrough
+            self._prev_show(message, category, filename, lineno, file, line)
+
+    # -- DCUP011: wrong-context mutations --------------------------------------
+
+    def guard(self, label: str, obj: object,
+              methods: Sequence[str]) -> None:
+        """Wrap instance ``methods`` of ``obj`` with a context check.
+
+        A wrapped method called from a foreign running event loop or a
+        foreign thread records a finding at the caller's location (and
+        still performs the mutation — the sanitizer observes, it does
+        not change behaviour).
+        """
+        for name in methods:
+            bound = getattr(obj, name)
+
+            def wrapper(*args: Any,
+                        _bound: Callable[..., Any] = bound,
+                        _name: str = name,
+                        **kwargs: Any) -> Any:
+                self._check_context(label, _name)
+                return _bound(*args, **kwargs)
+
+            functools.update_wrapper(wrapper, bound)
+            setattr(obj, name, wrapper)
+            self._guards.append((obj, name))
+
+    def _check_context(self, label: str, method: str) -> None:
+        try:
+            running: Optional[asyncio.AbstractEventLoop] = (
+                asyncio.get_running_loop())
+        except RuntimeError:
+            running = None
+        if running is self._loop:
+            return
+        if running is None:
+            if threading.current_thread() is self._owner_thread:
+                return  # synchronous setup/teardown on the owner thread
+            context = (f"from foreign thread "
+                       f"{threading.current_thread().name!r}")
+        else:
+            context = "from a foreign event loop"
+        frame = sys._getframe(2)
+        self._add(
+            "DCUP011", "sanitizer-wrong-context-mutation",
+            frame.f_code.co_filename, frame.f_lineno,
+            f"guarded structure {label!r} mutated via .{method}() "
+            f"{context}: loop-owned registries must only change on "
+            f"their owning loop (or synchronously on the owner thread)")
+
+    # -- DCUP012: task leaks at quiescence -------------------------------------
+
+    def adopt(self, task: "asyncio.Task[Any]") -> None:
+        """Declare ``task`` legitimately long-lived (never a leak)."""
+        self._adopted.add(task)
+
+    def check_quiescence(self,
+                         loop: Optional[asyncio.AbstractEventLoop] = None
+                         ) -> None:
+        """Record every unadopted task still alive on the loop.
+
+        Called by :meth:`~repro.net.clock.LiveClock.wait_quiescent`
+        at the end of every drain; repeated drains report each leaked
+        task once.  The preceding ``gc.collect()`` also flushes the
+        never-awaited warnings of coroutines dropped during the run.
+        """
+        target = loop if loop is not None else self._loop
+        gc.collect()
+        current = asyncio.current_task(target)
+        for task in asyncio.all_tasks(target):
+            if task is current or task.done():
+                continue
+            if task in self._adopted:
+                continue
+            if id(task) in self._reported_tasks:
+                continue
+            self._reported_tasks.add(id(task))
+            coro = task.get_coro()
+            code = getattr(coro, "cr_code", None)
+            path = code.co_filename if code is not None else "<task>"
+            line = code.co_firstlineno if code is not None else 0
+            name = getattr(coro, "__qualname__", repr(coro))
+            self._add(
+                "DCUP012", "sanitizer-task-leak", path, line,
+                f"task running {name} is still alive at quiescence and "
+                f"nobody adopted it: retain and cancel/await the task, "
+                f"or adopt it if it is legitimately long-lived")

@@ -39,6 +39,7 @@ asyncio's logger.
 from __future__ import annotations
 
 import asyncio
+import functools
 import socket
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
@@ -228,12 +229,17 @@ class _UdpPort:
         self.logical = logical
         self.handler = handler
         self.sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
-        self.sock.setblocking(False)
-        # Port 0: the OS assigns a free port, read back below — live
-        # runs never collide on ports, even across parallel CI jobs.
-        self.sock.bind((network.interface, 0))
-        self.real: Tuple[str, int] = self.sock.getsockname()
-        network.loop.add_reader(self.sock.fileno(), self._on_readable)
+        try:
+            self.sock.setblocking(False)
+            # Port 0: the OS assigns a free port, read back below — live
+            # runs never collide on ports, even across parallel CI jobs.
+            self.sock.bind((network.interface, 0))
+            self.real: Tuple[str, int] = self.sock.getsockname()
+            network.loop.add_reader(self.sock.fileno(), self._on_readable)
+        except Exception:
+            # The descriptor must not outlive a failed setup (DCUP012).
+            self.sock.close()
+            raise
 
     def _on_readable(self) -> None:
         while True:
@@ -262,11 +268,16 @@ class _StreamPort:
         self.logical = logical
         self.handler = handler
         self.sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        self.sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        self.sock.setblocking(False)
-        self.sock.bind((network.interface, 0))
-        self.sock.listen(16)
-        self.real: Tuple[str, int] = self.sock.getsockname()
+        try:
+            self.sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            self.sock.setblocking(False)
+            self.sock.bind((network.interface, 0))
+            self.sock.listen(16)
+            self.real: Tuple[str, int] = self.sock.getsockname()
+        except Exception:
+            # The descriptor must not outlive a failed setup (DCUP012).
+            self.sock.close()
+            raise
         self.server: Optional[asyncio.AbstractServer] = None
         self._conn_tasks: Set["asyncio.Task[None]"] = set()
         # The listening socket exists as of now — connects succeed and
@@ -285,6 +296,7 @@ class _StreamPort:
         if task is not None:
             self._conn_tasks.add(task)
             task.add_done_callback(self._conn_tasks.discard)
+            self.network._adopt(task)
         try:
             while True:
                 src_len = int.from_bytes(
@@ -347,11 +359,16 @@ class TextExpositionPort:
         self.network = network
         self.render = render
         self.sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        self.sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        self.sock.setblocking(False)
-        self.sock.bind((network.interface, 0))
-        self.sock.listen(16)
-        self.address: Tuple[str, int] = self.sock.getsockname()
+        try:
+            self.sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            self.sock.setblocking(False)
+            self.sock.bind((network.interface, 0))
+            self.sock.listen(16)
+            self.address: Tuple[str, int] = self.sock.getsockname()
+        except Exception:
+            # The descriptor must not outlive a failed setup (DCUP012).
+            self.sock.close()
+            raise
         self.server: Optional[asyncio.AbstractServer] = None
         self._conn_tasks: Set["asyncio.Task[None]"] = set()
         network._defer(self._start())
@@ -367,6 +384,7 @@ class TextExpositionPort:
         if task is not None:
             self._conn_tasks.add(task)
             task.add_done_callback(self._conn_tasks.discard)
+            self.network._adopt(task)
         try:
             # Drain the request head (request line + headers); the
             # response is the same document whatever the path asked.
@@ -450,6 +468,11 @@ class AioNetwork:
         self._deferred: List["asyncio.Future[None]"] = []
         self._send_tasks: Set["asyncio.Task[None]"] = set()
         self._errors: List[BaseException] = []
+        sanitizer = clock.sanitizer
+        if sanitizer is not None:
+            # The pool's mutable state is loop-owned: flag any release/
+            # discard arriving from a foreign loop or thread (DCUP011).
+            sanitizer.guard("net.pool", self.pool, ("release", "discard"))
         clock.add_service(prepare=self.start, busy=self._busy,
                           error=self._pop_error)
 
@@ -482,6 +505,27 @@ class AioNetwork:
             exc = task.exception()
             if exc is not None:
                 self._errors.append(exc)
+
+    def _run_handler(self, handler: DatagramHandler, payload: bytes,
+                     src: Endpoint, dst: Endpoint) -> None:
+        """Invoke a delivery handler, timing the slice when sanitized."""
+        sanitizer = self.simulator.sanitizer
+        if sanitizer is not None:
+            sanitizer.run_slice(
+                functools.partial(handler, payload, src, dst))
+        else:
+            handler(payload, src, dst)
+
+    def _adopt(self, task: "asyncio.Task[None]") -> None:
+        """Mark a server-side connection task long-lived for the sanitizer.
+
+        Idle pooled connections legitimately keep their server-side
+        handler task alive across drains; without adoption the
+        quiescence check would report each as a leak.
+        """
+        sanitizer = self.simulator.sanitizer
+        if sanitizer is not None:
+            sanitizer.adopt(task)
 
     # -- topology (Network surface) --------------------------------------------
 
@@ -593,7 +637,7 @@ class AioNetwork:
             self.capture.record(self.simulator.now, "udp", src, dst,
                                 payload, "delivered")
         try:
-            port.handler(payload, src, dst)
+            self._run_handler(port.handler, payload, src, dst)
         except Exception as exc:  # surfaced by the clock's drain
             self._errors.append(exc)
 
@@ -641,7 +685,7 @@ class AioNetwork:
             self.capture.record(self.simulator.now, "stream", src, dst,
                                 payload, "delivered")
         try:
-            port.handler(payload, src, dst)
+            self._run_handler(port.handler, payload, src, dst)
         except Exception as exc:  # surfaced by the clock's drain
             self._errors.append(exc)
 

@@ -27,9 +27,13 @@ from __future__ import annotations
 
 import asyncio
 import itertools
-from typing import Any, Awaitable, Callable, List, Optional, Protocol
+from typing import (TYPE_CHECKING, Any, Awaitable, Callable, Coroutine,
+                    List, Optional, Protocol, Set)
 
 from .simulator import SimulationError
+
+if TYPE_CHECKING:
+    from ..analysis.sanitizer import Sanitizer
 
 
 class ClockLike(Protocol):
@@ -107,7 +111,11 @@ class LiveEventHandle:
         if not self.daemon:
             self._clock._nondaemon_pending -= 1
         self._clock.events_processed += 1
-        self._callback()
+        sanitizer = self._clock.sanitizer
+        if sanitizer is not None:
+            sanitizer.run_slice(self._callback)
+        else:
+            self._callback()
         if self._clock.observer is not None:
             self._clock.observer(self._clock.now)
 
@@ -173,9 +181,18 @@ class LiveClock:
       None; the first exception found aborts the drain.  Transports use
       this to surface handler errors that asyncio would otherwise only
       log.
+
+    ``sanitize=True`` arms a
+    :class:`~repro.analysis.sanitizer.Sanitizer` on the loop: timer
+    callbacks are timed for blocking slices, never-awaited coroutines
+    are captured, and every drain checks for leaked tasks.  The
+    sanitizer is reachable as :attr:`sanitizer` (None when off — the
+    zero-cost-when-off discipline).
     """
 
-    def __init__(self, loop: Optional[asyncio.AbstractEventLoop] = None):
+    def __init__(self, loop: Optional[asyncio.AbstractEventLoop] = None,
+                 sanitize: bool = False,
+                 block_threshold: Optional[float] = None):
         self._loop = loop if loop is not None else asyncio.new_event_loop()
         self._epoch = self._loop.time()
         self._sequence = itertools.count()
@@ -187,6 +204,18 @@ class LiveClock:
         self._prepare_hooks: List[Callable[[], Awaitable[None]]] = []
         self._busy_probes: List[Callable[[], bool]] = []
         self._error_probes: List[Callable[[], Optional[BaseException]]] = []
+        self._spawned: Set["asyncio.Task[None]"] = set()
+        self._spawn_errors: List[BaseException] = []
+        #: The armed runtime sanitizer, or None (the default).
+        self.sanitizer: Optional["Sanitizer"] = None
+        if sanitize:
+            from ..analysis.sanitizer import Sanitizer
+            if block_threshold is not None:
+                self.sanitizer = Sanitizer(self._loop,
+                                           block_threshold=block_threshold)
+            else:
+                self.sanitizer = Sanitizer(self._loop)
+            self.sanitizer.start()
 
     # -- the Simulator surface -------------------------------------------------
 
@@ -246,6 +275,32 @@ class LiveClock:
         """Scheduled timers that have not fired or been cancelled."""
         return self._live_pending
 
+    # -- task hygiene ----------------------------------------------------------
+
+    def spawn(self, coro: Coroutine[Any, Any, None]) -> "asyncio.Task[None]":
+        """Create a retained, error-surfacing task on the clock's loop.
+
+        The sanctioned replacement for a bare ``loop.create_task``
+        (which DCUP012 flags): the handle is retained until done so the
+        task cannot be garbage-collected mid-flight, an exception is
+        re-raised by the next drain instead of vanishing into asyncio's
+        logger, an in-flight spawn holds off :meth:`wait_quiescent`,
+        and an armed sanitizer adopts the task.
+        """
+        task = self._loop.create_task(coro)
+        self._spawned.add(task)
+        task.add_done_callback(self._finish_spawned)
+        if self.sanitizer is not None:
+            self.sanitizer.adopt(task)
+        return task
+
+    def _finish_spawned(self, task: "asyncio.Task[None]") -> None:
+        self._spawned.discard(task)
+        if not task.cancelled():
+            exc = task.exception()
+            if exc is not None:
+                self._spawn_errors.append(exc)
+
     # -- transport service hooks ----------------------------------------------
 
     def add_service(self, prepare: Optional[Callable[[], Awaitable[None]]] = None,
@@ -263,6 +318,8 @@ class LiveClock:
     # -- draining --------------------------------------------------------------
 
     def _raise_pending_errors(self) -> None:
+        if self._spawn_errors:
+            raise self._spawn_errors.pop(0)
         for probe in self._error_probes:
             exc = probe()
             if exc is not None:
@@ -289,7 +346,7 @@ class LiveClock:
                 raise TimeoutError(
                     f"live run not quiescent after {timeout}s: "
                     f"{self._nondaemon_pending} non-daemon timers pending")
-            if self._nondaemon_pending > 0 or \
+            if self._nondaemon_pending > 0 or bool(self._spawned) or \
                     any(probe() for probe in self._busy_probes):
                 quiet = 0
                 await asyncio.sleep(poll)
@@ -298,6 +355,8 @@ class LiveClock:
             if quiet < checks:
                 await asyncio.sleep(grace)
         self._raise_pending_errors()
+        if self.sanitizer is not None:
+            self.sanitizer.check_quiescence(self._loop)
 
     def run(self, max_events: Optional[int] = None) -> int:
         """Drive the loop until quiescent; returns timers fired.

@@ -287,6 +287,10 @@ class TelemetryPlane:
             raw = await reader.read(-1)
         finally:
             writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
         head, sep, body = raw.partition(b"\r\n\r\n")
         status = head.split(b"\r\n", 1)[0]
         if not sep or b" 200 " not in status + b" ":

@@ -53,8 +53,27 @@ class LiveTestbed(Testbed):
     #: The load ledger's installed trace tap (removed in :meth:`close`).
     _load_tap = None
 
+    def __init__(self, config: Optional[TestbedConfig] = None,
+                 domains: Optional[Sequence[DomainSpec]] = None,
+                 sanitize: bool = False):
+        # Read by _create_simulator during super().__init__, so it must
+        # exist first.
+        self._sanitize = sanitize
+        super().__init__(config, domains)
+        sanitizer = self.sanitizer
+        if sanitizer is not None and self.observability is not None:
+            # The trace bus's tap list is loop-owned once traffic runs:
+            # flag mutations from foreign loops/threads (DCUP011).
+            sanitizer.guard("obs.trace", self.observability.trace,
+                            ("add_tap", "remove_tap"))
+
+    @property
+    def sanitizer(self):
+        """The armed runtime sanitizer, or None when built without."""
+        return self.simulator.sanitizer
+
     def _create_simulator(self) -> LiveClock:
-        return LiveClock()
+        return LiveClock(sanitize=self._sanitize)
 
     def _create_network(self, profile: LinkProfile) -> AioNetwork:
         # The link profile is meaningless on a real network: loopback
@@ -99,6 +118,9 @@ class LiveTestbed(Testbed):
             self.observability.trace.remove_tap(self._load_tap)
             self._load_tap = None
         self.network.close()
+        sanitizer = self.simulator.sanitizer
+        if sanitizer is not None:
+            sanitizer.stop()
         loop = self.simulator.loop
         if not loop.is_closed():
             loop.close()
@@ -111,10 +133,10 @@ class LiveTestbed(Testbed):
 
 
 def make_live_testbed(config: Optional[TestbedConfig] = None,
-                      domains: Optional[Sequence[DomainSpec]] = None
-                      ) -> LiveTestbed:
+                      domains: Optional[Sequence[DomainSpec]] = None,
+                      sanitize: bool = False) -> LiveTestbed:
     """Build a :class:`LiveTestbed`; raises if loopback is unavailable."""
     if not loopback_available():
         raise RuntimeError("loopback UDP unavailable on this platform; "
                            "cannot build a live testbed")
-    return LiveTestbed(config, domains)
+    return LiveTestbed(config, domains, sanitize=sanitize)

@@ -7,8 +7,10 @@ exported *trace* against the protocol's guarantees, this checks the
 rounding, enum exhaustiveness; DESIGN.md §9 has the catalogue):
 
 * ``check PATH...`` — lint files/directories; exits 1 when findings
-  remain after suppressions, 0 on a clean tree, 2 on usage errors.
-  ``--select DCUP001,DCUP005`` narrows the report to given codes;
+  remain after suppressions, 0 on a clean tree, 2 on usage errors
+  (unreadable paths, malformed ``--select`` expressions).
+  ``--select DCUP001,DCUP005`` narrows the report to given codes and
+  accepts inclusive ranges (``--select DCUP009-DCUP013``);
   ``--format json`` emits the byte-stable machine form.
 * ``rules`` — print the rule catalogue (code, name, scope, summary).
 
@@ -26,6 +28,7 @@ from typing import List, Optional
 from ..analysis import (
     LintError,
     lint_paths,
+    parse_select,
     render_json,
     render_text,
     rule_catalogue,
@@ -45,8 +48,9 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("paths", nargs="+",
                        help="files or directories to lint")
     check.add_argument("--select", default=None,
-                       help="comma-separated DCUP codes to report "
-                            "(default: all)")
+                       help="comma-separated DCUP codes and inclusive "
+                            "ranges to report, e.g. "
+                            "DCUP001,DCUP009-DCUP013 (default: all)")
     check.add_argument("--format", choices=("text", "json"),
                        default="text", dest="fmt",
                        help="output format (default: text)")
@@ -69,11 +73,8 @@ def _emit(text: str, output: Optional[str]) -> None:
 
 
 def cmd_check(args: argparse.Namespace) -> int:
-    select = None
-    if args.select:
-        select = [code.strip() for code in args.select.split(",")
-                  if code.strip()]
     try:
+        select = parse_select(args.select) if args.select else None
         findings = lint_paths([pathlib.Path(p) for p in args.paths],
                               select=select)
     except LintError as exc:

@@ -54,6 +54,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--telemetry-interval", type=float, default=0.05,
                         metavar="SECONDS",
                         help="snapshot tick interval (default 0.05)")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="arm the runtime concurrency sanitizer "
+                             "(blocking slices, never-awaited coroutines, "
+                             "wrong-context mutations, task leaks) and "
+                             "fail the run on any report")
     parser.add_argument("--skip-unavailable", action="store_true",
                         help="exit 0 (not 1) when loopback UDP is "
                              "unavailable on this platform")
@@ -68,8 +73,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
               file=sys.stderr)
         return 0 if args.skip_unavailable else 1
     testbed = LiveTestbed(TestbedConfig(observability=True,
-                                        zone_count=args.zones))
+                                        zone_count=args.zones),
+                          sanitize=args.sanitize)
     telemetry_ok = True
+    sanitize_ok = True
     try:
         scrape: dict = {}
         if args.telemetry:
@@ -86,6 +93,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.telemetry:
             summary["telemetry"] = _finish_telemetry(testbed, plane, scrape)
             telemetry_ok = bool(summary["telemetry"]["ok"])
+        if args.sanitize:
+            sanitizer = testbed.sanitizer
+            reports = (sanitizer.report()
+                       if sanitizer is not None else [])
+            sanitize_ok = not reports
+            summary["sanitizer"] = {
+                "ok": sanitize_ok,
+                "reports": [f.as_dict() for f in reports],
+            }
         if args.export:
             os.makedirs(args.export, exist_ok=True)
             obs.trace.export_jsonl(
@@ -100,7 +116,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(json.dumps(summary, indent=2, sort_keys=True))
     else:
         _print_summary(summary)
-    return 0 if report.ok and telemetry_ok else 1
+    return 0 if report.ok and telemetry_ok and sanitize_ok else 1
 
 
 def _arm_midrun_scrape(testbed: LiveTestbed, plane, scrape: dict) -> None:
@@ -118,7 +134,9 @@ def _arm_midrun_scrape(testbed: LiveTestbed, plane, scrape: dict) -> None:
             scrape["error"] = exc
 
     def _launch() -> None:
-        testbed.simulator.loop.create_task(_do())
+        # spawn() retains the task, surfaces its exception at the next
+        # drain, and holds quiescence until the scrape lands.
+        testbed.simulator.spawn(_do())
 
     testbed.simulator.schedule(0.05, _launch, daemon=True)
 
@@ -189,6 +207,15 @@ def _print_summary(summary: dict) -> None:
     ]
     for violation in summary["violations"]:
         lines.append(f"    {violation['kind']}: {violation['message']}")
+    sanitizer = summary.get("sanitizer")
+    if sanitizer:
+        lines.append(
+            f"  sanitizer              "
+            f"{'clean' if sanitizer['ok'] else 'REPORTS'}")
+        for entry in sanitizer["reports"]:
+            lines.append(
+                f"    {entry['code']} {entry['path']}:{entry['line']} "
+                f"{entry['message']}")
     telemetry = summary.get("telemetry")
     if telemetry:
         lines.extend([

@@ -1,0 +1,10 @@
+"""Seeded DCUP013 violations: an unreachable state and a dead row."""
+
+LEASE_STATES = ("absent", "granted", "orphaned")
+LEASE_INITIAL = "absent"
+LEASE_TRANSITIONS = (
+    ("grant", "absent", "granted", "lease.grant"),
+    ("renew", "granted", "granted", "lease.renew"),
+    ("expire", "granted", "absent", "lease.expire"),
+    ("vanish", "orphaned", "absent", "lease.vanish"),
+)

@@ -1,0 +1,22 @@
+"""Seeded DCUP013 violation: a dispatch the table does not admit."""
+
+
+class Lifecycle:
+    def __init__(self):
+        self.trace = None
+
+    def grant(self, now):
+        if self.trace is not None:
+            self.trace.emit("lease.grant", t=now)
+
+    def renew(self, now):
+        if self.trace is not None:
+            self.trace.emit("lease.renew", t=now)
+
+    def expire(self, now):
+        if self.trace is not None:
+            self.trace.emit("lease.expire", t=now)
+
+    def supersede(self, now):
+        if self.trace is not None:
+            self.trace.emit("lease.revoke", t=now)

@@ -1,0 +1,14 @@
+"""Seeded DCUP009 violations: blocking calls inside coroutines."""
+
+import time
+
+
+async def poll_forever(loop, path):
+    time.sleep(0.5)
+    config = open(path).read()
+    loop.run_until_complete(noop())
+    return config
+
+
+async def noop():
+    pass

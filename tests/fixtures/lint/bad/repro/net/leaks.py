@@ -1,0 +1,13 @@
+"""Seeded DCUP012 violations: a dropped task and a leaky socket."""
+
+import socket
+
+
+def launch(loop, coro):
+    loop.create_task(coro)
+
+
+def open_port(interface):
+    sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    sock.bind((interface, 0))
+    return sock

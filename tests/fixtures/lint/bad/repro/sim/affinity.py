@@ -1,0 +1,28 @@
+"""Seeded DCUP011 violations: loop-owned registries mutated off-loop."""
+
+import threading
+
+
+class _Bus:
+    def add_tap(self, fn):
+        pass
+
+    def remove_tap(self, fn):
+        pass
+
+
+GLOBAL_BUS = _Bus()
+GLOBAL_BUS.add_tap(print)
+
+
+class Plane:
+    def __init__(self, bus, tap):
+        self.bus = bus
+        self.tap = tap
+        threading.Thread(target=self._watch).start()
+
+    def _watch(self):
+        self.bus.add_tap(self.tap)
+
+    def __del__(self):
+        self.bus.remove_tap(self.tap)

@@ -1,0 +1,10 @@
+"""Seeded DCUP010 violation: a coroutine built and never awaited."""
+
+
+async def flush_pending(queue):
+    while queue:
+        queue.pop()
+
+
+async def shutdown(queue):
+    flush_pending(queue)

@@ -1,0 +1,14 @@
+"""Clean counterpart to the DCUP013 fixture: the real lease machine."""
+
+LEASE_STATES = ("absent", "granted", "renegotiating")
+LEASE_INITIAL = "absent"
+LEASE_TRANSITIONS = (
+    ("grant", "absent", "granted", "lease.grant"),
+    ("renew", "granted", "granted", "lease.renew"),
+    ("expire", "granted", "absent", "lease.expire"),
+    ("supersede", "granted", "absent", "lease.revoke"),
+    ("renegotiate", "granted", "renegotiating", "renego.send"),
+    ("refresh", "renegotiating", "granted", "renego.refresh"),
+    ("decline", "renegotiating", "granted", "renego.lost"),
+    ("abort", "renegotiating", "granted", "renego.fail"),
+)

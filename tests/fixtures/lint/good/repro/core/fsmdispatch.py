@@ -1,0 +1,38 @@
+"""Clean counterpart to the DCUP013 fixture: every transition runs."""
+
+
+class Lifecycle:
+    def __init__(self):
+        self.trace = None
+
+    def grant(self, now):
+        if self.trace is not None:
+            self.trace.emit("lease.grant", t=now)
+
+    def renew(self, now):
+        if self.trace is not None:
+            self.trace.emit("lease.renew", t=now)
+
+    def expire(self, now):
+        if self.trace is not None:
+            self.trace.emit("lease.expire", t=now)
+
+    def supersede(self, now):
+        if self.trace is not None:
+            self.trace.emit("lease.revoke", t=now)
+
+    def renegotiate(self, now):
+        if self.trace is not None:
+            self.trace.emit("renego.send", t=now)
+
+    def refresh(self, now):
+        if self.trace is not None:
+            self.trace.emit("renego.refresh", t=now)
+
+    def decline(self, now):
+        if self.trace is not None:
+            self.trace.emit("renego.lost", t=now)
+
+    def abort(self, now):
+        if self.trace is not None:
+            self.trace.emit("renego.fail", t=now)

@@ -1,0 +1,19 @@
+"""Clean counterpart to the DCUP009 fixture: loop-friendly waiting."""
+
+import asyncio
+
+
+async def poll_forever(loop, path):
+    await asyncio.sleep(0.5)
+    config = await loop.run_in_executor(None, _read, path)
+    await noop()
+    return config
+
+
+async def noop():
+    pass
+
+
+def _read(path):
+    with open(path) as stream:
+        return stream.read()

@@ -1,0 +1,20 @@
+"""Clean counterpart to the DCUP012 fixture: retained and protected."""
+
+import socket
+
+
+def launch(loop, coro, registry):
+    task = loop.create_task(coro)
+    registry.add(task)
+    task.add_done_callback(registry.discard)
+    return task
+
+
+def open_port(interface):
+    sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    try:
+        sock.bind((interface, 0))
+    except Exception:
+        sock.close()
+        raise
+    return sock

@@ -1,0 +1,13 @@
+"""Clean counterpart to the DCUP011 fixture: mutations stay on-loop."""
+
+
+class Plane:
+    def __init__(self, bus, tap):
+        self.bus = bus
+        self.tap = tap
+
+    def start(self):
+        self.bus.add_tap(self.tap)
+
+    async def stop(self):
+        self.bus.remove_tap(self.tap)

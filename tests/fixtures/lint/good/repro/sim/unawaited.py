@@ -1,0 +1,10 @@
+"""Clean counterpart to the DCUP010 fixture: every coroutine runs."""
+
+
+async def flush_pending(queue):
+    while queue:
+        queue.pop()
+
+
+async def shutdown(queue):
+    await flush_pending(queue)

@@ -1,0 +1,270 @@
+"""The concurrency-correctness pass: async rules, select ranges, and
+the runtime sanitizer.
+
+Static-rule behaviour on the seeded fixtures is pinned in
+``test_analysis_lint.py`` (EXPECTED_BAD); this module covers the parts
+with no fixture analogue: ``--select`` range expansion and its exit
+codes, and the TSan-style :class:`repro.analysis.Sanitizer` armed via
+``LiveClock(sanitize=True)``.
+"""
+
+import asyncio
+import gc
+import json
+import pathlib
+import threading
+import time
+
+import pytest
+
+from repro.analysis import LintError, Sanitizer, parse_select
+from repro.net import LiveClock, loopback_available
+from repro.tools import lint_tool
+
+FIXTURES = pathlib.Path(__file__).resolve().parent / "fixtures" / "lint"
+
+
+# -- --select parsing ----------------------------------------------------------
+
+
+class TestParseSelect:
+    def test_single_codes_pass_through(self):
+        assert parse_select("DCUP001") == ["DCUP001"]
+        assert parse_select("DCUP001,DCUP005") == ["DCUP001", "DCUP005"]
+
+    def test_range_expands_inclusively(self):
+        assert parse_select("DCUP009-DCUP013") == [
+            "DCUP009", "DCUP010", "DCUP011", "DCUP012", "DCUP013"]
+
+    def test_degenerate_range_is_one_code(self):
+        assert parse_select("DCUP007-DCUP007") == ["DCUP007"]
+
+    def test_codes_and_ranges_mix(self):
+        assert parse_select("DCUP001,DCUP009-DCUP010,DCUP013") == [
+            "DCUP001", "DCUP009", "DCUP010", "DCUP013"]
+
+    @pytest.mark.parametrize("bad", ["DCUP9", "XCUP001-DCUP013",
+                                     "dcup001", "DCUP001-DCUP002-DCUP003"])
+    def test_malformed_tokens_raise(self, bad):
+        with pytest.raises(LintError):
+            parse_select(bad)
+
+    def test_inverted_range_raises(self):
+        with pytest.raises(LintError, match="inverted"):
+            parse_select("DCUP013-DCUP009")
+
+    @pytest.mark.parametrize("empty", ["", ",", " , "])
+    def test_empty_expression_raises(self, empty):
+        with pytest.raises(LintError, match="empty"):
+            parse_select(empty)
+
+
+class TestSelectCli:
+    def test_range_selects_the_async_family(self, capsys):
+        rc = lint_tool.main(["check", str(FIXTURES / "bad"),
+                             "--select", "DCUP009-DCUP013",
+                             "--format", "json"])
+        assert rc == 1
+        payload = json.loads(capsys.readouterr().out)
+        codes = sorted({f["code"] for f in payload["findings"]})
+        assert codes == ["DCUP009", "DCUP010", "DCUP011",
+                         "DCUP012", "DCUP013"]
+        assert payload["count"] == 12
+
+    def test_findings_exit_1_vs_usage_exit_2(self, capsys):
+        assert lint_tool.main(["check", str(FIXTURES / "bad"),
+                               "--select", "DCUP009"]) == 1
+        assert lint_tool.main(["check", str(FIXTURES / "bad"),
+                               "--select", "DCUP9"]) == 2
+        assert lint_tool.main(["check", str(FIXTURES / "bad"),
+                               "--select", "DCUP013-DCUP009"]) == 2
+        err = capsys.readouterr().err
+        assert "repro-lint: error" in err
+
+    def test_selected_clean_subset_exits_0(self, capsys):
+        rc = lint_tool.main(["check", str(FIXTURES / "good"),
+                             "--select", "DCUP009-DCUP013"])
+        assert rc == 0
+
+
+# -- the runtime sanitizer -----------------------------------------------------
+
+
+@pytest.fixture
+def loop():
+    created = asyncio.new_event_loop()
+    yield created
+    created.close()
+
+
+class TestSanitizerUnits:
+    def test_blocking_slice_over_threshold_reported(self, loop):
+        sanitizer = Sanitizer(loop, block_threshold=0.01)
+
+        def blocks():
+            time.sleep(0.03)
+
+        sanitizer.run_slice(blocks)
+        reports = sanitizer.report()
+        assert [f.code for f in reports] == ["DCUP009"]
+        assert "blocks" in reports[0].message
+        assert not sanitizer.ok
+
+    def test_fast_slice_is_clean(self, loop):
+        sanitizer = Sanitizer(loop, block_threshold=0.01)
+        sanitizer.run_slice(lambda: None)
+        assert sanitizer.report() == []
+        assert sanitizer.ok
+
+    def test_slice_timing_survives_callback_exceptions(self, loop):
+        sanitizer = Sanitizer(loop, block_threshold=0.01)
+
+        def explodes():
+            time.sleep(0.03)
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            sanitizer.run_slice(explodes)
+        assert [f.code for f in sanitizer.report()] == ["DCUP009"]
+
+    def test_never_awaited_coroutine_captured(self, loop):
+        sanitizer = Sanitizer(loop)
+        sanitizer.start()
+        try:
+            async def orphan():
+                pass
+
+            orphan()
+            gc.collect()
+        finally:
+            sanitizer.stop()
+        reports = sanitizer.report()
+        assert [f.code for f in reports] == ["DCUP010"]
+        assert "never awaited" in reports[0].message
+
+    def test_guard_allows_owner_thread_and_flags_foreign(self, loop):
+        class Registry:
+            def __init__(self):
+                self.taps = []
+
+            def add_tap(self, fn):
+                self.taps.append(fn)
+
+        registry = Registry()
+        sanitizer = Sanitizer(loop)
+        sanitizer.guard("test.registry", registry, ("add_tap",))
+        registry.add_tap(print)  # synchronous setup on the owner thread
+        worker = threading.Thread(target=lambda: registry.add_tap(print))
+        worker.start()
+        worker.join()
+        reports = sanitizer.report()
+        assert [f.code for f in reports] == ["DCUP011"]
+        assert "foreign thread" in reports[0].message
+        # The sanitizer observes; it never blocks the mutation itself.
+        assert len(registry.taps) == 2
+        sanitizer.stop()
+        # stop() unwraps: the instance attribute shadow is gone.
+        assert "add_tap" not in vars(registry)
+
+    def test_quiescence_reports_unadopted_tasks_once(self, loop):
+        sanitizer = Sanitizer(loop)
+
+        async def sleeper():
+            await asyncio.sleep(60)
+
+        async def scenario():
+            leaked = asyncio.get_running_loop().create_task(sleeper())
+            adopted = asyncio.get_running_loop().create_task(sleeper())
+            sanitizer.adopt(adopted)
+            await asyncio.sleep(0)
+            sanitizer.check_quiescence()
+            sanitizer.check_quiescence()  # same leak reported only once
+            leaked.cancel()
+            adopted.cancel()
+
+        loop.run_until_complete(scenario())
+        reports = sanitizer.report()
+        assert [f.code for f in reports] == ["DCUP012"]
+        assert "sleeper" in reports[0].message
+
+
+@pytest.mark.skipif(not loopback_available(),
+                    reason="loopback UDP unavailable on this platform")
+class TestSanitizedLiveClock:
+    def test_unsanitized_clock_has_no_sanitizer(self):
+        clock = LiveClock()
+        assert clock.sanitizer is None
+        clock.loop.close()
+
+    def test_spawn_is_retained_and_runs(self):
+        clock = LiveClock()
+        ran = []
+
+        async def work():
+            ran.append(1)
+
+        clock.schedule(0.0, lambda: clock.spawn(work()))
+        clock.run()
+        clock.loop.close()
+        assert ran == [1]
+
+    def test_spawn_errors_surface_from_run(self):
+        clock = LiveClock()
+
+        async def fails():
+            raise RuntimeError("spawned task blew up")
+
+        clock.schedule(0.0, lambda: clock.spawn(fails()))
+        with pytest.raises(RuntimeError, match="spawned task blew up"):
+            clock.run()
+        clock.loop.close()
+
+    def test_clean_sanitized_run_reports_nothing(self):
+        clock = LiveClock(sanitize=True)
+        try:
+            async def work():
+                await asyncio.sleep(0)
+
+            clock.schedule(0.0, lambda: clock.spawn(work()))
+            clock.run()
+            assert clock.sanitizer is not None
+            assert clock.sanitizer.report() == []
+        finally:
+            clock.sanitizer.stop()
+            clock.loop.close()
+
+    def test_blocking_timer_callback_reported(self):
+        clock = LiveClock(sanitize=True, block_threshold=0.01)
+        try:
+            def blocks():
+                time.sleep(0.03)
+
+            clock.schedule(0.0, blocks)
+            clock.run()
+            reports = clock.sanitizer.report()
+            assert [f.code for f in reports] == ["DCUP009"]
+        finally:
+            clock.sanitizer.stop()
+            clock.loop.close()
+
+    def test_bare_create_task_flagged_at_quiescence(self):
+        clock = LiveClock(sanitize=True)
+        leaked = []
+        try:
+            async def lingers():
+                await asyncio.sleep(60)
+
+            def kick():
+                # Deliberately NOT clock.spawn: the leak under test.
+                leaked.append(clock.loop.create_task(lingers()))
+
+            clock.schedule(0.0, kick)
+            clock.run()
+            reports = clock.sanitizer.report()
+            assert [f.code for f in reports] == ["DCUP012"]
+            assert "lingers" in reports[0].message
+        finally:
+            for task in leaked:
+                task.cancel()
+            clock.sanitizer.stop()
+            clock.loop.close()

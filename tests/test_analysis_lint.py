@@ -23,17 +23,25 @@ SRC = pathlib.Path(__file__).resolve().parents[1] / "src"
 #: report order.  Line numbers are pinned to the committed fixtures.
 EXPECTED_BAD = {
     "repro/core/badsuppress.py": [("DCUP001", 11), ("DCUP008", 11)],
+    "repro/core/fsm.py": [("DCUP013", 3), ("DCUP013", 9)],
+    "repro/core/fsmdispatch.py": [("DCUP013", 22)],
     "repro/core/tracename.py": [("DCUP003", 13)],
     "repro/core/unseeded.py": [("DCUP002", 7), ("DCUP002", 11)],
     "repro/core/wallclock.py": [("DCUP001", 8), ("DCUP001", 9)],
+    "repro/net/blocking.py": [("DCUP009", 7), ("DCUP009", 8),
+                              ("DCUP009", 9)],
+    "repro/net/leaks.py": [("DCUP012", 7), ("DCUP012", 12)],
     "repro/net/unguarded.py": [("DCUP005", 11), ("DCUP005", 12),
                                ("DCUP005", 13)],
     "repro/obs/load.py": [("DCUP005", 10), ("DCUP005", 11)],
     "repro/obs/streaming.py": [("DCUP005", 10), ("DCUP005", 11)],
     "repro/server/dispatch.py": [("DCUP007", 7)],
+    "repro/sim/affinity.py": [("DCUP011", 15), ("DCUP011", 25),
+                              ("DCUP011", 28)],
     "repro/sim/fastreplay.py": [("DCUP006", 7), ("DCUP006", 12)],
     "repro/sim/columnar.py": [("DCUP006", 7), ("DCUP006", 12)],
     "repro/sim/shard.py": [("DCUP006", 5)],
+    "repro/sim/unawaited.py": [("DCUP010", 10)],
 }
 
 
@@ -173,8 +181,8 @@ class TestOutputs:
     def test_rules_catalogue_lists_every_code(self, capsys):
         assert lint_tool.main(["rules"]) == 0
         out = capsys.readouterr().out
-        for number in range(1, 9):
-            assert f"DCUP00{number}" in out
+        for number in range(1, 14):
+            assert f"DCUP{number:03d}" in out
 
 
 class TestSelfApplication:

@@ -1,0 +1,47 @@
+"""The normative lease-FSM table (``repro.core.fsm``, PROTOCOL.md §10)."""
+
+from repro.core.fsm import (
+    LEASE_INITIAL,
+    LEASE_STATES,
+    LEASE_TRANSITIONS,
+    check_table,
+    reachable_states,
+    transition_events,
+)
+from repro.obs.trace import EVENT_NAMES
+
+
+def test_normative_table_is_well_formed():
+    assert check_table(LEASE_STATES, LEASE_INITIAL, LEASE_TRANSITIONS) == []
+
+
+def test_every_state_is_reachable():
+    assert reachable_states(LEASE_STATES, LEASE_INITIAL,
+                            LEASE_TRANSITIONS) == set(LEASE_STATES)
+
+
+def test_every_transition_event_is_registered():
+    events = transition_events()
+    assert len(events) == len(LEASE_TRANSITIONS)
+    assert events <= EVENT_NAMES
+
+
+def test_check_table_catches_structural_defects():
+    states = ("absent", "granted")
+    rows = (("grant", "absent", "granted", "lease.grant"),)
+    assert check_table(states, "nowhere", rows)  # unknown initial
+    assert check_table(states, "absent", rows + rows)  # duplicate name
+    assert check_table(states, "absent",
+                       (("grant", "absent", "limbo", "lease.grant"),))
+    assert check_table(states, "absent",
+                       (("grant", "absent", "granted", "noprefix"),))
+    # 'granted' unreachable: the only row leads nowhere new.
+    assert check_table(states, "absent",
+                       (("stay", "absent", "absent", "lease.grant"),))
+
+
+def test_clean_probe_rows_pass():
+    states = ("absent", "granted")
+    rows = (("grant", "absent", "granted", "lease.grant"),
+            ("expire", "granted", "absent", "lease.expire"))
+    assert check_table(states, "absent", rows) == []

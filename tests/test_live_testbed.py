@@ -46,6 +46,23 @@ def test_live_testbed_shares_topology_with_sim():
         assert testbed.dnscup is not None
 
 
+def test_sanitized_live_scenario_is_clean():
+    """The full scenario under the runtime sanitizer: clean audit AND
+    zero sanitizer reports — the acceptance the CI job gates with
+    ``repro-live --sanitize``."""
+    with make_live_testbed(SMALL, sanitize=True) as testbed:
+        assert testbed.sanitizer is not None
+        run_figure7_scenario(testbed, updates=3)
+        report = testbed.audit()
+        assert report.ok, report.as_dict()
+        assert testbed.sanitizer.report() == []
+
+
+def test_unsanitized_testbed_has_no_sanitizer():
+    with make_live_testbed(SMALL) as testbed:
+        assert testbed.sanitizer is None
+
+
 def test_close_releases_all_sockets():
     testbed = LiveTestbed(TestbedConfig(zone_count=8))
     master_endpoint = (testbed.master_host.address, 53)

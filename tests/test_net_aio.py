@@ -276,6 +276,56 @@ class TestLiveStreams:
         assert applied and applied[0][1][0].rdatas == (A("172.16.0.1"),)
 
 
+# -- failure-edge hygiene (DCUP012 regressions) --------------------------------
+
+
+class TestSocketCleanupOnFailure:
+    """A port constructor whose bind/listen raises must close the
+    descriptor it created — the real findings DCUP009–012 surfaced on
+    this file, pinned here against regression."""
+
+    @pytest.fixture
+    def created(self, monkeypatch):
+        """Patch socket.socket with a recording subclass."""
+        sockets = []
+
+        class RecordingSocket(socket_module.socket):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                sockets.append(self)
+
+        monkeypatch.setattr(socket_module, "socket", RecordingSocket)
+        return sockets
+
+    def _unbindable(self, clock):
+        # TEST-NET-3 is not a local interface: bind() raises EADDRNOTAVAIL.
+        return AioNetwork(clock, interface="203.0.113.7")
+
+    def test_udp_bind_failure_closes_descriptor(self, clock, created):
+        network = self._unbindable(clock)
+        with pytest.raises(OSError):
+            network.bind(("10.0.0.1", 53), lambda *a: None)
+        assert created and all(s.fileno() == -1 for s in created)
+        network.close()
+        clock.loop.close()
+
+    def test_stream_bind_failure_closes_descriptor(self, clock, created):
+        network = self._unbindable(clock)
+        with pytest.raises(OSError):
+            network.bind_stream(("10.0.0.1", 53), lambda *a: None)
+        assert created and all(s.fileno() == -1 for s in created)
+        network.close()
+        clock.loop.close()
+
+    def test_exposition_bind_failure_closes_descriptor(self, clock, created):
+        network = self._unbindable(clock)
+        with pytest.raises(OSError):
+            network.expose_text(lambda: "")
+        assert created and all(s.fileno() == -1 for s in created)
+        network.close()
+        clock.loop.close()
+
+
 # -- lifecycle -----------------------------------------------------------------
 
 
